@@ -1,0 +1,99 @@
+// Micro-benchmarks for the BDD kernel (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "support/rng.hpp"
+
+namespace sliq::bdd {
+namespace {
+
+Bdd randomFunction(BddManager& mgr, Rng& rng, unsigned vars, unsigned ops) {
+  Bdd f = makeVar(mgr, static_cast<unsigned>(rng.below(vars)));
+  for (unsigned i = 0; i < ops; ++i) {
+    Bdd v = makeVar(mgr, static_cast<unsigned>(rng.below(vars)));
+    if (rng.flip()) v = ~v;
+    switch (rng.below(3)) {
+      case 0: f = f & v; break;
+      case 1: f = f | v; break;
+      default: f = f ^ v; break;
+    }
+  }
+  return f;
+}
+
+void BM_IteRandom(benchmark::State& state) {
+  const unsigned vars = static_cast<unsigned>(state.range(0));
+  BddManager mgr(BddManager::Config{.initialVars = vars});
+  Rng rng(1);
+  std::vector<Bdd> pool;
+  for (int i = 0; i < 32; ++i)
+    pool.push_back(randomFunction(mgr, rng, vars, 12));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Bdd& f = pool[i % pool.size()];
+    const Bdd& g = pool[(i + 7) % pool.size()];
+    const Bdd& h = pool[(i + 13) % pool.size()];
+    benchmark::DoNotOptimize(f.ite(g, h).edge().raw);
+    ++i;
+  }
+  state.counters["live_nodes"] =
+      static_cast<double>(mgr.liveNodeCount());
+}
+BENCHMARK(BM_IteRandom)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Cofactor(benchmark::State& state) {
+  const unsigned vars = 64;
+  BddManager mgr(BddManager::Config{.initialVars = vars});
+  Rng rng(2);
+  Bdd f = randomFunction(mgr, rng, vars, 200);
+  unsigned v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.cofactor(v % vars, (v & 1) != 0).edge().raw);
+    ++v;
+  }
+}
+BENCHMARK(BM_Cofactor);
+
+void BM_XorChain(benchmark::State& state) {
+  const unsigned vars = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    BddManager mgr(BddManager::Config{.initialVars = vars});
+    Bdd f(&mgr, kFalseEdge);
+    for (unsigned v = 0; v < vars; ++v) f = f ^ makeVar(mgr, v);
+    benchmark::DoNotOptimize(f.edge().raw);
+  }
+}
+BENCHMARK(BM_XorChain)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SatFraction(benchmark::State& state) {
+  BddManager mgr(BddManager::Config{.initialVars = 64});
+  Rng rng(3);
+  Bdd f = randomFunction(mgr, rng, 64, 400);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.satFraction(f.edge()));
+  }
+}
+BENCHMARK(BM_SatFraction);
+
+void BM_GarbageCollection(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BddManager mgr(BddManager::Config{.initialVars = 32});
+    Rng rng(4);
+    {
+      std::vector<Bdd> junk;
+      for (int i = 0; i < 200; ++i)
+        junk.push_back(randomFunction(mgr, rng, 32, 20));
+    }
+    state.ResumeTiming();
+    mgr.garbageCollect();
+    benchmark::DoNotOptimize(mgr.liveNodeCount());
+  }
+}
+BENCHMARK(BM_GarbageCollection);
+
+}  // namespace
+}  // namespace sliq::bdd
+
+BENCHMARK_MAIN();

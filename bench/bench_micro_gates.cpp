@@ -1,0 +1,86 @@
+// Micro-benchmarks for the bit-sliced gate kernels (google-benchmark):
+// per-gate-kind application cost on a warmed-up entangled state.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "circuit/generators.hpp"
+#include "core/simulator.hpp"
+
+namespace sliq {
+namespace {
+
+constexpr unsigned kQubits = 24;
+
+std::unique_ptr<SliqSimulator> makeWarmState() {
+  auto sim = std::make_unique<SliqSimulator>(kQubits);
+  sim->run(randomCircuit(kQubits, 48, 7));
+  return sim;
+}
+
+void applyKind(benchmark::State& state, GateKind kind, unsigned numControls) {
+  // One warmed simulator per iteration batch; gates cycle over qubits.
+  auto sim = makeWarmState();
+  unsigned q = 0;
+  for (auto _ : state) {
+    Gate gate;
+    gate.kind = kind;
+    const unsigned t = q % kQubits;
+    if (kind == GateKind::kSwap) {
+      gate.targets = {t, (t + 1) % kQubits};
+      for (unsigned c = 0; c < numControls; ++c)
+        gate.controls.push_back((t + 2 + c) % kQubits);
+    } else {
+      gate.targets = {t};
+      for (unsigned c = 0; c < numControls; ++c)
+        gate.controls.push_back((t + 1 + c) % kQubits);
+    }
+    sim->applyGate(gate);
+    ++q;
+  }
+  state.counters["r"] = sim->bitWidth();
+  state.counters["nodes"] = static_cast<double>(sim->stateNodeCount());
+}
+
+void BM_GateX(benchmark::State& s) { applyKind(s, GateKind::kX, 0); }
+void BM_GateH(benchmark::State& s) { applyKind(s, GateKind::kH, 0); }
+void BM_GateT(benchmark::State& s) { applyKind(s, GateKind::kT, 0); }
+void BM_GateS(benchmark::State& s) { applyKind(s, GateKind::kS, 0); }
+void BM_GateY(benchmark::State& s) { applyKind(s, GateKind::kY, 0); }
+void BM_GateZ(benchmark::State& s) { applyKind(s, GateKind::kZ, 0); }
+void BM_GateRx90(benchmark::State& s) { applyKind(s, GateKind::kRx90, 0); }
+void BM_GateRy90(benchmark::State& s) { applyKind(s, GateKind::kRy90, 0); }
+void BM_GateCnot(benchmark::State& s) { applyKind(s, GateKind::kCnot, 1); }
+void BM_GateToffoli(benchmark::State& s) { applyKind(s, GateKind::kCnot, 2); }
+void BM_GateCz(benchmark::State& s) { applyKind(s, GateKind::kCz, 1); }
+void BM_GateSwap(benchmark::State& s) { applyKind(s, GateKind::kSwap, 0); }
+void BM_GateFredkin(benchmark::State& s) { applyKind(s, GateKind::kSwap, 1); }
+
+BENCHMARK(BM_GateX);
+BENCHMARK(BM_GateH);
+BENCHMARK(BM_GateT);
+BENCHMARK(BM_GateS);
+BENCHMARK(BM_GateY);
+BENCHMARK(BM_GateZ);
+BENCHMARK(BM_GateRx90);
+BENCHMARK(BM_GateRy90);
+BENCHMARK(BM_GateCnot);
+BENCHMARK(BM_GateToffoli);
+BENCHMARK(BM_GateCz);
+BENCHMARK(BM_GateSwap);
+BENCHMARK(BM_GateFredkin);
+
+void BM_MeasureProbability(benchmark::State& state) {
+  auto sim = makeWarmState();
+  unsigned q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->probabilityOne(q % kQubits));
+    ++q;
+  }
+}
+BENCHMARK(BM_MeasureProbability);
+
+}  // namespace
+}  // namespace sliq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Table V reproduction: quantum algorithm circuits — entanglement (GHZ) and
+// Bernstein–Vazirani — plus the paper's CHP side note on GHZ.
+//
+// Paper shape: GHZ is linear for both DD engines until the QMDD's
+// node+weight overhead runs out of memory first; BV drives the QMDD into
+// numerical errors / crashes while the bit-sliced engine stays exact; CHP
+// (stabilizer) is fastest on GHZ but cannot run BV.
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "core/simulator.hpp"
+#include "harness.hpp"
+#include "qmdd/qmdd_sim.hpp"
+#include "stabilizer/stabilizer.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace sliq::bench {
+namespace {
+
+std::string cell(const CaseOutcome& o) {
+  switch (o.status) {
+    case Status::kOk: return formatSeconds(o.seconds);
+    case Status::kTimeout: return "TO";
+    case Status::kMemout: return "MO";
+    case Status::kNumError: return "error";
+    case Status::kCrash: return "seg.";
+  }
+  return "?";
+}
+
+void report(std::ostream& os) {
+  AsciiTable table({"#Qubits", "GHZ #G", "DDSIM*", "Ours", "CHP", "BV #G",
+                    "DDSIM*", "Ours"});
+  for (const unsigned base : {100u, 250u, 500u, 1000u, 2000u}) {
+    const unsigned n = scaled(base);
+    const QuantumCircuit ghz = entanglementCircuit(n);
+    const QuantumCircuit bv = bernsteinVazirani(n, std::uint64_t{42});
+
+    const CaseOutcome ghzQmdd = runCase([&] {
+      qmdd::QmddSimulator sim(n);
+      sim.run(ghz);
+      (void)sim.probabilityOne(n - 1);
+      return !sim.isNormalized(1e-4);
+    });
+    const CaseOutcome ghzOurs = runCase([&] {
+      SliqSimulator sim(n);
+      sim.run(ghz);
+      (void)sim.probabilityOne(n - 1);
+      return false;
+    });
+    const CaseOutcome ghzChp = runCase([&] {
+      StabilizerSimulator sim(n);
+      sim.run(ghz);
+      Rng rng(1);
+      (void)sim.measure(n - 1, rng);
+      return false;
+    });
+    const CaseOutcome bvQmdd = runCase([&] {
+      qmdd::QmddSimulator sim(n + 1);
+      sim.run(bv);
+      (void)sim.probabilityOne(0);
+      return !sim.isNormalized(1e-4);
+    });
+    const CaseOutcome bvOurs = runCase([&] {
+      SliqSimulator sim(n + 1);
+      sim.run(bv);
+      Rng rng(1);
+      (void)sim.sampleAll(rng);
+      return false;
+    });
+    table.addRow({std::to_string(n), std::to_string(ghz.gateCount()),
+                  cell(ghzQmdd), cell(ghzOurs), cell(ghzChp),
+                  std::to_string(bv.gateCount()), cell(bvQmdd),
+                  cell(bvOurs)});
+  }
+  os << "Table V — quantum algorithm circuits (limits: "
+     << benchTimeoutSeconds() << " s / " << benchMemLimitMB() << " MiB)\n";
+  os << "CHP runs GHZ only (BV is outside the stabilizer class)\n\n";
+  table.print(os);
+}
+
+}  // namespace
+}  // namespace sliq::bench
+
+int main() {
+  sliq::bench::report(std::cout);
+  return 0;
+}

@@ -1,0 +1,182 @@
+#include "harness.hpp"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "bdd/types.hpp"
+#include "qmdd/qmdd.hpp"
+#include "support/memuse.hpp"
+#include "support/timer.hpp"
+
+namespace sliq::bench {
+
+namespace {
+
+double envDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+struct ChildReport {
+  int status;  // Status as int
+  double seconds;
+  double memMB;
+};
+
+}  // namespace
+
+double benchTimeoutSeconds() { return envDouble("SLIQ_BENCH_TIMEOUT", 20.0); }
+std::size_t benchMemLimitMB() {
+  return static_cast<std::size_t>(envDouble("SLIQ_BENCH_MEM_MB", 512.0));
+}
+unsigned scaled(unsigned value) {
+  const double pct = envDouble("SLIQ_BENCH_SCALE", 100.0);
+  const double scaledValue = value * pct / 100.0;
+  return scaledValue < 1.0 ? 1u : static_cast<unsigned>(scaledValue);
+}
+
+CaseOutcome runCase(const CaseFn& fn) {
+  int pipeFd[2];
+  if (pipe(pipeFd) != 0) throw std::runtime_error("pipe() failed");
+
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork() failed");
+
+  if (pid == 0) {
+    // ---- child ----
+    close(pipeFd[0]);
+    // Memory limit (address space). Leave headroom for the runtime.
+    rlimit rl{};
+    rl.rlim_cur = rl.rlim_max =
+        (benchMemLimitMB() + 128) * 1024ull * 1024ull;
+    setrlimit(RLIMIT_AS, &rl);
+
+    ChildReport report{static_cast<int>(Status::kOk), 0, 0};
+    WallTimer timer;
+    try {
+      const bool numericalError = fn();
+      report.seconds = timer.seconds();
+      report.status = static_cast<int>(numericalError ? Status::kNumError
+                                                      : Status::kOk);
+    } catch (const bdd::NodeLimitError&) {
+      report.seconds = timer.seconds();
+      report.status = static_cast<int>(Status::kMemout);
+    } catch (const qmdd::QmddLimitError&) {
+      report.seconds = timer.seconds();
+      report.status = static_cast<int>(Status::kMemout);
+    } catch (const std::bad_alloc&) {
+      report.seconds = timer.seconds();
+      report.status = static_cast<int>(Status::kMemout);
+    } catch (const std::length_error&) {
+      report.seconds = timer.seconds();
+      report.status = static_cast<int>(Status::kMemout);
+    } catch (...) {
+      report.seconds = timer.seconds();
+      report.status = static_cast<int>(Status::kCrash);
+    }
+    report.memMB = toMiB(peakRssBytes());
+    // Best-effort write; the parent treats missing data as a crash.
+    ssize_t ignored = write(pipeFd[1], &report, sizeof report);
+    (void)ignored;
+    close(pipeFd[1]);
+    _exit(0);
+  }
+
+  // ---- parent ----
+  close(pipeFd[1]);
+  const double timeout = benchTimeoutSeconds();
+  WallTimer timer;
+  int waitStatus = 0;
+  bool finished = false;
+  while (timer.seconds() < timeout) {
+    const pid_t r = waitpid(pid, &waitStatus, WNOHANG);
+    if (r == pid) {
+      finished = true;
+      break;
+    }
+    usleep(5000);
+  }
+  CaseOutcome outcome;
+  if (!finished) {
+    kill(pid, SIGKILL);
+    waitpid(pid, &waitStatus, 0);
+    close(pipeFd[0]);
+    outcome.status = Status::kTimeout;
+    outcome.seconds = timeout;
+    return outcome;
+  }
+
+  ChildReport report{};
+  const ssize_t got = read(pipeFd[0], &report, sizeof report);
+  close(pipeFd[0]);
+  if (got != static_cast<ssize_t>(sizeof report) ||
+      (WIFSIGNALED(waitStatus) != 0)) {
+    // Child died without reporting: segfault or OOM-kill. An address-space
+    // kill usually surfaces as bad_alloc (handled above); a raw signal is
+    // the paper's "seg." column.
+    outcome.status = Status::kCrash;
+    outcome.seconds = timer.seconds();
+    return outcome;
+  }
+  outcome.status = static_cast<Status>(report.status);
+  outcome.seconds = report.seconds;
+  outcome.memMB = report.memMB;
+  // Address-space exhaustion that the child survived shows up as MO.
+  if (outcome.status == Status::kOk && report.memMB > benchMemLimitMB())
+    outcome.status = Status::kMemout;
+  return outcome;
+}
+
+void CellStats::add(const CaseOutcome& o) {
+  if (o.memMB > 0) {
+    totalMemMB += o.memMB;
+    ++memSamples;
+  }
+  switch (o.status) {
+    case Status::kOk:
+      ++ok;
+      totalSeconds += o.seconds;
+      break;
+    case Status::kTimeout: ++timeout; break;
+    case Status::kMemout: ++memout; break;
+    case Status::kNumError: ++numError; break;
+    case Status::kCrash: ++crash; break;
+  }
+}
+
+std::string CellStats::timeCell() const {
+  if (ok == 0) return "failed";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", totalSeconds / ok);
+  return buf;
+}
+
+std::string CellStats::failCell() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%d/%d/%d/%d", timeout, memout, numError,
+                crash);
+  return buf;
+}
+
+std::string CellStats::memCell() const {
+  // Timed-out children are killed before they can report memory; average
+  // over the cases that did report.
+  if (memSamples == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", totalMemMB / memSamples);
+  return buf;
+}
+
+}  // namespace sliq::bench

@@ -1,0 +1,62 @@
+// Benchmark harness shared by the per-table binaries.
+//
+// Mirrors the paper's methodology (Section IV): every case runs under a
+// wall-clock timeout and a memory limit, in a forked child process so that
+// timeouts, memory exhaustion, numerical errors and crashes are all
+// contained and reported — the TO / MO / err. / seg. columns of
+// Tables III–VI.
+//
+// Environment knobs (all optional):
+//   SLIQ_BENCH_TIMEOUT   per-case seconds (default 20)
+//   SLIQ_BENCH_MEM_MB    per-case memory limit in MiB (default 512)
+//   SLIQ_BENCH_SCALE     workload scale factor in percent (default 100)
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace sliq::bench {
+
+enum class Status {
+  kOk,
+  kTimeout,   // TO
+  kMemout,    // MO
+  kNumError,  // err.  (probabilities no longer sum to 1)
+  kCrash,     // seg.
+};
+
+struct CaseOutcome {
+  Status status = Status::kOk;
+  double seconds = 0;
+  double memMB = 0;
+};
+
+/// Aggregates one table cell over several seeds, paper-style.
+struct CellStats {
+  int ok = 0, timeout = 0, memout = 0, numError = 0, crash = 0;
+  int memSamples = 0;
+  double totalSeconds = 0;
+  double totalMemMB = 0;
+
+  void add(const CaseOutcome& o);
+  /// "failed" when no case succeeded, else mean runtime of successes.
+  std::string timeCell() const;
+  std::string failCell() const;  // "TO/MO/err./seg." counts
+  std::string memCell() const;   // mean MiB over all cases
+};
+
+/// The child body: run the workload; return true when the engine reports a
+/// numerical error (paper's 'error' column). Memory/time limits and crashes
+/// are handled by the harness. Throwing NodeLimitError/QmddLimitError/
+/// bad_alloc inside counts as MO.
+using CaseFn = std::function<bool()>;
+
+/// Runs `fn` in a forked child under the configured limits.
+CaseOutcome runCase(const CaseFn& fn);
+
+double benchTimeoutSeconds();
+std::size_t benchMemLimitMB();
+/// Scales a workload dimension by SLIQ_BENCH_SCALE percent.
+unsigned scaled(unsigned value);
+
+}  // namespace sliq::bench

@@ -1,0 +1,181 @@
+#include "algebra/algebraic.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865476;
+
+/// Scales coefficients so both operands share max(k1, k2): increasing k by 2
+/// multiplies all coefficients by 2 (since α = coeffs/√2ᵏ); an odd k delta
+/// is resolved with the identity 1/√2 = ω − ω³... which mixes coefficients.
+/// To stay coefficient-local we only align k in steps of 2 and, for odd
+/// deltas, use √2 = ω − ω³ applied as a coefficient rotation:
+///   (a,b,c,d)·√2 = (a(ω−ω³)... ) — worked out below in multiplySqrt2.
+void multiplySqrt2(BigInt& a, BigInt& b, BigInt& c, BigInt& d) {
+  // (aω³ + bω² + cω + d)(ω − ω³)
+  //   = aω⁴ − aω⁶ + bω³ − bω⁵ + cω² − cω⁴ + dω − dω³
+  //   = (−a + c·... ) — expand using ω⁴ = −1, ω⁵ = −ω, ω⁶ = −ω²:
+  //   = −a + aω² + bω³ + bω + cω² + c + dω − dω³
+  //   = (b − d)ω³ + (a + c)ω² + (b + d)ω + (c − a)
+  BigInt na = b - d;
+  BigInt nb = a + c;
+  BigInt nc = b + d;
+  BigInt nd = c - a;
+  a = std::move(na);
+  b = std::move(nb);
+  c = std::move(nc);
+  d = std::move(nd);
+}
+
+}  // namespace
+
+AlgebraicComplex AlgebraicComplex::omegaPower(unsigned p, std::int64_t k) {
+  AlgebraicComplex r = one().timesOmega(p % 8);
+  r.k_ = k;
+  return r;
+}
+
+bool operator==(const AlgebraicComplex& x, const AlgebraicComplex& y) {
+  // Align to the larger k and compare coefficients.
+  AlgebraicComplex lo = x.k_ <= y.k_ ? x : y;
+  const AlgebraicComplex& hi = x.k_ <= y.k_ ? y : x;
+  while (lo.k_ + 1 < hi.k_) {
+    lo.a_ <<= 1;
+    lo.b_ <<= 1;
+    lo.c_ <<= 1;
+    lo.d_ <<= 1;
+    lo.k_ += 2;
+  }
+  if (lo.k_ != hi.k_) {
+    multiplySqrt2(lo.a_, lo.b_, lo.c_, lo.d_);
+    lo.k_ += 1;
+  }
+  return lo.a_ == hi.a_ && lo.b_ == hi.b_ && lo.c_ == hi.c_ && lo.d_ == hi.d_;
+}
+
+AlgebraicComplex AlgebraicComplex::operator+(
+    const AlgebraicComplex& rhs) const {
+  AlgebraicComplex lo = k_ <= rhs.k_ ? *this : rhs;
+  AlgebraicComplex hi = k_ <= rhs.k_ ? rhs : *this;
+  while (lo.k_ + 1 < hi.k_) {
+    lo.a_ <<= 1;
+    lo.b_ <<= 1;
+    lo.c_ <<= 1;
+    lo.d_ <<= 1;
+    lo.k_ += 2;
+  }
+  if (lo.k_ != hi.k_) {
+    multiplySqrt2(lo.a_, lo.b_, lo.c_, lo.d_);
+    lo.k_ += 1;
+  }
+  return {lo.a_ + hi.a_, lo.b_ + hi.b_, lo.c_ + hi.c_, lo.d_ + hi.d_, hi.k_};
+}
+
+AlgebraicComplex AlgebraicComplex::operator*(
+    const AlgebraicComplex& rhs) const {
+  // Polynomial product modulo ω⁴ = −1. Term (i,j) contributes to ω^{i+j}.
+  // Powers: a↔3, b↔2, c↔1, d↔0.
+  const BigInt* lhsCoef[4] = {&d_, &c_, &b_, &a_};           // index = power
+  const BigInt* rhsCoef[4] = {&rhs.d_, &rhs.c_, &rhs.b_, &rhs.a_};
+  BigInt acc[4];  // accumulated coefficient of ω^p
+  for (int i = 0; i < 4; ++i) {
+    if (lhsCoef[i]->isZero()) continue;
+    for (int j = 0; j < 4; ++j) {
+      if (rhsCoef[j]->isZero()) continue;
+      const int p = i + j;
+      const BigInt term = *lhsCoef[i] * *rhsCoef[j];
+      if (p < 4) {
+        acc[p] += term;
+      } else {
+        acc[p - 4] -= term;  // ω⁴ = −1
+      }
+    }
+  }
+  return {acc[3], acc[2], acc[1], acc[0], k_ + rhs.k_};
+}
+
+AlgebraicComplex AlgebraicComplex::timesOmega(unsigned p) const {
+  AlgebraicComplex r = *this;
+  for (unsigned i = 0; i < p % 8; ++i) {
+    // (aω³ + bω² + cω + d)·ω = aω⁴ + bω³ + cω² + dω = −a + bω³ + cω² + dω.
+    BigInt newA = std::move(r.b_);
+    BigInt newB = std::move(r.c_);
+    BigInt newC = std::move(r.d_);
+    BigInt newD = -r.a_;
+    r.a_ = std::move(newA);
+    r.b_ = std::move(newB);
+    r.c_ = std::move(newC);
+    r.d_ = std::move(newD);
+  }
+  return r;
+}
+
+AlgebraicComplex AlgebraicComplex::conjugate() const {
+  // conj(ω) = ω⁻¹ = −ω³, conj(ω²) = −ω², conj(ω³) = −ω.
+  return {-c_, -b_, -a_, d_, k_};
+}
+
+Zroot2 AlgebraicComplex::normSqScaled() const {
+  // Re·√2ᵏ = d + (c − a)/√2, Im·√2ᵏ = b + (a + c)/√2 ⇒
+  // |α|²·2ᵏ = a²+b²+c²+d² + √2(dc − da + ab + bc).
+  BigInt u = a_ * a_ + b_ * b_ + c_ * c_ + d_ * d_;
+  BigInt v = d_ * c_ - d_ * a_ + a_ * b_ + b_ * c_;
+  return Zroot2(std::move(u), std::move(v));
+}
+
+double AlgebraicComplex::normSq() const {
+  double m;
+  std::int64_t e;
+  normSqScaled().toScaledDouble(m, e);
+  return std::ldexp(m, static_cast<int>(e - k_));
+}
+
+std::complex<double> AlgebraicComplex::toComplex() const {
+  // α·√2ᵏ = (d + (c−a)/√2) + i(b + (a+c)/√2); evaluate with scaled doubles
+  // to survive large coefficients / large k.
+  double ma, mb, mc, md;
+  std::int64_t ea, eb, ec, ed;
+  a_.toScaledDouble(ma, ea);
+  b_.toScaledDouble(mb, eb);
+  c_.toScaledDouble(mc, ec);
+  d_.toScaledDouble(md, ed);
+  auto value = [](double m, std::int64_t e) {
+    if (m == 0.0) return 0.0;
+    return std::ldexp(m, static_cast<int>(e));
+  };
+  const double av = value(ma, ea), bv = value(mb, eb), cv = value(mc, ec),
+               dv = value(md, ed);
+  const double re = dv + (cv - av) * kInvSqrt2;
+  const double im = bv + (cv + av) * kInvSqrt2;
+  const double scale = std::pow(kInvSqrt2, static_cast<double>(k_));
+  return {re * scale, im * scale};
+}
+
+std::string AlgebraicComplex::toString() const {
+  std::string s = "(";
+  bool first = true;
+  auto term = [&](const BigInt& coef, const char* sym) {
+    if (coef.isZero()) return;
+    if (!first) s += coef.isNegative() ? " - " : " + ";
+    else if (coef.isNegative()) s += "-";
+    first = false;
+    BigInt mag = coef.isNegative() ? -coef : coef;
+    const bool unit = mag == BigInt(1) && sym[0] != '\0';
+    if (!unit) s += mag.toDecimal();
+    s += sym;
+  };
+  term(a_, "ω³");
+  term(b_, "ω²");
+  term(c_, "ω");
+  term(d_, "");
+  if (first) s += "0";
+  s += ")";
+  if (k_ != 0) s += "/√2^" + std::to_string(k_);
+  return s;
+}
+
+}  // namespace sliq

@@ -1,0 +1,86 @@
+// Algebraic representation of complex amplitudes (paper Eq. 5):
+//
+//     α = (a·ω³ + b·ω² + c·ω + d) / √2ᵏ,   ω = e^{iπ/4},
+//
+// with a, b, c, d ∈ Z (arbitrary precision here) and k ∈ Z. Every entry of a
+// Clifford+T circuit's state vector is exactly representable in this form.
+//
+// Useful identities (ω⁸ = 1, ω⁴ = −1):
+//   ω  = (1 + i)/√2       ω² = i       ω³ = (−1 + i)/√2
+//   multiplication by ω is the cyclic coefficient shift
+//   (a,b,c,d) → (b,c,d,−a).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+
+#include "bigint/bigint.hpp"
+#include "bigint/zroot2.hpp"
+
+namespace sliq {
+
+class AlgebraicComplex {
+ public:
+  /// Zero amplitude (k = 0).
+  AlgebraicComplex() = default;
+  AlgebraicComplex(BigInt a, BigInt b, BigInt c, BigInt d, std::int64_t k)
+      : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)),
+        d_(std::move(d)), k_(k) {}
+
+  /// The amplitude 1 (basis-state weight of a freshly prepared state).
+  static AlgebraicComplex one() { return {BigInt(0), BigInt(0), BigInt(0), BigInt(1), 0}; }
+  /// ω^p / √2ᵏ for p in [0, 8).
+  static AlgebraicComplex omegaPower(unsigned p, std::int64_t k = 0);
+
+  const BigInt& a() const { return a_; }
+  const BigInt& b() const { return b_; }
+  const BigInt& c() const { return c_; }
+  const BigInt& d() const { return d_; }
+  std::int64_t k() const { return k_; }
+
+  bool isZero() const {
+    return a_.isZero() && b_.isZero() && c_.isZero() && d_.isZero();
+  }
+
+  /// Exact equality *as complex numbers* — representations are normalized by
+  /// aligning k (coefficients scale by 2 per two units of k).
+  friend bool operator==(const AlgebraicComplex& x, const AlgebraicComplex& y);
+  friend bool operator!=(const AlgebraicComplex& x,
+                         const AlgebraicComplex& y) {
+    return !(x == y);
+  }
+
+  /// Sum; operands may carry different k (aligned internally).
+  AlgebraicComplex operator+(const AlgebraicComplex& rhs) const;
+  AlgebraicComplex operator-() const {
+    return {-a_, -b_, -c_, -d_, k_};
+  }
+  AlgebraicComplex operator-(const AlgebraicComplex& rhs) const {
+    return *this + (-rhs);
+  }
+  /// Product (exact).
+  AlgebraicComplex operator*(const AlgebraicComplex& rhs) const;
+
+  /// Multiplication by ω^p: cyclic shift of coefficients with sign flips.
+  AlgebraicComplex timesOmega(unsigned p = 1) const;
+  AlgebraicComplex conjugate() const;
+
+  /// Exact |α|²·2ᵏ  =  (a²+b²+c²+d²) + √2·(dc − da + ab + bc)  ∈ Z[√2].
+  /// Divide by 2ᵏ (caller-side, via the k() accessor) for the probability.
+  Zroot2 normSqScaled() const;
+  /// |α|² as a double (exact ring value, one final rounding).
+  double normSq() const;
+
+  /// Numeric value (one rounding per term).
+  std::complex<double> toComplex() const;
+
+  /// Human-readable rendering, e.g. "(1 - ω²)/√2^3".
+  std::string toString() const;
+
+ private:
+  BigInt a_, b_, c_, d_;
+  std::int64_t k_ = 0;
+};
+
+}  // namespace sliq

@@ -1,0 +1,81 @@
+// Structural analyses: node counts, satisfying fraction, support.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/manager.hpp"
+#include "support/assert.hpp"
+
+namespace sliq::bdd {
+
+namespace {
+
+void countRec(const BddManager& mgr, Edge e,
+              std::unordered_set<std::uint32_t>& seen) {
+  if (isConstant(e)) return;
+  if (!seen.insert(e.index()).second) return;
+  countRec(mgr, mgr.thenEdge(e), seen);
+  countRec(mgr, mgr.elseEdge(e), seen);
+}
+
+/// Fraction of assignments over the variables *below or at* e's level that
+/// satisfy the regular (uncomplemented) function rooted at e's node.
+double satFracRec(const BddManager& mgr, Edge e,
+                  std::unordered_map<std::uint32_t, double>& memo) {
+  if (isConstant(e)) return e.complemented() ? 0.0 : 1.0;
+  const bool complement = e.complemented();
+  const Edge regular = complement ? !e : e;
+  double frac;
+  const auto it = memo.find(regular.index());
+  if (it != memo.end()) {
+    frac = it->second;
+  } else {
+    // Each cofactor fraction is relative to the variables strictly below
+    // this node; skipped levels do not change fractions (both halves equal).
+    const double hi = satFracRec(mgr, mgr.thenEdge(regular), memo);
+    const double lo = satFracRec(mgr, mgr.elseEdge(regular), memo);
+    frac = 0.5 * (hi + lo);
+    memo.emplace(regular.index(), frac);
+  }
+  return complement ? 1.0 - frac : frac;
+}
+
+void supportRec(const BddManager& mgr, Edge e,
+                std::unordered_set<std::uint32_t>& seen,
+                std::vector<bool>& inSupport) {
+  if (isConstant(e)) return;
+  if (!seen.insert(e.index()).second) return;
+  inSupport[mgr.edgeVar(e)] = true;
+  supportRec(mgr, mgr.thenEdge(e), seen, inSupport);
+  supportRec(mgr, mgr.elseEdge(e), seen, inSupport);
+}
+
+}  // namespace
+
+std::size_t BddManager::nodeCount(Edge e) const {
+  std::unordered_set<std::uint32_t> seen;
+  countRec(*this, e, seen);
+  return seen.size();
+}
+
+std::size_t BddManager::nodeCountMulti(const std::vector<Edge>& roots) const {
+  std::unordered_set<std::uint32_t> seen;
+  for (Edge e : roots) countRec(*this, e, seen);
+  return seen.size();
+}
+
+double BddManager::satFraction(Edge f) const {
+  std::unordered_map<std::uint32_t, double> memo;
+  return satFracRec(*this, f, memo);
+}
+
+std::vector<unsigned> BddManager::supportVars(Edge f) const {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<bool> inSupport(varCount(), false);
+  supportRec(*this, f, seen, inSupport);
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < inSupport.size(); ++v)
+    if (inSupport[v]) result.push_back(v);
+  return result;
+}
+
+}  // namespace sliq::bdd

@@ -1,0 +1,57 @@
+// Graphviz export, for debugging and documentation figures.
+#include "bdd/dot.hpp"
+
+#include <ostream>
+#include <unordered_set>
+
+#include "bdd/manager.hpp"
+
+namespace sliq::bdd {
+
+namespace {
+
+void emitNodes(const BddManager& mgr, Edge e,
+               std::unordered_set<std::uint32_t>& seen, std::ostream& os,
+               const std::vector<std::string>& varNames) {
+  if (isConstant(e)) return;
+  if (!seen.insert(e.index()).second) return;
+  const unsigned var = mgr.edgeVar(e);
+  std::string label = var < varNames.size() && !varNames[var].empty()
+                          ? varNames[var]
+                          : "v" + std::to_string(var);
+  os << "  n" << e.index() << " [label=\"" << label << "\"];\n";
+  const Edge regular = e.complemented() ? !e : e;
+  const Edge hi = mgr.thenEdge(regular);
+  const Edge lo = mgr.elseEdge(regular);
+  auto emitEdge = [&](Edge child, bool then) {
+    os << "  n" << e.index() << " -> "
+       << (isConstant(child) ? std::string("one") : "n" + std::to_string(child.index()))
+       << " [style=" << (then ? "solid" : "dashed")
+       << (child.complemented() ? ", arrowhead=odot" : "") << "];\n";
+  };
+  emitEdge(hi, true);
+  emitEdge(lo, false);
+  emitNodes(mgr, hi, seen, os, varNames);
+  emitNodes(mgr, lo, seen, os, varNames);
+}
+
+}  // namespace
+
+void writeDot(const BddManager& mgr, Edge root, std::ostream& os,
+              const std::vector<std::string>& varNames) {
+  os << "digraph bdd {\n";
+  os << "  one [shape=box, label=\"1\"];\n";
+  if (isConstant(root)) {
+    os << "  root -> one" << (root.complemented() ? " [arrowhead=odot]" : "")
+       << ";\n";
+  } else {
+    os << "  root [shape=point];\n";
+    os << "  root -> n" << root.index()
+       << (root.complemented() ? " [arrowhead=odot]" : "") << ";\n";
+    std::unordered_set<std::uint32_t> seen;
+    emitNodes(mgr, Edge::make(root.index(), false), seen, os, varNames);
+  }
+  os << "}\n";
+}
+
+}  // namespace sliq::bdd

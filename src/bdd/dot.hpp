@@ -1,0 +1,19 @@
+// Graphviz (DOT) rendering of a BDD rooted at an edge.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bdd/types.hpp"
+
+namespace sliq::bdd {
+
+class BddManager;
+
+/// Writes `root` as a DOT digraph. Dashed = ELSE edges; odot arrowheads mark
+/// complemented edges. `varNames[v]`, when present, labels variable v.
+void writeDot(const BddManager& mgr, Edge root, std::ostream& os,
+              const std::vector<std::string>& varNames = {});
+
+}  // namespace sliq::bdd

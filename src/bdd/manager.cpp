@@ -1,0 +1,259 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace sliq::bdd {
+
+namespace {
+constexpr std::uint32_t kStickyRef = 0xffffffffu;
+constexpr std::size_t kInitialBuckets = 16;
+}  // namespace
+
+BddManager::BddManager() : BddManager(Config{}) {}
+
+BddManager::BddManager(const Config& config) : config_(config) {
+  nodes_.reserve(1u << 16);
+  // Node 0 is the ONE terminal; it owns no children and is never collected.
+  nodes_.push_back(Node{/*var=*/0xffffffffu, /*next=*/kNil,
+                        /*hi=*/kTrueEdge, /*lo=*/kTrueEdge,
+                        /*ref=*/kStickyRef});
+  liveNodes_ = 1;
+  gcThreshold_ = config_.gcThreshold;
+  cache_.assign(std::size_t{1} << config_.cacheLog2, CacheEntry{});
+  cacheMask_ = (std::uint64_t{1} << config_.cacheLog2) - 1;
+  for (unsigned i = 0; i < config_.initialVars; ++i) newVar();
+}
+
+BddManager::~BddManager() = default;
+
+unsigned BddManager::newVar() {
+  const unsigned var = static_cast<unsigned>(varToLevel_.size());
+  const unsigned level = static_cast<unsigned>(levelToVar_.size());
+  varToLevel_.push_back(level);
+  levelToVar_.push_back(var);
+  Subtable st;
+  st.buckets.assign(kInitialBuckets, kNil);
+  subtables_.push_back(std::move(st));
+  return var;
+}
+
+Edge BddManager::varEdge(unsigned v) const {
+  SLIQ_REQUIRE(v < varCount(), "variable does not exist");
+  // The projection node is created lazily by ite/makeNode; to keep this
+  // method const we search the subtable, and the non-const path creates it.
+  // In practice varEdge is called after the projection exists (see below),
+  // so we create projections eagerly in newVar via a const_cast-free hack:
+  // simplest correct approach: look it up, else build through a mutable self.
+  const Subtable& st = subtables_[varToLevel_[v]];
+  const std::uint64_t h = nodeHash(v, kTrueEdge, kFalseEdge) &
+                          (st.buckets.size() - 1);
+  for (std::uint32_t idx = st.buckets[h]; idx != kNil;
+       idx = nodes_[idx].next) {
+    const Node& n = nodes_[idx];
+    if (n.var == v && n.hi == kTrueEdge && n.lo == kFalseEdge)
+      return Edge::make(idx, false);
+  }
+  // Lazily materialize the projection function.
+  auto* self = const_cast<BddManager*>(this);
+  return self->makeNode(v, kTrueEdge, kFalseEdge);
+}
+
+void BddManager::ref(Edge e) {
+  Node& n = nodes_[e.index()];
+  if (n.ref != kStickyRef) ++n.ref;
+}
+
+void BddManager::deref(Edge e) {
+  Node& n = nodes_[e.index()];
+  if (n.ref != kStickyRef) {
+    SLIQ_ASSERT(n.ref > 0);
+    --n.ref;
+  }
+}
+
+std::uint64_t BddManager::nodeHash(std::uint32_t var, Edge hi, Edge lo) {
+  return hash3(var, hi.raw, lo.raw);
+}
+
+std::uint32_t BddManager::allocNode() {
+  if (freeList_ != kNil) {
+    const std::uint32_t idx = freeList_;
+    freeList_ = nodes_[idx].next;
+    ++liveNodes_;
+    return idx;
+  }
+  if (liveNodes_ >= config_.maxLiveNodes)
+    throw NodeLimitError("BDD node limit exceeded (" +
+                         std::to_string(config_.maxLiveNodes) + " nodes)");
+  nodes_.push_back(Node{});
+  ++liveNodes_;
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void BddManager::growSubtable(Subtable& st) {
+  std::vector<std::uint32_t> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 2, kNil);
+  const std::uint64_t mask = st.buckets.size() - 1;
+  for (std::uint32_t head : old) {
+    while (head != kNil) {
+      const std::uint32_t next = nodes_[head].next;
+      const Node& n = nodes_[head];
+      const std::uint64_t h = nodeHash(n.var, n.hi, n.lo) & mask;
+      nodes_[head].next = st.buckets[h];
+      st.buckets[h] = head;
+      head = next;
+    }
+  }
+}
+
+Edge BddManager::makeNode(std::uint32_t var, Edge hi, Edge lo) {
+  if (hi == lo) return hi;
+  // Canonical form: THEN edge must be regular.
+  bool outputComplement = false;
+  if (hi.complemented()) {
+    hi = !hi;
+    lo = !lo;
+    outputComplement = true;
+  }
+  Subtable& st = subtables_[varToLevel_[var]];
+  const std::uint64_t h = nodeHash(var, hi, lo) & (st.buckets.size() - 1);
+  for (std::uint32_t idx = st.buckets[h]; idx != kNil;
+       idx = nodes_[idx].next) {
+    const Node& n = nodes_[idx];
+    if (n.var == var && n.hi == hi && n.lo == lo)
+      return Edge::make(idx, outputComplement);
+  }
+  const std::uint32_t idx = allocNode();
+  Node& n = nodes_[idx];
+  n.var = var;
+  n.hi = hi;
+  n.lo = lo;
+  n.ref = 0;
+  n.next = st.buckets[h];
+  st.buckets[h] = idx;
+  ++st.count;
+  ref(hi);
+  ref(lo);
+  ++stats_.createdNodes;
+  stats_.peakLiveNodes = std::max(stats_.peakLiveNodes, liveNodes_);
+  if (st.count > st.buckets.size() * 4) growSubtable(st);
+  if (liveNodes_ > gcThreshold_) gcPending_ = true;
+  return Edge::make(idx, outputComplement);
+}
+
+void BddManager::maybeGc() {
+  SLIQ_ASSERT(!inOperation_);
+  if (!gcPending_) return;
+  garbageCollect();
+  gcPending_ = false;
+  // Adapt: if most nodes survived, raise the threshold so we do not thrash.
+  gcThreshold_ = std::max(config_.gcThreshold, liveNodes_ * 2);
+}
+
+void BddManager::garbageCollect() {
+  SLIQ_CHECK(!inOperation_, "GC during an active operation");
+  ++stats_.gcRuns;
+  std::size_t reclaimed = 0;
+  // Sweep top level to bottom: freeing a parent can only kill children at
+  // strictly lower levels, which the sweep has not reached yet.
+  for (unsigned level = 0; level < subtables_.size(); ++level) {
+    Subtable& st = subtables_[level];
+    for (auto& head : st.buckets) {
+      std::uint32_t* link = &head;
+      while (*link != kNil) {
+        const std::uint32_t idx = *link;
+        Node& n = nodes_[idx];
+        if (n.ref == 0) {
+          *link = n.next;
+          deref(n.hi);
+          deref(n.lo);
+          n.next = freeList_;
+          n.var = 0xfffffffeu;  // poison for debugging
+          freeList_ = idx;
+          --st.count;
+          --liveNodes_;
+          ++reclaimed;
+        } else {
+          link = &nodes_[idx].next;
+        }
+      }
+    }
+  }
+  stats_.gcReclaimed += reclaimed;
+  if (reclaimed > 0) cacheClear();
+}
+
+std::size_t BddManager::memoryBytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(Node);
+  bytes += cache_.capacity() * sizeof(CacheEntry);
+  for (const Subtable& st : subtables_)
+    bytes += st.buckets.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+void BddManager::checkConsistency() const {
+  std::size_t counted = 1;  // terminal
+  for (unsigned level = 0; level < subtables_.size(); ++level) {
+    const Subtable& st = subtables_[level];
+    std::size_t inTable = 0;
+    for (std::uint32_t head : st.buckets) {
+      for (std::uint32_t idx = head; idx != kNil; idx = nodes_[idx].next) {
+        const Node& n = nodes_[idx];
+        ++inTable;
+        SLIQ_CHECK(varToLevel_[n.var] == level, "node filed at wrong level");
+        SLIQ_CHECK(!n.hi.complemented(), "THEN edge complemented");
+        SLIQ_CHECK(n.hi != n.lo, "redundant node in table");
+        SLIQ_CHECK(edgeLevel(n.hi) > level && edgeLevel(n.lo) > level,
+                   "child level not below parent");
+      }
+    }
+    SLIQ_CHECK(inTable == st.count, "subtable count mismatch");
+    counted += inTable;
+  }
+  SLIQ_CHECK(counted == liveNodes_, "live node count mismatch");
+}
+
+bool BddManager::cacheLookup(std::uint64_t key1, std::uint64_t key2,
+                             Edge* out) {
+  ++stats_.cacheLookups;
+  // 4-way set-associative probe: direct mapping alone thrashes badly on the
+  // bit-sliced gate workload (many long-lived, rarely-repeated triples mixed
+  // with hot ones).
+  const std::uint64_t base = hashCombine(key1, key2) & cacheMask_ & ~3ull;
+  for (unsigned way = 0; way < 4; ++way) {
+    const CacheEntry& e = cache_[base + way];
+    if (e.valid && e.key1 == key1 && e.key2 == key2) {
+      ++stats_.cacheHits;
+      *out = Edge{e.result};
+      return true;
+    }
+  }
+  return false;
+}
+
+void BddManager::cacheInsert(std::uint64_t key1, std::uint64_t key2,
+                             Edge value) {
+  const std::uint64_t base = hashCombine(key1, key2) & cacheMask_ & ~3ull;
+  // Prefer an invalid slot; otherwise evict pseudo-randomly by key parity.
+  std::uint64_t victim = base + (mix64(key1 + 0x9e37) & 3);
+  for (unsigned way = 0; way < 4; ++way) {
+    if (!cache_[base + way].valid) {
+      victim = base + way;
+      break;
+    }
+  }
+  CacheEntry& e = cache_[victim];
+  e.key1 = key1;
+  e.key2 = key2;
+  e.result = value.raw;
+  e.valid = 1;
+}
+
+void BddManager::cacheClear() {
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+}
+
+}  // namespace sliq::bdd

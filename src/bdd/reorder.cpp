@@ -1,0 +1,188 @@
+// Dynamic variable reordering by sifting (Rudell, ICCAD'93), the same
+// heuristic family CUDD provides and the paper enables ("the implementation
+// of [21] in CUDD was used").
+//
+// The key primitive is the in-place adjacent-level swap: every node keeps
+// its identity (index) and function, so no external edge — handle or parent
+// — ever needs rewriting. A node x at level l whose children involve the
+// variable y at level l+1 is rewritten as a y-node over freshly built
+// x-nodes; nodes without y in their cone simply get re-filed.
+#include <algorithm>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "support/assert.hpp"
+
+namespace sliq::bdd {
+
+namespace {
+constexpr std::uint32_t kNil = 0xffffffffu;
+}
+
+std::size_t BddManager::swapLevels(unsigned level) {
+  SLIQ_ASSERT(level + 1 < subtables_.size());
+  const unsigned x = levelToVar_[level];
+  const unsigned y = levelToVar_[level + 1];
+
+  // Detach every node at the two levels.
+  auto detach = [&](Subtable& st) {
+    std::vector<std::uint32_t> out;
+    out.reserve(st.count);
+    for (auto& head : st.buckets) {
+      for (std::uint32_t idx = head; idx != kNil;) {
+        const std::uint32_t next = nodes_[idx].next;
+        out.push_back(idx);
+        idx = next;
+      }
+      head = kNil;
+    }
+    st.count = 0;
+    return out;
+  };
+  std::vector<std::uint32_t> xNodes = detach(subtables_[level]);
+  std::vector<std::uint32_t> yNodes = detach(subtables_[level + 1]);
+
+  // Swap the variable<->level maps first so makeNode files x at level+1.
+  levelToVar_[level] = y;
+  levelToVar_[level + 1] = x;
+  varToLevel_[x] = level + 1;
+  varToLevel_[y] = level;
+
+  auto refile = [&](unsigned lvl, std::uint32_t idx) {
+    Subtable& st = subtables_[lvl];
+    Node& n = nodes_[idx];
+    const std::uint64_t h = nodeHash(n.var, n.hi, n.lo) &
+                            (st.buckets.size() - 1);
+    n.next = st.buckets[h];
+    st.buckets[h] = idx;
+    ++st.count;
+    if (st.count > st.buckets.size() * 4) growSubtable(st);
+  };
+
+  // All y nodes move to the upper level unchanged (their children are at
+  // levels >= level+2, still strictly below).
+  for (std::uint32_t idx : yNodes) refile(level, idx);
+
+  // First pass: x nodes that do not depend on y keep their structure and
+  // sink to level+1. They must be filed before the second pass so that the
+  // rebuilt x-children can find them in the unique table.
+  auto dependsOnY = [&](const Node& n) {
+    return (!isConstant(n.hi) && nodes_[n.hi.index()].var == y) ||
+           (!isConstant(n.lo) && nodes_[n.lo.index()].var == y);
+  };
+  for (std::uint32_t idx : xNodes) {
+    if (!dependsOnY(nodes_[idx])) refile(level + 1, idx);
+  }
+
+  // Second pass: rewrite the interacting x nodes in place as y nodes.
+  for (std::uint32_t idx : xNodes) {
+    Node& n = nodes_[idx];
+    if (!dependsOnY(n)) continue;
+    const Edge f1 = n.hi;  // regular by canonicity
+    const Edge f0 = n.lo;
+    const bool hiIsY = !isConstant(f1) && nodes_[f1.index()].var == y;
+    const bool loIsY = !isConstant(f0) && nodes_[f0.index()].var == y;
+    const Edge f11 = hiIsY ? thenEdge(f1) : f1;
+    const Edge f10 = hiIsY ? elseEdge(f1) : f1;
+    const Edge f01 = loIsY ? thenEdge(f0) : f0;
+    const Edge f00 = loIsY ? elseEdge(f0) : f0;
+    // f11 is regular (THEN of a regular edge), so hi below stays regular.
+    const Edge hi = makeNode(x, f11, f01);
+    const Edge lo = makeNode(x, f10, f00);
+    SLIQ_ASSERT(!hi.complemented());
+    SLIQ_ASSERT(!(hi == lo));
+    ref(hi);
+    ref(lo);
+    deref(f1);
+    deref(f0);
+    n.var = y;
+    n.hi = hi;
+    n.lo = lo;
+    refile(level, idx);
+  }
+
+  // Reclaim nodes orphaned by the swap at the two touched levels so that
+  // liveNodes_ is a faithful size metric for the sifting search. (Children
+  // at deeper levels made dead by the cascade are left for the next full
+  // GC; they do not affect relative comparisons during one sift pass.)
+  for (unsigned lvl : {level, level + 1}) {
+    Subtable& st = subtables_[lvl];
+    for (auto& head : st.buckets) {
+      std::uint32_t* link = &head;
+      while (*link != kNil) {
+        const std::uint32_t idx = *link;
+        Node& n = nodes_[idx];
+        if (n.ref == 0) {
+          *link = n.next;
+          deref(n.hi);
+          deref(n.lo);
+          n.next = freeList_;
+          n.var = 0xfffffffeu;
+          freeList_ = idx;
+          --st.count;
+          --liveNodes_;
+        } else {
+          link = &nodes_[idx].next;
+        }
+      }
+    }
+  }
+  return liveNodes_;
+}
+
+void BddManager::siftVar(unsigned var, std::size_t limitGrowth) {
+  const unsigned levels = static_cast<unsigned>(subtables_.size());
+  if (levels < 2) return;
+  const std::size_t startSize = liveNodes_;
+  std::size_t bestSize = startSize;
+  unsigned bestLevel = varToLevel_[var];
+
+  // Phase 1: sift down to the bottom.
+  while (varToLevel_[var] + 1 < levels) {
+    const std::size_t size = swapLevels(varToLevel_[var]);
+    if (size < bestSize) {
+      bestSize = size;
+      bestLevel = varToLevel_[var];
+    }
+    if (size > startSize + limitGrowth) break;
+  }
+  // Phase 2: sift up to the top.
+  while (varToLevel_[var] > 0) {
+    const std::size_t size = swapLevels(varToLevel_[var] - 1);
+    if (size < bestSize) {
+      bestSize = size;
+      bestLevel = varToLevel_[var];
+    }
+    if (size > startSize + limitGrowth) break;
+  }
+  // Phase 3: return to the best observed position.
+  while (varToLevel_[var] < bestLevel) swapLevels(varToLevel_[var]);
+  while (varToLevel_[var] > bestLevel) swapLevels(varToLevel_[var] - 1);
+}
+
+long BddManager::reorderSift() {
+  SLIQ_CHECK(!inOperation_, "reorder during an active operation");
+  ++stats_.reorderings;
+  // Collect dead nodes first so size measurements reflect live structure.
+  garbageCollect();
+  const long before = static_cast<long>(liveNodes_);
+
+  // Sift variables in decreasing order of their level population.
+  std::vector<unsigned> vars(varCount());
+  for (unsigned v = 0; v < varCount(); ++v) vars[v] = v;
+  std::sort(vars.begin(), vars.end(), [&](unsigned a, unsigned b) {
+    return subtables_[varToLevel_[a]].count > subtables_[varToLevel_[b]].count;
+  });
+  const std::size_t growthLimit = std::max<std::size_t>(liveNodes_ / 5, 1024);
+  for (unsigned v : vars) {
+    siftVar(v, growthLimit);
+    // Collect cascade-orphaned nodes so each sift starts from a clean count.
+    garbageCollect();
+  }
+
+  cacheClear();
+  garbageCollect();
+  return before - static_cast<long>(liveNodes_);
+}
+
+}  // namespace sliq::bdd

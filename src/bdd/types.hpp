@@ -1,0 +1,42 @@
+// Fundamental BDD types: edges with complement bits and resource errors.
+//
+// The package follows the classic ROBDD design with complement edges
+// (Brace/Rudell/Bryant): an edge is a 32-bit word holding a node index and a
+// complement bit. Canonical form: THEN-edges are never complemented, so each
+// function and its negation share one node and negation is O(1).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sliq::bdd {
+
+struct Edge {
+  std::uint32_t raw = 1;  // default-constructed edge is the constant FALSE
+
+  constexpr std::uint32_t index() const { return raw >> 1; }
+  constexpr bool complemented() const { return (raw & 1u) != 0; }
+  constexpr Edge operator!() const { return Edge{raw ^ 1u}; }
+  constexpr bool operator==(const Edge&) const = default;
+
+  static constexpr Edge make(std::uint32_t index, bool complement) {
+    return Edge{(index << 1) | static_cast<std::uint32_t>(complement)};
+  }
+};
+
+/// Constant functions live at node index 0 (the ONE terminal).
+inline constexpr Edge kTrueEdge{0};
+inline constexpr Edge kFalseEdge{1};
+
+inline constexpr bool isConstant(Edge e) { return e.index() == 0; }
+
+/// Thrown when the node limit configured on the manager is exceeded.
+/// Benchmark harnesses map this to the paper's "MO" (memory out) outcome.
+class NodeLimitError : public std::runtime_error {
+ public:
+  explicit NodeLimitError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace sliq::bdd

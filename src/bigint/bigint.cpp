@@ -1,0 +1,331 @@
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace sliq {
+
+namespace {
+constexpr unsigned kLimbBits = 64;
+
+#if defined(__SIZEOF_INT128__)
+using u128 = unsigned __int128;
+#else
+#error "BigInt requires __int128 support"
+#endif
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  if (v == 0) return;
+  sign_ = v > 0 ? 1 : -1;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  std::uint64_t mag =
+      v > 0 ? static_cast<std::uint64_t>(v)
+            : ~static_cast<std::uint64_t>(v) + 1;
+  mag_.push_back(mag);
+}
+
+BigInt BigInt::fromDecimal(const std::string& s) {
+  SLIQ_REQUIRE(!s.empty(), "empty decimal string");
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+    SLIQ_REQUIRE(s.size() > 1, "sign without digits");
+  }
+  BigInt result;
+  for (; i < s.size(); ++i) {
+    SLIQ_REQUIRE(s[i] >= '0' && s[i] <= '9', "invalid decimal digit");
+    result *= BigInt(10);
+    result += BigInt(s[i] - '0');
+  }
+  if (neg) result = -result;
+  return result;
+}
+
+BigInt BigInt::fromTwosComplementBits(const std::vector<bool>& bits) {
+  if (bits.empty()) return BigInt();
+  const bool negative = bits.back();
+  BigInt result;
+  result.mag_.assign(bits.size() / kLimbBits + 1, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // For negative values, accumulate the complement and add 1 at the end:
+    // value = -(~bits + 1) in 2's complement.
+    const bool bit = negative ? !bits[i] : bits[i];
+    if (bit) result.mag_[i / kLimbBits] |= 1ULL << (i % kLimbBits);
+  }
+  result.sign_ = 1;
+  result.trim();
+  if (result.mag_.empty()) result.sign_ = 0;
+  if (negative) {
+    result += BigInt(1);
+    result.sign_ = -1;  // complemented magnitude is never 0 after +1
+    return result;
+  }
+  return result;
+}
+
+BigInt BigInt::pow2(unsigned e) {
+  BigInt r;
+  r.sign_ = 1;
+  r.mag_.assign(e / kLimbBits + 1, 0);
+  r.mag_.back() = 1ULL << (e % kLimbBits);
+  return r;
+}
+
+void BigInt::trim() {
+  while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
+  if (mag_.empty()) sign_ = 0;
+}
+
+int BigInt::compareMag(const std::vector<std::uint64_t>& a,
+                       const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::addMag(std::vector<std::uint64_t>& a,
+                    const std::vector<std::uint64_t>& b) {
+  if (b.size() > a.size()) a.resize(b.size(), 0);
+  unsigned carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t bi = i < b.size() ? b[i] : 0;
+    const std::uint64_t sum = a[i] + bi;
+    const std::uint64_t withCarry = sum + carry;
+    carry = (sum < a[i]) || (withCarry < sum) ? 1 : 0;
+    a[i] = withCarry;
+    if (carry == 0 && i >= b.size()) return;
+  }
+  if (carry) a.push_back(1);
+}
+
+void BigInt::subMag(std::vector<std::uint64_t>& a,
+                    const std::vector<std::uint64_t>& b) {
+  SLIQ_ASSERT(compareMag(a, b) >= 0);
+  unsigned borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t bi = i < b.size() ? b[i] : 0;
+    const std::uint64_t diff = a[i] - bi;
+    const std::uint64_t withBorrow = diff - borrow;
+    borrow = (diff > a[i]) || (withBorrow > diff) ? 1 : 0;
+    a[i] = withBorrow;
+    if (borrow == 0 && i >= b.size()) break;
+  }
+  SLIQ_ASSERT(borrow == 0);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  r.sign_ = -r.sign_;
+  return r;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (rhs.sign_ == 0) return *this;
+  if (sign_ == 0) return *this = rhs;
+  if (sign_ == rhs.sign_) {
+    addMag(mag_, rhs.mag_);
+    return *this;
+  }
+  const int cmp = compareMag(mag_, rhs.mag_);
+  if (cmp == 0) {
+    sign_ = 0;
+    mag_.clear();
+  } else if (cmp > 0) {
+    subMag(mag_, rhs.mag_);
+  } else {
+    std::vector<std::uint64_t> tmp = rhs.mag_;
+    subMag(tmp, mag_);
+    mag_ = std::move(tmp);
+    sign_ = rhs.sign_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  // Cheap sign flip; rhs is by value semantics below via copy in operator-.
+  BigInt negated = rhs;
+  negated.sign_ = -negated.sign_;
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (sign_ == 0 || rhs.sign_ == 0) {
+    sign_ = 0;
+    mag_.clear();
+    return *this;
+  }
+  std::vector<std::uint64_t> out(mag_.size() + rhs.mag_.size(), 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.mag_.size(); ++j) {
+      const u128 cur = static_cast<u128>(mag_[i]) * rhs.mag_[j] +
+                       out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out[i + rhs.mag_.size()] += carry;
+  }
+  mag_ = std::move(out);
+  sign_ *= rhs.sign_;
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(unsigned k) {
+  if (sign_ == 0 || k == 0) return *this;
+  const unsigned limbShift = k / kLimbBits;
+  const unsigned bitShift = k % kLimbBits;
+  if (bitShift == 0) {
+    mag_.insert(mag_.begin(), limbShift, 0);
+    return *this;
+  }
+  std::vector<std::uint64_t> out(mag_.size() + limbShift + 1, 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    out[i + limbShift] |= mag_[i] << bitShift;
+    out[i + limbShift + 1] |= mag_[i] >> (kLimbBits - bitShift);
+  }
+  mag_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(unsigned k) {
+  if (sign_ == 0 || k == 0) return *this;
+  // Arithmetic shift: floor semantics. For negative values floor(v / 2^k)
+  // = -ceil(|v| / 2^k) = -((|v| >> k) + (any dropped bit ? 1 : 0)).
+  const unsigned limbShift = k / kLimbBits;
+  const unsigned bitShift = k % kLimbBits;
+  bool dropped = false;
+  if (sign_ < 0) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(limbShift, mag_.size());
+         ++i)
+      dropped |= mag_[i] != 0;
+    if (bitShift != 0 && limbShift < mag_.size())
+      dropped |= (mag_[limbShift] & ((1ULL << bitShift) - 1)) != 0;
+  }
+  if (limbShift >= mag_.size()) {
+    mag_.clear();
+    sign_ = 0;
+  } else {
+    mag_.erase(mag_.begin(), mag_.begin() + limbShift);
+    if (bitShift != 0) {
+      for (std::size_t i = 0; i < mag_.size(); ++i) {
+        mag_[i] >>= bitShift;
+        if (i + 1 < mag_.size())
+          mag_[i] |= mag_[i + 1] << (kLimbBits - bitShift);
+      }
+    }
+    trim();
+  }
+  if (dropped) {
+    const int savedSign = sign_ == 0 ? -1 : sign_;
+    BigInt one(1);
+    // magnitude increment for negative floor rounding
+    addMag(mag_, one.mag_);
+    sign_ = savedSign;
+  }
+  return *this;
+}
+
+int BigInt::compare(const BigInt& rhs) const {
+  if (sign_ != rhs.sign_) return sign_ < rhs.sign_ ? -1 : 1;
+  const int magCmp = compareMag(mag_, rhs.mag_);
+  return sign_ >= 0 ? magCmp : -magCmp;
+}
+
+unsigned BigInt::bitLength() const {
+  if (mag_.empty()) return 0;
+  const std::uint64_t top = mag_.back();
+  const unsigned topBits = kLimbBits - static_cast<unsigned>(__builtin_clzll(top));
+  return static_cast<unsigned>((mag_.size() - 1) * kLimbBits) + topBits;
+}
+
+double BigInt::toDouble() const {
+  double mantissa;
+  std::int64_t exponent;
+  toScaledDouble(mantissa, exponent);
+  if (exponent > 2000) return mantissa * HUGE_VAL;  // deliberate overflow
+  return std::ldexp(mantissa, static_cast<int>(exponent));
+}
+
+void BigInt::toScaledDouble(double& mantissa, std::int64_t& exponent) const {
+  if (sign_ == 0) {
+    mantissa = 0.0;
+    exponent = 0;
+    return;
+  }
+  // Take the top 64 bits of the magnitude for the mantissa.
+  const unsigned bits = bitLength();
+  std::uint64_t top = 0;
+  if (bits <= kLimbBits) {
+    top = mag_[0];
+    exponent = 0;
+  } else {
+    const unsigned shift = bits - kLimbBits;  // bits to drop
+    const unsigned limb = shift / kLimbBits;
+    const unsigned off = shift % kLimbBits;
+    top = mag_[limb] >> off;
+    if (off != 0 && limb + 1 < mag_.size())
+      top |= mag_[limb + 1] << (kLimbBits - off);
+    exponent = shift;
+  }
+  int localExp = 0;
+  mantissa = std::frexp(static_cast<double>(top), &localExp);
+  exponent += localExp;
+  if (sign_ < 0) mantissa = -mantissa;
+}
+
+bool BigInt::toInt64(std::int64_t* out) const {
+  if (mag_.size() > 1) return false;
+  const std::uint64_t mag = mag_.empty() ? 0 : mag_[0];
+  if (sign_ >= 0) {
+    if (mag > static_cast<std::uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<std::int64_t>(mag);
+  } else {
+    if (mag > static_cast<std::uint64_t>(INT64_MAX) + 1) return false;
+    *out = static_cast<std::int64_t>(~mag + 1);
+  }
+  return true;
+}
+
+std::string BigInt::toDecimal() const {
+  if (sign_ == 0) return "0";
+  // Repeated division by 10^19 (largest power of ten in a 64-bit limb).
+  constexpr std::uint64_t kChunk = 10'000'000'000'000'000'000ULL;
+  std::vector<std::uint64_t> work = mag_;
+  std::string digits;
+  while (!work.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const u128 cur = (static_cast<u128>(rem) << 64) | work[i];
+      work[i] = static_cast<std::uint64_t>(cur / kChunk);
+      rem = static_cast<std::uint64_t>(cur % kChunk);
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 19; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::uint64_t BigInt::hashValue() const {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(sign_ + 1));
+  for (const std::uint64_t limb : mag_) h = hashCombine(h, limb);
+  return h;
+}
+
+}  // namespace sliq

@@ -1,0 +1,96 @@
+// Arbitrary-precision signed integers.
+//
+// The bit-sliced simulator stores state-vector integers as BDD slices; when
+// amplitudes are decoded (measurement, amplitude queries) the slice bits are
+// reassembled into integers whose width r is unbounded, so a bignum type is
+// required. This is a from-scratch sign-magnitude implementation with the
+// operations the simulator needs: +, -, *, shifts, comparison, exact
+// conversion to scaled double, and decimal I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sliq {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric type
+  /// Parses an optionally '-'-prefixed decimal string. Throws on bad input.
+  static BigInt fromDecimal(const std::string& s);
+  /// Builds the value from 2's-complement bits, least-significant first.
+  /// The final bit is the sign bit; an empty vector is 0.
+  static BigInt fromTwosComplementBits(const std::vector<bool>& bits);
+  /// 2^e for e >= 0.
+  static BigInt pow2(unsigned e);
+
+  bool isZero() const { return sign_ == 0; }
+  bool isNegative() const { return sign_ < 0; }
+  int signum() const { return sign_; }
+
+  BigInt operator-() const;
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator<<=(unsigned k);
+  /// Arithmetic right shift (floor division by 2^k).
+  BigInt& operator>>=(unsigned k);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator<<(BigInt a, unsigned k) { return a <<= k; }
+  friend BigInt operator>>(BigInt a, unsigned k) { return a >>= k; }
+
+  /// Three-way comparison: negative/zero/positive like memcmp.
+  int compare(const BigInt& rhs) const;
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return a.compare(b) >= 0;
+  }
+
+  /// Number of bits in the magnitude (0 for value 0).
+  unsigned bitLength() const;
+  /// Value as double; loses precision beyond 53 bits, may overflow to inf.
+  double toDouble() const;
+  /// Exact scaled representation: value == mantissa * 2^exponent with
+  /// |mantissa| in [0.5, 1) (mantissa 0 iff value 0). Never overflows.
+  void toScaledDouble(double& mantissa, std::int64_t& exponent) const;
+  /// Value fits in int64? If yes, *out receives it.
+  bool toInt64(std::int64_t* out) const;
+  std::string toDecimal() const;
+
+  std::uint64_t hashValue() const;
+
+ private:
+  void trim();
+  static int compareMag(const std::vector<std::uint64_t>& a,
+                        const std::vector<std::uint64_t>& b);
+  static void addMag(std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b);
+  /// Requires |a| >= |b|; a -= b on magnitudes.
+  static void subMag(std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b);
+
+  int sign_ = 0;                     // -1, 0, +1
+  std::vector<std::uint64_t> mag_;   // little-endian limbs; empty iff 0
+};
+
+}  // namespace sliq

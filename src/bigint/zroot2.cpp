@@ -1,0 +1,124 @@
+#include "bigint/zroot2.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+namespace {
+constexpr double kSqrt2 = 1.4142135623730951;
+}
+
+int Zroot2::signum() const {
+  const int su = u_.signum();
+  const int sv = v_.signum();
+  if (sv == 0) return su;
+  if (su == 0) return sv;
+  if (su == sv) return su;
+  // Opposite signs: compare u² with 2v² — sign(u + v√2) is the sign of the
+  // larger-magnitude term, and u² vs 2v² decides which dominates.
+  const BigInt u2 = u_ * u_;
+  const BigInt v2twice = (v_ * v_) << 1;
+  const int cmp = u2.compare(v2twice);
+  if (cmp == 0) return 0;  // only possible when u = v = 0, handled above,
+                           // but kept for robustness
+  return cmp > 0 ? su : sv;
+}
+
+Zroot2& Zroot2::operator+=(const Zroot2& rhs) {
+  u_ += rhs.u_;
+  v_ += rhs.v_;
+  return *this;
+}
+
+Zroot2& Zroot2::operator-=(const Zroot2& rhs) {
+  u_ -= rhs.u_;
+  v_ -= rhs.v_;
+  return *this;
+}
+
+Zroot2& Zroot2::operator*=(const Zroot2& rhs) {
+  // (u + v√2)(u' + v'√2) = (uu' + 2vv') + (uv' + vu')√2
+  BigInt newU = u_ * rhs.u_ + ((v_ * rhs.v_) << 1);
+  BigInt newV = u_ * rhs.v_ + v_ * rhs.u_;
+  u_ = std::move(newU);
+  v_ = std::move(newV);
+  return *this;
+}
+
+void Zroot2::toScaledDouble(double& mantissa, std::int64_t& exponent) const {
+  if (isZero()) {
+    mantissa = 0.0;
+    exponent = 0;
+    return;
+  }
+  const bool sameSign = u_.signum() * v_.signum() >= 0;
+  double mu, mv;
+  std::int64_t eu, ev;
+  if (sameSign) {
+    u_.toScaledDouble(mu, eu);
+    v_.toScaledDouble(mv, ev);
+  } else {
+    // Cancellation-safe path: u + v√2 = (u² − 2v²) / (u − v√2). The
+    // conjugate denominator has same-signed terms.
+    const BigInt num = u_ * u_ - ((v_ * v_) << 1);
+    const Zroot2 den(u_, -v_);
+    double mn, md;
+    std::int64_t en, ed;
+    num.toScaledDouble(mn, en);
+    den.toScaledDouble(md, ed);  // recursion bottoms out: same-sign terms
+    const double q = mn / md;
+    int qe = 0;
+    mantissa = std::frexp(q, &qe);
+    exponent = en - ed + qe;
+    return;
+  }
+  // Align exponents and add mantissas. Cap the shift: beyond ~64 bits the
+  // smaller term is below double precision anyway.
+  const std::int64_t e = std::max(eu, ev);
+  const double du = std::ldexp(mu, static_cast<int>(std::max<std::int64_t>(eu - e, -1000)));
+  const double dv = std::ldexp(mv, static_cast<int>(std::max<std::int64_t>(ev - e, -1000)));
+  const double sum = du + dv * kSqrt2;
+  int se = 0;
+  mantissa = std::frexp(sum, &se);
+  exponent = e + se;
+}
+
+double Zroot2::toDouble() const {
+  double m;
+  std::int64_t e;
+  toScaledDouble(m, e);
+  if (e > 1023) return m * HUGE_VAL;
+  if (e < -1070) return m * 0.0;
+  return std::ldexp(m, static_cast<int>(e));
+}
+
+std::string Zroot2::toString() const {
+  if (isZero()) return "0";
+  std::string s;
+  if (!u_.isZero()) s = u_.toDecimal();
+  if (!v_.isZero()) {
+    if (!s.empty()) s += v_.isNegative() ? " - " : " + ";
+    else if (v_.isNegative()) s += "-";
+    BigInt absV = v_.isNegative() ? -v_ : v_;
+    if (!(absV == BigInt(1))) s += absV.toDecimal();
+    s += "√2";
+  }
+  return s;
+}
+
+double ratio(const Zroot2& a, const Zroot2& b) {
+  SLIQ_REQUIRE(!b.isZero(), "division by zero Zroot2");
+  double ma, mb;
+  std::int64_t ea, eb;
+  a.toScaledDouble(ma, ea);
+  b.toScaledDouble(mb, eb);
+  if (ma == 0.0) return 0.0;
+  const double q = ma / mb;
+  const std::int64_t e = ea - eb;
+  SLIQ_CHECK(e < 1023 && e > -1070, "probability ratio out of double range");
+  return std::ldexp(q, static_cast<int>(e));
+}
+
+}  // namespace sliq

@@ -1,0 +1,69 @@
+// Exact arithmetic in the ring Z[√2] = { u + v·√2 : u, v ∈ Z }.
+//
+// Squared amplitude magnitudes under the paper's algebraic representation
+// (Eq. 5) are exactly |α|²·2ᵏ = (a²+b²+c²+d²) + √2·(dc − da + ab + bc), an
+// element of Z[√2]. Accumulating measurement probabilities in this ring is
+// our substitute for the paper's use of GNU MPFR: instead of bounding the
+// floating-point error, we keep the value exact and round once at the end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bigint/bigint.hpp"
+
+namespace sliq {
+
+class Zroot2 {
+ public:
+  Zroot2() = default;
+  Zroot2(BigInt u, BigInt v) : u_(std::move(u)), v_(std::move(v)) {}
+  explicit Zroot2(std::int64_t u) : u_(u) {}
+
+  const BigInt& rational() const { return u_; }
+  const BigInt& irrational() const { return v_; }
+
+  bool isZero() const { return u_.isZero() && v_.isZero(); }
+  /// Sign of the real value u + v·√2: -1, 0, or +1. Exact (no floats).
+  int signum() const;
+
+  Zroot2& operator+=(const Zroot2& rhs);
+  Zroot2& operator-=(const Zroot2& rhs);
+  Zroot2& operator*=(const Zroot2& rhs);
+  friend Zroot2 operator+(Zroot2 a, const Zroot2& b) { return a += b; }
+  friend Zroot2 operator-(Zroot2 a, const Zroot2& b) { return a -= b; }
+  friend Zroot2 operator*(Zroot2 a, const Zroot2& b) { return a *= b; }
+  Zroot2 operator-() const { return Zroot2(-u_, -v_); }
+
+  friend bool operator==(const Zroot2& a, const Zroot2& b) {
+    return a.u_ == b.u_ && a.v_ == b.v_;
+  }
+  friend bool operator!=(const Zroot2& a, const Zroot2& b) {
+    return !(a == b);
+  }
+  /// Exact order comparison of the real values.
+  friend bool operator<(const Zroot2& a, const Zroot2& b) {
+    return (a - b).signum() < 0;
+  }
+
+  /// Real value as a double. Computed cancellation-safely: when u and v·√2
+  /// nearly cancel, the value is rewritten as (u² − 2v²) / (u − v·√2) whose
+  /// numerator is exact and whose denominator has no cancellation.
+  double toDouble() const;
+  /// value == mantissa * 2^exponent, cancellation-safe like toDouble().
+  void toScaledDouble(double& mantissa, std::int64_t& exponent) const;
+
+  /// Debug rendering, e.g. "3 - 2√2".
+  std::string toString() const;
+
+ private:
+  BigInt u_;
+  BigInt v_;
+};
+
+/// The ratio a/b of two ring elements as a double (b must be nonzero).
+/// Used for renormalized measurement probabilities: exact until the final
+/// division.
+double ratio(const Zroot2& a, const Zroot2& b);
+
+}  // namespace sliq

@@ -1,0 +1,119 @@
+#include "circuit/circuit.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+QuantumCircuit::QuantumCircuit(unsigned numQubits, std::string name)
+    : numQubits_(numQubits), name_(std::move(name)) {
+  SLIQ_REQUIRE(numQubits > 0, "circuit needs at least one qubit");
+}
+
+void QuantumCircuit::append(Gate gate) {
+  validateGate(gate, numQubits_);
+  gates_.push_back(std::move(gate));
+}
+
+QuantumCircuit& QuantumCircuit::add1(GateKind kind, unsigned q) {
+  append(Gate{kind, {q}, {}});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::cx(unsigned control, unsigned target) {
+  append(Gate{GateKind::kCnot, {target}, {control}});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::cz(unsigned control, unsigned target) {
+  append(Gate{GateKind::kCz, {target}, {control}});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::ccx(unsigned c0, unsigned c1,
+                                    unsigned target) {
+  append(Gate{GateKind::kCnot, {target}, {c0, c1}});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::mcx(const std::vector<unsigned>& controls,
+                                    unsigned target) {
+  append(Gate{GateKind::kCnot, {target}, controls});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::mcz(const std::vector<unsigned>& controls,
+                                    unsigned target) {
+  append(Gate{GateKind::kCz, {target}, controls});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::swap(unsigned q0, unsigned q1) {
+  append(Gate{GateKind::kSwap, {q0, q1}, {}});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::cswap(unsigned control, unsigned q0,
+                                      unsigned q1) {
+  append(Gate{GateKind::kSwap, {q0, q1}, {control}});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::compose(const QuantumCircuit& other) {
+  SLIQ_REQUIRE(other.numQubits_ == numQubits_,
+               "compose requires equal qubit counts");
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+  return *this;
+}
+
+QuantumCircuit QuantumCircuit::inverse() const {
+  QuantumCircuit inv(numQubits_, name_ + "_inv");
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    Gate g = *it;
+    switch (g.kind) {
+      case GateKind::kS: g.kind = GateKind::kSdg; break;
+      case GateKind::kSdg: g.kind = GateKind::kS; break;
+      case GateKind::kT: g.kind = GateKind::kTdg; break;
+      case GateKind::kTdg: g.kind = GateKind::kT; break;
+      case GateKind::kRx90:
+        // Rx(π/2)⁻¹ ≃ H·S†·H (global phase ω; probabilities exact).
+        inv.h(g.target()).sdg(g.target()).h(g.target());
+        continue;
+      case GateKind::kRy90:
+        // Ry(π/2) = H·Z exactly, so the inverse is Z·H.
+        inv.h(g.target()).z(g.target());
+        continue;
+      default: break;  // self-inverse
+    }
+    inv.append(std::move(g));
+  }
+  return inv;
+}
+
+std::map<std::string, std::size_t> QuantumCircuit::histogram() const {
+  std::map<std::string, std::size_t> h;
+  for (const Gate& g : gates_) ++h[gateName(g)];
+  return h;
+}
+
+std::size_t QuantumCircuit::countKIncrements() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) n += incrementsK(g.kind);
+  return n;
+}
+
+std::string QuantumCircuit::summary() const {
+  std::ostringstream os;
+  os << name_ << ": " << numQubits_ << " qubits, " << gates_.size()
+     << " gates";
+  bool first = true;
+  for (const auto& [name, count] : histogram()) {
+    os << (first ? " [" : ", ") << name << ":" << count;
+    first = false;
+  }
+  if (!first) os << "]";
+  return os.str();
+}
+
+}  // namespace sliq

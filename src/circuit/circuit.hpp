@@ -1,0 +1,80 @@
+// QuantumCircuit: an ordered gate list over n qubits, with builder helpers
+// for every supported gate and simple structural statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace sliq {
+
+class QuantumCircuit {
+ public:
+  explicit QuantumCircuit(unsigned numQubits, std::string name = "circuit");
+
+  unsigned numQubits() const { return numQubits_; }
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  std::size_t gateCount() const { return gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate(std::size_t i) const { return gates_[i]; }
+
+  /// Appends a validated gate.
+  void append(Gate gate);
+
+  // Single-qubit builders.
+  QuantumCircuit& x(unsigned q) { return add1(GateKind::kX, q); }
+  QuantumCircuit& y(unsigned q) { return add1(GateKind::kY, q); }
+  QuantumCircuit& z(unsigned q) { return add1(GateKind::kZ, q); }
+  QuantumCircuit& h(unsigned q) { return add1(GateKind::kH, q); }
+  QuantumCircuit& s(unsigned q) { return add1(GateKind::kS, q); }
+  QuantumCircuit& sdg(unsigned q) { return add1(GateKind::kSdg, q); }
+  QuantumCircuit& t(unsigned q) { return add1(GateKind::kT, q); }
+  QuantumCircuit& tdg(unsigned q) { return add1(GateKind::kTdg, q); }
+  QuantumCircuit& rx90(unsigned q) { return add1(GateKind::kRx90, q); }
+  QuantumCircuit& ry90(unsigned q) { return add1(GateKind::kRy90, q); }
+
+  // Multi-qubit builders.
+  QuantumCircuit& cx(unsigned control, unsigned target);
+  QuantumCircuit& cz(unsigned control, unsigned target);
+  QuantumCircuit& ccx(unsigned c0, unsigned c1, unsigned target);
+  /// Toffoli with an arbitrary control set (paper: "general Toffoli gate").
+  QuantumCircuit& mcx(const std::vector<unsigned>& controls, unsigned target);
+  QuantumCircuit& mcz(const std::vector<unsigned>& controls, unsigned target);
+  QuantumCircuit& swap(unsigned q0, unsigned q1);
+  /// Fredkin (controlled swap).
+  QuantumCircuit& cswap(unsigned control, unsigned q0, unsigned q1);
+
+  /// Appends all gates of `other` (same width required).
+  QuantumCircuit& compose(const QuantumCircuit& other);
+
+  /// The inverse circuit: gates reversed, each replaced by its inverse
+  /// (S↔S†, T↔T†; the rest of Table I is self-inverse). Rx(π/2) and
+  /// Ry(π/2) invert only up to a global phase — Rx(π/2)⁻¹ ≃ H·S†·H and
+  /// Ry(π/2)⁻¹ = Z·H... emitted as gate sequences; composing a circuit with
+  /// its inverse therefore restores all probabilities exactly and all
+  /// amplitudes up to one global ω power per Rx gate.
+  QuantumCircuit inverse() const;
+
+  /// Gate-kind histogram keyed by mnemonic ("h", "cx", ...).
+  std::map<std::string, std::size_t> histogram() const;
+  /// Count of gates for which incrementsK() holds — determines the final
+  /// k scalar of the algebraic state and bounds integer growth.
+  std::size_t countKIncrements() const;
+
+  /// Multi-line description: name, width, gate count, histogram.
+  std::string summary() const;
+
+ private:
+  QuantumCircuit& add1(GateKind kind, unsigned q);
+
+  unsigned numQubits_;
+  std::string name_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace sliq

@@ -1,0 +1,73 @@
+#include "circuit/gate.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+std::string gateName(const Gate& gate) {
+  std::string base;
+  switch (gate.kind) {
+    case GateKind::kX: base = "x"; break;
+    case GateKind::kY: base = "y"; break;
+    case GateKind::kZ: base = "z"; break;
+    case GateKind::kH: base = "h"; break;
+    case GateKind::kS: base = "s"; break;
+    case GateKind::kSdg: base = "sdg"; break;
+    case GateKind::kT: base = "t"; break;
+    case GateKind::kTdg: base = "tdg"; break;
+    case GateKind::kRx90: base = "rx90"; break;
+    case GateKind::kRy90: base = "ry90"; break;
+    case GateKind::kCnot: base = "x"; break;
+    case GateKind::kCz: base = "z"; break;
+    case GateKind::kSwap: base = "swap"; break;
+  }
+  if (gate.kind == GateKind::kCnot) {
+    if (gate.controls.size() == 1) return "cx";
+    if (gate.controls.size() == 2) return "ccx";
+    if (gate.controls.empty()) return "x";
+    return "c" + std::to_string(gate.controls.size()) + "x";
+  }
+  if (gate.kind == GateKind::kCz) {
+    if (gate.controls.size() == 1) return "cz";
+    if (gate.controls.empty()) return "z";
+    return "c" + std::to_string(gate.controls.size()) + "z";
+  }
+  if (gate.kind == GateKind::kSwap && !gate.controls.empty()) {
+    if (gate.controls.size() == 1) return "cswap";
+    return "c" + std::to_string(gate.controls.size()) + "swap";
+  }
+  return base;
+}
+
+bool isPermutationGate(GateKind kind) {
+  return kind == GateKind::kX || kind == GateKind::kCnot ||
+         kind == GateKind::kSwap;
+}
+
+bool incrementsK(GateKind kind) {
+  return kind == GateKind::kH || kind == GateKind::kRx90 ||
+         kind == GateKind::kRy90;
+}
+
+void validateGate(const Gate& gate, unsigned numQubits) {
+  const std::size_t expectedTargets =
+      gate.kind == GateKind::kSwap ? 2 : 1;
+  SLIQ_REQUIRE(gate.targets.size() == expectedTargets,
+               "wrong target count for gate " + gateName(gate));
+  std::vector<unsigned> all = gate.targets;
+  all.insert(all.end(), gate.controls.begin(), gate.controls.end());
+  for (unsigned q : all)
+    SLIQ_REQUIRE(q < numQubits, "qubit index out of range");
+  std::sort(all.begin(), all.end());
+  SLIQ_REQUIRE(std::adjacent_find(all.begin(), all.end()) == all.end(),
+               "gate touches a qubit twice");
+  if (!gate.controls.empty()) {
+    SLIQ_REQUIRE(gate.kind == GateKind::kCnot || gate.kind == GateKind::kCz ||
+                     gate.kind == GateKind::kSwap,
+                 "controls only supported on X, Z and SWAP bases");
+  }
+}
+
+}  // namespace sliq

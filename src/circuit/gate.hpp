@@ -1,0 +1,57 @@
+// Quantum gate model: the paper's Table I gate library plus the S†/T†
+// extensions (marked; see DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sliq {
+
+enum class GateKind : std::uint8_t {
+  kX,        // Pauli-X
+  kY,        // Pauli-Y
+  kZ,        // Pauli-Z
+  kH,        // Hadamard
+  kS,        // Phase
+  kSdg,      // Phase†            (extension beyond Table I)
+  kT,        // T
+  kTdg,      // T†                (extension beyond Table I)
+  kRx90,     // Rx(π/2)
+  kRy90,     // Ry(π/2)
+  kCnot,     // controlled-NOT (any number of controls = Toffoli family)
+  kCz,       // controlled-Z
+  kSwap,     // SWAP; with controls = Fredkin family
+};
+
+/// One circuit operation: a kind, target qubit(s) and control qubits.
+/// kCnot with >=2 controls is the Toffoli of the paper (arbitrary control
+/// count supported); kSwap with >=1 control is the Fredkin gate.
+struct Gate {
+  GateKind kind;
+  std::vector<unsigned> targets;   // 1 target (2 for kSwap)
+  std::vector<unsigned> controls;  // empty unless controlled
+
+  unsigned target() const { return targets[0]; }
+  /// Total distinct qubits touched.
+  unsigned arity() const {
+    return static_cast<unsigned>(targets.size() + controls.size());
+  }
+};
+
+/// Lower-case mnemonic ("h", "cx", "ccx", "cswap", ...) used by the QASM
+/// writer and log output.
+std::string gateName(const Gate& gate);
+
+/// True for gates that only permute basis states (no amplitude arithmetic):
+/// X, CNOT/Toffoli, SWAP/Fredkin.
+bool isPermutationGate(GateKind kind);
+
+/// True for the gates carrying a 1/√2 factor (H, Rx(π/2), Ry(π/2)); these
+/// increment the global k scalar in the algebraic representation.
+bool incrementsK(GateKind kind);
+
+/// Validates qubit indices and distinctness; throws std::invalid_argument.
+void validateGate(const Gate& gate, unsigned numQubits);
+
+}  // namespace sliq

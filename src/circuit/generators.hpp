@@ -1,0 +1,71 @@
+// Workload generators reproducing the paper's four benchmark families
+// (Section IV). Each generator is deterministic in its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/real_format.hpp"
+
+namespace sliq {
+
+// ---- Benchmark set 1: random circuits (Table III) -------------------------
+
+/// The paper's recipe: one H on every qubit, then `numGates` gates picked
+/// uniformly from {X, Y, Z, H, S, T, CNOT, CZ, Toffoli, Fredkin} (Rx/Ry
+/// excluded, "as they exhibit similar effects as the H-gate") applied to
+/// uniformly random distinct qubits. Total gate count = n + numGates.
+QuantumCircuit randomCircuit(unsigned numQubits, unsigned numGates,
+                             std::uint64_t seed);
+
+// ---- Benchmark set 2: RevLib-style reversible circuits (Table IV) ---------
+
+/// Ripple-carry adder (CDKM-style MAJ/UMA network) over two `width`-bit
+/// registers plus one carry qubit: 2*width+1 qubits, Toffoli/CNOT gates.
+RealProgram revlibAdder(unsigned width);
+
+/// Multi-level Toffoli cascade with `levels` layers mixing control polarity,
+/// shaped like RevLib's ALU/control-unit netlists.
+RealProgram revlibToffoliCascade(unsigned numQubits, unsigned levels,
+                                 std::uint64_t seed);
+
+/// Random reversible netlist over {NOT, CNOT, Toffoli, Fredkin} with a bias
+/// toward multi-control gates, shaped like synthesized RevLib functions.
+RealProgram revlibRandomNetlist(unsigned numQubits, unsigned numGates,
+                                std::uint64_t seed);
+
+/// Hidden-weight-bit-style circuit: computes a popcount-indexed bit through
+/// Toffoli ladders into ancillae (control-heavy, like RevLib hwb*).
+RealProgram revlibHwb(unsigned dataBits);
+
+// ---- Benchmark set 3: quantum algorithm circuits (Table V) -----------------
+
+/// GHZ/entanglement preparation: H(0) then a CNOT chain — the paper's
+/// "Entanglement" family (one gate per qubit).
+QuantumCircuit entanglementCircuit(unsigned numQubits);
+
+/// Bernstein–Vazirani with a `secret` bit string (LSB = qubit 0) over
+/// numQubits data qubits plus one ancilla: 3n + #ones gates as in the paper
+/// (H layer, oracle of CNOTs, H layer).
+QuantumCircuit bernsteinVazirani(unsigned numQubits,
+                                 const std::vector<bool>& secret);
+/// Convenience overload with a pseudo-random secret.
+QuantumCircuit bernsteinVazirani(unsigned numQubits, std::uint64_t seed);
+
+/// Grover search over `numQubits` data qubits marking `marked` (uses
+/// multi-controlled Z; iteration count ⌊π/4·√2ⁿ⌋ unless overridden).
+QuantumCircuit groverSearch(unsigned numQubits, std::uint64_t marked,
+                            unsigned iterations = 0);
+
+// ---- Benchmark set 4: Google supremacy-style grids (Table VI) -------------
+
+/// Random circuit on a rows x cols qubit grid following the GRCS rule set
+/// (Boixo et al.): initial H layer; per depth layer one of 8 CZ tilings plus
+/// random single-qubit gates from {T, X^1/2 (Rx90), Y^1/2 (Ry90)} on qubits
+/// that were CZ-active in the previous layer (first single-qubit gate on a
+/// qubit is always T).
+QuantumCircuit supremacyGrid(unsigned rows, unsigned cols, unsigned depth,
+                             std::uint64_t seed);
+
+}  // namespace sliq

@@ -1,0 +1,76 @@
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+
+QuantumCircuit entanglementCircuit(unsigned numQubits) {
+  QuantumCircuit c(numQubits, "entangle_q" + std::to_string(numQubits));
+  c.h(0);
+  for (unsigned q = 0; q + 1 < numQubits; ++q) c.cx(q, q + 1);
+  return c;
+}
+
+QuantumCircuit bernsteinVazirani(unsigned numQubits,
+                                 const std::vector<bool>& secret) {
+  SLIQ_REQUIRE(secret.size() == numQubits, "secret width mismatch");
+  // Data qubits 0..n-1, ancilla n prepared in |−⟩.
+  QuantumCircuit c(numQubits + 1, "bv_q" + std::to_string(numQubits));
+  const unsigned ancilla = numQubits;
+  c.x(ancilla);
+  for (unsigned q = 0; q <= numQubits; ++q) c.h(q);
+  for (unsigned q = 0; q < numQubits; ++q) {
+    if (secret[q]) c.cx(q, ancilla);
+  }
+  for (unsigned q = 0; q < numQubits; ++q) c.h(q);
+  return c;
+}
+
+QuantumCircuit bernsteinVazirani(unsigned numQubits, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> secret(numQubits);
+  for (unsigned q = 0; q < numQubits; ++q) secret[q] = rng.flip();
+  QuantumCircuit c = bernsteinVazirani(numQubits, secret);
+  c.setName(c.name() + "_s" + std::to_string(seed));
+  return c;
+}
+
+QuantumCircuit groverSearch(unsigned numQubits, std::uint64_t marked,
+                            unsigned iterations) {
+  SLIQ_REQUIRE(numQubits >= 2 && numQubits < 63, "grover width out of range");
+  SLIQ_REQUIRE(marked < (std::uint64_t{1} << numQubits),
+               "marked item out of range");
+  if (iterations == 0) {
+    // ⌊π/4 · √(2ⁿ)⌋, at least 1.
+    const double amplitudes = std::sqrt(static_cast<double>(
+        std::uint64_t{1} << numQubits));
+    iterations = std::max(1u, static_cast<unsigned>(0.785398 * amplitudes));
+  }
+  QuantumCircuit c(numQubits, "grover_q" + std::to_string(numQubits));
+  std::vector<unsigned> allButLast;
+  for (unsigned q = 0; q + 1 < numQubits; ++q) allButLast.push_back(q);
+
+  for (unsigned q = 0; q < numQubits; ++q) c.h(q);
+  for (unsigned it = 0; it < iterations; ++it) {
+    // Oracle: phase-flip the marked basis state via X-conjugated MCZ.
+    for (unsigned q = 0; q < numQubits; ++q) {
+      if (((marked >> q) & 1) == 0) c.x(q);
+    }
+    c.mcz(allButLast, numQubits - 1);
+    for (unsigned q = 0; q < numQubits; ++q) {
+      if (((marked >> q) & 1) == 0) c.x(q);
+    }
+    // Diffusion: H X (MCZ) X H.
+    for (unsigned q = 0; q < numQubits; ++q) c.h(q);
+    for (unsigned q = 0; q < numQubits; ++q) c.x(q);
+    c.mcz(allButLast, numQubits - 1);
+    for (unsigned q = 0; q < numQubits; ++q) c.x(q);
+    for (unsigned q = 0; q < numQubits; ++q) c.h(q);
+  }
+  return c;
+}
+
+}  // namespace sliq

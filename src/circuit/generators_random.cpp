@@ -1,0 +1,63 @@
+#include "circuit/generators.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+
+QuantumCircuit randomCircuit(unsigned numQubits, unsigned numGates,
+                             std::uint64_t seed) {
+  SLIQ_REQUIRE(numQubits >= 3, "random circuits need >= 3 qubits (Fredkin)");
+  Rng rng(seed);
+  QuantumCircuit c(numQubits,
+                   "random_q" + std::to_string(numQubits) + "_g" +
+                       std::to_string(numGates) + "_s" + std::to_string(seed));
+  // "we first inserted an H-gate to every qubit (so to impose state
+  //  superposition in the beginning)"
+  for (unsigned q = 0; q < numQubits; ++q) c.h(q);
+
+  // Gate population of the paper: all supported gates except Rx/Ry(π/2).
+  enum Pick { kPX, kPY, kPZ, kPH, kPS, kPT, kPCnot, kPCz, kPToffoli, kPFredkin };
+  auto distinct = [&](unsigned count) {
+    std::vector<unsigned> qs;
+    while (qs.size() < count) {
+      const unsigned q = static_cast<unsigned>(rng.below(numQubits));
+      bool dup = false;
+      for (unsigned seen : qs) dup |= seen == q;
+      if (!dup) qs.push_back(q);
+    }
+    return qs;
+  };
+  for (unsigned i = 0; i < numGates; ++i) {
+    switch (static_cast<Pick>(rng.below(10))) {
+      case kPX: c.x(static_cast<unsigned>(rng.below(numQubits))); break;
+      case kPY: c.y(static_cast<unsigned>(rng.below(numQubits))); break;
+      case kPZ: c.z(static_cast<unsigned>(rng.below(numQubits))); break;
+      case kPH: c.h(static_cast<unsigned>(rng.below(numQubits))); break;
+      case kPS: c.s(static_cast<unsigned>(rng.below(numQubits))); break;
+      case kPT: c.t(static_cast<unsigned>(rng.below(numQubits))); break;
+      case kPCnot: {
+        const auto qs = distinct(2);
+        c.cx(qs[0], qs[1]);
+        break;
+      }
+      case kPCz: {
+        const auto qs = distinct(2);
+        c.cz(qs[0], qs[1]);
+        break;
+      }
+      case kPToffoli: {
+        const auto qs = distinct(3);
+        c.ccx(qs[0], qs[1], qs[2]);
+        break;
+      }
+      case kPFredkin: {
+        const auto qs = distinct(3);
+        c.cswap(qs[0], qs[1], qs[2]);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace sliq

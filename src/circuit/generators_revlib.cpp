@@ -1,0 +1,173 @@
+// Synthetic stand-ins for the RevLib benchmark circuits of Table IV (the
+// original .real files are an external resource; see DESIGN.md §4). All
+// generators emit genuine RealProgram objects — including the ".constants"
+// metadata that drives the paper's H-modification — over the same gate
+// population as RevLib netlists: {NOT, CNOT, multi-control Toffoli, Fredkin}.
+#include <string>
+
+#include "circuit/generators.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+
+RealProgram revlibAdder(unsigned width) {
+  SLIQ_REQUIRE(width >= 1, "adder width must be positive");
+  // Layout: c0, a0..a_{w-1}, b0..b_{w-1}; CDKM ripple adder computing
+  // b <- a + b with MAJ / UMA blocks.
+  const unsigned n = 2 * width + 1;
+  QuantumCircuit c(n, "revlib_add" + std::to_string(width));
+  auto a = [&](unsigned i) { return 1 + i; };
+  auto b = [&](unsigned i) { return 1 + width + i; };
+  const unsigned carry = 0;
+
+  auto maj = [&](unsigned x, unsigned y, unsigned z) {
+    c.cx(z, y);
+    c.cx(z, x);
+    c.ccx(x, y, z);
+  };
+  auto uma = [&](unsigned x, unsigned y, unsigned z) {
+    c.ccx(x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+  };
+  maj(carry, b(0), a(0));
+  for (unsigned i = 1; i < width; ++i) maj(a(i - 1), b(i), a(i));
+  for (unsigned i = width; i-- > 1;) uma(a(i - 1), b(i), a(i));
+  uma(carry, b(0), a(0));
+
+  // Inputs: carry is the constant 0, operands are unspecified.
+  std::string constants(n, '-');
+  constants[carry] = '0';
+  return RealProgram{std::move(c), std::move(constants)};
+}
+
+RealProgram revlibToffoliCascade(unsigned numQubits, unsigned levels,
+                                 std::uint64_t seed) {
+  SLIQ_REQUIRE(numQubits >= 4, "cascade needs >= 4 qubits");
+  Rng rng(seed);
+  QuantumCircuit c(numQubits, "revlib_cascade_q" + std::to_string(numQubits) +
+                                  "_l" + std::to_string(levels));
+  // Control-unit-like structure: each level computes a wide AND into one
+  // line, then fans out through CNOTs, occasionally inverting controls.
+  for (unsigned level = 0; level < levels; ++level) {
+    const unsigned target = static_cast<unsigned>(rng.below(numQubits));
+    std::vector<unsigned> controls;
+    const unsigned fan = 2 + static_cast<unsigned>(rng.below(3));  // 2..4
+    while (controls.size() < fan) {
+      const unsigned q = static_cast<unsigned>(rng.below(numQubits));
+      bool dup = q == target;
+      for (unsigned seen : controls) dup |= seen == q;
+      if (!dup) controls.push_back(q);
+    }
+    // Mixed polarity via surrounding NOTs (as RevLib's negative controls).
+    std::vector<unsigned> flipped;
+    for (unsigned q : controls) {
+      if (rng.below(3) == 0) flipped.push_back(q);
+    }
+    for (unsigned q : flipped) c.x(q);
+    c.mcx(controls, target);
+    for (unsigned q : flipped) c.x(q);
+    // Fan-out stage.
+    const unsigned fanOut = 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned j = 0; j < fanOut; ++j) {
+      unsigned dst = static_cast<unsigned>(rng.below(numQubits));
+      if (dst == target) dst = (dst + 1) % numQubits;
+      c.cx(target, dst);
+    }
+  }
+  // Roughly half the inputs carry fixed values, half are unspecified —
+  // matching the profile of RevLib control circuits.
+  std::string constants(numQubits, '-');
+  for (unsigned q = 0; q < numQubits; ++q) {
+    if (rng.below(2) == 0) constants[q] = rng.flip() ? '1' : '0';
+  }
+  return RealProgram{std::move(c), std::move(constants)};
+}
+
+RealProgram revlibRandomNetlist(unsigned numQubits, unsigned numGates,
+                                std::uint64_t seed) {
+  SLIQ_REQUIRE(numQubits >= 4, "netlist needs >= 4 qubits");
+  Rng rng(seed);
+  QuantumCircuit c(numQubits, "revlib_rand_q" + std::to_string(numQubits) +
+                                  "_g" + std::to_string(numGates));
+  auto distinct = [&](unsigned count) {
+    std::vector<unsigned> qs;
+    while (qs.size() < count) {
+      const unsigned q = static_cast<unsigned>(rng.below(numQubits));
+      bool dup = false;
+      for (unsigned seen : qs) dup |= seen == q;
+      if (!dup) qs.push_back(q);
+    }
+    return qs;
+  };
+  for (unsigned i = 0; i < numGates; ++i) {
+    switch (rng.below(6)) {
+      case 0: c.x(static_cast<unsigned>(rng.below(numQubits))); break;
+      case 1: {
+        const auto qs = distinct(2);
+        c.cx(qs[0], qs[1]);
+        break;
+      }
+      case 2:
+      case 3: {
+        const auto qs = distinct(3);
+        c.ccx(qs[0], qs[1], qs[2]);
+        break;
+      }
+      case 4: {
+        const auto qs = distinct(4);
+        c.mcx({qs[0], qs[1], qs[2]}, qs[3]);
+        break;
+      }
+      default: {
+        const auto qs = distinct(3);
+        c.cswap(qs[0], qs[1], qs[2]);
+        break;
+      }
+    }
+  }
+  std::string constants(numQubits, '-');
+  return RealProgram{std::move(c), std::move(constants)};
+}
+
+RealProgram revlibHwb(unsigned dataBits) {
+  SLIQ_REQUIRE(dataBits >= 2 && dataBits <= 16, "hwb size out of range");
+  // Popcount network into ⌈log2(n+1)⌉ ancilla counters via Toffoli ladders,
+  // then a result line toggled under counter patterns — control-heavy like
+  // RevLib's hwb family.
+  unsigned counterBits = 0;
+  while ((1u << counterBits) <= dataBits) ++counterBits;
+  const unsigned n = dataBits + counterBits + 1;
+  QuantumCircuit c(n, "revlib_hwb" + std::to_string(dataBits));
+  auto counter = [&](unsigned i) { return dataBits + i; };
+  const unsigned result = dataBits + counterBits;
+
+  // Increment the counter for each set data bit: ripple increment
+  // controlled on the data qubit (MSB-first Toffoli ladder).
+  for (unsigned d = 0; d < dataBits; ++d) {
+    for (unsigned i = counterBits; i-- > 0;) {
+      std::vector<unsigned> controls{d};
+      for (unsigned j = 0; j < i; ++j) controls.push_back(counter(j));
+      c.mcx(controls, counter(i));
+    }
+  }
+  // Toggle the result under each counter value with odd parity of low bits.
+  for (unsigned v = 1; v < (1u << counterBits); v += 2) {
+    std::vector<unsigned> controls;
+    std::vector<unsigned> flips;
+    for (unsigned i = 0; i < counterBits; ++i) {
+      controls.push_back(counter(i));
+      if (((v >> i) & 1) == 0) flips.push_back(counter(i));
+    }
+    for (unsigned q : flips) c.x(q);
+    c.mcx(controls, result);
+    for (unsigned q : flips) c.x(q);
+  }
+  std::string constants(n, '-');
+  for (unsigned i = 0; i < counterBits; ++i) constants[counter(i)] = '0';
+  constants[result] = '0';
+  return RealProgram{std::move(c), std::move(constants)};
+}
+
+}  // namespace sliq

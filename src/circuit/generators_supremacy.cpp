@@ -1,0 +1,96 @@
+// Google quantum-supremacy-style random grid circuits (Boixo et al.,
+// "Characterizing quantum supremacy in near-term devices"), the source of
+// the paper's Table VI benchmarks (GRCS "inst/rectangular/cz_v2").
+//
+// Rule set implemented:
+//  * qubits form a rows x cols grid; layer 0 applies H everywhere;
+//  * each subsequent layer activates one of 8 CZ tilings (horizontal pairs
+//    in 4 staggered configurations, vertical pairs in 4), cycling;
+//  * a qubit idle in the current CZ tiling receives a random single-qubit
+//    gate from {T, X^1/2, Y^1/2} if it was CZ-active in the previous layer;
+//    the first single-qubit gate a qubit ever receives is T;
+//  * no single-qubit gate repeats back-to-back on the same qubit.
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+
+namespace {
+
+enum class Sq : std::uint8_t { kNone, kT, kX90, kY90 };
+
+}  // namespace
+
+QuantumCircuit supremacyGrid(unsigned rows, unsigned cols, unsigned depth,
+                             std::uint64_t seed) {
+  SLIQ_REQUIRE(rows >= 1 && cols >= 1, "empty grid");
+  const unsigned n = rows * cols;
+  Rng rng(seed);
+  QuantumCircuit c(n, "supremacy_" + std::to_string(rows) + "x" +
+                          std::to_string(cols) + "_d" + std::to_string(depth) +
+                          "_s" + std::to_string(seed));
+  auto qubit = [&](unsigned r, unsigned col) { return r * cols + col; };
+
+  for (unsigned q = 0; q < n; ++q) c.h(q);
+
+  std::vector<bool> everSingle(n, false);
+  std::vector<Sq> lastSingle(n, Sq::kNone);
+  std::vector<bool> activePrev(n, true);  // H layer counts as activity
+
+  for (unsigned layer = 0; layer < depth; ++layer) {
+    // CZ tiling: 8 configurations as in the GRCS rectangular pattern.
+    const unsigned config = layer % 8;
+    const bool horizontal = config < 4;
+    const unsigned parity = config % 2;        // staggered row/col start
+    const unsigned offset = (config / 2) % 2;  // alternate pair phase
+    std::vector<bool> activeNow(n, false);
+
+    if (horizontal) {
+      for (unsigned r = 0; r < rows; ++r) {
+        if (r % 2 != parity) continue;
+        for (unsigned col = offset; col + 1 < cols; col += 2) {
+          c.cz(qubit(r, col), qubit(r, col + 1));
+          activeNow[qubit(r, col)] = activeNow[qubit(r, col + 1)] = true;
+        }
+      }
+    } else {
+      for (unsigned col = 0; col < cols; ++col) {
+        if (col % 2 != parity) continue;
+        for (unsigned r = offset; r + 1 < rows; r += 2) {
+          c.cz(qubit(r, col), qubit(r + 1, col));
+          activeNow[qubit(r, col)] = activeNow[qubit(r + 1, col)] = true;
+        }
+      }
+    }
+
+    // Single-qubit gates on qubits idle now but CZ-active last layer.
+    for (unsigned q = 0; q < n; ++q) {
+      if (activeNow[q] || !activePrev[q]) continue;
+      Sq pick;
+      if (!everSingle[q]) {
+        pick = Sq::kT;  // first single-qubit gate is always T
+      } else {
+        do {
+          const std::uint64_t r = rng.below(3);
+          pick = r == 0 ? Sq::kT : (r == 1 ? Sq::kX90 : Sq::kY90);
+        } while (pick == lastSingle[q]);
+      }
+      switch (pick) {
+        case Sq::kT: c.t(q); break;
+        case Sq::kX90: c.rx90(q); break;
+        case Sq::kY90: c.ry90(q); break;
+        case Sq::kNone: break;
+      }
+      everSingle[q] = true;
+      lastSingle[q] = pick;
+    }
+    activePrev.assign(activeNow.begin(), activeNow.end());
+  }
+  return c;
+}
+
+}  // namespace sliq

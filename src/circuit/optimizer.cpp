@@ -1,0 +1,128 @@
+#include "circuit/optimizer.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace sliq {
+
+namespace {
+
+std::vector<unsigned> touchedQubits(const Gate& g) {
+  std::vector<unsigned> qs = g.targets;
+  qs.insert(qs.end(), g.controls.begin(), g.controls.end());
+  std::sort(qs.begin(), qs.end());
+  return qs;
+}
+
+bool sameQubits(const Gate& a, const Gate& b) {
+  if (a.controls.size() != b.controls.size()) return false;
+  std::vector<unsigned> ca = a.controls, cb = b.controls;
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  if (ca != cb) return false;
+  std::vector<unsigned> ta = a.targets, tb = b.targets;
+  if (a.kind == GateKind::kSwap) {  // SWAP targets are unordered
+    std::sort(ta.begin(), ta.end());
+    std::sort(tb.begin(), tb.end());
+  }
+  return ta == tb;
+}
+
+bool selfInverse(GateKind k) {
+  switch (k) {
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kCnot:
+    case GateKind::kCz:
+    case GateKind::kSwap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool inversePair(GateKind a, GateKind b) {
+  return (a == GateKind::kS && b == GateKind::kSdg) ||
+         (a == GateKind::kSdg && b == GateKind::kS) ||
+         (a == GateKind::kT && b == GateKind::kTdg) ||
+         (a == GateKind::kTdg && b == GateKind::kT);
+}
+
+/// If a·b fuses into one gate, the fused kind. a is applied first.
+std::optional<GateKind> mergeKind(GateKind a, GateKind b) {
+  if (a == GateKind::kT && b == GateKind::kT) return GateKind::kS;
+  if (a == GateKind::kS && b == GateKind::kS) return GateKind::kZ;
+  if (a == GateKind::kSdg && b == GateKind::kSdg) return GateKind::kZ;
+  if (a == GateKind::kTdg && b == GateKind::kTdg) return GateKind::kSdg;
+  // S·T and T·S would be T³ — not in the library; left alone.
+  return std::nullopt;
+}
+
+}  // namespace
+
+QuantumCircuit optimizeCircuit(const QuantumCircuit& circuit,
+                               OptimizerReport* report) {
+  OptimizerReport local;
+  local.gatesBefore = circuit.gateCount();
+
+  std::vector<Gate> gates = circuit.gates();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Gate> next;
+    std::vector<bool> removed(gates.size(), false);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (removed[i]) continue;
+      // Find the next gate j > i sharing a qubit with gates[i]; only an
+      // immediately-adjacent partner (no interference in between) may fuse.
+      const std::vector<unsigned> qs = touchedQubits(gates[i]);
+      std::size_t j = i + 1;
+      bool blocked = false;
+      for (; j < gates.size(); ++j) {
+        if (removed[j]) continue;
+        const std::vector<unsigned> qj = touchedQubits(gates[j]);
+        bool overlap = false;
+        for (unsigned q : qj)
+          overlap |= std::binary_search(qs.begin(), qs.end(), q);
+        if (!overlap) continue;
+        // gates[j] is the first gate touching any shared qubit. It blocks
+        // unless it acts on exactly the same qubits in the same roles.
+        blocked = !sameQubits(gates[i], gates[j]);
+        break;
+      }
+      if (j < gates.size() && !blocked && !removed[j]) {
+        const GateKind a = gates[i].kind;
+        const GateKind b = gates[j].kind;
+        const bool cancels = (a == b && selfInverse(a)) || inversePair(a, b);
+        if (cancels && sameQubits(gates[i], gates[j])) {
+          removed[i] = removed[j] = true;
+          local.cancelled += 2;
+          changed = true;
+          continue;
+        }
+        if (gates[i].controls.empty() && gates[j].controls.empty()) {
+          if (const auto fused = mergeKind(a, b)) {
+            gates[j].kind = *fused;
+            removed[i] = true;
+            ++local.merged;
+            changed = true;
+            continue;
+          }
+        }
+      }
+      next.push_back(gates[i]);
+    }
+    gates = std::move(next);
+  }
+
+  QuantumCircuit out(circuit.numQubits(), circuit.name() + "_opt");
+  for (Gate& g : gates) out.append(std::move(g));
+  local.gatesAfter = out.gateCount();
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+}  // namespace sliq

@@ -1,0 +1,29 @@
+// Peephole circuit optimizer over the Table I gate library.
+//
+// Rewrites gate sequences without changing the circuit unitary:
+//   * cancellation   — G·G = I for the self-inverse gates (X, Y, Z, H,
+//                      CNOT/Toffoli, CZ, SWAP/Fredkin), S·S† = T·T† = I
+//   * phase merging  — T·T → S, S·S → Z, S†·S† → Z, T†·T† → S†
+//
+// A pair only fuses when the two gates are adjacent on *all* their qubits:
+// no intervening gate may touch any qubit of the pair. The pass iterates to
+// a fixpoint. Every rewrite is exactness-preserving; the test suite verifies
+// optimized circuits against the originals with the exact equivalence
+// checker.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace sliq {
+
+struct OptimizerReport {
+  std::size_t gatesBefore = 0;
+  std::size_t gatesAfter = 0;
+  std::size_t cancelled = 0;  // gates removed by G·G⁻¹ = I
+  std::size_t merged = 0;     // gates fused by phase merging
+};
+
+QuantumCircuit optimizeCircuit(const QuantumCircuit& circuit,
+                               OptimizerReport* report = nullptr);
+
+}  // namespace sliq

@@ -1,0 +1,235 @@
+#include "circuit/qasm.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+namespace {
+
+struct Parser {
+  std::istream& in;
+  std::string circuitName;
+  unsigned lineNo = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("qasm:" + std::to_string(lineNo) + ": " + msg);
+  }
+
+  static std::string strip(std::string s) {
+    const auto comment = s.find("//");
+    if (comment != std::string::npos) s.erase(comment);
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) return "";
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+  }
+
+  /// Splits "cx q[0],q[1]" into mnemonic and argument list.
+  static void splitStatement(const std::string& stmt, std::string& head,
+                             std::string& args) {
+    const auto space = stmt.find_first_of(" \t");
+    if (space == std::string::npos) {
+      head = stmt;
+      args = "";
+    } else {
+      head = stmt.substr(0, space);
+      args = strip(stmt.substr(space + 1));
+    }
+  }
+
+  unsigned parseIndex(const std::string& operand, const std::string& reg) {
+    // Accepts "q[7]" for the declared register name.
+    const auto open = operand.find('[');
+    const auto close = operand.find(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open + 2)
+      fail("malformed operand '" + operand + "'");
+    const std::string name = strip(operand.substr(0, open));
+    if (name != reg) fail("unknown register '" + name + "'");
+    const std::string idx = operand.substr(open + 1, close - open - 1);
+    for (char c : idx)
+      if (c < '0' || c > '9') fail("bad index '" + idx + "'");
+    return static_cast<unsigned>(std::stoul(idx));
+  }
+
+  std::vector<unsigned> parseOperands(const std::string& args,
+                                      const std::string& reg) {
+    std::vector<unsigned> out;
+    std::string current;
+    std::istringstream ss(args);
+    while (std::getline(ss, current, ',')) {
+      const std::string op = strip(current);
+      if (op.empty()) fail("empty operand");
+      out.push_back(parseIndex(op, reg));
+    }
+    return out;
+  }
+
+  QuantumCircuit run() {
+    std::optional<QuantumCircuit> circuit;
+    std::string qreg;
+    std::string pending;  // statements may span lines until ';'
+    std::string line;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      if (!pending.empty()) pending += ' ';
+      pending += strip(line);
+      std::size_t semi;
+      while ((semi = pending.find(';')) != std::string::npos) {
+        const std::string stmt = strip(pending.substr(0, semi));
+        pending = strip(pending.substr(semi + 1));
+        if (stmt.empty()) continue;
+        handleStatement(stmt, circuit, qreg);
+      }
+    }
+    if (!strip(pending).empty()) fail("trailing statement without ';'");
+    if (!circuit) fail("no qreg declaration found");
+    return std::move(*circuit);
+  }
+
+  void handleStatement(const std::string& stmt,
+                       std::optional<QuantumCircuit>& circuit,
+                       std::string& qreg) {
+    std::string head, args;
+    splitStatement(stmt, head, args);
+
+    if (head == "OPENQASM" || head == "include" || head == "creg" ||
+        head == "barrier")
+      return;  // accepted and ignored
+    if (head == "qreg") {
+      const auto open = args.find('[');
+      const auto close = args.find(']');
+      if (open == std::string::npos || close == std::string::npos)
+        fail("malformed qreg");
+      qreg = strip(args.substr(0, open));
+      const unsigned n = static_cast<unsigned>(
+          std::stoul(args.substr(open + 1, close - open - 1)));
+      if (circuit) fail("multiple qreg declarations");
+      circuit.emplace(n, circuitName);
+      return;
+    }
+    if (!circuit) fail("gate before qreg declaration");
+    if (head == "measure") return;  // terminal measurement handled by caller
+
+    // Normalize parameterized mnemonics rx(pi/2) / ry(pi/2).
+    std::string mnemonic = head;
+    const auto paren = head.find('(');
+    if (paren != std::string::npos) {
+      const std::string base = head.substr(0, paren);
+      std::string angle = head.substr(paren);
+      angle.erase(std::remove_if(angle.begin(), angle.end(),
+                            [](char c) { return c == ' ' || c == '(' || c == ')'; }),
+                  angle.end());
+      if ((base == "rx" || base == "ry") && angle == "pi/2") {
+        mnemonic = base + "90";
+      } else {
+        fail("unsupported parameterized gate '" + head +
+             "' (only rx(pi/2), ry(pi/2) are algebraically representable)");
+      }
+    }
+
+    const std::vector<unsigned> ops = parseOperands(args, qreg);
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n)
+        fail("gate '" + mnemonic + "' expects " + std::to_string(n) +
+             " operands");
+    };
+    static const std::map<std::string, GateKind> kSingle = {
+        {"x", GateKind::kX},       {"y", GateKind::kY},
+        {"z", GateKind::kZ},       {"h", GateKind::kH},
+        {"s", GateKind::kS},       {"sdg", GateKind::kSdg},
+        {"t", GateKind::kT},       {"tdg", GateKind::kTdg},
+        {"rx90", GateKind::kRx90}, {"ry90", GateKind::kRy90}};
+    if (auto it = kSingle.find(mnemonic); it != kSingle.end()) {
+      need(1);
+      circuit->append(Gate{it->second, {ops[0]}, {}});
+    } else if (mnemonic == "cx") {
+      need(2);
+      circuit->cx(ops[0], ops[1]);
+    } else if (mnemonic == "cz") {
+      need(2);
+      circuit->cz(ops[0], ops[1]);
+    } else if (mnemonic == "ccx") {
+      need(3);
+      circuit->ccx(ops[0], ops[1], ops[2]);
+    } else if (mnemonic == "swap") {
+      need(2);
+      circuit->swap(ops[0], ops[1]);
+    } else if (mnemonic == "cswap") {
+      need(3);
+      circuit->cswap(ops[0], ops[1], ops[2]);
+    } else if (mnemonic.size() > 2 && mnemonic.front() == 'c' &&
+               (mnemonic.back() == 'x' || mnemonic.back() == 'z')) {
+      // cNx / cNz with explicit count, e.g. "c3x q[0],q[1],q[2],q[3]".
+      const std::string countStr = mnemonic.substr(1, mnemonic.size() - 2);
+      unsigned count = 0;
+      for (char c : countStr) {
+        if (c < '0' || c > '9') fail("unknown gate '" + mnemonic + "'");
+        count = count * 10 + static_cast<unsigned>(c - '0');
+      }
+      if (ops.size() != count + 1) fail("operand count mismatch");
+      std::vector<unsigned> controls(ops.begin(), ops.end() - 1);
+      if (mnemonic.back() == 'x') {
+        circuit->mcx(controls, ops.back());
+      } else {
+        circuit->mcz(controls, ops.back());
+      }
+    } else {
+      fail("unknown gate '" + mnemonic + "'");
+    }
+  }
+};
+
+}  // namespace
+
+QuantumCircuit parseQasm(std::istream& in, const std::string& name) {
+  Parser p{in, name};
+  return p.run();
+}
+
+QuantumCircuit parseQasmString(const std::string& text,
+                               const std::string& name) {
+  std::istringstream ss(text);
+  return parseQasm(ss, name);
+}
+
+QuantumCircuit parseQasmFile(const std::string& path) {
+  std::ifstream in(path);
+  SLIQ_REQUIRE(in.good(), "cannot open QASM file: " + path);
+  return parseQasm(in, path);
+}
+
+void writeQasm(const QuantumCircuit& circuit, std::ostream& out) {
+  out << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  out << "qreg q[" << circuit.numQubits() << "];\n";
+  for (const Gate& g : circuit.gates()) {
+    std::string mnemonic = gateName(g);
+    if (mnemonic == "rx90") mnemonic = "rx(pi/2)";
+    if (mnemonic == "ry90") mnemonic = "ry(pi/2)";
+    out << mnemonic << " ";
+    bool first = true;
+    for (unsigned q : g.controls) {
+      out << (first ? "" : ",") << "q[" << q << "]";
+      first = false;
+    }
+    for (unsigned q : g.targets) {
+      out << (first ? "" : ",") << "q[" << q << "]";
+      first = false;
+    }
+    out << ";\n";
+  }
+}
+
+std::string toQasmString(const QuantumCircuit& circuit) {
+  std::ostringstream os;
+  writeQasm(circuit, os);
+  return os.str();
+}
+
+}  // namespace sliq

@@ -1,0 +1,34 @@
+// OpenQASM 2.0 subset frontend, restricted to the algebraically
+// representable gate library (Table I + S†/T†). Supported statements:
+//
+//   OPENQASM 2.0;            include "qelib1.inc";     // both optional
+//   qreg q[N];               creg c[N];                // creg accepted+ignored
+//   h q[0];  x q[1];  ... (y z s sdg t tdg)
+//   rx(pi/2) q[0];  ry(pi/2) q[0];
+//   cx q[0],q[1];  cz q[0],q[1];  ccx q[0],q[1],q[2];
+//   swap q[0],q[1];  cswap q[0],q[1],q[2];
+//   measure q[i] -> c[i];    barrier ...;              // accepted+ignored
+//
+// Anything else (arbitrary-angle rotations, user gate defs) is rejected —
+// mirroring the paper's exclusion of circuits "not algebraically
+// representable" (QFT, Shor).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace sliq {
+
+/// Parses the QASM subset; throws std::invalid_argument with line context.
+QuantumCircuit parseQasm(std::istream& in, const std::string& name = "qasm");
+QuantumCircuit parseQasmString(const std::string& text,
+                               const std::string& name = "qasm");
+QuantumCircuit parseQasmFile(const std::string& path);
+
+/// Serializes to the same subset; parseQasm(writeQasm(c)) round-trips.
+void writeQasm(const QuantumCircuit& circuit, std::ostream& out);
+std::string toQasmString(const QuantumCircuit& circuit);
+
+}  // namespace sliq

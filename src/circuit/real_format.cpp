@@ -1,0 +1,182 @@
+#include "circuit/real_format.hpp"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+
+namespace {
+
+std::string strip(std::string s) {
+  const auto comment = s.find('#');
+  if (comment != std::string::npos) s.erase(comment);
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+RealProgram parseReal(std::istream& in, const std::string& name) {
+  unsigned lineNo = 0;
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::invalid_argument("real:" + std::to_string(lineNo) + ": " + msg);
+  };
+
+  std::optional<unsigned> numVars;
+  std::map<std::string, unsigned> varIndex;
+  std::string constants;
+  std::optional<QuantumCircuit> circuit;
+  bool inBody = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string stmt = strip(line);
+    if (stmt.empty()) continue;
+    const std::vector<std::string> tok = tokens(stmt);
+
+    if (tok[0][0] == '.') {
+      if (tok[0] == ".numvars") {
+        if (tok.size() != 2) fail(".numvars needs one argument");
+        numVars = static_cast<unsigned>(std::stoul(tok[1]));
+      } else if (tok[0] == ".variables") {
+        if (!numVars) fail(".variables before .numvars");
+        if (tok.size() != *numVars + 1) fail("variable count mismatch");
+        for (unsigned i = 1; i < tok.size(); ++i) varIndex[tok[i]] = i - 1;
+      } else if (tok[0] == ".constants") {
+        if (tok.size() == 2) constants = tok[1];
+      } else if (tok[0] == ".begin") {
+        if (!numVars) fail(".begin before .numvars");
+        circuit.emplace(*numVars, name);
+        inBody = true;
+      } else if (tok[0] == ".end") {
+        inBody = false;
+      }
+      // .version/.inputs/.outputs/.garbage/... accepted and ignored.
+      continue;
+    }
+
+    if (!inBody) fail("gate line outside .begin/.end");
+    SLIQ_ASSERT(circuit.has_value());
+
+    // Gate line: t<N> or f<N> followed by N variable names; a '-' prefix on
+    // a control denotes a negative control.
+    const std::string& mnemonic = tok[0];
+    if (mnemonic.size() < 2 || (mnemonic[0] != 't' && mnemonic[0] != 'f'))
+      fail("unsupported gate '" + mnemonic + "'");
+    const bool fredkin = mnemonic[0] == 'f';
+    unsigned arity = 0;
+    for (std::size_t i = 1; i < mnemonic.size(); ++i) {
+      if (mnemonic[i] < '0' || mnemonic[i] > '9')
+        fail("unsupported gate '" + mnemonic + "'");
+      arity = arity * 10 + static_cast<unsigned>(mnemonic[i] - '0');
+    }
+    if (tok.size() != arity + 1) fail("operand count mismatch");
+    if (fredkin && arity < 2) fail("fredkin needs at least two operands");
+
+    auto resolve = [&](std::string operand, bool* negative) {
+      *negative = false;
+      if (!operand.empty() && operand[0] == '-') {
+        *negative = true;
+        operand.erase(0, 1);
+      }
+      if (varIndex.empty()) {
+        // Files without .variables use positional names x0, x1, ...
+        if (operand.size() > 1 && (operand[0] == 'x' || operand[0] == 'q'))
+          return static_cast<unsigned>(std::stoul(operand.substr(1)));
+        fail("unknown variable '" + operand + "'");
+        return 0u;  // unreachable
+      }
+      const auto it = varIndex.find(operand);
+      if (it == varIndex.end()) {
+        fail("unknown variable '" + operand + "'");
+        return 0u;  // unreachable
+      }
+      return it->second;
+    };
+
+    const unsigned numTargets = fredkin ? 2 : 1;
+    std::vector<unsigned> controls;
+    std::vector<unsigned> negatives;
+    for (std::size_t i = 1; i + numTargets < tok.size(); ++i) {
+      bool neg = false;
+      const unsigned q = resolve(tok[i], &neg);
+      controls.push_back(q);
+      if (neg) negatives.push_back(q);
+    }
+    std::vector<unsigned> targets;
+    for (std::size_t i = tok.size() - numTargets; i < tok.size(); ++i) {
+      bool neg = false;
+      targets.push_back(resolve(tok[i], &neg));
+      if (neg) fail("negative polarity on a target");
+    }
+
+    // Negative controls: conjugate with X on those controls.
+    for (unsigned q : negatives) circuit->x(q);
+    if (fredkin) {
+      circuit->append(Gate{GateKind::kSwap, targets, controls});
+    } else {
+      circuit->append(Gate{GateKind::kCnot, targets, controls});
+    }
+    for (unsigned q : negatives) circuit->x(q);
+  }
+
+  if (!circuit) fail("missing .begin section");
+  if (constants.empty()) constants.assign(circuit->numQubits(), '-');
+  SLIQ_REQUIRE(constants.size() == circuit->numQubits(),
+               ".constants width mismatch");
+  return RealProgram{std::move(*circuit), std::move(constants)};
+}
+
+RealProgram parseRealString(const std::string& text, const std::string& name) {
+  std::istringstream ss(text);
+  return parseReal(ss, name);
+}
+
+RealProgram parseRealFile(const std::string& path) {
+  std::ifstream in(path);
+  SLIQ_REQUIRE(in.good(), "cannot open .real file: " + path);
+  return parseReal(in, path);
+}
+
+QuantumCircuit modifyWithHadamards(const RealProgram& program) {
+  QuantumCircuit out(program.circuit.numQubits(),
+                     program.circuit.name() + "_mod");
+  for (unsigned q = 0; q < out.numQubits(); ++q) {
+    if (program.constants[q] == '-') out.h(q);
+    if (program.constants[q] == '1') out.x(q);
+  }
+  out.compose(program.circuit);
+  return out;
+}
+
+QuantumCircuit instantiateOriginal(const RealProgram& program,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit out(program.circuit.numQubits(),
+                     program.circuit.name() + "_orig");
+  for (unsigned q = 0; q < out.numQubits(); ++q) {
+    const char c = program.constants[q];
+    if (c == '1' || (c == '-' && rng.flip())) out.x(q);
+  }
+  out.compose(program.circuit);
+  return out;
+}
+
+}  // namespace sliq

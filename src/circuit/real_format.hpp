@@ -1,0 +1,39 @@
+// RevLib ".real" reversible-circuit format frontend.
+//
+// Supports the common core of the format: .numvars/.variables/.constants/
+// .begin..end with tN (multi-control Toffoli), fN (multi-control Fredkin)
+// lines, and negative controls written with a '-' prefix (rewritten with
+// surrounding X gates). This covers the paper's Table IV benchmark family.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace sliq {
+
+struct RealProgram {
+  QuantumCircuit circuit;
+  /// Per-qubit input constraint from ".constants": '0', '1' or '-'
+  /// (unspecified). Unspecified inputs are the ones the paper's "modified"
+  /// variant superposes with Hadamards.
+  std::string constants;
+};
+
+RealProgram parseReal(std::istream& in, const std::string& name = "real");
+RealProgram parseRealString(const std::string& text,
+                            const std::string& name = "real");
+RealProgram parseRealFile(const std::string& path);
+
+/// The paper's Table IV modification: prepend an H gate on every input whose
+/// initial value is unspecified ('-'), creating an input superposition.
+QuantumCircuit modifyWithHadamards(const RealProgram& program);
+
+/// Prepend X gates setting '1'-constant inputs (and leave '0's alone), as a
+/// concrete initial-value assignment for the *original* circuits; inputs
+/// marked '-' are assigned pseudo-random classical values from `seed`.
+QuantumCircuit instantiateOriginal(const RealProgram& program,
+                                   std::uint64_t seed);
+
+}  // namespace sliq

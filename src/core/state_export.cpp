@@ -1,0 +1,37 @@
+// Exact amplitude queries and dense statevector extraction.
+#include <cmath>
+
+#include "core/simulator.hpp"
+#include "support/assert.hpp"
+
+namespace sliq {
+
+AlgebraicComplex SliqSimulator::amplitude(std::uint64_t basisState) const {
+  SLIQ_REQUIRE(!symbolic_,
+               "amplitude query is unavailable in symbolic mode");
+  SLIQ_REQUIRE(n_ <= 64, "amplitude query limited to 64 qubits");
+  SLIQ_REQUIRE(n_ == 64 || basisState < (std::uint64_t{1} << n_),
+               "basis state out of range");
+  std::vector<bool> assignment(mgr_.varCount(), false);
+  for (unsigned q = 0; q < n_; ++q)
+    assignment[q] = ((basisState >> q) & 1) != 0;
+  BigInt coef[4];
+  for (unsigned vecIdx = 0; vecIdx < 4; ++vecIdx) {
+    std::vector<bool> bits(r_);
+    for (unsigned i = 0; i < r_; ++i)
+      bits[i] = mgr_.evalPoint(vec_[vecIdx][i].edge(), assignment);
+    coef[vecIdx] = BigInt::fromTwosComplementBits(bits);
+  }
+  return AlgebraicComplex(coef[0], coef[1], coef[2], coef[3], k_);
+}
+
+std::vector<std::complex<double>> SliqSimulator::statevector() {
+  SLIQ_REQUIRE(n_ <= 20, "dense extraction limited to 20 qubits");
+  const double correction = normalizationCorrection();
+  std::vector<std::complex<double>> out(std::uint64_t{1} << n_);
+  for (std::uint64_t i = 0; i < out.size(); ++i)
+    out[i] = amplitude(i).toComplex() * correction;
+  return out;
+}
+
+}  // namespace sliq

@@ -1,0 +1,75 @@
+#include "qmdd/complex_table.hpp"
+
+#include <cmath>
+
+#include "support/hash.hpp"
+
+namespace sliq::qmdd {
+
+ComplexTable::ComplexTable() {
+  values_.reserve(1024);
+  values_.push_back({0.0, 0.0});  // index 0
+  values_.push_back({1.0, 0.0});  // index 1
+  // Seed buckets for the constants so lookup() can find them.
+  for (CIndex i = 0; i < 2; ++i) {
+    const Complex v = values_[i];
+    const std::uint64_t key =
+        hashCombine(static_cast<std::uint64_t>(gridKey(v.real())),
+                    static_cast<std::uint64_t>(gridKey(v.imag())));
+    buckets_[key].push_back(i);
+  }
+}
+
+std::int64_t ComplexTable::gridKey(double v) const {
+  return std::llround(v / (kTolerance * 16));
+}
+
+CIndex ComplexTable::lookup(Complex value) {
+  if (std::abs(value.real()) < kTolerance) value.real(0.0);
+  if (std::abs(value.imag()) < kTolerance) value.imag(0.0);
+  // Probe the grid cell and its neighbors (values near a cell boundary may
+  // have been filed next door).
+  const std::int64_t kr = gridKey(value.real());
+  const std::int64_t ki = gridKey(value.imag());
+  for (std::int64_t dr = -1; dr <= 1; ++dr) {
+    for (std::int64_t di = -1; di <= 1; ++di) {
+      const std::uint64_t key =
+          hashCombine(static_cast<std::uint64_t>(kr + dr),
+                      static_cast<std::uint64_t>(ki + di));
+      const auto it = buckets_.find(key);
+      if (it == buckets_.end()) continue;
+      for (const CIndex idx : it->second) {
+        if (std::abs(values_[idx].real() - value.real()) < kTolerance &&
+            std::abs(values_[idx].imag() - value.imag()) < kTolerance)
+          return idx;
+      }
+    }
+  }
+  const CIndex idx = static_cast<CIndex>(values_.size());
+  values_.push_back(value);
+  const std::uint64_t key = hashCombine(static_cast<std::uint64_t>(kr),
+                                        static_cast<std::uint64_t>(ki));
+  buckets_[key].push_back(idx);
+  return idx;
+}
+
+CIndex ComplexTable::mul(CIndex a, CIndex b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == 1) return b;
+  if (b == 1) return a;
+  return lookup(values_[a] * values_[b]);
+}
+
+CIndex ComplexTable::add(CIndex a, CIndex b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return lookup(values_[a] + values_[b]);
+}
+
+CIndex ComplexTable::div(CIndex a, CIndex b) {
+  if (a == 0) return 0;
+  if (b == 1) return a;
+  return lookup(values_[a] / values_[b]);
+}
+
+}  // namespace sliq::qmdd

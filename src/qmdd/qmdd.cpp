@@ -1,0 +1,385 @@
+#include "qmdd/qmdd.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace sliq::qmdd {
+
+namespace {
+
+std::uint64_t vKey(std::int32_t level, const VEdge& e0, const VEdge& e1) {
+  return hash3(hashCombine(static_cast<std::uint64_t>(level), e0.node),
+               e0.w, hashCombine(e1.node, e1.w));
+}
+
+std::uint64_t mKey(std::int32_t level, const MEdge children[4]) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(level));
+  for (int i = 0; i < 4; ++i)
+    h = hash3(h, children[i].node, children[i].w);
+  return h;
+}
+
+std::uint64_t pairKey(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                      std::uint64_t d) {
+  return hashCombine(hash3(a, b, c), d);
+}
+
+}  // namespace
+
+QmddManager::QmddManager() : QmddManager(Config{}) {}
+
+QmddManager::QmddManager(const Config& config)
+    : config_(config), gcThreshold_(config.gcThreshold) {
+  vNodes_.reserve(1u << 12);
+  mNodes_.reserve(1u << 12);
+}
+
+VEdge QmddManager::makeVNode(std::int32_t level, VEdge e0, VEdge e1) {
+  if (ct_.isZero(e0.w) && ct_.isZero(e1.w)) return VEdge{kTerminal, 0};
+  // Normalize by the largest-magnitude child weight (leftmost on ties).
+  CIndex norm;
+  if (ct_.isZero(e0.w)) {
+    norm = e1.w;
+  } else if (ct_.isZero(e1.w)) {
+    norm = e0.w;
+  } else {
+    norm = std::abs(ct_.value(e0.w)) + ComplexTable::kTolerance >=
+                   std::abs(ct_.value(e1.w))
+               ? e0.w
+               : e1.w;
+  }
+  e0.w = ct_.div(e0.w, norm);
+  e1.w = ct_.div(e1.w, norm);
+  if (ct_.isZero(e0.w)) e0.node = kTerminal;
+  if (ct_.isZero(e1.w)) e1.node = kTerminal;
+
+  const std::uint64_t key = vKey(level, e0, e1);
+  auto& bucket = vUnique_[key];
+  for (const NodeId id : bucket) {
+    const VNode& n = vNodes_[id];
+    if (n.level == level && n.e[0].node == e0.node && n.e[0].w == e0.w &&
+        n.e[1].node == e1.node && n.e[1].w == e1.w)
+      return VEdge{id, norm};
+  }
+  if (liveNodes() >= config_.maxNodes)
+    throw QmddLimitError("QMDD node limit exceeded");
+  const NodeId id = static_cast<NodeId>(vNodes_.size());
+  vNodes_.push_back(VNode{level, {e0, e1}, false});
+  bucket.push_back(id);
+  peakNodes_ = std::max(peakNodes_, liveNodes());
+  return VEdge{id, norm};
+}
+
+VEdge QmddManager::makeBasisState(unsigned n, const std::vector<bool>& basis) {
+  SLIQ_REQUIRE(basis.size() == n, "basis width mismatch");
+  VEdge cur{kTerminal, ct_.one()};
+  for (unsigned level = 0; level < n; ++level) {
+    const VEdge zeroEdge{kTerminal, ct_.zero()};
+    cur = basis[level]
+              ? makeVNode(static_cast<std::int32_t>(level), zeroEdge, cur)
+              : makeVNode(static_cast<std::int32_t>(level), cur, zeroEdge);
+  }
+  return cur;
+}
+
+VEdge QmddManager::vAdd(VEdge a, VEdge b) {
+  if (ct_.isZero(a.w)) return b;
+  if (ct_.isZero(b.w)) return a;
+  if (a.node == kTerminal && b.node == kTerminal)
+    return VEdge{kTerminal, ct_.add(a.w, b.w)};
+  SLIQ_ASSERT(a.node != kTerminal && b.node != kTerminal);
+  SLIQ_ASSERT(vNodes_[a.node].level == vNodes_[b.node].level);
+  const std::uint64_t key = pairKey(a.node, a.w, b.node, b.w);
+  const auto cached = addCache_.find(key);
+  if (cached != addCache_.end()) return cached->second;
+
+  // Copy: recursive makeVNode calls may reallocate the node vector.
+  const VNode na = vNodes_[a.node];
+  const VNode nb = vNodes_[b.node];
+  const std::int32_t level = na.level;
+  VEdge children[2];
+  for (int c = 0; c < 2; ++c) {
+    const VEdge ea{na.e[c].node, ct_.mul(a.w, na.e[c].w)};
+    const VEdge eb{nb.e[c].node, ct_.mul(b.w, nb.e[c].w)};
+    children[c] = vAdd(ea, eb);
+  }
+  const VEdge result = makeVNode(level, children[0], children[1]);
+  addCache_[key] = result;
+  return result;
+}
+
+Complex QmddManager::getAmplitude(VEdge root, unsigned n,
+                                  std::uint64_t basis) {
+  Complex amp = ct_.value(root.w);
+  VEdge cur = root;
+  for (unsigned level = n; level-- > 0;) {
+    if (cur.node == kTerminal) return ct_.isZero(cur.w) ? Complex{0, 0} : amp;
+    const VNode& node = vNodes_[cur.node];
+    SLIQ_ASSERT(node.level == static_cast<std::int32_t>(level));
+    cur = node.e[(basis >> level) & 1];
+    amp *= ct_.value(cur.w);
+    if (amp == Complex{0, 0}) return amp;
+  }
+  return amp;
+}
+
+MEdge QmddManager::makeMNode(std::int32_t level, const MEdge children[4]) {
+  bool allZero = true;
+  for (int i = 0; i < 4; ++i) allZero &= ct_.isZero(children[i].w);
+  if (allZero) return MEdge{kTerminal, 0};
+  CIndex norm = 0;
+  double best = -1;
+  for (int i = 0; i < 4; ++i) {
+    if (ct_.isZero(children[i].w)) continue;
+    const double mag = std::abs(ct_.value(children[i].w));
+    if (mag > best + ComplexTable::kTolerance) {
+      best = mag;
+      norm = children[i].w;
+    }
+  }
+  MEdge normalized[4];
+  for (int i = 0; i < 4; ++i) {
+    normalized[i].w = ct_.div(children[i].w, norm);
+    normalized[i].node =
+        ct_.isZero(normalized[i].w) ? kTerminal : children[i].node;
+  }
+  const std::uint64_t key = mKey(level, normalized);
+  auto& bucket = mUnique_[key];
+  for (const NodeId id : bucket) {
+    const MNode& n = mNodes_[id];
+    bool same = n.level == level;
+    for (int i = 0; i < 4 && same; ++i)
+      same = n.e[i].node == normalized[i].node && n.e[i].w == normalized[i].w;
+    if (same) return MEdge{id, norm};
+  }
+  if (liveNodes() >= config_.maxNodes)
+    throw QmddLimitError("QMDD node limit exceeded");
+  const NodeId id = static_cast<NodeId>(mNodes_.size());
+  MNode node;
+  node.level = level;
+  for (int i = 0; i < 4; ++i) node.e[i] = normalized[i];
+  mNodes_.push_back(node);
+  bucket.push_back(id);
+  peakNodes_ = std::max(peakNodes_, liveNodes());
+  return MEdge{id, norm};
+}
+
+MEdge QmddManager::makeIdentity(unsigned n) {
+  MEdge cur{kTerminal, ct_.one()};
+  for (unsigned level = 0; level < n; ++level) {
+    const MEdge zero{kTerminal, ct_.zero()};
+    const MEdge children[4] = {cur, zero, zero, cur};
+    cur = makeMNode(static_cast<std::int32_t>(level), children);
+  }
+  return cur;
+}
+
+MEdge QmddManager::makeKronecker(unsigned n,
+                                 const std::vector<const Complex*>& blocks) {
+  SLIQ_REQUIRE(blocks.size() == n, "kronecker block count mismatch");
+  MEdge cur{kTerminal, ct_.one()};
+  for (unsigned level = 0; level < n; ++level) {
+    MEdge children[4];
+    for (int i = 0; i < 4; ++i) {
+      const CIndex w = ct_.lookup(blocks[level][i]);
+      children[i] = MEdge{ct_.isZero(w) ? kTerminal : cur.node,
+                          ct_.mul(w, cur.w)};
+    }
+    cur = makeMNode(static_cast<std::int32_t>(level), children);
+  }
+  return cur;
+}
+
+MEdge QmddManager::mAdd(MEdge a, MEdge b) {
+  if (ct_.isZero(a.w)) return b;
+  if (ct_.isZero(b.w)) return a;
+  if (a.node == kTerminal && b.node == kTerminal)
+    return MEdge{kTerminal, ct_.add(a.w, b.w)};
+  SLIQ_ASSERT(a.node != kTerminal && b.node != kTerminal);
+  const std::uint64_t key = pairKey(a.node, a.w, b.node, b.w);
+  const auto cached = mAddCache_.find(key);
+  if (cached != mAddCache_.end()) return cached->second;
+
+  // Copy: recursive makeMNode calls may reallocate the node vector.
+  const MNode na = mNodes_[a.node];
+  const MNode nb = mNodes_[b.node];
+  MEdge children[4];
+  for (int i = 0; i < 4; ++i) {
+    const MEdge ea{na.e[i].node, ct_.mul(a.w, na.e[i].w)};
+    const MEdge eb{nb.e[i].node, ct_.mul(b.w, nb.e[i].w)};
+    children[i] = mAdd(ea, eb);
+  }
+  const MEdge result = makeMNode(na.level, children);
+  mAddCache_[key] = result;
+  return result;
+}
+
+VEdge QmddManager::mvMultiply(MEdge m, VEdge v) {
+  if (ct_.isZero(m.w) || ct_.isZero(v.w)) return VEdge{kTerminal, 0};
+  if (m.node == kTerminal && v.node == kTerminal)
+    return VEdge{kTerminal, ct_.mul(m.w, v.w)};
+  SLIQ_ASSERT(m.node != kTerminal && v.node != kTerminal);
+  // Factor the top weights out so the cache works on unit-weight operands.
+  const std::uint64_t key = pairKey(m.node, v.node, 0x6d76, 0);
+  const auto cached = mvCache_.find(key);
+  if (cached != mvCache_.end()) {
+    VEdge r = cached->second;
+    r.w = ct_.mul(r.w, ct_.mul(m.w, v.w));
+    if (ct_.isZero(r.w)) return VEdge{kTerminal, 0};
+    return r;
+  }
+  // Copy: recursive calls may reallocate both node vectors.
+  const MNode mn = mNodes_[m.node];
+  const VNode vn = vNodes_[v.node];
+  SLIQ_ASSERT(mn.level == vn.level);
+  VEdge rows[2];
+  for (int r = 0; r < 2; ++r) {
+    VEdge acc{kTerminal, 0};
+    for (int c = 0; c < 2; ++c) {
+      const MEdge me = mn.e[2 * r + c];
+      const VEdge ve = vn.e[c];
+      acc = vAdd(acc, mvMultiply(me, ve));
+    }
+    rows[r] = acc;
+  }
+  const VEdge unit = makeVNode(mn.level, rows[0], rows[1]);
+  mvCache_[key] = unit;
+  VEdge result = unit;
+  result.w = ct_.mul(result.w, ct_.mul(m.w, v.w));
+  if (ct_.isZero(result.w)) return VEdge{kTerminal, 0};
+  return result;
+}
+
+double QmddManager::nodeWeight(VEdge e,
+                               std::unordered_map<NodeId, double>& memo) {
+  if (ct_.isZero(e.w)) return 0.0;
+  const double own = std::norm(ct_.value(e.w));
+  if (e.node == kTerminal) return own;
+  const auto it = memo.find(e.node);
+  if (it != memo.end()) return own * it->second;
+  const VNode& n = vNodes_[e.node];
+  const double below = nodeWeight(n.e[0], memo) + nodeWeight(n.e[1], memo);
+  memo.emplace(e.node, below);
+  return own * below;
+}
+
+double QmddManager::totalProbability(VEdge root, unsigned n) {
+  (void)n;
+  std::unordered_map<NodeId, double> memo;
+  return nodeWeight(root, memo);
+}
+
+double QmddManager::probabilityOne(VEdge root, unsigned n, unsigned qubit) {
+  SLIQ_REQUIRE(qubit < n, "qubit out of range");
+  std::unordered_map<NodeId, double> weightMemo;
+  std::unordered_map<NodeId, double> oneMemo;
+  // pOne(node) = Pr contribution below `node` restricted to qubit = 1,
+  // excluding the incoming edge weight.
+  auto pOne = [&](auto&& self, NodeId id) -> double {
+    if (id == kTerminal) return 0.0;
+    const auto it = oneMemo.find(id);
+    if (it != oneMemo.end()) return it->second;
+    const VNode& node = vNodes_[id];
+    double result;
+    if (node.level == static_cast<std::int32_t>(qubit)) {
+      result = nodeWeight(node.e[1], weightMemo);
+    } else {
+      result = 0.0;
+      for (int c = 0; c < 2; ++c) {
+        if (ct_.isZero(node.e[c].w)) continue;
+        result += std::norm(ct_.value(node.e[c].w)) *
+                  self(self, node.e[c].node);
+      }
+    }
+    oneMemo.emplace(id, result);
+    return result;
+  };
+  if (ct_.isZero(root.w) || root.node == kTerminal) return 0.0;
+  return std::norm(ct_.value(root.w)) * pOne(pOne, root.node);
+}
+
+VEdge QmddManager::collapse(VEdge root, unsigned n, unsigned qubit,
+                            bool outcome) {
+  const double pKeep = outcome ? probabilityOne(root, n, qubit)
+                               : 1.0 - probabilityOne(root, n, qubit);
+  SLIQ_CHECK(pKeep > 0, "collapse onto zero-probability outcome");
+  auto rec = [&](auto&& self, VEdge e) -> VEdge {
+    if (ct_.isZero(e.w) || e.node == kTerminal) return e;
+    const VNode node = vNodes_[e.node];  // copy: makeVNode may reallocate
+    VEdge e0 = node.e[0];
+    VEdge e1 = node.e[1];
+    if (node.level == static_cast<std::int32_t>(qubit)) {
+      if (outcome) e0 = VEdge{kTerminal, 0};
+      else e1 = VEdge{kTerminal, 0};
+    } else {
+      e0 = self(self, e0);
+      e1 = self(self, e1);
+    }
+    VEdge rebuilt = makeVNode(node.level, e0, e1);
+    rebuilt.w = ct_.mul(rebuilt.w, e.w);
+    return rebuilt;
+  };
+  VEdge collapsed = rec(rec, root);
+  collapsed.w =
+      ct_.lookup(ct_.value(collapsed.w) / std::sqrt(pKeep));
+  return collapsed;
+}
+
+void QmddManager::garbageCollect() {
+  // Mark live vector nodes from the registered root; matrix nodes are
+  // per-gate temporaries and dropped wholesale.
+  for (VNode& n : vNodes_) n.mark = false;
+  auto mark = [&](auto&& self, NodeId id) -> void {
+    if (id == kTerminal) return;
+    VNode& n = vNodes_[id];
+    if (n.mark) return;
+    n.mark = true;
+    self(self, n.e[0].node);
+    self(self, n.e[1].node);
+  };
+  mark(mark, root_.node);
+
+  std::vector<NodeId> remap(vNodes_.size(), kTerminal);
+  std::vector<VNode> compacted;
+  compacted.reserve(vNodes_.size() / 2 + 1);
+  for (NodeId id = 0; id < vNodes_.size(); ++id) {
+    if (!vNodes_[id].mark) continue;
+    remap[id] = static_cast<NodeId>(compacted.size());
+    compacted.push_back(vNodes_[id]);
+  }
+  for (VNode& n : compacted) {
+    for (VEdge& e : n.e) {
+      if (e.node != kTerminal) e.node = remap[e.node];
+    }
+  }
+  vNodes_ = std::move(compacted);
+  if (root_.node != kTerminal) root_.node = remap[root_.node];
+  mNodes_.clear();
+  mUnique_.clear();
+  vUnique_.clear();
+  for (NodeId id = 0; id < vNodes_.size(); ++id) {
+    const VNode& n = vNodes_[id];
+    vUnique_[vKey(n.level, n.e[0], n.e[1])].push_back(id);
+  }
+  addCache_.clear();
+  mvCache_.clear();
+  mAddCache_.clear();
+  gcThreshold_ = std::max(config_.gcThreshold, liveNodes() * 2);
+}
+
+void QmddManager::maybeGc() {
+  if (liveNodes() > gcThreshold_) garbageCollect();
+}
+
+std::size_t QmddManager::memoryBytes() const {
+  std::size_t bytes = vNodes_.capacity() * sizeof(VNode) +
+                      mNodes_.capacity() * sizeof(MNode);
+  bytes += ct_.size() * (sizeof(Complex) + 16);
+  bytes += (addCache_.size() + mvCache_.size() + mAddCache_.size()) * 48;
+  bytes += (vUnique_.size() + mUnique_.size()) * 64;
+  return bytes;
+}
+
+}  // namespace sliq::qmdd

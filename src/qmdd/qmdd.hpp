@@ -1,0 +1,126 @@
+// QMDD package: vector and matrix decision diagrams with complex edge
+// weights (Niemann et al., TCAD'16; Zulehner & Wille, TCAD'19) — the data
+// structure behind DDSIM, rebuilt as the paper's baseline.
+//
+// Conventions:
+//  * Full-depth diagrams: a node at level L has children exactly at L-1
+//    (terminal below level 0); no level skipping.
+//  * Vector nodes have 2 children (|0⟩, |1⟩ cofactors); matrix nodes have 4
+//    (blocks row-major: e[2r + c]).
+//  * Edges carry an interned complex weight; nodes are normalized by the
+//    largest-magnitude child weight (leftmost on ties), weights propagate up.
+//  * Mark-sweep garbage collection from the registered roots.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "qmdd/complex_table.hpp"
+
+namespace sliq::qmdd {
+
+class QmddLimitError : public std::runtime_error {
+ public:
+  explicit QmddLimitError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+using NodeId = std::uint32_t;
+constexpr NodeId kTerminal = 0xffffffffu;
+
+struct VEdge {
+  NodeId node = kTerminal;
+  CIndex w = 0;  // weight index in the ComplexTable
+};
+
+struct MEdge {
+  NodeId node = kTerminal;
+  CIndex w = 0;
+};
+
+struct VNode {
+  std::int32_t level;  // qubit index of this node
+  VEdge e[2];
+  bool mark = false;
+};
+
+struct MNode {
+  std::int32_t level;
+  MEdge e[4];
+  bool mark = false;
+};
+
+class QmddManager {
+ public:
+  struct Config {
+    std::size_t maxNodes = 8u << 20;  // across vector + matrix nodes
+    std::size_t gcThreshold = 1u << 18;
+  };
+
+  QmddManager();
+  explicit QmddManager(const Config& config);
+
+  ComplexTable& complexTable() { return ct_; }
+
+  // ---- vector DDs ---------------------------------------------------------
+  /// |basis⟩ over `n` qubits (bit q of `basis` = qubit q; level n-1 on top).
+  VEdge makeBasisState(unsigned n, const std::vector<bool>& basis);
+  VEdge makeVNode(std::int32_t level, VEdge e0, VEdge e1);
+  VEdge vAdd(VEdge a, VEdge b);
+  Complex getAmplitude(VEdge root, unsigned n, std::uint64_t basis);
+
+  // ---- matrix DDs ---------------------------------------------------------
+  MEdge makeMNode(std::int32_t level, const MEdge children[4]);
+  /// Identity over levels [0, n).
+  MEdge makeIdentity(unsigned n);
+  /// Kronecker chain: per-level 2x2 blocks (level n-1 ... 0), where each
+  /// block is given row-major. Used for the controlled-gate construction
+  /// M = I + (⊗ controls P1) ⊗ (U − I).
+  MEdge makeKronecker(unsigned n, const std::vector<const Complex*>& blocks);
+  MEdge mAdd(MEdge a, MEdge b);
+
+  /// Matrix-vector product (the state update v' = M·v).
+  VEdge mvMultiply(MEdge m, VEdge v);
+
+  // ---- analysis / measurement ---------------------------------------------
+  /// Σ|amplitude|² under `root` (1.0 up to accumulated rounding error —
+  /// deviations are exactly the "numerical error" cases of the paper).
+  double totalProbability(VEdge root, unsigned n);
+  double probabilityOne(VEdge root, unsigned n, unsigned qubit);
+  /// Collapse: zero out the ¬outcome branch of `qubit` and renormalize.
+  VEdge collapse(VEdge root, unsigned n, unsigned qubit, bool outcome);
+
+  // ---- resource management -------------------------------------------------
+  /// Roots registered here survive garbage collection.
+  void setRoot(VEdge root) { root_ = root; }
+  VEdge root() const { return root_; }
+  void garbageCollect();
+  /// Collects when the node count exceeds the adaptive threshold. Call only
+  /// between operations (matrix DDs do not survive collection).
+  void gcIfNeeded() { maybeGc(); }
+  std::size_t liveNodes() const { return vNodes_.size() + mNodes_.size(); }
+  std::size_t peakNodes() const { return peakNodes_; }
+  /// Approximate bytes held by nodes + tables.
+  std::size_t memoryBytes() const;
+
+ private:
+  void maybeGc();
+  double nodeWeight(VEdge e, std::unordered_map<NodeId, double>& memo);
+
+  Config config_;
+  ComplexTable ct_;
+  std::vector<VNode> vNodes_;
+  std::vector<MNode> mNodes_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> vUnique_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> mUnique_;
+  std::unordered_map<std::uint64_t, VEdge> addCache_;
+  std::unordered_map<std::uint64_t, VEdge> mvCache_;
+  std::unordered_map<std::uint64_t, MEdge> mAddCache_;
+  VEdge root_;
+  std::size_t peakNodes_ = 0;
+  std::size_t gcThreshold_;
+};
+
+}  // namespace sliq::qmdd

@@ -1,0 +1,120 @@
+#include "qmdd/qmdd_sim.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace sliq::qmdd {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865476;
+const Complex kI{0.0, 1.0};
+
+struct U2 {
+  Complex m[4];  // row-major
+};
+
+U2 gateMatrix(GateKind kind) {
+  const Complex omega = std::polar(1.0, M_PI / 4);
+  switch (kind) {
+    case GateKind::kX: return {{0, 1, 1, 0}};
+    case GateKind::kY: return {{0, -kI, kI, 0}};
+    case GateKind::kZ: return {{1, 0, 0, -1}};
+    case GateKind::kH: return {{kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2}};
+    case GateKind::kS: return {{1, 0, 0, kI}};
+    case GateKind::kSdg: return {{1, 0, 0, -kI}};
+    case GateKind::kT: return {{1, 0, 0, omega}};
+    case GateKind::kTdg: return {{1, 0, 0, std::conj(omega)}};
+    case GateKind::kRx90:
+      return {{kInvSqrt2, -kI * kInvSqrt2, -kI * kInvSqrt2, kInvSqrt2}};
+    case GateKind::kRy90:
+      return {{kInvSqrt2, -kInvSqrt2, kInvSqrt2, kInvSqrt2}};
+    case GateKind::kCnot: return {{0, 1, 1, 0}};
+    case GateKind::kCz: return {{1, 0, 0, -1}};
+    case GateKind::kSwap: break;
+  }
+  SLIQ_CHECK(false, "no single-qubit matrix for this gate");
+  return {};
+}
+
+const Complex kIdentityBlock[4] = {1, 0, 0, 1};
+const Complex kProjectOne[4] = {0, 0, 0, 1};
+
+}  // namespace
+
+QmddSimulator::QmddSimulator(unsigned numQubits, std::uint64_t basisState)
+    : QmddSimulator(numQubits, basisState, Config{}) {}
+
+QmddSimulator::QmddSimulator(unsigned numQubits, std::uint64_t basisState,
+                             const Config& config)
+    : n_(numQubits), mgr_(config.dd) {
+  SLIQ_REQUIRE(numQubits >= 1, "need at least one qubit");
+  std::vector<bool> basis(n_);
+  for (unsigned q = 0; q < n_ && q < 64; ++q)
+    basis[q] = ((basisState >> q) & 1) != 0;
+  mgr_.setRoot(mgr_.makeBasisState(n_, basis));
+}
+
+void QmddSimulator::applyControlledU(const Complex u[4],
+                                     const std::vector<unsigned>& controls,
+                                     unsigned target) {
+  // M = I + (⊗_{c} P1) ⊗_{target} (U − I) ⊗ I elsewhere.
+  const Complex uMinusI[4] = {u[0] - 1.0, u[1], u[2], u[3] - 1.0};
+  std::vector<const Complex*> blocks(n_, kIdentityBlock);
+  for (unsigned c : controls) blocks[c] = kProjectOne;
+  blocks[target] = uMinusI;
+  const MEdge kron = mgr_.makeKronecker(n_, blocks);
+  const MEdge gate = mgr_.mAdd(mgr_.makeIdentity(n_), kron);
+  mgr_.setRoot(mgr_.mvMultiply(gate, mgr_.root()));
+}
+
+void QmddSimulator::applyGate(const Gate& gate) {
+  validateGate(gate, n_);
+  mgr_.gcIfNeeded();
+  if (gate.kind == GateKind::kSwap) {
+    // SWAP(a,b) = CX(b→a) · CX(a→b) · CX(b→a); Fredkin adds the controls to
+    // the middle CX (textbook decomposition).
+    const unsigned a = gate.targets[0];
+    const unsigned b = gate.targets[1];
+    const U2 x = gateMatrix(GateKind::kX);
+    applyControlledU(x.m, {b}, a);
+    std::vector<unsigned> middle = gate.controls;
+    middle.push_back(a);
+    applyControlledU(x.m, middle, b);
+    applyControlledU(x.m, {b}, a);
+    return;
+  }
+  const U2 u = gateMatrix(gate.kind);
+  applyControlledU(u.m, gate.controls, gate.target());
+}
+
+void QmddSimulator::run(const QuantumCircuit& circuit) {
+  SLIQ_REQUIRE(circuit.numQubits() == n_, "circuit width mismatch");
+  for (const Gate& g : circuit.gates()) applyGate(g);
+}
+
+Complex QmddSimulator::amplitude(std::uint64_t basisState) {
+  return mgr_.getAmplitude(mgr_.root(), n_, basisState);
+}
+
+double QmddSimulator::totalProbability() {
+  return mgr_.totalProbability(mgr_.root(), n_);
+}
+
+double QmddSimulator::probabilityOne(unsigned qubit) {
+  return mgr_.probabilityOne(mgr_.root(), n_, qubit);
+}
+
+bool QmddSimulator::measure(unsigned qubit, double random) {
+  SLIQ_REQUIRE(random >= 0.0 && random < 1.0, "random must be in [0,1)");
+  const double p1 = probabilityOne(qubit);
+  const bool outcome = random < p1;
+  mgr_.setRoot(mgr_.collapse(mgr_.root(), n_, qubit, outcome));
+  return outcome;
+}
+
+bool QmddSimulator::isNormalized(double tolerance) {
+  return std::abs(totalProbability() - 1.0) <= tolerance;
+}
+
+}  // namespace sliq::qmdd

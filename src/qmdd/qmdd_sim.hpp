@@ -1,0 +1,54 @@
+// QmddSimulator — the DDSIM stand-in baseline (see DESIGN.md §4): quantum
+// circuit simulation over QMDDs with double-precision complex edge weights.
+// Same public surface as SliqSimulator so the benchmark harnesses can drive
+// both engines uniformly.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "qmdd/qmdd.hpp"
+
+namespace sliq::qmdd {
+
+class QmddSimulator {
+ public:
+  struct Config {
+    QmddManager::Config dd;
+  };
+
+  explicit QmddSimulator(unsigned numQubits, std::uint64_t basisState = 0);
+  QmddSimulator(unsigned numQubits, std::uint64_t basisState,
+                const Config& config);
+
+  unsigned numQubits() const { return n_; }
+
+  void applyGate(const Gate& gate);
+  void run(const QuantumCircuit& circuit);
+
+  Complex amplitude(std::uint64_t basisState);
+  /// Σ|α|²; drifts away from 1 as rounding accumulates — the paper's
+  /// "numerical error" failure mode.
+  double totalProbability();
+  double probabilityOne(unsigned qubit);
+  bool measure(unsigned qubit, double random);
+
+  /// True when |Σ|α|² − 1| ≤ tolerance (paper: the 'error' column trips
+  /// when state probabilities no longer sum to 1).
+  bool isNormalized(double tolerance = 1e-4);
+
+  std::size_t liveNodes() const { return mgr_.liveNodes(); }
+  std::size_t peakNodes() const { return mgr_.peakNodes(); }
+  std::size_t memoryBytes() const { return mgr_.memoryBytes(); }
+
+ private:
+  void applyControlledU(const Complex u[4],
+                        const std::vector<unsigned>& controls,
+                        unsigned target);
+
+  unsigned n_;
+  QmddManager mgr_;
+};
+
+}  // namespace sliq::qmdd

@@ -1,0 +1,195 @@
+#include "stabilizer/stabilizer.hpp"
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+StabilizerSimulator::StabilizerSimulator(unsigned numQubits)
+    : n_(numQubits), words_((numQubits + 63) / 64) {
+  SLIQ_REQUIRE(numQubits >= 1, "need at least one qubit");
+  rows_.resize(2 * n_ + 1);
+  for (Row& r : rows_) {
+    r.x.assign(words_, 0);
+    r.z.assign(words_, 0);
+  }
+  // Initial |0...0⟩: destabilizer i = X_i, stabilizer i = Z_i.
+  for (unsigned i = 0; i < n_; ++i) {
+    setX(rows_[i], i, true);
+    setZ(rows_[n_ + i], i, true);
+  }
+}
+
+// Phase exponent (mod 4) contribution of multiplying Pauli rows a·b, per
+// Aaronson-Gottesman's g() function summed over qubits.
+int StabilizerSimulator::rowPhaseExponent(const Row& a, const Row& b) const {
+  int e = 0;
+  for (unsigned q = 0; q < n_; ++q) {
+    const int x1 = getX(a, q), z1 = getZ(a, q);
+    const int x2 = getX(b, q), z2 = getZ(b, q);
+    if (x1 == 0 && z1 == 0) continue;
+    if (x1 == 1 && z1 == 1) e += z2 - x2;          // Y · P
+    else if (x1 == 1) e += z2 * (2 * x2 - 1);      // X · P
+    else e += x2 * (1 - 2 * z2);                   // Z · P
+  }
+  return e;
+}
+
+void StabilizerSimulator::rowMult(Row& target, const Row& source) {
+  const int e = 2 * (target.phase ? 1 : 0) + 2 * (source.phase ? 1 : 0) +
+                rowPhaseExponent(source, target);
+  SLIQ_ASSERT(((e % 4) + 4) % 4 % 2 == 0);
+  target.phase = (((e % 4) + 4) % 4) == 2;
+  for (unsigned w = 0; w < words_; ++w) {
+    target.x[w] ^= source.x[w];
+    target.z[w] ^= source.z[w];
+  }
+}
+
+void StabilizerSimulator::applyH(unsigned q) {
+  for (Row& r : rows_) {
+    const bool x = getX(r, q), z = getZ(r, q);
+    r.phase ^= x && z;
+    setX(r, q, z);
+    setZ(r, q, x);
+  }
+}
+
+void StabilizerSimulator::applyS(unsigned q) {
+  for (Row& r : rows_) {
+    const bool x = getX(r, q), z = getZ(r, q);
+    r.phase ^= x && z;
+    setZ(r, q, x != z);
+  }
+}
+
+void StabilizerSimulator::applyX(unsigned q) {
+  for (Row& r : rows_) r.phase ^= getZ(r, q);
+}
+
+void StabilizerSimulator::applyZ(unsigned q) {
+  for (Row& r : rows_) r.phase ^= getX(r, q);
+}
+
+void StabilizerSimulator::applyCnot(unsigned control, unsigned target) {
+  for (Row& r : rows_) {
+    const bool xc = getX(r, control), zc = getZ(r, control);
+    const bool xt = getX(r, target), zt = getZ(r, target);
+    r.phase ^= xc && zt && (xt == zc);
+    setX(r, target, xt != xc);
+    setZ(r, control, zc != zt);
+  }
+}
+
+void StabilizerSimulator::applyGate(const Gate& gate) {
+  validateGate(gate, n_);
+  auto unsupported = [&] {
+    throw UnsupportedGateError("stabilizer simulator cannot apply " +
+                               gateName(gate) + " (non-Clifford)");
+  };
+  if (!gate.controls.empty() && gate.controls.size() > 1) unsupported();
+  switch (gate.kind) {
+    case GateKind::kH: applyH(gate.target()); break;
+    case GateKind::kS: applyS(gate.target()); break;
+    case GateKind::kSdg:  // S† = S·S·S
+      applyS(gate.target());
+      applyS(gate.target());
+      applyS(gate.target());
+      break;
+    case GateKind::kX: applyX(gate.target()); break;
+    case GateKind::kY:  // Y = i·X·Z: global phase drops out of the tableau
+      applyZ(gate.target());
+      applyX(gate.target());
+      break;
+    case GateKind::kZ: applyZ(gate.target()); break;
+    case GateKind::kRx90:  // Rx(π/2) = H·S·H up to global phase
+      applyH(gate.target());
+      applyS(gate.target());
+      applyH(gate.target());
+      break;
+    case GateKind::kRy90:  // Ry(π/2) = H·Z exactly (Z first, then H)
+      applyZ(gate.target());
+      applyH(gate.target());
+      break;
+    case GateKind::kCnot:
+      if (gate.controls.size() != 1) unsupported();
+      applyCnot(gate.controls[0], gate.target());
+      break;
+    case GateKind::kCz:
+      if (gate.controls.size() != 1) unsupported();
+      applyH(gate.target());
+      applyCnot(gate.controls[0], gate.target());
+      applyH(gate.target());
+      break;
+    case GateKind::kSwap:
+      if (!gate.controls.empty()) unsupported();
+      applyCnot(gate.targets[0], gate.targets[1]);
+      applyCnot(gate.targets[1], gate.targets[0]);
+      applyCnot(gate.targets[0], gate.targets[1]);
+      break;
+    case GateKind::kT:
+    case GateKind::kTdg:
+      unsupported();
+      break;
+  }
+}
+
+void StabilizerSimulator::run(const QuantumCircuit& circuit) {
+  SLIQ_REQUIRE(circuit.numQubits() == n_, "circuit width mismatch");
+  for (const Gate& g : circuit.gates()) applyGate(g);
+}
+
+bool StabilizerSimulator::supports(const QuantumCircuit& circuit) {
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind == GateKind::kT || g.kind == GateKind::kTdg) return false;
+    if (g.controls.size() > 1) return false;
+    if (g.kind == GateKind::kSwap && !g.controls.empty()) return false;
+  }
+  return true;
+}
+
+double StabilizerSimulator::probabilityOne(unsigned qubit) {
+  SLIQ_REQUIRE(qubit < n_, "qubit out of range");
+  // Random outcome iff some stabilizer anticommutes with Z_q, i.e. has an
+  // X on qubit q.
+  for (unsigned i = n_; i < 2 * n_; ++i) {
+    if (getX(rows_[i], qubit)) return 0.5;
+  }
+  // Deterministic: accumulate the product of stabilizers whose destabilizer
+  // partner has X on q into the scratch row.
+  Row& scratch = rows_[2 * n_];
+  scratch.x.assign(words_, 0);
+  scratch.z.assign(words_, 0);
+  scratch.phase = false;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (getX(rows_[i], qubit)) rowMult(scratch, rows_[n_ + i]);
+  }
+  return scratch.phase ? 1.0 : 0.0;
+}
+
+bool StabilizerSimulator::measure(unsigned qubit, Rng& rng) {
+  SLIQ_REQUIRE(qubit < n_, "qubit out of range");
+  unsigned p = 2 * n_;
+  for (unsigned i = n_; i < 2 * n_; ++i) {
+    if (getX(rows_[i], qubit)) {
+      p = i;
+      break;
+    }
+  }
+  if (p == 2 * n_) {
+    // Deterministic outcome.
+    return probabilityOne(qubit) > 0.5;
+  }
+  // Random outcome: update the tableau per Aaronson-Gottesman.
+  for (unsigned i = 0; i < 2 * n_; ++i) {
+    if (i != p && getX(rows_[i], qubit)) rowMult(rows_[i], rows_[p]);
+  }
+  rows_[p - n_] = rows_[p];  // destabilizer partner takes the old stabilizer
+  Row& fresh = rows_[p];
+  fresh.x.assign(words_, 0);
+  fresh.z.assign(words_, 0);
+  setZ(fresh, qubit, true);
+  fresh.phase = rng.flip();
+  return fresh.phase;
+}
+
+}  // namespace sliq

@@ -1,0 +1,82 @@
+// CHP-style stabilizer simulator (Aaronson & Gottesman, PRA 70, 052328) —
+// the specialized comparator the paper cites for the entanglement circuits
+// of Table V. Simulates Clifford circuits (H, S, S†, X, Y, Z, CNOT, CZ,
+// SWAP) in O(n²) per measurement using the tableau representation.
+//
+// Non-Clifford gates (T, T†, Rx/Ry(π/2) are Clifford — Rx/Ry included;
+// T/Tdg and Toffoli/Fredkin with controls are not) throw
+// UnsupportedGateError, mirroring CHP's scope.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+
+class UnsupportedGateError : public std::runtime_error {
+ public:
+  explicit UnsupportedGateError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class StabilizerSimulator {
+ public:
+  explicit StabilizerSimulator(unsigned numQubits);
+
+  unsigned numQubits() const { return n_; }
+
+  /// Applies a Clifford gate; throws UnsupportedGateError otherwise.
+  void applyGate(const Gate& gate);
+  void run(const QuantumCircuit& circuit);
+  /// True if every gate of `circuit` is in the supported Clifford set.
+  static bool supports(const QuantumCircuit& circuit);
+
+  /// Measures qubit q in the computational basis. Deterministic outcomes
+  /// are returned directly; random ones consume `rng`.
+  bool measure(unsigned qubit, Rng& rng);
+  /// Pr[qubit = 1]: 0, 1, or 0.5 (stabilizer states admit nothing else).
+  double probabilityOne(unsigned qubit);
+
+ private:
+  // Tableau rows 0..n-1: destabilizers; n..2n-1: stabilizers; row 2n:
+  // scratch. Each row stores x/z bit vectors (packed) and a phase bit.
+  struct Row {
+    std::vector<std::uint64_t> x;
+    std::vector<std::uint64_t> z;
+    bool phase = false;
+  };
+
+  bool getX(const Row& r, unsigned q) const {
+    return (r.x[q >> 6] >> (q & 63)) & 1;
+  }
+  bool getZ(const Row& r, unsigned q) const {
+    return (r.z[q >> 6] >> (q & 63)) & 1;
+  }
+  void setX(Row& r, unsigned q, bool v) {
+    const std::uint64_t bit = std::uint64_t{1} << (q & 63);
+    r.x[q >> 6] = v ? (r.x[q >> 6] | bit) : (r.x[q >> 6] & ~bit);
+  }
+  void setZ(Row& r, unsigned q, bool v) {
+    const std::uint64_t bit = std::uint64_t{1} << (q & 63);
+    r.z[q >> 6] = v ? (r.z[q >> 6] | bit) : (r.z[q >> 6] & ~bit);
+  }
+
+  void rowMult(Row& target, const Row& source);  // target *= source
+  int rowPhaseExponent(const Row& a, const Row& b) const;
+
+  void applyH(unsigned q);
+  void applyS(unsigned q);
+  void applyX(unsigned q);
+  void applyZ(unsigned q);
+  void applyCnot(unsigned control, unsigned target);
+
+  unsigned n_;
+  unsigned words_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sliq

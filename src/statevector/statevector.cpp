@@ -1,0 +1,157 @@
+#include "statevector/statevector.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865476;
+const std::complex<double> kI{0.0, 1.0};
+}  // namespace
+
+StatevectorSimulator::StatevectorSimulator(unsigned numQubits,
+                                           std::uint64_t basisState)
+    : numQubits_(numQubits) {
+  SLIQ_REQUIRE(numQubits >= 1 && numQubits <= 28,
+               "dense simulation limited to 28 qubits");
+  SLIQ_REQUIRE(basisState < (std::uint64_t{1} << numQubits),
+               "basis state out of range");
+  state_.assign(std::uint64_t{1} << numQubits, Amplitude{0.0, 0.0});
+  state_[basisState] = 1.0;
+}
+
+void StatevectorSimulator::apply1(unsigned target, const Amplitude m[2][2]) {
+  const std::uint64_t stride = std::uint64_t{1} << target;
+  for (std::uint64_t base = 0; base < state_.size(); base += 2 * stride) {
+    for (std::uint64_t off = 0; off < stride; ++off) {
+      const std::uint64_t i0 = base + off;
+      const std::uint64_t i1 = i0 + stride;
+      const Amplitude a0 = state_[i0];
+      const Amplitude a1 = state_[i1];
+      state_[i0] = m[0][0] * a0 + m[0][1] * a1;
+      state_[i1] = m[1][0] * a0 + m[1][1] * a1;
+    }
+  }
+}
+
+void StatevectorSimulator::applyControlled1(
+    const std::vector<unsigned>& controls, unsigned target,
+    const Amplitude m[2][2]) {
+  if (controls.empty()) {
+    apply1(target, m);
+    return;
+  }
+  std::uint64_t controlMask = 0;
+  for (unsigned c : controls) controlMask |= std::uint64_t{1} << c;
+  const std::uint64_t stride = std::uint64_t{1} << target;
+  for (std::uint64_t i0 = 0; i0 < state_.size(); ++i0) {
+    if ((i0 & stride) != 0) continue;
+    if ((i0 & controlMask) != controlMask) continue;
+    const std::uint64_t i1 = i0 | stride;
+    const Amplitude a0 = state_[i0];
+    const Amplitude a1 = state_[i1];
+    state_[i0] = m[0][0] * a0 + m[0][1] * a1;
+    state_[i1] = m[1][0] * a0 + m[1][1] * a1;
+  }
+}
+
+void StatevectorSimulator::applySwap(const std::vector<unsigned>& controls,
+                                     unsigned q0, unsigned q1) {
+  std::uint64_t controlMask = 0;
+  for (unsigned c : controls) controlMask |= std::uint64_t{1} << c;
+  const std::uint64_t bit0 = std::uint64_t{1} << q0;
+  const std::uint64_t bit1 = std::uint64_t{1} << q1;
+  for (std::uint64_t i = 0; i < state_.size(); ++i) {
+    // Visit each swapped pair once: q0 set, q1 clear.
+    if ((i & bit0) == 0 || (i & bit1) != 0) continue;
+    if ((i & controlMask) != controlMask) continue;
+    const std::uint64_t j = (i & ~bit0) | bit1;
+    std::swap(state_[i], state_[j]);
+  }
+}
+
+void StatevectorSimulator::applyGate(const Gate& gate) {
+  validateGate(gate, numQubits_);
+  const Amplitude kX[2][2] = {{0, 1}, {1, 0}};
+  const Amplitude kY[2][2] = {{0, -kI}, {kI, 0}};
+  const Amplitude kZ[2][2] = {{1, 0}, {0, -1}};
+  const Amplitude kH[2][2] = {{kInvSqrt2, kInvSqrt2},
+                              {kInvSqrt2, -kInvSqrt2}};
+  const Amplitude kS[2][2] = {{1, 0}, {0, kI}};
+  const Amplitude kSdg[2][2] = {{1, 0}, {0, -kI}};
+  const Amplitude omega = std::polar(1.0, M_PI / 4);
+  const Amplitude kT[2][2] = {{1, 0}, {0, omega}};
+  const Amplitude kTdg[2][2] = {{1, 0}, {0, std::conj(omega)}};
+  const Amplitude kRx[2][2] = {{kInvSqrt2, -kI * kInvSqrt2},
+                               {-kI * kInvSqrt2, kInvSqrt2}};
+  const Amplitude kRy[2][2] = {{kInvSqrt2, -kInvSqrt2},
+                               {kInvSqrt2, kInvSqrt2}};
+
+  switch (gate.kind) {
+    case GateKind::kX: apply1(gate.target(), kX); break;
+    case GateKind::kY: apply1(gate.target(), kY); break;
+    case GateKind::kZ: apply1(gate.target(), kZ); break;
+    case GateKind::kH: apply1(gate.target(), kH); break;
+    case GateKind::kS: apply1(gate.target(), kS); break;
+    case GateKind::kSdg: apply1(gate.target(), kSdg); break;
+    case GateKind::kT: apply1(gate.target(), kT); break;
+    case GateKind::kTdg: apply1(gate.target(), kTdg); break;
+    case GateKind::kRx90: apply1(gate.target(), kRx); break;
+    case GateKind::kRy90: apply1(gate.target(), kRy); break;
+    case GateKind::kCnot:
+      applyControlled1(gate.controls, gate.target(), kX);
+      break;
+    case GateKind::kCz:
+      applyControlled1(gate.controls, gate.target(), kZ);
+      break;
+    case GateKind::kSwap:
+      applySwap(gate.controls, gate.targets[0], gate.targets[1]);
+      break;
+  }
+}
+
+void StatevectorSimulator::run(const QuantumCircuit& circuit) {
+  SLIQ_REQUIRE(circuit.numQubits() == numQubits_, "circuit width mismatch");
+  for (const Gate& g : circuit.gates()) applyGate(g);
+}
+
+double StatevectorSimulator::probabilityOne(unsigned qubit) const {
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  double p = 0;
+  for (std::uint64_t i = 0; i < state_.size(); ++i) {
+    if (i & bit) p += std::norm(state_[i]);
+  }
+  return p;
+}
+
+double StatevectorSimulator::totalProbability() const {
+  double p = 0;
+  for (const Amplitude& a : state_) p += std::norm(a);
+  return p;
+}
+
+bool StatevectorSimulator::measure(unsigned qubit, double random) {
+  const double p1 = probabilityOne(qubit);
+  const bool outcome = random < p1;
+  const double keep = outcome ? p1 : 1.0 - p1;
+  const double scale = keep > 0 ? 1.0 / std::sqrt(keep) : 0.0;
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  for (std::uint64_t i = 0; i < state_.size(); ++i) {
+    const bool isOne = (i & bit) != 0;
+    state_[i] = isOne == outcome ? state_[i] * scale : Amplitude{0, 0};
+  }
+  return outcome;
+}
+
+std::uint64_t StatevectorSimulator::sampleAll(double random) const {
+  double acc = 0;
+  for (std::uint64_t i = 0; i < state_.size(); ++i) {
+    acc += std::norm(state_[i]);
+    if (random < acc) return i;
+  }
+  return state_.size() - 1;
+}
+
+}  // namespace sliq

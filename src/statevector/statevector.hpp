@@ -1,0 +1,56 @@
+// Dense array-based statevector simulator.
+//
+// This is the "array-based" simulator class of the paper's related work
+// ([5]-[9]): a 2^n complex<double> vector updated gate by gate. It serves as
+// (a) ground truth for the exact BDD engine in tests (n <= ~24) and (b) the
+// array-based comparator in the benchmark harnesses.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace sliq {
+
+class StatevectorSimulator {
+ public:
+  using Amplitude = std::complex<double>;
+
+  /// Prepares |basisState⟩ over numQubits qubits (basis bit q of the index
+  /// corresponds to qubit q; qubit 0 is the least significant bit).
+  explicit StatevectorSimulator(unsigned numQubits,
+                                std::uint64_t basisState = 0);
+
+  unsigned numQubits() const { return numQubits_; }
+  const std::vector<Amplitude>& state() const { return state_; }
+
+  void applyGate(const Gate& gate);
+  void run(const QuantumCircuit& circuit);
+
+  Amplitude amplitude(std::uint64_t basisState) const {
+    return state_[basisState];
+  }
+  /// Pr[qubit q = 1].
+  double probabilityOne(unsigned qubit) const;
+  /// Sum of |amplitude|² (should be 1 up to rounding).
+  double totalProbability() const;
+  /// Measures a single qubit (collapse + renormalize), consuming `random`
+  /// in [0,1) to pick the outcome. Returns the observed bit.
+  bool measure(unsigned qubit, double random);
+  /// Samples a full basis state without collapsing the register.
+  std::uint64_t sampleAll(double random) const;
+
+ private:
+  void apply1(unsigned target, const Amplitude m[2][2]);
+  void applyControlled1(const std::vector<unsigned>& controls, unsigned target,
+                        const Amplitude m[2][2]);
+  void applySwap(const std::vector<unsigned>& controls, unsigned q0,
+                 unsigned q1);
+
+  unsigned numQubits_;
+  std::vector<Amplitude> state_;
+};
+
+}  // namespace sliq

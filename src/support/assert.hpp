@@ -1,0 +1,46 @@
+// Assertion macros used throughout the library.
+//
+// SLIQ_ASSERT  — debug-only invariant check (compiled out in NDEBUG builds).
+// SLIQ_CHECK   — always-on check for conditions that guard data integrity
+//                (e.g. unique-table canonicity); throws std::logic_error.
+// SLIQ_REQUIRE — precondition check on public API entry points; throws
+//                std::invalid_argument with a caller-facing message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sliq {
+
+[[noreturn]] inline void assertFail(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'R') throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace sliq
+
+#define SLIQ_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) ::sliq::assertFail("CHECK", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SLIQ_REQUIRE(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sliq::assertFail("REQUIRE", #cond, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+#ifdef NDEBUG
+#define SLIQ_ASSERT(cond) ((void)0)
+#else
+#define SLIQ_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) ::sliq::assertFail("ASSERT", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+#endif

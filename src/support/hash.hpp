@@ -1,0 +1,28 @@
+// Hashing utilities shared by the BDD unique tables and computed caches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sliq {
+
+/// Finalizer from MurmurHash3: good avalanche on 64-bit keys.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine two 64-bit hashes (boost::hash_combine-style with 64-bit constant).
+inline std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+inline std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return hashCombine(hashCombine(mix64(a), b), c);
+}
+
+}  // namespace sliq

@@ -1,0 +1,36 @@
+#include "support/memuse.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sliq {
+namespace {
+
+std::size_t readStatusField(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  const std::size_t fieldLen = std::strlen(field);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, fieldLen) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + fieldLen, " %llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace
+
+std::size_t currentRssBytes() { return readStatusField("VmRSS:"); }
+
+std::size_t peakRssBytes() {
+  const std::size_t hwm = readStatusField("VmHWM:");
+  // Some container kernels do not expose VmHWM; fall back to current RSS.
+  return hwm != 0 ? hwm : currentRssBytes();
+}
+
+}  // namespace sliq

@@ -1,0 +1,19 @@
+// Process memory introspection (Linux /proc based), used by the benchmark
+// harnesses to report the Mem(MB) columns of the paper's tables.
+#pragma once
+
+#include <cstddef>
+
+namespace sliq {
+
+/// Current resident set size in bytes, or 0 if unavailable.
+std::size_t currentRssBytes();
+
+/// Peak resident set size in bytes (VmHWM), or 0 if unavailable.
+std::size_t peakRssBytes();
+
+inline double toMiB(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace sliq

@@ -1,0 +1,50 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace sliq {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::addRow(std::vector<std::string> cells) {
+  SLIQ_REQUIRE(cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string formatSeconds(double s) {
+  if (s < 0.01) return "<0.01";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", s);
+  return buf;
+}
+
+}  // namespace sliq

@@ -1,0 +1,27 @@
+// Minimal ASCII table printer used by the benchmark harnesses to render
+// rows in the same layout as the paper's Tables III–VI.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sliq {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Renders the table with column-aligned cells and a header separator.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds the way the paper does: "<0.01", "1.09", "TO", "MO", ...
+std::string formatSeconds(double s);
+
+}  // namespace sliq

@@ -1,0 +1,151 @@
+#include "algebra/algebraic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+constexpr double kTol = 1e-12;
+const std::complex<double> kOmega = std::polar(1.0, M_PI / 4);
+
+std::complex<double> naive(std::int64_t a, std::int64_t b, std::int64_t c,
+                           std::int64_t d, std::int64_t k) {
+  const std::complex<double> val =
+      double(a) * std::pow(kOmega, 3) + double(b) * std::pow(kOmega, 2) +
+      double(c) * kOmega + double(d);
+  return val / std::pow(std::sqrt(2.0), double(k));
+}
+
+AlgebraicComplex make(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d, std::int64_t k = 0) {
+  return AlgebraicComplex(BigInt(a), BigInt(b), BigInt(c), BigInt(d), k);
+}
+
+void expectNear(const AlgebraicComplex& x, std::complex<double> want) {
+  const auto got = x.toComplex();
+  EXPECT_NEAR(got.real(), want.real(), kTol) << x.toString();
+  EXPECT_NEAR(got.imag(), want.imag(), kTol) << x.toString();
+}
+
+TEST(Algebraic, BasisValues) {
+  expectNear(AlgebraicComplex::one(), {1, 0});
+  expectNear(make(0, 0, 1, 0), kOmega);
+  expectNear(make(0, 1, 0, 0), {0, 1});
+  expectNear(make(1, 0, 0, 0), std::pow(kOmega, 3));
+  expectNear(make(0, 0, 0, 1, 2), {0.5, 0});
+}
+
+TEST(Algebraic, ToComplexMatchesNaive) {
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const auto pick = [&] {
+      return static_cast<std::int64_t>(rng.below(200)) - 100;
+    };
+    const std::int64_t a = pick(), b = pick(), c = pick(), d = pick();
+    const std::int64_t k = static_cast<std::int64_t>(rng.below(6));
+    const auto want = naive(a, b, c, d, k);
+    expectNear(make(a, b, c, d, k), want);
+  }
+}
+
+TEST(Algebraic, TimesOmegaIsRotation) {
+  AlgebraicComplex x = make(3, -2, 5, 7, 1);
+  AlgebraicComplex cur = x;
+  for (unsigned p = 1; p <= 8; ++p) {
+    cur = cur.timesOmega();
+    const auto want = x.toComplex() * std::pow(kOmega, double(p));
+    expectNear(cur, want);
+  }
+  EXPECT_EQ(cur, x);  // ω⁸ = 1
+  EXPECT_EQ(x.timesOmega(3), x.timesOmega().timesOmega().timesOmega());
+}
+
+TEST(Algebraic, AdditionAlignsK) {
+  // 1/√2 + 1/√2 = 2/√2 = √2: (d=1,k=1) + (d=1,k=1) = (d=2,k=1).
+  const AlgebraicComplex half = make(0, 0, 0, 1, 1);
+  expectNear(half + half, {std::sqrt(2.0), 0});
+  // Mixed k: 1 + 1/√2.
+  const AlgebraicComplex one = AlgebraicComplex::one();
+  expectNear(one + half, {1.0 + 1.0 / std::sqrt(2.0), 0});
+  // k alignment with odd difference exercises the √2 coefficient rotation.
+  const AlgebraicComplex x = make(1, 2, 3, 4, 3);
+  const AlgebraicComplex y = make(-2, 0, 1, 5, 0);
+  expectNear(x + y, naive(1, 2, 3, 4, 3) + naive(-2, 0, 1, 5, 0));
+}
+
+TEST(Algebraic, EqualityAcrossRepresentations) {
+  // √2/√2² == 1/√2: (c=1,a=-1,k=2) vs (d=1,k=1)?  √2 = ω - ω³.
+  const AlgebraicComplex sqrt2Form = make(-1, 0, 1, 0, 2);
+  const AlgebraicComplex direct = make(0, 0, 0, 1, 1);
+  EXPECT_EQ(sqrt2Form, direct);
+  EXPECT_NE(sqrt2Form, AlgebraicComplex::one());
+  // 2/√2² == 1.
+  EXPECT_EQ(make(0, 0, 0, 2, 2), AlgebraicComplex::one());
+}
+
+TEST(Algebraic, MultiplicationMatchesComplex) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = [&] {
+      return static_cast<std::int64_t>(rng.below(40)) - 20;
+    };
+    const AlgebraicComplex x = make(pick(), pick(), pick(), pick(),
+                                    static_cast<std::int64_t>(rng.below(4)));
+    const AlgebraicComplex y = make(pick(), pick(), pick(), pick(),
+                                    static_cast<std::int64_t>(rng.below(4)));
+    const auto want = x.toComplex() * y.toComplex();
+    expectNear(x * y, want);
+  }
+}
+
+TEST(Algebraic, ConjugateAndNormSq) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = [&] {
+      return static_cast<std::int64_t>(rng.below(60)) - 30;
+    };
+    const AlgebraicComplex x = make(pick(), pick(), pick(), pick(),
+                                    static_cast<std::int64_t>(rng.below(5)));
+    expectNear(x.conjugate(), std::conj(x.toComplex()));
+    EXPECT_NEAR(x.normSq(), std::norm(x.toComplex()), 1e-9);
+    // x * conj(x) is real and equals |x|².
+    const AlgebraicComplex prod = x * x.conjugate();
+    const auto asComplex = prod.toComplex();
+    EXPECT_NEAR(asComplex.imag(), 0.0, 1e-9);
+    EXPECT_NEAR(asComplex.real(), x.normSq(), 1e-9);
+  }
+}
+
+TEST(Algebraic, NormSqScaledExactForm) {
+  // |ω + 1|² = 2 + √2 exactly.
+  const Zroot2 w = make(0, 0, 1, 1).normSqScaled();
+  EXPECT_EQ(w.rational(), BigInt(2));
+  EXPECT_EQ(w.irrational(), BigInt(1));
+  // |1/√2|²·2¹ = 1.
+  const Zroot2 h = make(0, 0, 0, 1, 1).normSqScaled();
+  EXPECT_EQ(h.rational(), BigInt(1));
+  EXPECT_TRUE(h.irrational().isZero());
+}
+
+TEST(Algebraic, ZeroBehaviour) {
+  AlgebraicComplex z;
+  EXPECT_TRUE(z.isZero());
+  EXPECT_EQ(z.normSq(), 0.0);
+  expectNear(z, {0, 0});
+  EXPECT_EQ(z + make(1, 2, 3, 4), make(1, 2, 3, 4));
+  EXPECT_TRUE((z * make(1, 2, 3, 4)).isZero());
+}
+
+TEST(Algebraic, ToStringReadable) {
+  EXPECT_EQ(AlgebraicComplex::one().toString(), "(1)");
+  EXPECT_EQ(make(0, 0, 0, 0).toString(), "(0)");
+  EXPECT_EQ(make(-1, 0, 2, 1, 3).toString(), "(-ω³ + 2ω + 1)/√2^3");
+}
+
+}  // namespace
+}  // namespace sliq

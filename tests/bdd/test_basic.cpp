@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bdd/bdd.hpp"
+#include "bdd/dot.hpp"
+#include "bdd/manager.hpp"
+
+namespace sliq::bdd {
+namespace {
+
+TEST(BddBasic, ConstantsAreDistinctAndComplementary) {
+  BddManager mgr;
+  EXPECT_EQ(kTrueEdge, !kFalseEdge);
+  EXPECT_NE(kTrueEdge, kFalseEdge);
+  Bdd one(&mgr, kTrueEdge);
+  EXPECT_TRUE(one.isOne());
+  EXPECT_TRUE((~one).isZero());
+}
+
+TEST(BddBasic, VarEdgeIsProjection) {
+  BddManager mgr(BddManager::Config{.initialVars = 3});
+  Bdd x = makeVar(mgr, 1);
+  EXPECT_TRUE(x.eval({false, true, false}));
+  EXPECT_FALSE(x.eval({true, false, true}));
+}
+
+TEST(BddBasic, VarEdgeIsCanonical) {
+  BddManager mgr(BddManager::Config{.initialVars = 2});
+  EXPECT_EQ(mgr.varEdge(0), mgr.varEdge(0));
+  EXPECT_NE(mgr.varEdge(0), mgr.varEdge(1));
+}
+
+TEST(BddBasic, AndOrXorSemantics) {
+  BddManager mgr(BddManager::Config{.initialVars = 2});
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1);
+  const Bdd conj = a & b, disj = a | b, exor = a ^ b;
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      std::vector<bool> pt{va, vb};
+      EXPECT_EQ(conj.eval(pt), va && vb);
+      EXPECT_EQ(disj.eval(pt), va || vb);
+      EXPECT_EQ(exor.eval(pt), va != vb);
+    }
+  }
+}
+
+TEST(BddBasic, CanonicityMakesEqualFunctionsIdentical) {
+  BddManager mgr(BddManager::Config{.initialVars = 3});
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1), c = makeVar(mgr, 2);
+  // De Morgan
+  EXPECT_EQ(~(a & b), ~a | ~b);
+  // Distribution
+  EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+  // XOR via AND/OR
+  EXPECT_EQ(a ^ b, (a & ~b) | (~a & b));
+  // Shannon expansion
+  EXPECT_EQ(a.ite(b, c), (a & b) | (~a & c));
+}
+
+TEST(BddBasic, ComplementEdgeMakesNegationFree) {
+  BddManager mgr(BddManager::Config{.initialVars = 4});
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1);
+  Bdd f = (a & b) | (~a & ~b);
+  const std::size_t before = mgr.stats().createdNodes;
+  Bdd g = ~f;
+  EXPECT_EQ(mgr.stats().createdNodes, before);  // no new nodes for NOT
+  EXPECT_EQ(g.edge(), !f.edge());
+}
+
+TEST(BddBasic, CofactorShannon) {
+  BddManager mgr(BddManager::Config{.initialVars = 3});
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1), c = makeVar(mgr, 2);
+  Bdd f = (a & b) ^ c;
+  EXPECT_EQ(f.cofactor(0, true), b ^ c);
+  EXPECT_EQ(f.cofactor(0, false), c);
+  EXPECT_EQ(f.cofactor(2, false), a & b);
+  // Cofactor w.r.t. a variable outside the support is identity.
+  BddManager::Config cfg;
+  EXPECT_EQ(f.cofactor(1, true).cofactor(1, false), f.cofactor(1, true));
+}
+
+TEST(BddBasic, CofactorCube) {
+  BddManager mgr(BddManager::Config{.initialVars = 4});
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1), c = makeVar(mgr, 2),
+      d = makeVar(mgr, 3);
+  Bdd f = (a & b & c) | d;
+  Bdd g = f.cofactorCube({{0, true}, {2, true}});
+  EXPECT_EQ(g, b | d);
+}
+
+TEST(BddBasic, CubeEdgeBuildsConjunction) {
+  BddManager mgr(BddManager::Config{.initialVars = 3});
+  Bdd cube(&mgr, mgr.cubeEdge({{0, true}, {1, false}, {2, true}}));
+  EXPECT_TRUE(cube.eval({true, false, true}));
+  EXPECT_FALSE(cube.eval({true, true, true}));
+  EXPECT_FALSE(cube.eval({false, false, true}));
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1), c = makeVar(mgr, 2);
+  EXPECT_EQ(cube, a & ~b & c);
+}
+
+TEST(BddBasic, EmptyCubeIsTrue) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.cubeEdge({}), kTrueEdge);
+}
+
+TEST(BddBasic, SatFraction) {
+  BddManager mgr(BddManager::Config{.initialVars = 3});
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1);
+  EXPECT_DOUBLE_EQ(mgr.satFraction(kTrueEdge), 1.0);
+  EXPECT_DOUBLE_EQ(mgr.satFraction(kFalseEdge), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.satFraction(a.edge()), 0.5);
+  EXPECT_DOUBLE_EQ(mgr.satFraction((a & b).edge()), 0.25);
+  EXPECT_DOUBLE_EQ(mgr.satFraction((a | b).edge()), 0.75);
+  EXPECT_DOUBLE_EQ(mgr.satFraction((a ^ b).edge()), 0.5);
+}
+
+TEST(BddBasic, SupportVars) {
+  BddManager mgr(BddManager::Config{.initialVars = 5});
+  Bdd a = makeVar(mgr, 0), c = makeVar(mgr, 2), e = makeVar(mgr, 4);
+  Bdd f = (a & c) | e;
+  EXPECT_EQ(f.isZero(), false);
+  const auto support = mgr.supportVars(f.edge());
+  EXPECT_EQ(support, (std::vector<unsigned>{0, 2, 4}));
+  EXPECT_TRUE(mgr.supportVars(kTrueEdge).empty());
+}
+
+TEST(BddBasic, NodeCountSharing) {
+  BddManager mgr(BddManager::Config{.initialVars = 2});
+  Bdd a = makeVar(mgr, 0), b = makeVar(mgr, 1);
+  Bdd x = a ^ b;
+  // XOR over 2 vars: one a-node, one b-node (complement edges share the
+  // b-node between both branches).
+  EXPECT_EQ(x.nodeCount(), 2u);
+  EXPECT_EQ(mgr.nodeCountMulti({x.edge(), (~x).edge()}), 2u);
+}
+
+TEST(BddBasic, NewVarGrowsOrder) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.varCount(), 0u);
+  const unsigned v0 = mgr.newVar();
+  const unsigned v1 = mgr.newVar();
+  EXPECT_EQ(v0, 0u);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_LT(mgr.levelOfVar(v0), mgr.levelOfVar(v1));
+  Bdd f = makeVar(mgr, v0) & makeVar(mgr, v1);
+  EXPECT_TRUE(f.eval({true, true}));
+}
+
+TEST(BddBasic, ConsistencyAfterWork) {
+  BddManager mgr(BddManager::Config{.initialVars = 8});
+  Bdd acc(&mgr, kTrueEdge);
+  for (unsigned v = 0; v < 8; ++v) {
+    acc = (acc ^ makeVar(mgr, v)) | (acc & makeVar(mgr, (v + 3) % 8));
+  }
+  mgr.checkConsistency();
+  EXPECT_GT(mgr.liveNodeCount(), 1u);
+}
+
+TEST(BddBasic, DotExportContainsStructure) {
+  BddManager mgr(BddManager::Config{.initialVars = 2});
+  Bdd f = makeVar(mgr, 0) & ~makeVar(mgr, 1);
+  std::ostringstream os;
+  writeDot(mgr, f.edge(), os, {"q0", "q1"});
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q0"), std::string::npos);
+  EXPECT_NE(dot.find("q1"), std::string::npos);
+  EXPECT_NE(dot.find("one"), std::string::npos);
+}
+
+TEST(BddBasic, NodeLimitThrows) {
+  BddManager::Config cfg;
+  cfg.initialVars = 24;
+  cfg.maxLiveNodes = 200;
+  BddManager mgr(cfg);
+  auto build = [&] {
+    Bdd acc(&mgr, kFalseEdge);
+    // Interleaved AND-pairs are exponential under the natural order.
+    for (unsigned v = 0; v < 12; ++v) {
+      acc = acc | (makeVar(mgr, v) & makeVar(mgr, v + 12));
+    }
+    return acc;
+  };
+  EXPECT_THROW(build(), NodeLimitError);
+}
+
+}  // namespace
+}  // namespace sliq::bdd

@@ -1,0 +1,120 @@
+// Property tests: random Boolean expressions evaluated both through the BDD
+// package and through brute-force truth tables over up to 6 variables.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/manager.hpp"
+#include "support/rng.hpp"
+
+namespace sliq::bdd {
+namespace {
+
+constexpr unsigned kVars = 6;
+using TruthTable = std::uint64_t;  // 2^6 rows
+
+struct ExprGen {
+  BddManager& mgr;
+  Rng& rng;
+
+  // Returns a (Bdd, truth table) pair built from a random expression tree.
+  std::pair<Bdd, TruthTable> gen(int depth) {
+    if (depth == 0 || rng.below(5) == 0) {
+      const unsigned v = static_cast<unsigned>(rng.below(kVars));
+      TruthTable tt = 0;
+      for (unsigned row = 0; row < 64; ++row)
+        if ((row >> v) & 1u) tt |= TruthTable{1} << row;
+      Bdd f = makeVar(mgr, v);
+      if (rng.flip()) return {~f, ~tt};
+      return {f, tt};
+    }
+    auto [l, lt] = gen(depth - 1);
+    auto [r, rt] = gen(depth - 1);
+    switch (rng.below(4)) {
+      case 0: return {l & r, lt & rt};
+      case 1: return {l | r, lt | rt};
+      case 2: return {l ^ r, lt ^ rt};
+      default: {
+        auto [s, st] = gen(depth - 1);
+        return {l.ite(r, s), (lt & rt) | (~lt & st)};
+      }
+    }
+  }
+};
+
+bool ttBit(TruthTable tt, unsigned row) { return (tt >> row) & 1u; }
+
+std::vector<bool> rowToPoint(unsigned row) {
+  std::vector<bool> pt(kVars);
+  for (unsigned v = 0; v < kVars; ++v) pt[v] = (row >> v) & 1u;
+  return pt;
+}
+
+class BruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(BruteForce, RandomExpressionsMatchTruthTables) {
+  BddManager mgr(BddManager::Config{.initialVars = kVars});
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003);
+  ExprGen gen{mgr, rng};
+  for (int iter = 0; iter < 40; ++iter) {
+    auto [f, tt] = gen.gen(4);
+    for (unsigned row = 0; row < 64; ++row) {
+      ASSERT_EQ(f.eval(rowToPoint(row)), ttBit(tt, row))
+          << "iter " << iter << " row " << row;
+    }
+    // satFraction agrees with popcount.
+    EXPECT_DOUBLE_EQ(mgr.satFraction(f.edge()),
+                     __builtin_popcountll(tt) / 64.0);
+  }
+  mgr.checkConsistency();
+}
+
+TEST_P(BruteForce, CofactorMatchesTruthTableRestriction) {
+  BddManager mgr(BddManager::Config{.initialVars = kVars});
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7777 + 3);
+  ExprGen gen{mgr, rng};
+  for (int iter = 0; iter < 30; ++iter) {
+    auto [f, tt] = gen.gen(4);
+    const unsigned var = static_cast<unsigned>(rng.below(kVars));
+    const bool val = rng.flip();
+    Bdd g = f.cofactor(var, val);
+    for (unsigned row = 0; row < 64; ++row) {
+      // Evaluate the cofactor at `row`; it must equal f at row with var set.
+      unsigned forced = row;
+      if (val) forced |= 1u << var;
+      else forced &= ~(1u << var);
+      ASSERT_EQ(g.eval(rowToPoint(row)), ttBit(tt, forced));
+    }
+    // The cofactor's support excludes the restricted variable.
+    for (unsigned sv : mgr.supportVars(g.edge())) ASSERT_NE(sv, var);
+  }
+}
+
+TEST_P(BruteForce, CanonicityEqualTruthTablesShareEdges) {
+  BddManager mgr(BddManager::Config{.initialVars = kVars});
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 11);
+  ExprGen gen{mgr, rng};
+  std::vector<std::pair<TruthTable, Edge>> seen;
+  std::vector<Bdd> keep;  // keeps the recorded edges alive within this test
+  for (int iter = 0; iter < 60; ++iter) {
+    auto [f, tt] = gen.gen(3);
+    for (const auto& [tt2, e2] : seen) {
+      if (tt2 == tt) {
+        ASSERT_EQ(f.edge(), e2);
+      }
+      if (tt2 == ~tt) {
+        ASSERT_EQ(f.edge(), !e2);
+      }
+    }
+    seen.emplace_back(tt, f.edge());
+    keep.push_back(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForce, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sliq::bdd

@@ -1,0 +1,201 @@
+#include "bigint/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.isZero());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_EQ(z.toDecimal(), "0");
+  EXPECT_EQ(z.bitLength(), 0u);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{123456789}, std::int64_t{-987654321},
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b(v);
+    std::int64_t out = 0;
+    ASSERT_TRUE(b.toInt64(&out)) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(BigInt, DecimalRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigInt::fromDecimal(big).toDecimal(), big);
+  EXPECT_EQ(BigInt::fromDecimal("-" + big).toDecimal(), "-" + big);
+  EXPECT_EQ(BigInt::fromDecimal("0").toDecimal(), "0");
+  EXPECT_EQ(BigInt::fromDecimal("+17").toDecimal(), "17");
+}
+
+TEST(BigInt, DecimalRejectsGarbage) {
+  EXPECT_THROW(BigInt::fromDecimal(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::fromDecimal("12x"), std::invalid_argument);
+  EXPECT_THROW(BigInt::fromDecimal("-"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::fromDecimal("18446744073709551615");  // 2^64 - 1
+  BigInt one(1);
+  EXPECT_EQ((a + one).toDecimal(), "18446744073709551616");
+}
+
+TEST(BigInt, SubtractionBorrowsAcrossLimbs) {
+  BigInt a = BigInt::fromDecimal("18446744073709551616");
+  EXPECT_EQ((a - BigInt(1)).toDecimal(), "18446744073709551615");
+  EXPECT_EQ((a - a).toDecimal(), "0");
+}
+
+TEST(BigInt, MixedSignAddition) {
+  EXPECT_EQ((BigInt(5) + BigInt(-9)).toDecimal(), "-4");
+  EXPECT_EQ((BigInt(-5) + BigInt(9)).toDecimal(), "4");
+  EXPECT_EQ((BigInt(-5) + BigInt(-9)).toDecimal(), "-14");
+  EXPECT_EQ((BigInt(5) - BigInt(5)).signum(), 0);
+}
+
+TEST(BigInt, MultiplicationMatchesKnownSquare) {
+  BigInt a = BigInt::fromDecimal("123456789012345678901234567890");
+  EXPECT_EQ((a * a).toDecimal(),
+            "15241578753238836750495351562536198787501905199875019052100");
+}
+
+TEST(BigInt, MultiplicationSignRules) {
+  EXPECT_EQ((BigInt(-3) * BigInt(4)).toDecimal(), "-12");
+  EXPECT_EQ((BigInt(-3) * BigInt(-4)).toDecimal(), "12");
+  EXPECT_EQ((BigInt(3) * BigInt(0)).signum(), 0);
+}
+
+TEST(BigInt, ShiftLeftIsPow2Multiply) {
+  BigInt a(1);
+  EXPECT_EQ((a << 130).toDecimal(),
+            (BigInt::pow2(130)).toDecimal());
+  BigInt b(5);
+  EXPECT_EQ((b << 70).toDecimal(), (BigInt(5) * BigInt::pow2(70)).toDecimal());
+}
+
+TEST(BigInt, ShiftRightIsFloorDivision) {
+  EXPECT_EQ((BigInt(5) >> 1).toDecimal(), "2");
+  EXPECT_EQ((BigInt(-5) >> 1).toDecimal(), "-3");  // floor(-2.5) = -3
+  EXPECT_EQ((BigInt(-4) >> 1).toDecimal(), "-2");
+  EXPECT_EQ((BigInt(-1) >> 10).toDecimal(), "-1");  // floor(-1/1024) = -1
+  EXPECT_EQ((BigInt(1) >> 10).toDecimal(), "0");
+  EXPECT_EQ(((BigInt(1) << 200) >> 200).toDecimal(), "1");
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-2), BigInt(1));
+  EXPECT_LT(BigInt(-2), BigInt(-1));
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_LT(BigInt(2), BigInt::fromDecimal("18446744073709551616"));
+  EXPECT_LT(BigInt::fromDecimal("-18446744073709551616"), BigInt(-2));
+  EXPECT_EQ(BigInt(7).compare(BigInt(7)), 0);
+}
+
+TEST(BigInt, TwosComplementBitsPositive) {
+  // 0b0101 = 5 with sign bit 0.
+  EXPECT_EQ(BigInt::fromTwosComplementBits({true, false, true, false})
+                .toDecimal(),
+            "5");
+}
+
+TEST(BigInt, TwosComplementBitsNegative) {
+  // 0b1011 (LSB first: 1,1,0,1) = -5 in 4-bit two's complement.
+  EXPECT_EQ(BigInt::fromTwosComplementBits({true, true, false, true})
+                .toDecimal(),
+            "-5");
+  // All ones = -1 at any width.
+  EXPECT_EQ(BigInt::fromTwosComplementBits({true, true, true}).toDecimal(),
+            "-1");
+  // Sign bit only: -2^(r-1).
+  EXPECT_EQ(BigInt::fromTwosComplementBits({false, false, true}).toDecimal(),
+            "-4");
+}
+
+TEST(BigInt, TwosComplementBitsEmptyIsZero) {
+  EXPECT_TRUE(BigInt::fromTwosComplementBits({}).isZero());
+  EXPECT_TRUE(BigInt::fromTwosComplementBits({false, false}).isZero());
+}
+
+TEST(BigInt, ToDoubleSmallValuesExact) {
+  EXPECT_DOUBLE_EQ(BigInt(123456).toDouble(), 123456.0);
+  EXPECT_DOUBLE_EQ(BigInt(-123456).toDouble(), -123456.0);
+  EXPECT_DOUBLE_EQ(BigInt(0).toDouble(), 0.0);
+}
+
+TEST(BigInt, ToScaledDoubleNormalized) {
+  double m;
+  std::int64_t e;
+  (BigInt(1) << 300).toScaledDouble(m, e);
+  EXPECT_DOUBLE_EQ(m, 0.5);
+  EXPECT_EQ(e, 301);
+  BigInt(-6).toScaledDouble(m, e);
+  EXPECT_DOUBLE_EQ(m, -0.75);
+  EXPECT_EQ(e, 3);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(1).bitLength(), 1u);
+  EXPECT_EQ(BigInt(255).bitLength(), 8u);
+  EXPECT_EQ(BigInt(256).bitLength(), 9u);
+  EXPECT_EQ((BigInt(1) << 129).bitLength(), 130u);
+}
+
+// Property test: ring axioms on random 128-ish-bit values.
+class BigIntProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+BigInt randomBigInt(Rng& rng) {
+  BigInt v;
+  const int limbs = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < limbs; ++i) {
+    v <<= 64;
+    v += BigInt(static_cast<std::int64_t>(rng.next() >> 1));
+  }
+  if (rng.flip()) v = -v;
+  return v;
+}
+
+TEST_P(BigIntProperty, RingAxioms) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const BigInt a = randomBigInt(rng);
+    const BigInt b = randomBigInt(rng);
+    const BigInt c = randomBigInt(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+    EXPECT_EQ(a + (-a), BigInt(0));
+    EXPECT_EQ(a * BigInt(1), a);
+    EXPECT_TRUE((a * BigInt(0)).isZero());
+  }
+}
+
+TEST_P(BigIntProperty, ShiftsInvertAndOrder) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int iter = 0; iter < 50; ++iter) {
+    const BigInt a = randomBigInt(rng);
+    const unsigned k = static_cast<unsigned>(rng.below(130));
+    EXPECT_EQ((a << k) >> k, a);
+    // Comparison is consistent with subtraction.
+    const BigInt b = randomBigInt(rng);
+    EXPECT_EQ(a.compare(b) < 0, (a - b).isNegative());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sliq

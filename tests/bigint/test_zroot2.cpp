@@ -1,0 +1,144 @@
+#include "bigint/zroot2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+double approx(const Zroot2& z) {
+  return z.rational().toDouble() + z.irrational().toDouble() * kSqrt2;
+}
+
+TEST(Zroot2, DefaultIsZero) {
+  Zroot2 z;
+  EXPECT_TRUE(z.isZero());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_DOUBLE_EQ(z.toDouble(), 0.0);
+}
+
+TEST(Zroot2, Addition) {
+  Zroot2 a(BigInt(1), BigInt(2));
+  Zroot2 b(BigInt(3), BigInt(-5));
+  Zroot2 c = a + b;
+  EXPECT_EQ(c.rational(), BigInt(4));
+  EXPECT_EQ(c.irrational(), BigInt(-3));
+}
+
+TEST(Zroot2, MultiplicationUsesRootTwoSquared) {
+  // (1 + √2)(1 + √2) = 3 + 2√2
+  Zroot2 a(BigInt(1), BigInt(1));
+  Zroot2 sq = a * a;
+  EXPECT_EQ(sq.rational(), BigInt(3));
+  EXPECT_EQ(sq.irrational(), BigInt(2));
+  // (1 + √2)(1 - √2) = -1
+  Zroot2 conj(BigInt(1), BigInt(-1));
+  Zroot2 prod = a * conj;
+  EXPECT_EQ(prod.rational(), BigInt(-1));
+  EXPECT_TRUE(prod.irrational().isZero());
+}
+
+TEST(Zroot2, SignumExactNearCancellation) {
+  // 665857/470832 is a continued-fraction convergent of √2:
+  // 665857 - 470832·√2 is positive but ~1e-6; naive doubles can get this
+  // wrong at larger convergents.
+  EXPECT_EQ(Zroot2(BigInt(665857), BigInt(-470832)).signum(), 1);
+  EXPECT_EQ(Zroot2(BigInt(-665857), BigInt(470832)).signum(), -1);
+  // Next convergent relationship flips the sign side:
+  // 470832·√2 - 665856 > 0.
+  EXPECT_EQ(Zroot2(BigInt(-665856), BigInt(470832)).signum(), 1);
+}
+
+TEST(Zroot2, SignumPureTerms) {
+  EXPECT_EQ(Zroot2(BigInt(5), BigInt(0)).signum(), 1);
+  EXPECT_EQ(Zroot2(BigInt(-5), BigInt(0)).signum(), -1);
+  EXPECT_EQ(Zroot2(BigInt(0), BigInt(2)).signum(), 1);
+  EXPECT_EQ(Zroot2(BigInt(0), BigInt(-2)).signum(), -1);
+}
+
+TEST(Zroot2, ToDoubleMatchesNaiveWhenSafe) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t u = static_cast<std::int64_t>(rng.below(1000)) - 500;
+    const std::int64_t v = static_cast<std::int64_t>(rng.below(1000)) - 500;
+    const Zroot2 z{BigInt(u), BigInt(v)};
+    EXPECT_NEAR(z.toDouble(), u + v * kSqrt2, 1e-9) << u << " " << v;
+  }
+}
+
+TEST(Zroot2, ToDoubleCancellationSafe) {
+  // 3 - 2√2 = (√2 - 1)² ≈ 0.17157287525381. Exact to double precision.
+  Zroot2 z(BigInt(3), BigInt(-2));
+  EXPECT_NEAR(z.toDouble(), 0.17157287525380990, 1e-15);
+  // (3 - 2√2)^8: tiny positive number computed from huge coefficients.
+  Zroot2 p(BigInt(1), BigInt(0));
+  for (int i = 0; i < 8; ++i) p *= z;
+  const double expected = std::pow(0.17157287525380990, 8);
+  EXPECT_NEAR(p.toDouble() / expected, 1.0, 1e-10);
+}
+
+TEST(Zroot2, RatioExact) {
+  // (2 + √2) / (1 + √2)... compute approximately.
+  Zroot2 num(BigInt(2), BigInt(1));
+  Zroot2 den(BigInt(1), BigInt(1));
+  EXPECT_NEAR(ratio(num, den), approx(num) / approx(den), 1e-12);
+  EXPECT_THROW(ratio(num, Zroot2()), std::invalid_argument);
+}
+
+TEST(Zroot2, RatioOfProbabilityShapedValues) {
+  // Ratios of |amplitude|² sums stay in [0,1] and must be accurate.
+  Zroot2 half(BigInt(1), BigInt(0));
+  Zroot2 whole(BigInt(2), BigInt(0));
+  EXPECT_DOUBLE_EQ(ratio(half, whole), 0.5);
+  Zroot2 num(BigInt(2), BigInt(-1));   // 2 - √2 ≈ 0.5857
+  Zroot2 den(BigInt(4), BigInt(0));
+  EXPECT_NEAR(ratio(num, den), (2 - kSqrt2) / 4, 1e-14);
+}
+
+TEST(Zroot2, ToStringReadable) {
+  EXPECT_EQ(Zroot2().toString(), "0");
+  EXPECT_EQ(Zroot2(BigInt(3), BigInt(-2)).toString(), "3 - 2√2");
+  EXPECT_EQ(Zroot2(BigInt(0), BigInt(1)).toString(), "√2");
+  EXPECT_EQ(Zroot2(BigInt(5), BigInt(0)).toString(), "5");
+  EXPECT_EQ(Zroot2(BigInt(0), BigInt(-1)).toString(), "-√2");
+}
+
+class Zroot2Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Zroot2Property, RingAndOrderAxioms) {
+  Rng rng(GetParam());
+  auto rnd = [&] {
+    return Zroot2(BigInt(static_cast<std::int64_t>(rng.below(2000)) - 1000),
+                  BigInt(static_cast<std::int64_t>(rng.below(2000)) - 1000));
+  };
+  for (int i = 0; i < 100; ++i) {
+    const Zroot2 a = rnd(), b = rnd(), c = rnd();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a - a).signum(), 0);
+    // signum agrees with double arithmetic away from cancellation.
+    const double d = approx(a);
+    if (std::abs(d) > 1e-6) {
+      EXPECT_EQ(a.signum(), d > 0 ? 1 : -1);
+    }
+    // Multiplying by a positive element preserves order.
+    const Zroot2 pos(BigInt(2), BigInt(1));
+    if (a.signum() > 0) {
+      EXPECT_GT((a * pos).signum(), 0);
+    }
+    if (a.signum() < 0) {
+      EXPECT_LT((a * pos).signum(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Zroot2Property, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sliq

@@ -1,0 +1,79 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sliq {
+namespace {
+
+TEST(Circuit, BuildersAppendExpectedGates) {
+  QuantumCircuit c(4, "demo");
+  c.h(0).x(1).cx(0, 1).ccx(0, 1, 2).cswap(0, 1, 2).swap(2, 3).t(3).cz(1, 3);
+  EXPECT_EQ(c.gateCount(), 8u);
+  EXPECT_EQ(c.gate(0).kind, GateKind::kH);
+  EXPECT_EQ(c.gate(2).controls.size(), 1u);
+  EXPECT_EQ(c.gate(3).controls.size(), 2u);
+  EXPECT_EQ(c.gate(4).targets.size(), 2u);
+  EXPECT_EQ(gateName(c.gate(3)), "ccx");
+  EXPECT_EQ(gateName(c.gate(4)), "cswap");
+}
+
+TEST(Circuit, RejectsOutOfRangeQubit) {
+  QuantumCircuit c(2);
+  EXPECT_THROW(c.h(2), std::invalid_argument);
+  EXPECT_THROW(c.cx(0, 5), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsDuplicateQubits) {
+  QuantumCircuit c(3);
+  EXPECT_THROW(c.cx(1, 1), std::invalid_argument);
+  EXPECT_THROW(c.ccx(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(c.swap(2, 2), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsControlsOnNonControllableBase) {
+  QuantumCircuit c(3);
+  EXPECT_THROW(c.append(Gate{GateKind::kH, {0}, {1}}), std::invalid_argument);
+  EXPECT_THROW(c.append(Gate{GateKind::kT, {0}, {1, 2}}),
+               std::invalid_argument);
+}
+
+TEST(Circuit, MultiControlToffoli) {
+  QuantumCircuit c(6);
+  c.mcx({0, 1, 2, 3, 4}, 5);
+  EXPECT_EQ(c.gate(0).controls.size(), 5u);
+  EXPECT_EQ(gateName(c.gate(0)), "c5x");
+}
+
+TEST(Circuit, HistogramAndSummary) {
+  QuantumCircuit c(3, "hist");
+  c.h(0).h(1).t(2).cx(0, 1);
+  const auto h = c.histogram();
+  EXPECT_EQ(h.at("h"), 2u);
+  EXPECT_EQ(h.at("t"), 1u);
+  EXPECT_EQ(h.at("cx"), 1u);
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("hist"), std::string::npos);
+  EXPECT_NE(s.find("4 gates"), std::string::npos);
+}
+
+TEST(Circuit, CountKIncrements) {
+  QuantumCircuit c(2);
+  c.h(0).rx90(1).ry90(0).t(1).x(0).cx(0, 1);
+  EXPECT_EQ(c.countKIncrements(), 3u);
+}
+
+TEST(Circuit, ComposeRequiresSameWidth) {
+  QuantumCircuit a(3), b(3), c(4);
+  a.h(0);
+  b.x(1);
+  a.compose(b);
+  EXPECT_EQ(a.gateCount(), 2u);
+  EXPECT_THROW(a.compose(c), std::invalid_argument);
+}
+
+TEST(Circuit, ZeroQubitCircuitRejected) {
+  EXPECT_THROW(QuantumCircuit(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sliq

@@ -1,0 +1,124 @@
+#include "circuit/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sliq {
+namespace {
+
+TEST(Generators, RandomCircuitMatchesPaperRecipe) {
+  const QuantumCircuit c = randomCircuit(40, 120, 1);
+  EXPECT_EQ(c.numQubits(), 40u);
+  // n initial H gates + 120 random gates.
+  EXPECT_EQ(c.gateCount(), 160u);
+  for (unsigned q = 0; q < 40; ++q) {
+    EXPECT_EQ(c.gate(q).kind, GateKind::kH);
+    EXPECT_EQ(c.gate(q).target(), q);
+  }
+  // Rx/Ry excluded per the paper.
+  const auto h = c.histogram();
+  EXPECT_EQ(h.count("rx90"), 0u);
+  EXPECT_EQ(h.count("ry90"), 0u);
+}
+
+TEST(Generators, RandomCircuitDeterministicInSeed) {
+  const QuantumCircuit a = randomCircuit(10, 30, 5);
+  const QuantumCircuit b = randomCircuit(10, 30, 5);
+  ASSERT_EQ(a.gateCount(), b.gateCount());
+  for (std::size_t i = 0; i < a.gateCount(); ++i) {
+    EXPECT_EQ(a.gate(i).kind, b.gate(i).kind);
+    EXPECT_EQ(a.gate(i).targets, b.gate(i).targets);
+  }
+  const QuantumCircuit other = randomCircuit(10, 30, 6);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.gateCount(); ++i)
+    differs |= a.gate(i).kind != other.gate(i).kind ||
+               a.gate(i).targets != other.gate(i).targets;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, EntanglementShape) {
+  const QuantumCircuit c = entanglementCircuit(100);
+  EXPECT_EQ(c.gateCount(), 100u);  // paper: #gates == #qubits
+  EXPECT_EQ(c.gate(0).kind, GateKind::kH);
+  for (unsigned i = 1; i < 100; ++i) {
+    EXPECT_EQ(c.gate(i).kind, GateKind::kCnot);
+    EXPECT_EQ(c.gate(i).controls[0], i - 1);
+    EXPECT_EQ(c.gate(i).target(), i);
+  }
+}
+
+TEST(Generators, BernsteinVaziraniGateCount) {
+  // Paper Table V reports ~3n gates; ours is 1 X + (n+1) H + #ones CX + n H.
+  const QuantumCircuit c =
+      bernsteinVazirani(80, std::vector<bool>(80, true));
+  EXPECT_EQ(c.numQubits(), 81u);
+  EXPECT_EQ(c.gateCount(), 1u + 81u + 80u + 80u);
+}
+
+TEST(Generators, BernsteinVaziraniSecretEncoded) {
+  const std::vector<bool> secret{true, false, true, true};
+  const QuantumCircuit c = bernsteinVazirani(4, secret);
+  std::size_t cxCount = 0;
+  for (const Gate& g : c.gates())
+    if (g.kind == GateKind::kCnot) ++cxCount;
+  EXPECT_EQ(cxCount, 3u);
+}
+
+TEST(Generators, GroverUsesOnlySupportedGates) {
+  const QuantumCircuit c = groverSearch(5, 19, 2);
+  for (const Gate& g : c.gates()) {
+    EXPECT_TRUE(g.kind == GateKind::kH || g.kind == GateKind::kX ||
+                g.kind == GateKind::kCz);
+  }
+  // Two iterations: 2 MCZ per iteration.
+  std::size_t mcz = 0;
+  for (const Gate& g : c.gates())
+    if (g.kind == GateKind::kCz) ++mcz;
+  EXPECT_EQ(mcz, 4u);
+}
+
+TEST(Generators, SupremacyGridShape) {
+  const QuantumCircuit c = supremacyGrid(4, 4, 8, 3);
+  EXPECT_EQ(c.numQubits(), 16u);
+  // Starts with an H on every qubit.
+  for (unsigned q = 0; q < 16; ++q) EXPECT_EQ(c.gate(q).kind, GateKind::kH);
+  const auto h = c.histogram();
+  EXPECT_GT(h.at("cz"), 0u);
+  EXPECT_GT(h.at("t"), 0u);
+  // Only the GRCS gate population appears.
+  for (const auto& [name, count] : h) {
+    EXPECT_TRUE(name == "h" || name == "cz" || name == "t" ||
+                name == "rx90" || name == "ry90")
+        << name;
+  }
+}
+
+TEST(Generators, SupremacyGateCountScalesWithPaperTable) {
+  // Paper Table VI reports ~61 gates for 16 qubits at (reduced) depth 5+2.
+  const QuantumCircuit c = supremacyGrid(4, 4, 5, 0);
+  EXPECT_GT(c.gateCount(), 30u);
+  EXPECT_LT(c.gateCount(), 120u);
+}
+
+TEST(Generators, RevlibAdderComputesAddition) {
+  const RealProgram p = revlibAdder(4);
+  EXPECT_EQ(p.circuit.numQubits(), 9u);
+  EXPECT_EQ(p.constants[0], '0');
+  // Gate population is Toffoli/CNOT only.
+  for (const Gate& g : p.circuit.gates())
+    EXPECT_EQ(g.kind, GateKind::kCnot);
+}
+
+TEST(Generators, RevlibFamiliesProduceValidPrograms) {
+  for (const RealProgram& p :
+       {revlibToffoliCascade(12, 20, 1), revlibRandomNetlist(10, 50, 2),
+        revlibHwb(5)}) {
+    EXPECT_GE(p.circuit.gateCount(), 10u);
+    EXPECT_EQ(p.constants.size(), p.circuit.numQubits());
+    const QuantumCircuit mod = modifyWithHadamards(p);
+    EXPECT_GT(mod.gateCount(), p.circuit.gateCount());
+  }
+}
+
+}  // namespace
+}  // namespace sliq

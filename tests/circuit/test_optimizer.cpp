@@ -1,0 +1,94 @@
+#include "circuit/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+
+namespace sliq {
+namespace {
+
+TEST(Optimizer, CancelsAdjacentSelfInversePairs) {
+  QuantumCircuit c(3);
+  c.h(0).h(0).x(1).x(1).cx(0, 1).cx(0, 1).swap(1, 2).swap(1, 2);
+  OptimizerReport r;
+  const QuantumCircuit opt = optimizeCircuit(c, &r);
+  EXPECT_EQ(opt.gateCount(), 0u);
+  EXPECT_EQ(r.cancelled, 8u);
+}
+
+TEST(Optimizer, CancelsInversePhasePairs) {
+  QuantumCircuit c(1);
+  c.s(0).sdg(0).t(0).tdg(0).tdg(0).t(0);
+  EXPECT_EQ(optimizeCircuit(c).gateCount(), 0u);
+}
+
+TEST(Optimizer, MergesPhaseGates) {
+  QuantumCircuit c(1);
+  c.t(0).t(0);  // -> S
+  OptimizerReport r;
+  const QuantumCircuit opt = optimizeCircuit(c, &r);
+  ASSERT_EQ(opt.gateCount(), 1u);
+  EXPECT_EQ(opt.gate(0).kind, GateKind::kS);
+  EXPECT_EQ(r.merged, 1u);
+}
+
+TEST(Optimizer, MergeCascadesToFixpoint) {
+  QuantumCircuit c(1);
+  // T T T T = S S = Z.
+  c.t(0).t(0).t(0).t(0);
+  const QuantumCircuit opt = optimizeCircuit(c);
+  ASSERT_EQ(opt.gateCount(), 1u);
+  EXPECT_EQ(opt.gate(0).kind, GateKind::kZ);
+  // T^8 = I.
+  QuantumCircuit c8(1);
+  for (int i = 0; i < 8; ++i) c8.t(0);
+  EXPECT_EQ(optimizeCircuit(c8).gateCount(), 0u);
+}
+
+TEST(Optimizer, InterveningGateOnSharedQubitBlocks) {
+  QuantumCircuit c(2);
+  c.h(0).t(0).h(0);  // nothing cancels: T sits between the two H
+  EXPECT_EQ(optimizeCircuit(c).gateCount(), 3u);
+}
+
+TEST(Optimizer, InterveningGateOnOtherQubitDoesNotBlock) {
+  QuantumCircuit c(2);
+  c.h(0).x(1).h(0);  // X(1) commutes trivially: H pair cancels
+  const QuantumCircuit opt = optimizeCircuit(c);
+  ASSERT_EQ(opt.gateCount(), 1u);
+  EXPECT_EQ(opt.gate(0).kind, GateKind::kX);
+}
+
+TEST(Optimizer, RoleSwappedCnotDoesNotCancel) {
+  QuantumCircuit c(2);
+  c.cx(0, 1).cx(1, 0);
+  EXPECT_EQ(optimizeCircuit(c).gateCount(), 2u);
+}
+
+TEST(Optimizer, SwapTargetsAreUnordered) {
+  QuantumCircuit c(2);
+  c.swap(0, 1).swap(1, 0);
+  EXPECT_EQ(optimizeCircuit(c).gateCount(), 0u);
+}
+
+TEST(Optimizer, ControlledPhaseMergingIsConservative) {
+  // Controlled gates are never phase-merged (only cancelled).
+  QuantumCircuit c(2);
+  c.cz(0, 1).cz(0, 1);
+  EXPECT_EQ(optimizeCircuit(c).gateCount(), 0u);  // cancel, not merge
+  QuantumCircuit c2(3);
+  c2.ccx(0, 1, 2).ccx(1, 0, 2);  // same control *set*: cancels
+  EXPECT_EQ(optimizeCircuit(c2).gateCount(), 0u);
+}
+
+TEST(Optimizer, ReportCountsConsistent) {
+  const QuantumCircuit c = randomCircuit(5, 60, 9);
+  OptimizerReport r;
+  const QuantumCircuit opt = optimizeCircuit(c, &r);
+  EXPECT_EQ(r.gatesBefore, c.gateCount());
+  EXPECT_EQ(r.gatesAfter, opt.gateCount());
+  EXPECT_EQ(r.gatesBefore - r.gatesAfter, r.cancelled + r.merged);
+}
+
+}  // namespace
+}  // namespace sliq

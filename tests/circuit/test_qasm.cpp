@@ -1,0 +1,83 @@
+#include "circuit/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sliq {
+namespace {
+
+TEST(Qasm, ParsesAllSupportedGates) {
+  const std::string text = R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[4];
+    creg c[4];
+    h q[0];
+    x q[1]; y q[2]; z q[3];
+    s q[0]; sdg q[1]; t q[2]; tdg q[3];
+    rx(pi/2) q[0];
+    ry(pi/2) q[1];
+    cx q[0],q[1];
+    cz q[1],q[2];
+    ccx q[0],q[1],q[2];
+    swap q[2],q[3];
+    cswap q[0],q[1],q[2];
+    barrier q[0];
+    measure q[0] -> c[0];
+  )";
+  const QuantumCircuit c = parseQasmString(text);
+  EXPECT_EQ(c.numQubits(), 4u);
+  EXPECT_EQ(c.gateCount(), 15u);  // barrier/measure/creg ignored
+  EXPECT_EQ(c.gate(0).kind, GateKind::kH);
+  EXPECT_EQ(c.gate(8).kind, GateKind::kRx90);
+  EXPECT_EQ(c.gate(14).kind, GateKind::kSwap);
+  EXPECT_EQ(c.gate(14).controls.size(), 1u);
+}
+
+TEST(Qasm, RoundTrip) {
+  QuantumCircuit c(5, "rt");
+  c.h(0).t(1).cx(0, 2).ccx(1, 2, 3).mcx({0, 1, 2, 3}, 4).cswap(0, 1, 2);
+  c.rx90(3).ry90(4).sdg(0).tdg(1).cz(2, 4).swap(0, 4).mcz({0, 1}, 2);
+  const QuantumCircuit parsed = parseQasmString(toQasmString(c));
+  ASSERT_EQ(parsed.gateCount(), c.gateCount());
+  ASSERT_EQ(parsed.numQubits(), c.numQubits());
+  for (std::size_t i = 0; i < c.gateCount(); ++i) {
+    EXPECT_EQ(parsed.gate(i).kind, c.gate(i).kind) << i;
+    EXPECT_EQ(parsed.gate(i).targets, c.gate(i).targets) << i;
+    EXPECT_EQ(parsed.gate(i).controls, c.gate(i).controls) << i;
+  }
+}
+
+TEST(Qasm, RejectsArbitraryRotation) {
+  EXPECT_THROW(parseQasmString("qreg q[1]; rx(0.3) q[0];"),
+               std::invalid_argument);
+  EXPECT_THROW(parseQasmString("qreg q[1]; rz(pi/8) q[0];"),
+               std::invalid_argument);
+}
+
+TEST(Qasm, RejectsUnknownGateAndRegister) {
+  EXPECT_THROW(parseQasmString("qreg q[2]; foo q[0];"), std::invalid_argument);
+  EXPECT_THROW(parseQasmString("qreg q[2]; h r[0];"), std::invalid_argument);
+  EXPECT_THROW(parseQasmString("h q[0];"), std::invalid_argument);
+  EXPECT_THROW(parseQasmString("qreg q[2]; h q[0]"), std::invalid_argument);
+}
+
+TEST(Qasm, RejectsOperandCountMismatch) {
+  EXPECT_THROW(parseQasmString("qreg q[3]; cx q[0];"), std::invalid_argument);
+  EXPECT_THROW(parseQasmString("qreg q[3]; h q[0],q[1];"),
+               std::invalid_argument);
+}
+
+TEST(Qasm, MultilineStatements) {
+  const QuantumCircuit c = parseQasmString("qreg q[2];\ncx\n q[0],\n q[1];");
+  EXPECT_EQ(c.gateCount(), 1u);
+  EXPECT_EQ(c.gate(0).kind, GateKind::kCnot);
+}
+
+TEST(Qasm, CommentsIgnored) {
+  const QuantumCircuit c =
+      parseQasmString("qreg q[1]; // declare\nh q[0]; // mix\n// x q[0];");
+  EXPECT_EQ(c.gateCount(), 1u);
+}
+
+}  // namespace
+}  // namespace sliq

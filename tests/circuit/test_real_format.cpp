@@ -1,0 +1,119 @@
+#include "circuit/real_format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sliq {
+namespace {
+
+TEST(RealFormat, ParsesToffoliNetlist) {
+  const std::string text = R"(
+    # a tiny reversible circuit
+    .version 2.0
+    .numvars 3
+    .variables a b c
+    .constants 0--
+    .begin
+    t1 a
+    t2 a b
+    t3 a b c
+    .end
+  )";
+  const RealProgram p = parseRealString(text);
+  EXPECT_EQ(p.circuit.numQubits(), 3u);
+  EXPECT_EQ(p.circuit.gateCount(), 3u);
+  EXPECT_EQ(p.constants, "0--");
+  EXPECT_EQ(p.circuit.gate(0).kind, GateKind::kCnot);
+  EXPECT_TRUE(p.circuit.gate(0).controls.empty());
+  EXPECT_EQ(p.circuit.gate(1).controls.size(), 1u);
+  EXPECT_EQ(p.circuit.gate(2).controls.size(), 2u);
+  EXPECT_EQ(p.circuit.gate(2).target(), 2u);
+}
+
+TEST(RealFormat, ParsesFredkin) {
+  const RealProgram p = parseRealString(R"(
+    .numvars 3
+    .variables x y z
+    .begin
+    f3 x y z
+    .end
+  )");
+  EXPECT_EQ(p.circuit.gateCount(), 1u);
+  EXPECT_EQ(p.circuit.gate(0).kind, GateKind::kSwap);
+  EXPECT_EQ(p.circuit.gate(0).controls.size(), 1u);
+  EXPECT_EQ(p.circuit.gate(0).targets.size(), 2u);
+  EXPECT_EQ(p.constants, "---");  // defaulted
+}
+
+TEST(RealFormat, NegativeControlRewrite) {
+  const RealProgram p = parseRealString(R"(
+    .numvars 3
+    .variables a b c
+    .begin
+    t3 -a b c
+    .end
+  )");
+  // X(a), CCX(a,b,c), X(a).
+  ASSERT_EQ(p.circuit.gateCount(), 3u);
+  EXPECT_EQ(p.circuit.gate(0).kind, GateKind::kX);
+  EXPECT_TRUE(p.circuit.gate(0).controls.empty());
+  EXPECT_EQ(p.circuit.gate(0).target(), 0u);
+  EXPECT_EQ(p.circuit.gate(1).controls.size(), 2u);
+  EXPECT_EQ(p.circuit.gate(2).target(), 0u);
+}
+
+TEST(RealFormat, PositionalNamesWithoutVariables) {
+  const RealProgram p = parseRealString(R"(
+    .numvars 4
+    .begin
+    t2 x0 x3
+    .end
+  )");
+  EXPECT_EQ(p.circuit.gate(0).controls[0], 0u);
+  EXPECT_EQ(p.circuit.gate(0).target(), 3u);
+}
+
+TEST(RealFormat, Rejections) {
+  EXPECT_THROW(parseRealString(".begin\nt1 a\n.end"), std::invalid_argument);
+  EXPECT_THROW(parseRealString(".numvars 2\n.variables a b\n.begin\nt2 a z\n.end"),
+               std::invalid_argument);
+  EXPECT_THROW(parseRealString(".numvars 2\n.variables a b\nt1 a"),
+               std::invalid_argument);
+  EXPECT_THROW(parseRealString(".numvars 2\n.variables a b\n.begin\nv1 a\n.end"),
+               std::invalid_argument);
+  // Negative polarity on a target is invalid.
+  EXPECT_THROW(parseRealString(".numvars 2\n.variables a b\n.begin\nt2 a -b\n.end"),
+               std::invalid_argument);
+}
+
+TEST(RealFormat, ModifyWithHadamards) {
+  const RealProgram p = parseRealString(R"(
+    .numvars 4
+    .variables a b c d
+    .constants 01--
+    .begin
+    t3 a b c
+    .end
+  )");
+  const QuantumCircuit mod = modifyWithHadamards(p);
+  // One X for the '1' constant, two H for the two '-' inputs, plus the body.
+  EXPECT_EQ(mod.gateCount(), 4u);
+  EXPECT_EQ(mod.histogram().at("h"), 2u);
+  EXPECT_EQ(mod.histogram().at("x"), 1u);
+}
+
+TEST(RealFormat, InstantiateOriginalIsDeterministicInSeed) {
+  const RealProgram p = parseRealString(R"(
+    .numvars 3
+    .variables a b c
+    .constants ---
+    .begin
+    t2 a b
+    .end
+  )");
+  const QuantumCircuit c1 = instantiateOriginal(p, 7);
+  const QuantumCircuit c2 = instantiateOriginal(p, 7);
+  EXPECT_EQ(c1.gateCount(), c2.gateCount());
+}
+
+}  // namespace
+}  // namespace sliq

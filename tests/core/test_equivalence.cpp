@@ -1,0 +1,100 @@
+// Exact functional equivalence checking (the SliQEC-style extension).
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/optimizer.hpp"
+#include "core/equivalence.hpp"
+
+namespace sliq {
+namespace {
+
+TEST(Equivalence, IdenticalCircuitsAreEqual) {
+  const QuantumCircuit c = randomCircuit(4, 25, 3);
+  EXPECT_EQ(checkEquivalence(c, c), Equivalence::kEqual);
+}
+
+TEST(Equivalence, KnownIdentities) {
+  // X = HZH.
+  QuantumCircuit lhs(2), rhs(2);
+  lhs.x(0);
+  rhs.h(0).z(0).h(0);
+  EXPECT_EQ(checkEquivalence(lhs, rhs), Equivalence::kEqual);
+  // SWAP = 3 CNOTs.
+  QuantumCircuit sw(3), cxs(3);
+  sw.swap(0, 2);
+  cxs.cx(0, 2).cx(2, 0).cx(0, 2);
+  EXPECT_EQ(checkEquivalence(sw, cxs), Equivalence::kEqual);
+  // Fredkin = CNOT-conjugated Toffoli.
+  QuantumCircuit fred(3), tof(3);
+  fred.cswap(0, 1, 2);
+  tof.cx(2, 1).ccx(0, 1, 2).cx(2, 1);
+  EXPECT_EQ(checkEquivalence(fred, tof), Equivalence::kEqual);
+  // T² = S, S² = Z.
+  QuantumCircuit t2(1), s1(1);
+  t2.t(0).t(0);
+  s1.s(0);
+  EXPECT_EQ(checkEquivalence(t2, s1), Equivalence::kEqual);
+}
+
+TEST(Equivalence, DistinguishesNonEquivalentCircuits) {
+  QuantumCircuit a(2), b(2), c(2);
+  a.h(0).cx(0, 1);
+  b.h(0).cx(0, 1).z(1);
+  c.h(1).cx(1, 0);
+  EXPECT_EQ(checkEquivalence(a, b), Equivalence::kNotEquivalent);
+  EXPECT_EQ(checkEquivalence(a, c), Equivalence::kNotEquivalent);
+  // One T gate of difference is detected exactly (no tolerance games).
+  QuantumCircuit d = a;
+  d.t(0);
+  EXPECT_EQ(checkEquivalence(a, d), Equivalence::kNotEquivalent);
+}
+
+TEST(Equivalence, GlobalPhaseDetected) {
+  // Y = i·X·Z: equal only up to the global phase i = ω².
+  QuantumCircuit y(1), xz(1);
+  y.y(0);
+  xz.z(0).x(0);
+  EXPECT_EQ(checkEquivalence(y, xz), Equivalence::kEqualUpToPhase);
+  EquivalenceOptions strict;
+  strict.allowGlobalPhase = false;
+  EXPECT_EQ(checkEquivalence(y, xz, strict), Equivalence::kNotEquivalent);
+}
+
+TEST(Equivalence, InverseComposesToIdentity) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    const QuantumCircuit c = randomCircuit(4, 20, seed);
+    QuantumCircuit identity(4);
+    // An empty circuit is not constructible through run(); compare against
+    // c·c⁻¹ instead.
+    QuantumCircuit roundTrip = c;
+    roundTrip.compose(c.inverse());
+    QuantumCircuit empty(4, "empty");
+    EXPECT_EQ(checkEquivalence(roundTrip, empty), Equivalence::kEqual)
+        << seed;
+  }
+}
+
+TEST(Equivalence, CommutingGatesReorder) {
+  QuantumCircuit a(3), b(3);
+  a.h(0).t(1).x(2);
+  b.x(2).h(0).t(1);
+  EXPECT_EQ(checkEquivalence(a, b), Equivalence::kEqual);
+}
+
+TEST(Equivalence, RejectsWidthMismatch) {
+  QuantumCircuit a(2), b(3);
+  EXPECT_THROW(checkEquivalence(a, b), std::invalid_argument);
+}
+
+TEST(Equivalence, OptimizerOutputAlwaysEquivalent) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const QuantumCircuit c = randomCircuit(4, 40, seed);
+    OptimizerReport report;
+    const QuantumCircuit opt = optimizeCircuit(c, &report);
+    EXPECT_EQ(checkEquivalence(c, opt), Equivalence::kEqual) << seed;
+    EXPECT_LE(report.gatesAfter, report.gatesBefore);
+  }
+}
+
+}  // namespace
+}  // namespace sliq

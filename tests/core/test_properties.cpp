@@ -1,0 +1,165 @@
+// Property-based sweeps over the exact engine (parameterized gtest):
+// unitarity, inverse-circuit round trips, configuration invariance, and
+// frontend round trips on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/generators.hpp"
+#include "circuit/qasm.hpp"
+#include "core/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+struct SweepParam {
+  unsigned qubits;
+  unsigned gates;
+  std::uint64_t seed;
+};
+
+class RandomSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomSweep, UnitarityIsExact) {
+  const auto [n, gates, seed] = GetParam();
+  SliqSimulator sim(n);
+  sim.run(randomCircuit(n, gates, seed));
+  const Zroot2 w = sim.totalWeightScaled();
+  EXPECT_EQ(w.irrational(), BigInt(0));
+  EXPECT_EQ(w.rational(), BigInt(1) << static_cast<unsigned>(sim.kScalar()));
+}
+
+TEST_P(RandomSweep, InverseCircuitRestoresProbabilities) {
+  const auto [n, gates, seed] = GetParam();
+  const QuantumCircuit c = randomCircuit(n, gates, seed);
+  SliqSimulator sim(n);
+  sim.run(c);
+  sim.run(c.inverse());
+  // Back to |0...0⟩: every qubit reads 0 with certainty.
+  for (unsigned q = 0; q < n; ++q) {
+    EXPECT_NEAR(sim.probabilityOne(q), 0.0, 1e-12) << q;
+  }
+  // And exactly: the |0...0⟩ amplitude has unit norm.
+  const Zroot2 norm = sim.amplitude(0).normSqScaled();
+  EXPECT_EQ(norm.irrational(), BigInt(0));
+  EXPECT_EQ(norm.rational(), BigInt(1) << static_cast<unsigned>(sim.kScalar()));
+}
+
+TEST_P(RandomSweep, BitWidthConfigDoesNotChangeState) {
+  const auto [n, gates, seed] = GetParam();
+  const QuantumCircuit c = randomCircuit(n, gates, seed);
+  SliqSimulator::Config wide;
+  wide.initialBitWidth = 32;
+  wide.trimBitWidth = false;
+  SliqSimulator a(n), b(n, 0, wide);
+  a.run(c);
+  b.run(c);
+  Rng rng(seed);
+  for (int probe = 0; probe < 20; ++probe) {
+    const std::uint64_t basis = rng.below(std::uint64_t{1} << n);
+    EXPECT_EQ(a.amplitude(basis), b.amplitude(basis)) << basis;
+  }
+}
+
+TEST_P(RandomSweep, QasmRoundTripPreservesSemantics) {
+  const auto [n, gates, seed] = GetParam();
+  const QuantumCircuit c = randomCircuit(n, gates, seed);
+  const QuantumCircuit reparsed = parseQasmString(toQasmString(c));
+  SliqSimulator a(n), b(n);
+  a.run(c);
+  b.run(reparsed);
+  EXPECT_EQ(a.kScalar(), b.kScalar());
+  for (std::uint64_t i = 0; i < (std::uint64_t{1} << n); i += 3)
+    EXPECT_EQ(a.amplitude(i), b.amplitude(i)) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomSweep,
+    ::testing::Values(SweepParam{3, 20, 1}, SweepParam{4, 30, 2},
+                      SweepParam{5, 40, 3}, SweepParam{6, 50, 4},
+                      SweepParam{7, 40, 5}, SweepParam{8, 30, 6}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "q" + std::to_string(info.param.qubits) + "g" +
+             std::to_string(info.param.gates) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(InverseWithRotations, RestoresProbabilitiesUpToGlobalPhase) {
+  // Rx/Ry inverses carry a global phase; probabilities must still restore.
+  Rng rng(8);
+  for (int rep = 0; rep < 5; ++rep) {
+    QuantumCircuit c(4, "rot");
+    for (int g = 0; g < 20; ++g) {
+      const unsigned q = static_cast<unsigned>(rng.below(4));
+      switch (rng.below(4)) {
+        case 0: c.rx90(q); break;
+        case 1: c.ry90(q); break;
+        case 2: c.t(q); break;
+        default: c.h(q); break;
+      }
+    }
+    SliqSimulator sim(4);
+    sim.run(c);
+    sim.run(c.inverse());
+    for (unsigned q = 0; q < 4; ++q)
+      EXPECT_NEAR(sim.probabilityOne(q), 0.0, 1e-12);
+  }
+}
+
+TEST(MeasurementChain, FullCascadeMatchesSampledDistribution) {
+  // Sequentially measuring all qubits must follow the same distribution as
+  // sampleAll. χ²-ish loose check over a 3-qubit biased state.
+  auto build = [] {
+    auto sim = std::make_unique<SliqSimulator>(3);
+    sim->applyGate(Gate{GateKind::kH, {0}, {}});
+    sim->applyGate(Gate{GateKind::kT, {0}, {}});
+    sim->applyGate(Gate{GateKind::kH, {0}, {}});
+    sim->applyGate(Gate{GateKind::kCnot, {1}, {0}});
+    sim->applyGate(Gate{GateKind::kH, {2}, {}});
+    return sim;
+  };
+  Rng rng(55);
+  int viaMeasure[8] = {0};
+  int viaSample[8] = {0};
+  const int kShots = 1500;
+  auto sampler = build();
+  for (int s = 0; s < kShots; ++s) {
+    auto sim = build();
+    unsigned m = 0;
+    for (unsigned q = 0; q < 3; ++q)
+      m |= sim->measure(q, rng.uniform()) ? 1u << q : 0;
+    ++viaMeasure[m];
+    const auto bits = sampler->sampleAll(rng);
+    unsigned v = 0;
+    for (unsigned q = 0; q < 3; ++q) v |= bits[q] ? 1u << q : 0;
+    ++viaSample[v];
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(viaMeasure[i], viaSample[i], 150) << i;
+  }
+}
+
+TEST(Scale, WideGhzAndBvStayLinear) {
+  // 1500 qubits: node counts must stay linear (structure test, not timing).
+  SliqSimulator ghz(1500);
+  ghz.run(entanglementCircuit(1500));
+  EXPECT_LT(ghz.stateNodeCount(), 4500u);
+  EXPECT_NEAR(ghz.probabilityOne(1499), 0.5, 1e-12);
+}
+
+TEST(Scale, DeepTCircuitKeepsExactness) {
+  // 1000 T gates cycle phases exactly: T^8k = I.
+  SliqSimulator sim(2);
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  for (int i = 0; i < 1000; ++i) sim.applyGate(Gate{GateKind::kT, {0}, {}});
+  // 1000 = 8·125: identity on phases.
+  const AlgebraicComplex invSqrt2(BigInt(0), BigInt(0), BigInt(0), BigInt(1),
+                                  1);
+  EXPECT_EQ(sim.amplitude(0), invSqrt2);
+  EXPECT_EQ(sim.amplitude(1), invSqrt2);
+}
+
+}  // namespace
+}  // namespace sliq

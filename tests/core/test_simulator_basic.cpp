@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator.hpp"
+
+namespace sliq {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(SliqBasic, InitialStateIsBasisState) {
+  SliqSimulator sim(3, 0b110);
+  EXPECT_EQ(sim.amplitude(0b110), AlgebraicComplex::one());
+  EXPECT_TRUE(sim.amplitude(0b000).isZero());
+  EXPECT_TRUE(sim.amplitude(0b111).isZero());
+  EXPECT_NEAR(sim.totalProbability(), 1.0, kTol);
+  EXPECT_EQ(sim.kScalar(), 0);
+  EXPECT_EQ(sim.bitWidth(), 2u);
+}
+
+TEST(SliqBasic, HadamardSuperposition) {
+  SliqSimulator sim(1);
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  EXPECT_EQ(sim.kScalar(), 1);
+  // Both amplitudes are exactly 1/√2: d=1, k=1.
+  const AlgebraicComplex expected(BigInt(0), BigInt(0), BigInt(0), BigInt(1),
+                                  1);
+  EXPECT_EQ(sim.amplitude(0), expected);
+  EXPECT_EQ(sim.amplitude(1), expected);
+  EXPECT_NEAR(sim.probabilityOne(0), 0.5, kTol);
+}
+
+TEST(SliqBasic, TGateExactOmega) {
+  SliqSimulator sim(1, 1);  // |1⟩
+  sim.applyGate(Gate{GateKind::kT, {0}, {}});
+  // T|1⟩ = ω|1⟩ exactly: c = 1.
+  EXPECT_EQ(sim.amplitude(1),
+            AlgebraicComplex(BigInt(0), BigInt(0), BigInt(1), BigInt(0), 0));
+}
+
+TEST(SliqBasic, YGateExact) {
+  SliqSimulator sim(1);  // |0⟩
+  sim.applyGate(Gate{GateKind::kY, {0}, {}});
+  // Y|0⟩ = i|1⟩: b = 1 at index 1.
+  EXPECT_TRUE(sim.amplitude(0).isZero());
+  EXPECT_EQ(sim.amplitude(1),
+            AlgebraicComplex(BigInt(0), BigInt(1), BigInt(0), BigInt(0), 0));
+  sim.applyGate(Gate{GateKind::kY, {0}, {}});
+  // Y² = I.
+  EXPECT_EQ(sim.amplitude(0), AlgebraicComplex::one());
+}
+
+TEST(SliqBasic, BellStateExact) {
+  SliqSimulator sim(2);
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  sim.applyGate(Gate{GateKind::kCnot, {1}, {0}});
+  const AlgebraicComplex invSqrt2(BigInt(0), BigInt(0), BigInt(0), BigInt(1),
+                                  1);
+  EXPECT_EQ(sim.amplitude(0b00), invSqrt2);
+  EXPECT_EQ(sim.amplitude(0b11), invSqrt2);
+  EXPECT_TRUE(sim.amplitude(0b01).isZero());
+  EXPECT_TRUE(sim.amplitude(0b10).isZero());
+  // Total weight is exactly 2^k.
+  const Zroot2 w = sim.totalWeightScaled();
+  EXPECT_EQ(w.rational(), BigInt(2));
+  EXPECT_TRUE(w.irrational().isZero());
+}
+
+TEST(SliqBasic, HTwiceIsIdentityExactly) {
+  SliqSimulator sim(1);
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  // Amplitude of |0⟩ is 2/√2² = 1 — algebraic equality handles k alignment.
+  EXPECT_EQ(sim.amplitude(0), AlgebraicComplex::one());
+  EXPECT_TRUE(sim.amplitude(1).isZero());
+  EXPECT_EQ(sim.kScalar(), 2);  // k grows; coefficients compensate
+}
+
+TEST(SliqBasic, PermutationGates) {
+  SliqSimulator sim(3, 0b001);
+  sim.applyGate(Gate{GateKind::kX, {1}, {}});  // -> 011
+  EXPECT_EQ(sim.amplitude(0b011), AlgebraicComplex::one());
+  sim.applyGate(Gate{GateKind::kCnot, {2}, {0, 1}});  // Toffoli -> 111
+  EXPECT_EQ(sim.amplitude(0b111), AlgebraicComplex::one());
+  sim.applyGate(Gate{GateKind::kX, {0}, {}});  // -> 110
+  sim.applyGate(Gate{GateKind::kSwap, {0, 2}, {}});  // -> 011
+  EXPECT_EQ(sim.amplitude(0b011), AlgebraicComplex::one());
+  sim.applyGate(Gate{GateKind::kSwap, {1, 2}, {0}});  // control 0 is 1 -> swap
+  EXPECT_EQ(sim.amplitude(0b101), AlgebraicComplex::one());
+}
+
+TEST(SliqBasic, PhaseFlipGates) {
+  SliqSimulator sim(2, 0b11);
+  sim.applyGate(Gate{GateKind::kZ, {0}, {}});
+  EXPECT_EQ(sim.amplitude(0b11), -AlgebraicComplex::one());
+  sim.applyGate(Gate{GateKind::kCz, {1}, {0}});
+  EXPECT_EQ(sim.amplitude(0b11), AlgebraicComplex::one());
+}
+
+TEST(SliqBasic, RunWholeCircuit) {
+  QuantumCircuit c(2);
+  c.h(0).cx(0, 1).z(1).h(0);
+  SliqSimulator sim(2);
+  sim.run(c);
+  EXPECT_EQ(sim.stats().gatesApplied, 4u);
+  EXPECT_NEAR(sim.totalProbability(), 1.0, kTol);
+}
+
+TEST(SliqBasic, StateNodeCountIsSmallForProductStates) {
+  SliqSimulator sim(8);
+  for (unsigned q = 0; q < 8; ++q)
+    sim.applyGate(Gate{GateKind::kH, {q}, {}});
+  // Uniform superposition: every slice is constant; node count stays tiny.
+  EXPECT_LE(sim.stateNodeCount(), 2u);
+  EXPECT_NEAR(sim.totalProbability(), 1.0, kTol);
+}
+
+TEST(SliqBasic, RejectsBadInput) {
+  EXPECT_THROW(SliqSimulator(0), std::invalid_argument);
+  EXPECT_THROW(SliqSimulator(2, 4), std::invalid_argument);
+  SliqSimulator sim(2);
+  EXPECT_THROW(sim.probabilityOne(5), std::invalid_argument);
+  EXPECT_THROW(sim.measure(0, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sliq

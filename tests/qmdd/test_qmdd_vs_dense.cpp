@@ -1,0 +1,82 @@
+// Cross-validation of the QMDD baseline against the dense simulator and the
+// exact bit-sliced engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "core/simulator.hpp"
+#include "qmdd/qmdd_sim.hpp"
+#include "statevector/statevector.hpp"
+
+namespace sliq::qmdd {
+namespace {
+
+class QmddRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QmddRandom, MatchesDenseOnRandomCircuits) {
+  const QuantumCircuit c = randomCircuit(5, 30, GetParam());
+  QmddSimulator qm(5);
+  StatevectorSimulator dense(5);
+  qm.run(c);
+  dense.run(c);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(qm.amplitude(i) - dense.amplitude(i)), 0, 1e-7)
+        << i;
+  }
+  for (unsigned q = 0; q < 5; ++q)
+    EXPECT_NEAR(qm.probabilityOne(q), dense.probabilityOne(q), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmddRandom,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(QmddVsExact, AgreesWithBitSlicedEngineOnSupremacyGrid) {
+  const QuantumCircuit c = supremacyGrid(3, 3, 5, 2);
+  QmddSimulator qm(9);
+  SliqSimulator exact(9);
+  qm.run(c);
+  exact.run(c);
+  for (unsigned q = 0; q < 9; ++q) {
+    EXPECT_NEAR(qm.probabilityOne(q), exact.probabilityOne(q), 1e-6) << q;
+  }
+}
+
+TEST(QmddVsExact, RxRyAgainstDense) {
+  StatevectorSimulator dense(3);
+  QmddSimulator qm(3);
+  for (const Gate& g :
+       {Gate{GateKind::kRx90, {0}, {}}, Gate{GateKind::kRy90, {1}, {}},
+        Gate{GateKind::kH, {2}, {}}, Gate{GateKind::kCz, {2}, {0}},
+        Gate{GateKind::kRx90, {1}, {}}, Gate{GateKind::kSdg, {0}, {}},
+        Gate{GateKind::kTdg, {2}, {}},
+        Gate{GateKind::kSwap, {0, 2}, {}},
+        Gate{GateKind::kSwap, {1, 2}, {0}}}) {
+    dense.applyGate(g);
+    qm.applyGate(g);
+  }
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::abs(qm.amplitude(i) - dense.amplitude(i)), 0, 1e-7) << i;
+}
+
+TEST(QmddPrecision, RoundingAccumulatesUnlikeExactEngine) {
+  // Drive both engines through a deep circuit; the exact engine's total
+  // probability is exactly 1 while the QMDD's drifts (how far depends on
+  // the circuit; we only assert the *sign* of the comparison, i.e. exact
+  // engine error == 0, QMDD error >= 0 and measurable on deep circuits).
+  const QuantumCircuit c = randomCircuit(6, 400, 99);
+  SliqSimulator exact(6);
+  exact.run(c);
+  const Zroot2 w = exact.totalWeightScaled();
+  EXPECT_EQ(w.irrational(), BigInt(0));
+  EXPECT_EQ(w.rational(), BigInt(1) << static_cast<unsigned>(exact.kScalar()));
+
+  QmddSimulator qm(6);
+  qm.run(c);
+  const double qmddError = std::abs(qm.totalProbability() - 1.0);
+  // The QMDD stays roughly normalized on this size, but cannot be exact.
+  EXPECT_LT(qmddError, 1e-2);
+}
+
+}  // namespace
+}  // namespace sliq::qmdd

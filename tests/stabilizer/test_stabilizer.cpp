@@ -1,0 +1,142 @@
+#include "stabilizer/stabilizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "statevector/statevector.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+TEST(Stabilizer, InitialStateDeterministicZero) {
+  StabilizerSimulator sim(4);
+  Rng rng(1);
+  for (unsigned q = 0; q < 4; ++q) {
+    EXPECT_DOUBLE_EQ(sim.probabilityOne(q), 0.0);
+    EXPECT_FALSE(sim.measure(q, rng));
+  }
+}
+
+TEST(Stabilizer, XFlipsDeterministically) {
+  StabilizerSimulator sim(2);
+  sim.applyGate(Gate{GateKind::kX, {1}, {}});
+  EXPECT_DOUBLE_EQ(sim.probabilityOne(1), 1.0);
+  EXPECT_DOUBLE_EQ(sim.probabilityOne(0), 0.0);
+}
+
+TEST(Stabilizer, HadamardGivesRandomOutcome) {
+  StabilizerSimulator sim(1);
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  EXPECT_DOUBLE_EQ(sim.probabilityOne(0), 0.5);
+  // Measuring fixes the outcome; re-measuring is deterministic.
+  Rng rng(3);
+  const bool v = sim.measure(0, rng);
+  EXPECT_DOUBLE_EQ(sim.probabilityOne(0), v ? 1.0 : 0.0);
+}
+
+TEST(Stabilizer, GhzCorrelations) {
+  const unsigned n = 50;
+  StabilizerSimulator sim(n);
+  sim.run(entanglementCircuit(n));
+  EXPECT_DOUBLE_EQ(sim.probabilityOne(0), 0.5);
+  EXPECT_DOUBLE_EQ(sim.probabilityOne(n - 1), 0.5);
+  Rng rng(7);
+  const bool first = sim.measure(0, rng);
+  for (unsigned q = 1; q < n; ++q) {
+    EXPECT_DOUBLE_EQ(sim.probabilityOne(q), first ? 1.0 : 0.0);
+    EXPECT_EQ(sim.measure(q, rng), first);
+  }
+}
+
+TEST(Stabilizer, MeasurementFrequenciesUniform) {
+  Rng rng(11);
+  int ones = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    StabilizerSimulator sim(1);
+    sim.applyGate(Gate{GateKind::kH, {0}, {}});
+    ones += sim.measure(0, rng);
+  }
+  EXPECT_NEAR(ones, 1000, 120);
+}
+
+TEST(Stabilizer, CliffordGatesMatchDense) {
+  // Exhaustive probability comparison over random Clifford circuits.
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const unsigned n = 5;
+    StabilizerSimulator stab(n);
+    StatevectorSimulator dense(n);
+    for (int g = 0; g < 40; ++g) {
+      Gate gate;
+      const unsigned q = static_cast<unsigned>(rng.below(n));
+      unsigned p = static_cast<unsigned>(rng.below(n));
+      while (p == q) p = static_cast<unsigned>(rng.below(n));
+      switch (rng.below(9)) {
+        case 0: gate = Gate{GateKind::kH, {q}, {}}; break;
+        case 1: gate = Gate{GateKind::kS, {q}, {}}; break;
+        case 2: gate = Gate{GateKind::kSdg, {q}, {}}; break;
+        case 3: gate = Gate{GateKind::kX, {q}, {}}; break;
+        case 4: gate = Gate{GateKind::kY, {q}, {}}; break;
+        case 5: gate = Gate{GateKind::kZ, {q}, {}}; break;
+        case 6: gate = Gate{GateKind::kRx90, {q}, {}}; break;
+        case 7: gate = Gate{GateKind::kRy90, {q}, {}}; break;
+        default: gate = Gate{GateKind::kCnot, {q}, {p}}; break;
+      }
+      stab.applyGate(gate);
+      dense.applyGate(gate);
+    }
+    for (unsigned q = 0; q < n; ++q) {
+      EXPECT_NEAR(stab.probabilityOne(q), dense.probabilityOne(q), 1e-9)
+          << "trial " << trial << " qubit " << q;
+    }
+  }
+}
+
+TEST(Stabilizer, CzAndSwapMatchDense) {
+  StabilizerSimulator stab(3);
+  StatevectorSimulator dense(3);
+  for (const Gate& g :
+       {Gate{GateKind::kH, {0}, {}}, Gate{GateKind::kCz, {1}, {0}},
+        Gate{GateKind::kH, {1}, {}}, Gate{GateKind::kSwap, {0, 2}, {}},
+        Gate{GateKind::kCz, {2}, {1}}}) {
+    stab.applyGate(g);
+    dense.applyGate(g);
+  }
+  for (unsigned q = 0; q < 3; ++q)
+    EXPECT_NEAR(stab.probabilityOne(q), dense.probabilityOne(q), 1e-9) << q;
+}
+
+TEST(Stabilizer, RejectsNonClifford) {
+  StabilizerSimulator sim(3);
+  EXPECT_THROW(sim.applyGate(Gate{GateKind::kT, {0}, {}}),
+               UnsupportedGateError);
+  EXPECT_THROW(sim.applyGate(Gate{GateKind::kTdg, {0}, {}}),
+               UnsupportedGateError);
+  EXPECT_THROW(sim.applyGate(Gate{GateKind::kCnot, {2}, {0, 1}}),
+               UnsupportedGateError);
+  EXPECT_THROW(sim.applyGate(Gate{GateKind::kSwap, {1, 2}, {0}}),
+               UnsupportedGateError);
+}
+
+TEST(Stabilizer, SupportsPredicate) {
+  EXPECT_TRUE(StabilizerSimulator::supports(entanglementCircuit(10)));
+  QuantumCircuit withT(2);
+  withT.h(0).t(1);
+  EXPECT_FALSE(StabilizerSimulator::supports(withT));
+  QuantumCircuit withToffoli(3);
+  withToffoli.ccx(0, 1, 2);
+  EXPECT_FALSE(StabilizerSimulator::supports(withToffoli));
+}
+
+TEST(Stabilizer, LargeGhzIsFast) {
+  const unsigned n = 2000;
+  StabilizerSimulator sim(n);
+  sim.run(entanglementCircuit(n));
+  Rng rng(5);
+  const bool first = sim.measure(0, rng);
+  EXPECT_EQ(sim.measure(n - 1, rng), first);
+}
+
+}  // namespace
+}  // namespace sliq

@@ -1,0 +1,129 @@
+#include "statevector/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Statevector, InitialBasisState) {
+  StatevectorSimulator sim(3, 0b101);
+  EXPECT_NEAR(std::abs(sim.amplitude(0b101)), 1.0, kTol);
+  EXPECT_NEAR(sim.totalProbability(), 1.0, kTol);
+}
+
+TEST(Statevector, HadamardCreatesUniform) {
+  StatevectorSimulator sim(1);
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  EXPECT_NEAR(sim.amplitude(0).real(), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(sim.amplitude(1).real(), 1 / std::sqrt(2.0), kTol);
+}
+
+TEST(Statevector, BellState) {
+  StatevectorSimulator sim(2);
+  sim.run(entanglementCircuit(2));
+  EXPECT_NEAR(std::norm(sim.amplitude(0b00)), 0.5, kTol);
+  EXPECT_NEAR(std::norm(sim.amplitude(0b11)), 0.5, kTol);
+  EXPECT_NEAR(std::norm(sim.amplitude(0b01)), 0.0, kTol);
+  EXPECT_NEAR(sim.probabilityOne(0), 0.5, kTol);
+}
+
+TEST(Statevector, GateAlgebraIdentities) {
+  Rng rng(3);
+  // Random state via a fixed prefix circuit.
+  auto fresh = [&] {
+    StatevectorSimulator sim(3);
+    sim.run(randomCircuit(3, 12, 77));
+    return sim;
+  };
+  auto expectSame = [&](const StatevectorSimulator& x,
+                        const StatevectorSimulator& y) {
+    for (std::size_t i = 0; i < x.state().size(); ++i) {
+      EXPECT_NEAR(std::abs(x.state()[i] - y.state()[i]), 0.0, 1e-9) << i;
+    }
+  };
+  // H² = I
+  {
+    StatevectorSimulator a = fresh(), b = fresh();
+    a.applyGate(Gate{GateKind::kH, {0}, {}});
+    a.applyGate(Gate{GateKind::kH, {0}, {}});
+    expectSame(a, b);
+  }
+  // S = T², Z = S².
+  {
+    StatevectorSimulator a = fresh(), b = fresh();
+    a.applyGate(Gate{GateKind::kT, {1}, {}});
+    a.applyGate(Gate{GateKind::kT, {1}, {}});
+    b.applyGate(Gate{GateKind::kS, {1}, {}});
+    expectSame(a, b);
+  }
+  // X = HZH.
+  {
+    StatevectorSimulator a = fresh(), b = fresh();
+    a.applyGate(Gate{GateKind::kH, {2}, {}});
+    a.applyGate(Gate{GateKind::kZ, {2}, {}});
+    a.applyGate(Gate{GateKind::kH, {2}, {}});
+    b.applyGate(Gate{GateKind::kX, {2}, {}});
+    expectSame(a, b);
+  }
+  // Sdg S = I, Tdg T = I.
+  {
+    StatevectorSimulator a = fresh(), b = fresh();
+    a.applyGate(Gate{GateKind::kS, {0}, {}});
+    a.applyGate(Gate{GateKind::kSdg, {0}, {}});
+    a.applyGate(Gate{GateKind::kT, {1}, {}});
+    a.applyGate(Gate{GateKind::kTdg, {1}, {}});
+    expectSame(a, b);
+  }
+}
+
+TEST(Statevector, SwapViaCnots) {
+  StatevectorSimulator a(2), b(2);
+  a.applyGate(Gate{GateKind::kH, {0}, {}});
+  b.applyGate(Gate{GateKind::kH, {0}, {}});
+  a.applyGate(Gate{GateKind::kSwap, {0, 1}, {}});
+  b.applyGate(Gate{GateKind::kCnot, {1}, {0}});
+  b.applyGate(Gate{GateKind::kCnot, {0}, {1}});
+  b.applyGate(Gate{GateKind::kCnot, {1}, {0}});
+  for (std::size_t i = 0; i < a.state().size(); ++i)
+    EXPECT_NEAR(std::abs(a.state()[i] - b.state()[i]), 0.0, kTol);
+}
+
+TEST(Statevector, UnitarityPreservedOnRandomCircuits) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    StatevectorSimulator sim(6);
+    sim.run(randomCircuit(6, 60, seed));
+    EXPECT_NEAR(sim.totalProbability(), 1.0, 1e-9);
+  }
+}
+
+TEST(Statevector, MeasurementCollapses) {
+  StatevectorSimulator sim(2);
+  sim.run(entanglementCircuit(2));
+  const bool outcome = sim.measure(0, 0.3);
+  // Bell state: qubit 1 must agree with qubit 0 after measurement.
+  EXPECT_NEAR(sim.probabilityOne(1), outcome ? 1.0 : 0.0, kTol);
+  EXPECT_NEAR(sim.totalProbability(), 1.0, kTol);
+}
+
+TEST(Statevector, SampleAllFollowsDistribution) {
+  StatevectorSimulator sim(2);
+  sim.applyGate(Gate{GateKind::kH, {0}, {}});
+  Rng rng(11);
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) ones += sim.sampleAll(rng.uniform()) & 1;
+  EXPECT_NEAR(ones, 1000, 120);
+}
+
+TEST(Statevector, RejectsTooManyQubits) {
+  EXPECT_THROW(StatevectorSimulator(29), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sliq

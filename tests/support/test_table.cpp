@@ -1,0 +1,50 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/memuse.hpp"
+
+namespace sliq {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t({"#Qubits", "Time(s)"});
+  t.addRow({"40", "0.82"});
+  t.addRow({"500", "2485.64"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("#Qubits"), std::string::npos);
+  EXPECT_NE(out.find("2485.64"), std::string::npos);
+  // All lines are equally wide (aligned columns).
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(FormatSeconds, PaperStyle) {
+  EXPECT_EQ(formatSeconds(0.004), "<0.01");
+  EXPECT_EQ(formatSeconds(0.82), "0.82");
+  EXPECT_EQ(formatSeconds(66.949), "66.95");
+}
+
+TEST(Memuse, ReportsPlausibleRss) {
+  const std::size_t rss = currentRssBytes();
+  // On Linux this must be nonzero and at least a few hundred KiB.
+  EXPECT_GT(rss, 100u * 1024);
+  EXPECT_GE(peakRssBytes(), rss);
+}
+
+}  // namespace
+}  // namespace sliq
