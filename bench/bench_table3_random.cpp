@@ -8,32 +8,13 @@
 #include <iostream>
 
 #include "circuit/generators.hpp"
-#include "core/simulator.hpp"
 #include "harness.hpp"
-#include "qmdd/qmdd_sim.hpp"
-#include "support/memuse.hpp"
 #include "support/table.hpp"
 
 namespace sliq::bench {
 namespace {
 
 constexpr int kSeeds = 3;
-
-bool runOurs(const QuantumCircuit& c) {
-  SliqSimulator sim(c.numQubits());
-  sim.run(c);
-  // Exercise the full pipeline including measurement probability.
-  (void)sim.probabilityOne(0);
-  // Exact invariant check — can never fail, by construction.
-  return sim.totalProbability() < 0.999 || sim.totalProbability() > 1.001;
-}
-
-bool runQmdd(const QuantumCircuit& c) {
-  qmdd::QmddSimulator sim(c.numQubits());
-  sim.run(c);
-  (void)sim.probabilityOne(0);
-  return !sim.isNormalized(1e-4);  // the paper's 'error' criterion
-}
 
 void report(std::ostream& os) {
   AsciiTable table({"#Qubits", "#Gates", "DDSIM* Time(s)", "TO/MO/err/seg",
@@ -44,8 +25,8 @@ void report(std::ostream& os) {
     CellStats qm, ours;
     for (int seed = 1; seed <= kSeeds; ++seed) {
       const QuantumCircuit c = randomCircuit(n, gates, seed);
-      qm.add(runCase([&] { return runQmdd(c); }));
-      ours.add(runCase([&] { return runOurs(c); }));
+      qm.add(runCase([&] { return runEngineOnce("qmdd", c); }));
+      ours.add(runCase([&] { return runEngineOnce("exact", c); }));
     }
     table.addRow({std::to_string(n), std::to_string(n + gates), qm.timeCell(),
                   qm.failCell(), ours.timeCell(), ours.failCell()});

@@ -8,11 +8,7 @@
 #include <iostream>
 
 #include "circuit/generators.hpp"
-#include "core/simulator.hpp"
 #include "harness.hpp"
-#include "qmdd/qmdd_sim.hpp"
-#include "stabilizer/stabilizer.hpp"
-#include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace sliq::bench {
@@ -37,38 +33,17 @@ void report(std::ostream& os) {
     const QuantumCircuit ghz = entanglementCircuit(n);
     const QuantumCircuit bv = bernsteinVazirani(n, std::uint64_t{42});
 
-    const CaseOutcome ghzQmdd = runCase([&] {
-      qmdd::QmddSimulator sim(n);
-      sim.run(ghz);
-      (void)sim.probabilityOne(n - 1);
-      return !sim.isNormalized(1e-4);
-    });
-    const CaseOutcome ghzOurs = runCase([&] {
-      SliqSimulator sim(n);
-      sim.run(ghz);
-      (void)sim.probabilityOne(n - 1);
-      return false;
-    });
-    const CaseOutcome ghzChp = runCase([&] {
-      StabilizerSimulator sim(n);
-      sim.run(ghz);
-      Rng rng(1);
-      (void)sim.measure(n - 1, rng);
-      return false;
-    });
-    const CaseOutcome bvQmdd = runCase([&] {
-      qmdd::QmddSimulator sim(n + 1);
-      sim.run(bv);
-      (void)sim.probabilityOne(0);
-      return !sim.isNormalized(1e-4);
-    });
-    const CaseOutcome bvOurs = runCase([&] {
-      SliqSimulator sim(n + 1);
-      sim.run(bv);
-      Rng rng(1);
-      (void)sim.sampleAll(rng);
-      return false;
-    });
+    // Error column applies to the QMDD baseline only (see table IV note).
+    const CaseOutcome ghzQmdd =
+        runCase([&] { return runEngineOnce("qmdd", ghz, n - 1); });
+    const CaseOutcome ghzOurs =
+        runCase([&] { return runEngineOnce("exact", ghz, n - 1, false); });
+    const CaseOutcome ghzChp =
+        runCase([&] { return runEngineOnce("chp", ghz, n - 1, false); });
+    const CaseOutcome bvQmdd =
+        runCase([&] { return runEngineOnce("qmdd", bv); });
+    const CaseOutcome bvOurs =
+        runCase([&] { return runEngineOnce("exact", bv, 0, false); });
     table.addRow({std::to_string(n), std::to_string(ghz.gateCount()),
                   cell(ghzQmdd), cell(ghzOurs), cell(ghzChp),
                   std::to_string(bv.gateCount()), cell(bvQmdd),

@@ -16,6 +16,7 @@
 #include <stdexcept>
 
 #include "bdd/types.hpp"
+#include "core/engine_registry.hpp"
 #include "qmdd/qmdd.hpp"
 #include "support/memuse.hpp"
 #include "support/timer.hpp"
@@ -45,6 +46,14 @@ unsigned scaled(unsigned value) {
   const double pct = envDouble("SLIQ_BENCH_SCALE", 100.0);
   const double scaledValue = value * pct / 100.0;
   return scaledValue < 1.0 ? 1u : static_cast<unsigned>(scaledValue);
+}
+
+bool runEngineOnce(const std::string& engine, const QuantumCircuit& c,
+                   unsigned probeQubit, bool checkNumericalError) {
+  const std::unique_ptr<Engine> e = makeEngine(engine, c.numQubits());
+  e->run(c);
+  (void)e->probabilityOne(probeQubit);
+  return checkNumericalError && e->numericalError();
 }
 
 CaseOutcome runCase(const CaseFn& fn) {

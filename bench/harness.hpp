@@ -15,6 +15,8 @@
 #include <functional>
 #include <string>
 
+#include "circuit/circuit.hpp"
+
 namespace sliq::bench {
 
 enum class Status {
@@ -53,6 +55,18 @@ using CaseFn = std::function<bool()>;
 
 /// Runs `fn` in a forked child under the configured limits.
 CaseOutcome runCase(const CaseFn& fn);
+
+/// The standard child body for one table cell, engine-agnostic: instantiate
+/// `engine` through the engine registry (the same code path as the CLI and
+/// the cross-engine test), run `c`, touch the measurement-probability
+/// pipeline on `probeQubit`, and report the engine's numerical-error
+/// criterion — the paper's 'error' column. Use inside runCase:
+///   stats.add(runCase([&] { return runEngineOnce("qmdd", c); }));
+/// Pass checkNumericalError = false for cells whose table has no error
+/// column for that engine: the exact engine's check is a full extra BDD
+/// traversal that would otherwise inflate the timed region.
+bool runEngineOnce(const std::string& engine, const QuantumCircuit& c,
+                   unsigned probeQubit = 0, bool checkNumericalError = true);
 
 double benchTimeoutSeconds();
 std::size_t benchMemLimitMB();

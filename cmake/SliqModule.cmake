@@ -1,0 +1,15 @@
+# sliq_add_module(<name> SOURCES <src...> [DEPS <module...>])
+#
+# Declares the static library sliq_<name> (alias sliq::<name>) for one
+# directory under src/.  DEPS name sibling modules; they are linked PUBLIC so
+# that include paths and transitive libraries propagate to dependents.
+function(sliq_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(sliq_${name} STATIC ${ARG_SOURCES})
+  add_library(sliq::${name} ALIAS sliq_${name})
+  target_include_directories(sliq_${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(sliq_${name} PUBLIC sliq_build_flags)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(sliq_${name} PUBLIC sliq::${dep})
+  endforeach()
+endfunction()

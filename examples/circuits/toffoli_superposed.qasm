@@ -1,0 +1,11 @@
+// Toffoli on a superposed control pair — non-Clifford (chp rejects it),
+// exercising the exact engine's multi-controlled path and T-count handling.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+h q[1];
+t q[0];
+tdg q[1];
+ccx q[0],q[1],q[2];
+s q[2];

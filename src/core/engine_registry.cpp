@@ -1,0 +1,364 @@
+#include "core/engine_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cctype>
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "qmdd/qmdd_sim.hpp"
+#include "stabilizer/stabilizer.hpp"
+#include "statevector/statevector.hpp"
+#include "support/memuse.hpp"
+
+namespace sliq {
+
+namespace {
+
+std::string toLower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// ---- exact: the paper's bit-sliced BDD engine ----------------------------
+
+class ExactEngine final : public Engine {
+ public:
+  explicit ExactEngine(unsigned numQubits) : name_("exact"), sim_(numQubits) {}
+
+  const std::string& name() const override { return name_; }
+  unsigned numQubits() const override { return sim_.numQubits(); }
+  void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
+  double probabilityOne(unsigned qubit) override {
+    return sim_.probabilityOne(qubit);
+  }
+  double totalProbability() override { return sim_.totalProbability(); }
+  bool measure(unsigned qubit, double random) override {
+    noteCollapsed();
+    return sim_.measure(qubit, random);
+  }
+  std::vector<bool> sampleShot(Rng& rng) override {
+    requireUncollapsed();
+    return sim_.sampleAll(rng);
+  }
+  bool numericalError() override {
+    // Exact arithmetic: only the single final rounding of totalProbability
+    // can move it off 1, never beyond this tolerance. Can't fire by
+    // construction — kept as the invariant the benches assert.
+    return std::abs(sim_.totalProbability() - 1.0) > 1e-3;
+  }
+  std::string runSummary() override {
+    std::ostringstream os;
+    os << "k = " << sim_.kScalar() << ", r = " << sim_.bitWidth()
+       << ", Σ|α|² = " << sim_.totalProbability() << " (exact)";
+    return os.str();
+  }
+  std::string statsSummary() override {
+    std::ostringstream os;
+    os << "gates: " << sim_.stats().gatesApplied
+       << ", max r: " << sim_.stats().maxBitWidth
+       << ", peak BDD nodes: " << sim_.stats().peakLiveNodes
+       << ", peak RSS: " << toMiB(peakRssBytes()) << " MiB";
+    return os.str();
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> nonzeroAmplitudes(
+      unsigned maxCount) override {
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    if (sim_.numQubits() > 32) return out;
+    const std::uint64_t states = std::uint64_t{1} << sim_.numQubits();
+    for (std::uint64_t i = 0; i < states && out.size() < maxCount; ++i) {
+      const AlgebraicComplex amp = sim_.amplitude(i);
+      if (amp.isZero()) continue;
+      out.emplace_back(i, amp.toString());
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  SliqSimulator sim_;
+};
+
+// ---- qmdd: the DDSIM stand-in baseline -----------------------------------
+
+class QmddEngine final : public Engine {
+ public:
+  explicit QmddEngine(unsigned numQubits)
+      : name_("qmdd"), sim_(numQubits), lastRun_(numQubits) {}
+
+  const std::string& name() const override { return name_; }
+  unsigned numQubits() const override { return sim_.numQubits(); }
+  void run(const QuantumCircuit& circuit) override {
+    lastRun_ = circuit;
+    sim_.run(circuit);
+  }
+  double probabilityOne(unsigned qubit) override {
+    return sim_.probabilityOne(qubit);
+  }
+  double totalProbability() override { return sim_.totalProbability(); }
+  bool measure(unsigned qubit, double random) override {
+    noteCollapsed();
+    return sim_.measure(qubit, random);
+  }
+  std::vector<bool> sampleShot(Rng& rng) override {
+    requireUncollapsed();
+    // No native non-collapsing sampler: replay on a throwaway instance and
+    // collapse it qubit by qubit (chain rule ⇒ correct joint sample).
+    qmdd::QmddSimulator shot(sim_.numQubits());
+    shot.run(lastRun_);
+    std::vector<bool> bits(sim_.numQubits());
+    for (unsigned q = 0; q < sim_.numQubits(); ++q)
+      bits[q] = shot.measure(q, rng.uniform());
+    return bits;
+  }
+  bool numericalError() override {
+    return !sim_.isNormalized(1e-4);  // the paper's 'error' criterion
+  }
+  std::string runSummary() override {
+    std::ostringstream os;
+    os << "Σ|α|² = " << sim_.totalProbability();
+    return os.str();
+  }
+  std::string statsSummary() override {
+    std::ostringstream os;
+    os << "peak DD nodes: " << sim_.peakNodes()
+       << ", DD memory: " << toMiB(sim_.memoryBytes()) << " MiB";
+    return os.str();
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> nonzeroAmplitudes(
+      unsigned maxCount) override {
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    if (sim_.numQubits() > 26) return out;  // 2^n enumeration
+    const std::uint64_t states = std::uint64_t{1} << sim_.numQubits();
+    for (std::uint64_t i = 0; i < states && out.size() < maxCount; ++i) {
+      const qmdd::Complex amp = sim_.amplitude(i);
+      if (std::norm(amp) < 1e-24) continue;
+      std::ostringstream os;
+      os << amp.real() << (amp.imag() < 0 ? " - " : " + ")
+         << std::abs(amp.imag()) << "i";
+      out.emplace_back(i, os.str());
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  qmdd::QmddSimulator sim_;
+  QuantumCircuit lastRun_;
+};
+
+// ---- chp: stabilizer tableau (Clifford only) -----------------------------
+
+class ChpEngine final : public Engine {
+ public:
+  explicit ChpEngine(unsigned numQubits)
+      : name_("chp"), sim_(numQubits), lastRun_(numQubits) {}
+
+  const std::string& name() const override { return name_; }
+  unsigned numQubits() const override { return sim_.numQubits(); }
+  bool supports(const QuantumCircuit& c) const override {
+    return StabilizerSimulator::supports(c);
+  }
+  void run(const QuantumCircuit& circuit) override {
+    lastRun_ = circuit;
+    sim_.run(circuit);
+  }
+  double probabilityOne(unsigned qubit) override {
+    return sim_.probabilityOne(qubit);
+  }
+  double totalProbability() override {
+    return 1.0;  // tableau states are exactly normalized
+  }
+  bool measure(unsigned qubit, double random) override {
+    noteCollapsed();
+    return sim_.measure(qubit, random);
+  }
+  std::vector<bool> sampleShot(Rng& rng) override {
+    requireUncollapsed();
+    StabilizerSimulator shot(sim_.numQubits());
+    shot.run(lastRun_);
+    std::vector<bool> bits(sim_.numQubits());
+    for (unsigned q = 0; q < sim_.numQubits(); ++q)
+      bits[q] = shot.measure(q, rng.uniform());
+    return bits;
+  }
+  std::string runSummary() override { return "stabilizer tableau"; }
+
+ private:
+  std::string name_;
+  StabilizerSimulator sim_;
+  QuantumCircuit lastRun_;
+};
+
+// ---- statevector: dense array comparator ---------------------------------
+
+class StatevectorEngine final : public Engine {
+ public:
+  // The 2^n array is allocated lazily so that creating this engine at an
+  // infeasible width still succeeds and supports() can report the limit;
+  // only actually *using* it then throws.
+  explicit StatevectorEngine(unsigned numQubits)
+      : name_("statevector"), n_(numQubits) {
+    if (n_ <= kMaxQubits) sim_ = std::make_unique<StatevectorSimulator>(n_);
+  }
+
+  const std::string& name() const override { return name_; }
+  unsigned numQubits() const override { return n_; }
+  bool supports(const QuantumCircuit& c) const override {
+    return c.numQubits() <= kMaxQubits && n_ <= kMaxQubits;
+  }
+  void run(const QuantumCircuit& circuit) override { sim().run(circuit); }
+  double probabilityOne(unsigned qubit) override {
+    return sim().probabilityOne(qubit);
+  }
+  double totalProbability() override { return sim().totalProbability(); }
+  bool measure(unsigned qubit, double random) override {
+    noteCollapsed();
+    return sim().measure(qubit, random);
+  }
+  std::vector<bool> sampleShot(Rng& rng) override {
+    requireUncollapsed();
+    const std::uint64_t sample = sim().sampleAll(rng.uniform());
+    std::vector<bool> bits(n_);
+    for (unsigned q = 0; q < n_; ++q) bits[q] = (sample >> q) & 1;
+    return bits;
+  }
+  bool numericalError() override {
+    return std::abs(sim().totalProbability() - 1.0) > 1e-4;
+  }
+  std::string runSummary() override {
+    std::ostringstream os;
+    os << "Σ|α|² = " << sim().totalProbability();
+    return os.str();
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> nonzeroAmplitudes(
+      unsigned maxCount) override {
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    if (!sim_) return out;  // infeasible width: empty, per the contract
+    const std::uint64_t states = std::uint64_t{1} << n_;
+    for (std::uint64_t i = 0; i < states && out.size() < maxCount; ++i) {
+      const std::complex<double> amp = sim().amplitude(i);
+      if (std::norm(amp) < 1e-24) continue;
+      std::ostringstream os;
+      os << amp.real() << (amp.imag() < 0 ? " - " : " + ")
+         << std::abs(amp.imag()) << "i";
+      out.emplace_back(i, os.str());
+    }
+    return out;
+  }
+
+ private:
+  // 2^26 amplitudes = 1 GiB of complex<double>; beyond that the dense
+  // representation is infeasible, not merely slow.
+  static constexpr unsigned kMaxQubits = 26;
+
+  StatevectorSimulator& sim() {
+    if (!sim_) {
+      throw std::runtime_error(
+          "statevector engine supports at most " +
+          std::to_string(kMaxQubits) + " qubits (got " +
+          std::to_string(n_) + ")");
+    }
+    return *sim_;
+  }
+
+  std::string name_;
+  unsigned n_;
+  std::unique_ptr<StatevectorSimulator> sim_;
+};
+
+}  // namespace
+
+// ---- registry ------------------------------------------------------------
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry;
+    r->add("exact", "bit-sliced BDD engine (the paper's contribution)",
+           [](unsigned n) { return std::make_unique<ExactEngine>(n); });
+    r->add("qmdd", "QMDD baseline, our DDSIM reimplementation",
+           [](unsigned n) { return std::make_unique<QmddEngine>(n); });
+    r->add("chp", "CHP stabilizer tableau (Clifford circuits only)",
+           [](unsigned n) { return std::make_unique<ChpEngine>(n); });
+    r->add("statevector", "dense 2^n array simulator (ground truth, n <= 26)",
+           [](unsigned n) { return std::make_unique<StatevectorEngine>(n); });
+    return r;
+  }();
+  return *registry;
+}
+
+void EngineRegistry::add(const std::string& name,
+                         const std::string& description, Factory factory) {
+  const std::string key = toLower(name);
+  for (Entry& e : entries_) {
+    if (e.name == key) {
+      e.description = description;
+      e.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back(Entry{key, description, std::move(factory)});
+}
+
+const EngineRegistry::Entry* EngineRegistry::find(
+    const std::string& name) const {
+  const std::string key = toLower(name);
+  for (const Entry& e : entries_) {
+    if (e.name == key) return &e;
+  }
+  return nullptr;
+}
+
+bool EngineRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string EngineRegistry::namesJoined() const {
+  std::string out;
+  for (const std::string& n : names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+std::string EngineRegistry::describe(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw UnknownEngineError("unknown engine '" + name +
+                             "' (registered: " + namesJoined() + ")");
+  }
+  return e->description;
+}
+
+std::unique_ptr<Engine> EngineRegistry::create(const std::string& name,
+                                               unsigned numQubits) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw UnknownEngineError("unknown engine '" + name +
+                             "' (registered: " + namesJoined() + ")");
+  }
+  return e->factory(numQubits);
+}
+
+std::unique_ptr<Engine> makeEngine(const std::string& name,
+                                   unsigned numQubits) {
+  return EngineRegistry::instance().create(name, numQubits);
+}
+
+std::vector<std::string> engineNames() {
+  return EngineRegistry::instance().names();
+}
+
+}  // namespace sliq

@@ -1,0 +1,141 @@
+// Engine registry — one code path for selecting a simulation engine by name.
+//
+// The CLI (tools/sliqsim_main.cpp), the cross-engine integration test and
+// the benchmark harness previously each hand-rolled an if/else ladder over
+// the concrete simulator classes; they now all go through
+// EngineRegistry::instance().create(name, numQubits), which returns the
+// uniform Engine facade below. Built-in engines: exact (the paper's
+// bit-sliced BDD simulator), qmdd (the DDSIM stand-in baseline), chp
+// (stabilizer tableau, Clifford only) and statevector (dense array).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+
+class UnknownEngineError : public std::runtime_error {
+ public:
+  explicit UnknownEngineError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Uniform facade over one engine instance of a fixed qubit width,
+/// prepared in |0...0⟩.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Canonical (lower-case) registry name of this engine.
+  virtual const std::string& name() const = 0;
+  virtual unsigned numQubits() const = 0;
+
+  /// True when the engine can simulate every gate of `c` at this width
+  /// within its structural limits (gate set, memory feasibility). Callers
+  /// that iterate all engines use this to skip inapplicable ones.
+  virtual bool supports(const QuantumCircuit& c) const {
+    (void)c;
+    return true;
+  }
+
+  virtual void run(const QuantumCircuit& circuit) = 0;
+
+  virtual double probabilityOne(unsigned qubit) = 0;
+  /// Σ|α|² (1 up to engine-specific rounding while normalized).
+  virtual double totalProbability() = 0;
+  /// Collapses `qubit`; `random` in [0,1) picks the outcome, which is 1
+  /// iff random < Pr[qubit = 1] — the convention shared by every engine,
+  /// so identical deviates yield identical collapse cascades.
+  virtual bool measure(unsigned qubit, double random) = 0;
+  /// One full-register shot (bit q = outcome of qubit q) from the state
+  /// prepared by run(), leaving the engine state intact. Engines with a
+  /// native non-collapsing sampler use it; the others replay the last-run
+  /// circuit on a fresh instance and measure every qubit. Only valid
+  /// before any measure() call — throws std::logic_error afterwards
+  /// (replay-based engines cannot see the collapse, so allowing it would
+  /// silently sample different distributions per engine).
+  virtual std::vector<bool> sampleShot(Rng& rng) = 0;
+
+  /// The paper's 'error' column: true when the engine's normalization
+  /// invariant has drifted beyond its engine-specific tolerance.
+  virtual bool numericalError() { return false; }
+
+  /// One-line engine-specific summary for after run() (k, r, Σ|α|², ...).
+  virtual std::string runSummary() { return {}; }
+  /// One-line statistics summary (--stats).
+  virtual std::string statsSummary() { return {}; }
+  /// Up to `maxCount` nonzero amplitudes as (basis index, printable
+  /// value); empty when the engine cannot enumerate amplitudes at this
+  /// width.
+  virtual std::vector<std::pair<std::uint64_t, std::string>>
+  nonzeroAmplitudes(unsigned maxCount) {
+    (void)maxCount;
+    return {};
+  }
+
+ protected:
+  /// Wrapper measure() implementations call this; sampleShot() then
+  /// refuses via requireUncollapsed().
+  void noteCollapsed() { collapsed_ = true; }
+  void requireUncollapsed() const {
+    if (collapsed_) {
+      throw std::logic_error(
+          "sampleShot() after measure(): shot sampling is defined on the "
+          "state prepared by run(), not on a collapsed register");
+    }
+  }
+
+ private:
+  bool collapsed_ = false;
+};
+
+class EngineRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Engine>(unsigned numQubits)>;
+
+  /// The process-wide registry, pre-populated with the built-in engines.
+  static EngineRegistry& instance();
+
+  /// Registers `factory` under `name` (matched case-insensitively).
+  /// Re-registering an existing name replaces its factory.
+  void add(const std::string& name, const std::string& description,
+           Factory factory);
+
+  bool contains(const std::string& name) const;
+  /// Canonical engine names, sorted.
+  std::vector<std::string> names() const;
+  /// names() joined with ", " — for error and usage messages.
+  std::string namesJoined() const;
+  std::string describe(const std::string& name) const;
+
+  /// Instantiates the engine registered under `name` (case-insensitive);
+  /// throws UnknownEngineError listing the registered names otherwise.
+  std::unique_ptr<Engine> create(const std::string& name,
+                                 unsigned numQubits) const;
+
+ private:
+  struct Entry {
+    std::string name;  // canonical lower-case
+    std::string description;
+    Factory factory;
+  };
+  const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Shorthand for EngineRegistry::instance().create(name, numQubits).
+std::unique_ptr<Engine> makeEngine(const std::string& name,
+                                   unsigned numQubits);
+/// Shorthand for EngineRegistry::instance().names().
+std::vector<std::string> engineNames();
+
+}  // namespace sliq

@@ -166,19 +166,15 @@ double StabilizerSimulator::probabilityOne(unsigned qubit) {
   return scratch.phase ? 1.0 : 0.0;
 }
 
-bool StabilizerSimulator::measure(unsigned qubit, Rng& rng) {
-  SLIQ_REQUIRE(qubit < n_, "qubit out of range");
-  unsigned p = 2 * n_;
+unsigned StabilizerSimulator::anticommutingStabilizer(unsigned qubit) const {
   for (unsigned i = n_; i < 2 * n_; ++i) {
-    if (getX(rows_[i], qubit)) {
-      p = i;
-      break;
-    }
+    if (getX(rows_[i], qubit)) return i;
   }
-  if (p == 2 * n_) {
-    // Deterministic outcome.
-    return probabilityOne(qubit) > 0.5;
-  }
+  return 2 * n_;
+}
+
+bool StabilizerSimulator::collapseRandom(unsigned qubit, unsigned p,
+                                         bool outcome) {
   // Random outcome: update the tableau per Aaronson-Gottesman.
   for (unsigned i = 0; i < 2 * n_; ++i) {
     if (i != p && getX(rows_[i], qubit)) rowMult(rows_[i], rows_[p]);
@@ -188,8 +184,30 @@ bool StabilizerSimulator::measure(unsigned qubit, Rng& rng) {
   fresh.x.assign(words_, 0);
   fresh.z.assign(words_, 0);
   setZ(fresh, qubit, true);
-  fresh.phase = rng.flip();
+  fresh.phase = outcome;
   return fresh.phase;
+}
+
+bool StabilizerSimulator::measure(unsigned qubit, Rng& rng) {
+  SLIQ_REQUIRE(qubit < n_, "qubit out of range");
+  const unsigned p = anticommutingStabilizer(qubit);
+  if (p == 2 * n_) {
+    // Deterministic outcome.
+    return probabilityOne(qubit) > 0.5;
+  }
+  return collapseRandom(qubit, p, rng.flip());
+}
+
+bool StabilizerSimulator::measure(unsigned qubit, double random) {
+  SLIQ_REQUIRE(qubit < n_, "qubit out of range");
+  SLIQ_REQUIRE(random >= 0.0 && random < 1.0, "random must be in [0,1)");
+  const unsigned p = anticommutingStabilizer(qubit);
+  if (p == 2 * n_) {
+    // Deterministic outcome.
+    return probabilityOne(qubit) > 0.5;
+  }
+  // Pr[qubit = 1] is exactly 1/2 here: outcome = random < p1.
+  return collapseRandom(qubit, p, random < 0.5);
 }
 
 }  // namespace sliq

@@ -38,6 +38,11 @@ class StabilizerSimulator {
   /// Measures qubit q in the computational basis. Deterministic outcomes
   /// are returned directly; random ones consume `rng`.
   bool measure(unsigned qubit, Rng& rng);
+  /// Deviate-driven variant matching the other engines' convention: the
+  /// outcome is 1 iff `random` < Pr[qubit = 1] (which is 0.5 whenever the
+  /// outcome is not deterministic), so identical deviates reproduce
+  /// identical collapse cascades across engines.
+  bool measure(unsigned qubit, double random);
   /// Pr[qubit = 1]: 0, 1, or 0.5 (stabilizer states admit nothing else).
   double probabilityOne(unsigned qubit);
 
@@ -67,6 +72,13 @@ class StabilizerSimulator {
 
   void rowMult(Row& target, const Row& source);  // target *= source
   int rowPhaseExponent(const Row& a, const Row& b) const;
+
+  /// Index of the first stabilizer row with X on `qubit`, or 2n when the
+  /// measurement outcome is deterministic.
+  unsigned anticommutingStabilizer(unsigned qubit) const;
+  /// Tableau update for a random measurement outcome (Aaronson–Gottesman),
+  /// forcing the observed bit to `outcome`.
+  bool collapseRandom(unsigned qubit, unsigned p, bool outcome);
 
   void applyH(unsigned q);
   void applyS(unsigned q);

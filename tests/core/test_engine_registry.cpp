@@ -1,0 +1,140 @@
+// Engine registry: name lookup (case handling, unknown-name rejection),
+// registration semantics, and a behavioral round-trip of every registered
+// engine on a 2-qubit Bell circuit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "circuit/circuit.hpp"
+#include "core/engine_registry.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+QuantumCircuit bellCircuit() {
+  QuantumCircuit c(2, "bell");
+  c.h(0).cx(0, 1);
+  return c;
+}
+
+TEST(EngineRegistry, BuiltInsRegistered) {
+  const std::vector<std::string> names = engineNames();
+  EXPECT_EQ(names.size(), 4u);
+  for (const char* expected : {"chp", "exact", "qmdd", "statevector"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+    EXPECT_TRUE(EngineRegistry::instance().contains(expected)) << expected;
+    EXPECT_FALSE(EngineRegistry::instance().describe(expected).empty())
+        << expected;
+  }
+}
+
+TEST(EngineRegistry, UnknownNameIsRejectedWithTheRegisteredList) {
+  EXPECT_FALSE(EngineRegistry::instance().contains("no-such-engine"));
+  try {
+    makeEngine("no-such-engine", 2);
+    FAIL() << "expected UnknownEngineError";
+  } catch (const UnknownEngineError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-engine"), std::string::npos) << what;
+    // The message must teach the valid names.
+    for (const char* name : {"chp", "exact", "qmdd", "statevector"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(EngineRegistry, LookupIsCaseInsensitive) {
+  for (const char* spelling :
+       {"exact", "Exact", "EXACT", "QMDD", "Qmdd", "CHP", "StateVector"}) {
+    EXPECT_TRUE(EngineRegistry::instance().contains(spelling)) << spelling;
+    const std::unique_ptr<Engine> engine = makeEngine(spelling, 2);
+    ASSERT_NE(engine, nullptr) << spelling;
+    // The facade reports the canonical lower-case name.
+    EXPECT_EQ(engine->name(),
+              [&] {
+                std::string s = spelling;
+                std::transform(s.begin(), s.end(), s.begin(), ::tolower);
+                return s;
+              }())
+        << spelling;
+  }
+}
+
+TEST(EngineRegistry, ReRegisteringReplacesAndNewNamesExtend) {
+  EngineRegistry local;
+  local.add("Mine", "first", [](unsigned n) { return makeEngine("exact", n); });
+  EXPECT_TRUE(local.contains("mine"));
+  EXPECT_EQ(local.describe("MINE"), "first");
+  local.add("mine", "second",
+            [](unsigned n) { return makeEngine("qmdd", n); });
+  EXPECT_EQ(local.names().size(), 1u);
+  EXPECT_EQ(local.describe("mine"), "second");
+  EXPECT_EQ(local.create("mine", 2)->name(), "qmdd");
+}
+
+TEST(EngineRegistry, EveryEngineRoundTripsABellCircuit) {
+  const QuantumCircuit bell = bellCircuit();
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 2);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->numQubits(), 2u);
+    ASSERT_TRUE(engine->supports(bell));
+    engine->run(bell);
+    EXPECT_NEAR(engine->probabilityOne(0), 0.5, 1e-9);
+    EXPECT_NEAR(engine->probabilityOne(1), 0.5, 1e-9);
+    EXPECT_NEAR(engine->totalProbability(), 1.0, 1e-9);
+    EXPECT_FALSE(engine->numericalError());
+
+    // Collapse: deviate 0.25 < Pr[q0=1] = 0.5 selects outcome 1 on every
+    // engine; the Bell correlation then forces q1 to 1 deterministically.
+    EXPECT_TRUE(engine->measure(0, 0.25));
+    EXPECT_NEAR(engine->probabilityOne(1), 1.0, 1e-9);
+    EXPECT_TRUE(engine->measure(1, 0.999));
+  }
+}
+
+TEST(EngineRegistry, ShotsArePerfectlyCorrelatedOnBell) {
+  const QuantumCircuit bell = bellCircuit();
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 2);
+    engine->run(bell);
+    Rng rng(7);
+    for (int shot = 0; shot < 16; ++shot) {
+      const std::vector<bool> bits = engine->sampleShot(rng);
+      ASSERT_EQ(bits.size(), 2u);
+      EXPECT_EQ(bits[0], bits[1]);
+    }
+  }
+}
+
+TEST(EngineRegistry, SampleShotAfterMeasureIsALogicErrorOnEveryEngine) {
+  // Replay-based engines (qmdd, chp) cannot see a collapse, so the facade
+  // rejects the mix uniformly instead of silently sampling engine-dependent
+  // distributions.
+  const QuantumCircuit bell = bellCircuit();
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 2);
+    engine->run(bell);
+    (void)engine->measure(0, 0.25);
+    Rng rng(3);
+    EXPECT_THROW(engine->sampleShot(rng), std::logic_error);
+  }
+}
+
+TEST(EngineRegistry, CliffordSupportSplitsTheEngines) {
+  QuantumCircuit nonClifford(1, "t-gate");
+  nonClifford.t(0);
+  EXPECT_FALSE(makeEngine("chp", 1)->supports(nonClifford));
+  for (const char* name : {"exact", "qmdd", "statevector"}) {
+    EXPECT_TRUE(makeEngine(name, 1)->supports(nonClifford)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sliq

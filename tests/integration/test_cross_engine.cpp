@@ -1,46 +1,49 @@
-// Four-engine cross-validation: the exact bit-sliced engine, the QMDD
-// baseline, the dense statevector and (on Clifford circuits) the stabilizer
-// tableau must agree on per-qubit probabilities for every workload family
-// of the paper's evaluation.
+// Cross-validation over every engine in the registry: the exact bit-sliced
+// engine is the reference; the QMDD baseline, the dense statevector and (on
+// Clifford circuits) the stabilizer tableau must agree on per-qubit
+// probabilities for every workload family of the paper's evaluation.
+//
+// Engines are instantiated through the engine registry — the same code path
+// the CLI and the bench harness use — so a newly registered engine is
+// cross-validated here automatically.
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include <algorithm>
 #include <memory>
 
 #include "circuit/generators.hpp"
-#include "core/simulator.hpp"
-#include "qmdd/qmdd_sim.hpp"
-#include "stabilizer/stabilizer.hpp"
-#include "statevector/statevector.hpp"
+#include "core/engine_registry.hpp"
 
 namespace sliq {
 namespace {
 
+// Speed cap for the dense comparator in this test; its structural limit is
+// higher (Engine::supports), but 2^n work per gate dominates the suite.
+constexpr unsigned kDenseTestQubits = 12;
+
 void expectAllEnginesAgree(const QuantumCircuit& c, double tol = 1e-6) {
   const unsigned n = c.numQubits();
-  SliqSimulator exact(n);
-  qmdd::QmddSimulator qm(n);
-  exact.run(c);
-  qm.run(c);
-  std::unique_ptr<StatevectorSimulator> dense;
-  if (n <= 12) {
-    dense = std::make_unique<StatevectorSimulator>(n);
-    dense->run(c);
-  }
-  std::unique_ptr<StabilizerSimulator> stab;
-  if (StabilizerSimulator::supports(c)) {
-    stab = std::make_unique<StabilizerSimulator>(n);
-    stab->run(c);
-  }
-  for (unsigned q = 0; q < n; ++q) {
-    const double p = exact.probabilityOne(q);
-    EXPECT_NEAR(qm.probabilityOne(q), p, tol) << c.name() << " q" << q;
-    if (dense) {
-      EXPECT_NEAR(dense->probabilityOne(q), p, tol) << c.name() << " q" << q;
+  std::unique_ptr<Engine> reference = makeEngine("exact", n);
+  reference->run(c);
+  for (const std::string& name : engineNames()) {
+    if (name == "exact") continue;
+    std::unique_ptr<Engine> engine = makeEngine(name, n);
+    if (!engine->supports(c)) continue;
+    if (name == "statevector" && n > kDenseTestQubits) continue;
+    engine->run(c);
+    for (unsigned q = 0; q < n; ++q) {
+      EXPECT_NEAR(engine->probabilityOne(q), reference->probabilityOne(q),
+                  tol)
+          << c.name() << " engine " << name << " q" << q;
     }
-    if (stab) {
-      EXPECT_NEAR(stab->probabilityOne(q), p, tol) << c.name() << " q" << q;
-    }
+  }
+}
+
+TEST(CrossEngine, RegistryProvidesAllFourEngines) {
+  const std::vector<std::string> names = engineNames();
+  for (const char* expected : {"chp", "exact", "qmdd", "statevector"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
   }
 }
 
@@ -79,18 +82,18 @@ TEST(CrossEngine, GroverFamily) {
 
 TEST(CrossEngine, MeasurementOutcomesAgreeUnderSharedRandomness) {
   const QuantumCircuit c = randomCircuit(6, 20, 30);
-  SliqSimulator exact(6);
-  qmdd::QmddSimulator qm(6);
-  StatevectorSimulator dense(6);
-  exact.run(c);
-  qm.run(c);
-  dense.run(c);
+  std::unique_ptr<Engine> exact = makeEngine("exact", 6);
+  std::unique_ptr<Engine> qm = makeEngine("qmdd", 6);
+  std::unique_ptr<Engine> dense = makeEngine("statevector", 6);
+  exact->run(c);
+  qm->run(c);
+  dense->run(c);
   // Same uniform deviates drive all engines: identical collapse cascades.
   const double deviates[6] = {0.13, 0.82, 0.47, 0.09, 0.71, 0.55};
   for (unsigned q = 0; q < 6; ++q) {
-    const bool a = exact.measure(q, deviates[q]);
-    const bool b = qm.measure(q, deviates[q]);
-    const bool d = dense.measure(q, deviates[q]);
+    const bool a = exact->measure(q, deviates[q]);
+    const bool b = qm->measure(q, deviates[q]);
+    const bool d = dense->measure(q, deviates[q]);
     EXPECT_EQ(a, b) << q;
     EXPECT_EQ(a, d) << q;
   }

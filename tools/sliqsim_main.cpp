@@ -1,28 +1,27 @@
-// sliqsim — command-line front door to the exact bit-sliced simulator.
+// sliqsim — command-line front door to the simulation engines.
 //
 // Usage:
 //   sliqsim [options] <circuit.qasm | circuit.real>
 //
 // Options:
-//   --engine exact|qmdd|chp    simulation engine (default: exact)
+//   --engine NAME              any registered engine (default: exact);
+//                              built-ins: exact, qmdd, chp, statevector
 //   --shots N                  sample N basis states (default: 0)
 //   --probs                    print per-qubit Pr[q=1]
-//   --amps K                   print the first K nonzero exact amplitudes
+//   --amps K                   print the first K nonzero amplitudes
 //   --modify-h                 apply the paper's H-modification (.real only)
 //   --optimize                 run the peephole optimizer before simulating
 //   --seed S                   RNG seed (default: 1)
 //   --stats                    print engine statistics
+//   --list-engines             list registered engines and exit
 #include <cstring>
 #include <iostream>
 #include <string>
 
-#include "circuit/qasm.hpp"
 #include "circuit/optimizer.hpp"
+#include "circuit/qasm.hpp"
 #include "circuit/real_format.hpp"
-#include "core/simulator.hpp"
-#include "qmdd/qmdd_sim.hpp"
-#include "stabilizer/stabilizer.hpp"
-#include "support/memuse.hpp"
+#include "core/engine_registry.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -41,11 +40,21 @@ struct Options {
 };
 
 int usage() {
-  std::cerr << "usage: sliqsim [--engine exact|qmdd|chp] [--shots N] "
+  std::cerr << "usage: sliqsim [--engine "
+            << sliq::EngineRegistry::instance().namesJoined()
+            << "] [--shots N] "
                "[--probs] [--amps K] [--modify-h] [--optimize] [--seed S] "
-               "[--stats] "
+               "[--stats] [--list-engines] "
                "<circuit.qasm|circuit.real>\n";
   return 2;
+}
+
+int listEngines() {
+  for (const std::string& name : sliq::engineNames()) {
+    std::cout << name << " — "
+              << sliq::EngineRegistry::instance().describe(name) << "\n";
+  }
+  return 0;
 }
 
 bool endsWith(const std::string& s, const char* suffix) {
@@ -94,6 +103,8 @@ int main(int argc, char** argv) {
       opt.seed = std::strtoull(v, nullptr, 0);
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (arg == "--list-engines") {
+      return listEngines();
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -119,74 +130,41 @@ int main(int argc, char** argv) {
                 << report.gatesAfter << " gates\n";
     }
 
+    // The one code path for every engine: name -> registry -> facade.
+    std::unique_ptr<Engine> engine =
+        makeEngine(opt.engine, circuit.numQubits());
+    if (!engine->supports(circuit)) {
+      std::cerr << "error: engine '" << engine->name()
+                << "' does not support this circuit ("
+                << EngineRegistry::instance().describe(engine->name())
+                << ")\n";
+      return 1;
+    }
+
     Rng rng(opt.seed);
     WallTimer timer;
+    engine->run(circuit);
+    std::cout << "simulated in " << timer.seconds() << " s ("
+              << engine->name() << ")\n";
+    const std::string summary = engine->runSummary();
+    if (!summary.empty()) std::cout << summary << "\n";
 
-    if (opt.engine == "chp") {
-      StabilizerSimulator sim(circuit.numQubits());
-      sim.run(circuit);
-      std::cout << "simulated in " << timer.seconds() << " s (stabilizer)\n";
-      if (opt.probs) {
-        for (unsigned q = 0; q < circuit.numQubits(); ++q)
-          std::cout << "Pr[q" << q << "=1] = " << sim.probabilityOne(q)
-                    << "\n";
-      }
-      for (unsigned s = 0; s < opt.shots; ++s) {
-        std::string bits;
-        StabilizerSimulator shot(circuit.numQubits());
-        shot.run(circuit);
-        for (unsigned q = circuit.numQubits(); q-- > 0;)
-          bits += shot.measure(q, rng) ? '1' : '0';
-        std::cout << "shot " << s << ": " << bits << "\n";
-      }
-      return 0;
-    }
-    if (opt.engine == "qmdd") {
-      qmdd::QmddSimulator sim(circuit.numQubits());
-      sim.run(circuit);
-      std::cout << "simulated in " << timer.seconds() << " s (QMDD), Σ|α|² = "
-                << sim.totalProbability() << "\n";
-      if (opt.probs) {
-        for (unsigned q = 0; q < circuit.numQubits(); ++q)
-          std::cout << "Pr[q" << q << "=1] = " << sim.probabilityOne(q)
-                    << "\n";
-      }
-      if (opt.stats) {
-        std::cout << "peak DD nodes: " << sim.peakNodes() << "\n";
-      }
-      return 0;
-    }
-
-    SliqSimulator sim(circuit.numQubits());
-    sim.run(circuit);
-    std::cout << "simulated in " << timer.seconds()
-              << " s (exact bit-sliced engine)\n";
-    std::cout << "k = " << sim.kScalar() << ", r = " << sim.bitWidth()
-              << ", Σ|α|² = " << sim.totalProbability() << " (exact)\n";
     if (opt.probs) {
       for (unsigned q = 0; q < circuit.numQubits(); ++q)
-        std::cout << "Pr[q" << q << "=1] = " << sim.probabilityOne(q) << "\n";
+        std::cout << "Pr[q" << q << "=1] = " << engine->probabilityOne(q)
+                  << "\n";
     }
-    if (opt.amps > 0 && circuit.numQubits() <= 32) {
-      unsigned shown = 0;
-      for (std::uint64_t i = 0;
-           i < (std::uint64_t{1} << circuit.numQubits()) && shown < opt.amps;
-           ++i) {
-        const AlgebraicComplex amp = sim.amplitude(i);
-        if (amp.isZero()) continue;
-        std::cout << "amp[" << i << "] = " << amp.toString() << "\n";
-        ++shown;
-      }
+    if (opt.amps > 0) {
+      for (const auto& [index, value] : engine->nonzeroAmplitudes(opt.amps))
+        std::cout << "amp[" << index << "] = " << value << "\n";
     }
     for (unsigned s = 0; s < opt.shots; ++s) {
-      std::cout << "shot " << s << ": " << bitsToString(sim.sampleAll(rng))
-                << "\n";
+      std::cout << "shot " << s << ": "
+                << bitsToString(engine->sampleShot(rng)) << "\n";
     }
     if (opt.stats) {
-      std::cout << "gates: " << sim.stats().gatesApplied
-                << ", max r: " << sim.stats().maxBitWidth
-                << ", peak BDD nodes: " << sim.stats().peakLiveNodes
-                << ", peak RSS: " << toMiB(peakRssBytes()) << " MiB\n";
+      const std::string stats = engine->statsSummary();
+      if (!stats.empty()) std::cout << stats << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
