@@ -1,0 +1,219 @@
+// Sampling-throughput bench: batched Engine::sampleShots against the
+// pre-batching per-shot path, per engine.
+//
+// The per-shot baselines reproduce what each engine did before the
+// persistent MeasurementContext / batched samplers landed:
+//   exact        — a fresh measurement context (fresh weight memo) per shot,
+//   qmdd, chp    — circuit replay on a throwaway instance per shot,
+//   statevector  — full 2^n linear scan per shot.
+// Baselines are measured over a capped number of shots and extrapolated
+// linearly (each baseline shot is independent, so scaling is exact up to
+// noise); the batched path always runs the full shot count.
+//
+// Output: an ASCII table on stdout plus a JSON record (for the perf
+// trajectory artifacts) written to $SLIQ_BENCH_JSON or BENCH_sampling.json.
+//
+// Knobs: SLIQ_BENCH_SCALE percent scales the shot count (ctest smoke runs
+// at 25%); SLIQ_BENCH_JSON overrides the JSON output path.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "core/engine_registry.hpp"
+#include "core/measurement_context.hpp"
+#include "core/simulator.hpp"
+#include "harness.hpp"
+#include "qmdd/qmdd_sim.hpp"
+#include "stabilizer/stabilizer.hpp"
+#include "statevector/statevector.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace sliq::bench {
+namespace {
+
+constexpr unsigned kQubits = 16;
+constexpr unsigned kFullShots = 10000;
+
+/// Keeps benchmark work observable so the optimizer cannot drop it.
+volatile std::uint64_t gSink = 0;
+void sink(std::uint64_t v) { gSink = gSink + v; }
+
+struct EngineResult {
+  std::string engine;
+  std::string circuit;
+  unsigned shots = 0;
+  unsigned baselineShotsMeasured = 0;
+  double batchedSeconds = 0;
+  double perShotSecondsExtrapolated = 0;
+  double speedup = 0;
+};
+
+/// 16-qubit Clifford circuit with long-range entanglement (for chp too).
+QuantumCircuit cliffordBench() {
+  QuantumCircuit c(kQubits, "clifford16");
+  c.h(0);
+  for (unsigned q = 0; q + 1 < kQubits; ++q) c.cx(q, q + 1);
+  for (unsigned q = 0; q < kQubits; q += 2) c.s(q);
+  for (unsigned q = 0; q < kQubits; q += 3) c.h(q);
+  for (unsigned q = 0; q + 4 < kQubits; q += 4) c.cz(q, q + 4);
+  return c;
+}
+
+/// 16-qubit non-Clifford circuit (T layers between entangling chains) that
+/// keeps the bit-sliced BDD non-trivial without blowing it up. The depth is
+/// chosen so the monolithic weight traversal clearly dominates a single
+/// descent — the regime the batched sampler is built for.
+QuantumCircuit nonCliffordBench() {
+  QuantumCircuit c(kQubits, "tlayer16");
+  for (unsigned q = 0; q < kQubits; ++q) c.h(q);
+  for (unsigned layer = 1; layer <= 3; ++layer) {
+    for (unsigned q = 0; q + layer < kQubits; ++q) c.cx(q, q + layer);
+    for (unsigned q = layer - 1; q < kQubits; q += 2) c.t(q);
+    for (unsigned q = 0; q + 1 < kQubits; q += 2) c.cz(q, q + 1);
+  }
+  return c;
+}
+
+double timeBatched(const std::string& engine, const QuantumCircuit& c,
+                   unsigned shots) {
+  const std::unique_ptr<Engine> e = makeEngine(engine, c.numQubits());
+  e->run(c);
+  Rng rng(42);
+  WallTimer timer;
+  const auto samples = e->sampleShots(shots, rng);
+  const double seconds = timer.seconds();
+  sink(samples.size());
+  return seconds;
+}
+
+/// Pre-change per-shot path, measured over `measured` shots.
+double timePerShot(const std::string& engine, const QuantumCircuit& c,
+                   unsigned measured) {
+  Rng rng(42);
+  const unsigned n = c.numQubits();
+  if (engine == "exact") {
+    SliqSimulator sim(n);
+    sim.run(c);
+    WallTimer timer;
+    for (unsigned s = 0; s < measured; ++s) {
+      MeasurementContext fresh(sim);  // pre-change: one weight memo per shot
+      sink(fresh.sampleAll(rng).size());
+    }
+    return timer.seconds();
+  }
+  if (engine == "qmdd") {
+    WallTimer timer;
+    for (unsigned s = 0; s < measured; ++s) {
+      qmdd::QmddSimulator shot(n);  // pre-change: replay + collapse chain
+      shot.run(c);
+      bool parity = false;
+      for (unsigned q = 0; q < n; ++q) parity ^= shot.measure(q, rng.uniform());
+      sink(parity ? 1 : 0);
+    }
+    return timer.seconds();
+  }
+  if (engine == "chp") {
+    WallTimer timer;
+    for (unsigned s = 0; s < measured; ++s) {
+      StabilizerSimulator shot(n);  // pre-change: replay + collapse chain
+      shot.run(c);
+      bool parity = false;
+      for (unsigned q = 0; q < n; ++q) parity ^= shot.measure(q, rng.uniform());
+      sink(parity ? 1 : 0);
+    }
+    return timer.seconds();
+  }
+  // statevector: pre-change sampleShot = one full 2^n scan per shot.
+  StatevectorSimulator sim(n);
+  sim.run(c);
+  WallTimer timer;
+  for (unsigned s = 0; s < measured; ++s)
+    sink(sim.sampleAll(rng.uniform()));
+  return timer.seconds();
+}
+
+EngineResult runOne(const std::string& engine, const QuantumCircuit& c,
+                    unsigned shots) {
+  EngineResult r;
+  r.engine = engine;
+  r.circuit = c.name();
+  r.shots = shots;
+  r.batchedSeconds = timeBatched(engine, c, shots);
+  // Baseline shots are independent, so a capped measurement extrapolates
+  // linearly; keep the cap large enough to swamp timer noise.
+  r.baselineShotsMeasured = std::min(shots, std::max(32u, shots / 50));
+  const double measuredSeconds = timePerShot(engine, c, r.baselineShotsMeasured);
+  r.perShotSecondsExtrapolated =
+      measuredSeconds * (double(shots) / r.baselineShotsMeasured);
+  r.speedup = r.batchedSeconds > 0
+                  ? r.perShotSecondsExtrapolated / r.batchedSeconds
+                  : 0;
+  return r;
+}
+
+void writeJson(const std::vector<EngineResult>& results, unsigned shots) {
+  const char* env = std::getenv("SLIQ_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_sampling.json";
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"sampling_throughput\",\n  \"qubits\": " << kQubits
+     << ",\n  \"shots\": " << shots << ",\n  \"engines\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const EngineResult& r = results[i];
+    os << "    {\"engine\": \"" << r.engine << "\", \"circuit\": \""
+       << r.circuit << "\", \"batched_s\": " << r.batchedSeconds
+       << ", \"per_shot_s\": " << r.perShotSecondsExtrapolated
+       << ", \"baseline_shots_measured\": " << r.baselineShotsMeasured
+       << ", \"speedup\": " << r.speedup << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+std::string round2(double v) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << v;
+  return os.str();
+}
+
+void report() {
+  const unsigned shots = scaled(kFullShots);
+  const QuantumCircuit clifford = cliffordBench();
+  const QuantumCircuit nonClifford = nonCliffordBench();
+
+  std::vector<EngineResult> results;
+  for (const std::string& engine : engineNames()) {
+    const QuantumCircuit& c = engine == "chp" ? clifford : nonClifford;
+    results.push_back(runOne(engine, c, shots));
+  }
+
+  AsciiTable table({"Engine", "Circuit", "Shots", "Batched", "Per-shot*",
+                    "Speedup"});
+  for (const EngineResult& r : results) {
+    table.addRow({r.engine, r.circuit, std::to_string(r.shots),
+                  formatSeconds(r.batchedSeconds),
+                  formatSeconds(r.perShotSecondsExtrapolated),
+                  round2(r.speedup) + "x"});
+  }
+  std::cout << "Sampling throughput — " << kQubits << " qubits, " << shots
+            << " shots (batched sampleShots vs pre-batching per-shot path)\n"
+            << "*extrapolated from " << results.front().baselineShotsMeasured
+            << "+ measured baseline shots\n\n";
+  table.print(std::cout);
+  writeJson(results, shots);
+}
+
+}  // namespace
+}  // namespace sliq::bench
+
+int main() {
+  sliq::bench::report();
+  return 0;
+}

@@ -89,7 +89,12 @@ class Bdd {
     return Bdd(mgr_, mgr_->restrict1(e_, var, value));
   }
   Bdd cofactorCube(const std::vector<Literal>& cube) const {
-    return Bdd(mgr_, mgr_->restrictCube(e_, cube));
+    // restrictCube hands back a referenced edge; adopt it into a handle
+    // (which takes its own reference) and release the handoff reference.
+    const Edge e = mgr_->restrictCube(e_, cube);
+    Bdd result(mgr_, e);
+    mgr_->deref(e);
+    return result;
   }
 
   bool eval(const std::vector<bool>& assignment) const {

@@ -145,7 +145,11 @@ Edge BddManager::restrictCube(Edge f, const std::vector<Literal>& cube) {
     deref(current);
     current = next;
   }
-  deref(current);  // hand back with the usual "caller refs promptly" contract
+  // Handoff contract (see manager.hpp): the result keeps the reference
+  // acquired above. Returning it deref'd would let any GC point reached
+  // before the caller refs it (e.g. the caller's next public-API call)
+  // reclaim the cone. The caller owns one reference and must deref it —
+  // typically after adopting the edge into a Bdd handle.
   return current;
 }
 

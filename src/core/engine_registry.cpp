@@ -23,6 +23,13 @@ std::string toLower(const std::string& s) {
   return out;
 }
 
+/// Unpacks a sampled basis-state word into bit q = outcome of qubit q.
+std::vector<bool> bitsOf(std::uint64_t sample, unsigned numQubits) {
+  std::vector<bool> bits(numQubits);
+  for (unsigned q = 0; q < numQubits; ++q) bits[q] = (sample >> q) & 1;
+  return bits;
+}
+
 // ---- exact: the paper's bit-sliced BDD engine ----------------------------
 
 class ExactEngine final : public Engine {
@@ -43,6 +50,13 @@ class ExactEngine final : public Engine {
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
     return sim_.sampleAll(rng);
+  }
+  std::vector<std::vector<bool>> sampleShots(unsigned count,
+                                             Rng& rng) override {
+    requireUncollapsed();
+    // The persistent MeasurementContext makes the batch one exact weight
+    // traversal plus count cheap descents.
+    return sim_.sampleShots(count, rng);
   }
   bool numericalError() override {
     // Exact arithmetic: only the single final rounding of totalProbability
@@ -86,15 +100,11 @@ class ExactEngine final : public Engine {
 
 class QmddEngine final : public Engine {
  public:
-  explicit QmddEngine(unsigned numQubits)
-      : name_("qmdd"), sim_(numQubits), lastRun_(numQubits) {}
+  explicit QmddEngine(unsigned numQubits) : name_("qmdd"), sim_(numQubits) {}
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
-  void run(const QuantumCircuit& circuit) override {
-    lastRun_ = circuit;
-    sim_.run(circuit);
-  }
+  void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
   }
@@ -105,14 +115,17 @@ class QmddEngine final : public Engine {
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
-    // No native non-collapsing sampler: replay on a throwaway instance and
-    // collapse it qubit by qubit (chain rule ⇒ correct joint sample).
-    qmdd::QmddSimulator shot(sim_.numQubits());
-    shot.run(lastRun_);
-    std::vector<bool> bits(sim_.numQubits());
-    for (unsigned q = 0; q < sim_.numQubits(); ++q)
-      bits[q] = shot.measure(q, rng.uniform());
-    return bits;
+    return bitsOf(sim_.sampleAll(rng), sim_.numQubits());
+  }
+  std::vector<std::vector<bool>> sampleShots(unsigned count,
+                                             Rng& rng) override {
+    requireUncollapsed();
+    // Cached downward edge-weight products: one weight pass per batch.
+    std::vector<std::vector<bool>> shots;
+    shots.reserve(count);
+    for (const std::uint64_t sample : sim_.sampleShots(count, rng))
+      shots.push_back(bitsOf(sample, sim_.numQubits()));
+    return shots;
   }
   bool numericalError() override {
     return !sim_.isNormalized(1e-4);  // the paper's 'error' criterion
@@ -147,25 +160,20 @@ class QmddEngine final : public Engine {
  private:
   std::string name_;
   qmdd::QmddSimulator sim_;
-  QuantumCircuit lastRun_;
 };
 
 // ---- chp: stabilizer tableau (Clifford only) -----------------------------
 
 class ChpEngine final : public Engine {
  public:
-  explicit ChpEngine(unsigned numQubits)
-      : name_("chp"), sim_(numQubits), lastRun_(numQubits) {}
+  explicit ChpEngine(unsigned numQubits) : name_("chp"), sim_(numQubits) {}
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
   bool supports(const QuantumCircuit& c) const override {
     return StabilizerSimulator::supports(c);
   }
-  void run(const QuantumCircuit& circuit) override {
-    lastRun_ = circuit;
-    sim_.run(circuit);
-  }
+  void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
   }
@@ -178,19 +186,15 @@ class ChpEngine final : public Engine {
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
-    StabilizerSimulator shot(sim_.numQubits());
-    shot.run(lastRun_);
-    std::vector<bool> bits(sim_.numQubits());
-    for (unsigned q = 0; q < sim_.numQubits(); ++q)
-      bits[q] = shot.measure(q, rng.uniform());
-    return bits;
+    // Tableau snapshot reuse: measure every qubit on a scratch copy of the
+    // run() tableau instead of replaying the circuit.
+    return sim_.sampleAll(rng);
   }
   std::string runSummary() override { return "stabilizer tableau"; }
 
  private:
   std::string name_;
   StabilizerSimulator sim_;
-  QuantumCircuit lastRun_;
 };
 
 // ---- statevector: dense array comparator ---------------------------------
@@ -221,10 +225,18 @@ class StatevectorEngine final : public Engine {
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
-    const std::uint64_t sample = sim().sampleAll(rng.uniform());
-    std::vector<bool> bits(n_);
-    for (unsigned q = 0; q < n_; ++q) bits[q] = (sample >> q) & 1;
-    return bits;
+    return bitsOf(sim().sampleAll(rng.uniform()), n_);
+  }
+  std::vector<std::vector<bool>> sampleShots(unsigned count,
+                                             Rng& rng) override {
+    requireUncollapsed();
+    // One cumulative distribution + binary search per shot instead of a
+    // full 2^n scan per shot.
+    std::vector<std::vector<bool>> shots;
+    shots.reserve(count);
+    for (const std::uint64_t sample : sim().sampleShots(count, rng))
+      shots.push_back(bitsOf(sample, n_));
+    return shots;
   }
   bool numericalError() override {
     return std::abs(sim().totalProbability() - 1.0) > 1e-4;

@@ -56,13 +56,28 @@ class Engine {
   /// so identical deviates yield identical collapse cascades.
   virtual bool measure(unsigned qubit, double random) = 0;
   /// One full-register shot (bit q = outcome of qubit q) from the state
-  /// prepared by run(), leaving the engine state intact. Engines with a
-  /// native non-collapsing sampler use it; the others replay the last-run
-  /// circuit on a fresh instance and measure every qubit. Only valid
-  /// before any measure() call — throws std::logic_error afterwards
-  /// (replay-based engines cannot see the collapse, so allowing it would
-  /// silently sample different distributions per engine).
+  /// prepared by run(), leaving the engine state intact. Every built-in
+  /// engine samples natively without collapsing (BDD/DD descent, tableau
+  /// snapshot, statevector scan). Only valid before any measure() call —
+  /// throws std::logic_error afterwards (the facade contract pins shot
+  /// sampling to the state prepared by run(), keeping the sampled
+  /// distribution identical across engines).
   virtual std::vector<bool> sampleShot(Rng& rng) = 0;
+  /// `count` independent shots from the state prepared by run(). The base
+  /// implementation loops over sampleShot(); engines override it with a
+  /// batched sampler that amortizes per-state setup (weight traversal,
+  /// cumulative distribution, ...) across the batch. Every override
+  /// consumes deviates exactly like `count` sampleShot() calls, so a fixed
+  /// seed yields the same shots either way. Same collapse restriction as
+  /// sampleShot().
+  virtual std::vector<std::vector<bool>> sampleShots(unsigned count,
+                                                     Rng& rng) {
+    requireUncollapsed();
+    std::vector<std::vector<bool>> shots;
+    shots.reserve(count);
+    for (unsigned s = 0; s < count; ++s) shots.push_back(sampleShot(rng));
+    return shots;
+  }
 
   /// The paper's 'error' column: true when the engine's normalization
   /// invariant has drifted beyond its engine-specific tolerance.

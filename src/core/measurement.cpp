@@ -5,89 +5,30 @@
 // ⌈log2 r⌉ more encode the bit index; all encoding variables sit *below*
 // the qubit variables. Probabilities are then computed by one memoized
 // top-down traversal whose node weights live in the exact ring Z[√2]
-// (substituting the paper's MPFR floats — see DESIGN.md §4): a boundary
-// node (below the qubit variables) decodes its four integers by point
-// evaluation and contributes |α|²·2ᵏ = (a²+b²+c²+d²) + √2(dc − da + ab + bc).
-#include <unordered_map>
+// (substituting the paper's MPFR floats — see DESIGN.md §4). The traversal
+// state is persistent: every query below delegates to the simulator's
+// MeasurementContext (measurement_context.cpp), which keeps the monolithic
+// handle and the weightBelow/ampSq memos alive until the state mutates.
+#include <algorithm>
 
-#include "algebra/algebraic.hpp"
+#include "core/measurement_context.hpp"
 #include "core/simulator.hpp"
 #include "support/assert.hpp"
 
 namespace sliq {
 
 using bdd::Bdd;
-using bdd::Edge;
 
-namespace {
+SliqSimulator::~SliqSimulator() = default;
 
-Zroot2 shiftLeft(const Zroot2& w, unsigned bits) {
-  if (bits == 0 || w.isZero()) return w;
-  return Zroot2(w.rational() << bits, w.irrational() << bits);
+void SliqSimulator::invalidateMonolithic() {
+  monolithicValid_ = false;
+  ++stateVersion_;
+  // Eagerly release the stale hyper-function cone (and the context's
+  // handles into it) so GC can reclaim it while further gates run.
+  monolithicCache_ = Bdd();
+  if (ctx_) ctx_->dropCaches();
 }
-
-/// Exact weight accumulator over a monolithic state BDD.
-class WeightCalc {
- public:
-  WeightCalc(const bdd::BddManager& mgr, unsigned numQubits,
-             const std::vector<unsigned>& encVars, unsigned bitWidth)
-      : mgr_(mgr), n_(numQubits), encVars_(encVars), r_(bitWidth),
-        assignment_(mgr.varCount(), false) {}
-
-  /// Σ over all qubit assignments of |α|²·2ᵏ below `root`.
-  Zroot2 total(Edge root) {
-    const unsigned level = std::min(mgr_.edgeLevel(root), n_);
-    return shiftLeft(weightBelow(root), level);
-  }
-
-  /// Weight over qubit variables at levels [level(e), n).
-  Zroot2 weightBelow(Edge e) {
-    if (mgr_.edgeLevel(e) >= n_) return ampSq(e);
-    const auto it = memo_.find(e.raw);
-    if (it != memo_.end()) return it->second;
-    const unsigned level = mgr_.edgeLevel(e);
-    Zroot2 sum;
-    for (const Edge child : {mgr_.thenEdge(e), mgr_.elseEdge(e)}) {
-      const unsigned childLevel = std::min(mgr_.edgeLevel(child), n_);
-      sum += shiftLeft(weightBelow(child), childLevel - level - 1);
-    }
-    memo_.emplace(e.raw, sum);
-    return sum;
-  }
-
-  /// |α|²·2ᵏ of the boundary node e (which encodes the four integers).
-  Zroot2 ampSq(Edge e) {
-    const auto it = ampMemo_.find(e.raw);
-    if (it != ampMemo_.end()) return it->second;
-    BigInt coef[4];
-    for (unsigned vecIdx = 0; vecIdx < 4; ++vecIdx) {
-      assignment_[encVars_[0]] = (vecIdx & 2) != 0;  // x0: selects {c,d}
-      assignment_[encVars_[1]] = (vecIdx & 1) != 0;  // x1: selects {b,d}
-      std::vector<bool> bits(r_);
-      for (unsigned i = 0; i < r_; ++i) {
-        for (unsigned j = 2; j < encVars_.size(); ++j)
-          assignment_[encVars_[j]] = ((i >> (j - 2)) & 1) != 0;
-        bits[i] = mgr_.evalPoint(e, assignment_);
-      }
-      coef[vecIdx] = BigInt::fromTwosComplementBits(bits);
-    }
-    const AlgebraicComplex alpha(coef[0], coef[1], coef[2], coef[3], 0);
-    Zroot2 w = alpha.normSqScaled();
-    ampMemo_.emplace(e.raw, w);
-    return w;
-  }
-
- private:
-  const bdd::BddManager& mgr_;
-  unsigned n_;
-  const std::vector<unsigned>& encVars_;
-  unsigned r_;
-  std::vector<bool> assignment_;
-  std::unordered_map<std::uint32_t, Zroot2> memo_;
-  std::unordered_map<std::uint32_t, Zroot2> ampMemo_;
-};
-
-}  // namespace
 
 void SliqSimulator::ensureEncodingVars() {
   SLIQ_REQUIRE(!symbolic_,
@@ -130,41 +71,31 @@ Bdd SliqSimulator::monolithic() {
   return result;
 }
 
+MeasurementContext& SliqSimulator::measurementContext() {
+  if (!ctx_) ctx_ = std::make_unique<MeasurementContext>(*this);
+  return *ctx_;
+}
+
 Zroot2 SliqSimulator::totalWeightScaled() {
-  const Bdd f = monolithic();
-  WeightCalc calc(mgr_, n_, encVars_, r_);
-  return calc.total(f.edge());
+  return measurementContext().totalWeightScaled();
 }
 
 double SliqSimulator::totalProbability() {
-  SLIQ_CHECK(k_ >= 0, "negative k");
-  return ratio(totalWeightScaled(),
-               Zroot2(BigInt::pow2(static_cast<unsigned>(k_)), BigInt(0)));
+  return measurementContext().totalProbability();
 }
 
 double SliqSimulator::probabilityOne(unsigned qubit) {
-  SLIQ_REQUIRE(qubit < n_, "qubit out of range");
-  const Bdd f = monolithic();
-  const Bdd f1 = f & qvar(qubit);  // zero out amplitudes with qubit = 0
-  WeightCalc calc(mgr_, n_, encVars_, r_);
-  const Zroot2 total = calc.total(f.edge());
-  const Zroot2 one = calc.total(f1.edge());
-  if (one.isZero()) return 0.0;
-  return ratio(one, total);
+  return measurementContext().probabilityOne(qubit);
 }
 
 double SliqSimulator::normalizationCorrection() {
-  const Zroot2 weight = totalWeightScaled();
-  SLIQ_CHECK(!weight.isZero(), "state has zero weight");
-  SLIQ_CHECK(k_ >= 0, "negative k");
-  const Zroot2 pow2k(BigInt::pow2(static_cast<unsigned>(k_)), BigInt(0));
-  return std::sqrt(ratio(pow2k, weight));
+  return measurementContext().normalizationCorrection();
 }
 
 bool SliqSimulator::measure(unsigned qubit, double random) {
   SLIQ_REQUIRE(qubit < n_, "qubit out of range");
   SLIQ_REQUIRE(random >= 0.0 && random < 1.0, "random must be in [0,1)");
-  const double p1 = probabilityOne(qubit);
+  const double p1 = measurementContext().probabilityOne(qubit);
   const bool outcome = random < p1;
   // Collapse (paper: connect the discarded half to the constant-0 node):
   // conjoin every slice with the observed literal. Renormalization is
@@ -177,35 +108,12 @@ bool SliqSimulator::measure(unsigned qubit, double random) {
 }
 
 std::vector<bool> SliqSimulator::sampleAll(Rng& rng) {
-  const Bdd f = monolithic();
-  WeightCalc calc(mgr_, n_, encVars_, r_);
-  std::vector<bool> outcome(n_);
-  Edge e = f.edge();
-  unsigned level = 0;
-  while (level < n_) {
-    const unsigned nodeLevel = std::min(mgr_.edgeLevel(e), n_);
-    // Qubits skipped by the edge have amplitude-independent outcomes:
-    // both values are equally likely.
-    while (level < nodeLevel) {
-      outcome[mgr_.varAtLevel(level)] = rng.flip();
-      ++level;
-    }
-    if (level >= n_) break;
-    const Edge hi = mgr_.thenEdge(e);
-    const Edge lo = mgr_.elseEdge(e);
-    const Zroot2 w1 = shiftLeft(calc.weightBelow(hi),
-                                std::min(mgr_.edgeLevel(hi), n_) - level - 1);
-    const Zroot2 w0 = shiftLeft(calc.weightBelow(lo),
-                                std::min(mgr_.edgeLevel(lo), n_) - level - 1);
-    const Zroot2 sum = w0 + w1;
-    SLIQ_CHECK(!sum.isZero(), "zero-weight state cannot be sampled");
-    const double p1 = w1.isZero() ? 0.0 : ratio(w1, sum);
-    const bool bit = rng.uniform() < p1;
-    outcome[mgr_.varAtLevel(level)] = bit;
-    e = bit ? hi : lo;
-    ++level;
-  }
-  return outcome;
+  return measurementContext().sampleAll(rng);
+}
+
+std::vector<std::vector<bool>> SliqSimulator::sampleShots(unsigned count,
+                                                          Rng& rng) {
+  return measurementContext().sampleShots(count, rng);
 }
 
 }  // namespace sliq

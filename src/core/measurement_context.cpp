@@ -1,0 +1,219 @@
+// Persistent measurement context (see measurement_context.hpp).
+//
+// The traversal itself is the paper's §III-E scheme: a boundary node (below
+// the qubit variables) decodes its four integers by point evaluation and
+// contributes |α|²·2ᵏ = (a²+b²+c²+d²) + √2(dc − da + ab + bc); interior
+// weights accumulate in the exact ring Z[√2] with level-difference shifts
+// for skipped variables. What is new relative to the former per-call
+// WeightCalc is only the lifetime: the memos survive between queries.
+#include "core/measurement_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algebra/algebraic.hpp"
+#include "core/simulator.hpp"
+#include "support/assert.hpp"
+
+namespace sliq {
+
+using bdd::Bdd;
+using bdd::Edge;
+
+namespace {
+
+Zroot2 shiftLeft(const Zroot2& w, unsigned bits) {
+  if (bits == 0 || w.isZero()) return w;
+  return Zroot2(w.rational() << bits, w.irrational() << bits);
+}
+
+}  // namespace
+
+MeasurementContext::MeasurementContext(SliqSimulator& sim) : sim_(&sim) {}
+
+bool MeasurementContext::current() const {
+  return builtVersion_ == sim_->stateVersion_ &&
+         builtReorderings_ == sim_->mgr_.stats().reorderings;
+}
+
+void MeasurementContext::dropCaches() {
+  mono_ = Bdd();
+  restrictedOne_.clear();
+  weightMemo_.clear();
+  ampMemo_.clear();
+  branchProbMemo_.clear();
+  totalValid_ = false;
+  builtVersion_ = ~std::uint64_t{0};
+}
+
+void MeasurementContext::refreshIfStale() {
+  if (current()) return;
+  // monolithic() rebuilds the hyper-function BDD if needed (and rejects
+  // symbolic mode); holding it as a handle pins every node the memos will
+  // reference across garbage collections.
+  mono_ = sim_->monolithic();
+  restrictedOne_.assign(sim_->n_, Bdd());
+  weightMemo_.clear();
+  ampMemo_.clear();
+  branchProbMemo_.clear();
+  assignment_.assign(sim_->mgr_.varCount(), false);
+  totalValid_ = false;
+  builtVersion_ = sim_->stateVersion_;
+  builtReorderings_ = sim_->mgr_.stats().reorderings;
+}
+
+Zroot2 MeasurementContext::ampSq(Edge e) {
+  const auto it = ampMemo_.find(e.raw);
+  if (it != ampMemo_.end()) return it->second;
+  const auto& mgr = sim_->mgr_;
+  const std::vector<unsigned>& encVars = sim_->encVars_;
+  const unsigned r = sim_->r_;
+  BigInt coef[4];
+  for (unsigned vecIdx = 0; vecIdx < 4; ++vecIdx) {
+    assignment_[encVars[0]] = (vecIdx & 2) != 0;  // x0: selects {c,d}
+    assignment_[encVars[1]] = (vecIdx & 1) != 0;  // x1: selects {b,d}
+    std::vector<bool> bits(r);
+    for (unsigned i = 0; i < r; ++i) {
+      for (unsigned j = 2; j < encVars.size(); ++j)
+        assignment_[encVars[j]] = ((i >> (j - 2)) & 1) != 0;
+      bits[i] = mgr.evalPoint(e, assignment_);
+    }
+    coef[vecIdx] = BigInt::fromTwosComplementBits(bits);
+  }
+  const AlgebraicComplex alpha(coef[0], coef[1], coef[2], coef[3], 0);
+  Zroot2 w = alpha.normSqScaled();
+  ampMemo_.emplace(e.raw, w);
+  return w;
+}
+
+Zroot2 MeasurementContext::weightBelow(Edge e) {
+  const auto& mgr = sim_->mgr_;
+  const unsigned n = sim_->n_;
+  if (mgr.edgeLevel(e) >= n) return ampSq(e);
+  const auto it = weightMemo_.find(e.raw);
+  if (it != weightMemo_.end()) return it->second;
+  const unsigned level = mgr.edgeLevel(e);
+  Zroot2 sum;
+  for (const Edge child : {mgr.thenEdge(e), mgr.elseEdge(e)}) {
+    const unsigned childLevel = std::min(mgr.edgeLevel(child), n);
+    sum += shiftLeft(weightBelow(child), childLevel - level - 1);
+  }
+  weightMemo_.emplace(e.raw, sum);
+  return sum;
+}
+
+Zroot2 MeasurementContext::rootWeight(const Bdd& f) {
+  const Edge root = f.edge();
+  const unsigned level = std::min(sim_->mgr_.edgeLevel(root), sim_->n_);
+  return shiftLeft(weightBelow(root), level);
+}
+
+const Zroot2& MeasurementContext::totalWeightScaled() {
+  refreshIfStale();
+  if (!totalValid_) {
+    total_ = rootWeight(mono_);
+    totalValid_ = true;
+  }
+  return total_;
+}
+
+double MeasurementContext::totalProbability() {
+  SLIQ_CHECK(sim_->k_ >= 0, "negative k");
+  return ratio(totalWeightScaled(),
+               Zroot2(BigInt::pow2(static_cast<unsigned>(sim_->k_)),
+                      BigInt(0)));
+}
+
+double MeasurementContext::probabilityOne(unsigned qubit) {
+  SLIQ_REQUIRE(qubit < sim_->n_, "qubit out of range");
+  refreshIfStale();
+  Bdd& f1 = restrictedOne_[qubit];
+  if (!f1.valid()) {
+    f1 = mono_ & sim_->qvar(qubit);  // zero out amplitudes with qubit = 0
+    // The conjunction is a GC point and, with auto-reorder enabled, may
+    // even re-level the order; memoized weights depend on levels, so a
+    // reorder mid-build empties the memos (handles keep the roots alive).
+    if (builtReorderings_ != sim_->mgr_.stats().reorderings) {
+      weightMemo_.clear();
+      ampMemo_.clear();
+      branchProbMemo_.clear();
+      totalValid_ = false;
+      builtReorderings_ = sim_->mgr_.stats().reorderings;
+    }
+  }
+  const Zroot2 one = rootWeight(f1);
+  if (one.isZero()) return 0.0;
+  return ratio(one, totalWeightScaled());
+}
+
+Zroot2 MeasurementContext::computeTotalFresh() {
+  // Independent context with empty memos — a from-scratch recomputation.
+  MeasurementContext fresh(*sim_);
+  return fresh.totalWeightScaled();
+}
+
+double MeasurementContext::normalizationCorrection() {
+  const Zroot2& weight = totalWeightScaled();
+  SLIQ_CHECK(!weight.isZero(), "state has zero weight");
+  SLIQ_CHECK(sim_->k_ >= 0, "negative k");
+#ifndef NDEBUG
+  // Callers that used to recompute the total from scratch now read the
+  // cache; in debug builds verify the cache against a fresh traversal.
+  SLIQ_ASSERT(weight == computeTotalFresh());
+#endif
+  const Zroot2 pow2k(BigInt::pow2(static_cast<unsigned>(sim_->k_)),
+                     BigInt(0));
+  return std::sqrt(ratio(pow2k, weight));
+}
+
+std::vector<bool> MeasurementContext::sampleAll(Rng& rng) {
+  refreshIfStale();
+  const auto& mgr = sim_->mgr_;
+  const unsigned n = sim_->n_;
+  std::vector<bool> outcome(n);
+  Edge e = mono_.edge();
+  unsigned level = 0;
+  while (level < n) {
+    const unsigned nodeLevel = std::min(mgr.edgeLevel(e), n);
+    // Qubits skipped by the edge have amplitude-independent outcomes:
+    // both values are equally likely.
+    while (level < nodeLevel) {
+      outcome[mgr.varAtLevel(level)] = rng.flip();
+      ++level;
+    }
+    if (level >= n) break;
+    const Edge hi = mgr.thenEdge(e);
+    const Edge lo = mgr.elseEdge(e);
+    double p1;
+    const auto cached = branchProbMemo_.find(e.raw);
+    if (cached != branchProbMemo_.end()) {
+      p1 = cached->second;
+    } else {
+      const Zroot2 w1 = shiftLeft(weightBelow(hi),
+                                  std::min(mgr.edgeLevel(hi), n) - level - 1);
+      const Zroot2 w0 = shiftLeft(weightBelow(lo),
+                                  std::min(mgr.edgeLevel(lo), n) - level - 1);
+      const Zroot2 sum = w0 + w1;
+      SLIQ_CHECK(!sum.isZero(), "zero-weight state cannot be sampled");
+      p1 = w1.isZero() ? 0.0 : ratio(w1, sum);
+      branchProbMemo_.emplace(e.raw, p1);
+    }
+    const bool bit = rng.uniform() < p1;
+    outcome[mgr.varAtLevel(level)] = bit;
+    e = bit ? hi : lo;
+    ++level;
+  }
+  return outcome;
+}
+
+std::vector<std::vector<bool>> MeasurementContext::sampleShots(unsigned count,
+                                                               Rng& rng) {
+  std::vector<std::vector<bool>> shots;
+  shots.reserve(count);
+  // Warm the caches once so every shot is a pure descent.
+  if (count > 0) (void)totalWeightScaled();
+  for (unsigned s = 0; s < count; ++s) shots.push_back(sampleAll(rng));
+  return shots;
+}
+
+}  // namespace sliq

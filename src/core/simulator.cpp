@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/measurement_context.hpp"  // complete type for ctx_ cleanup
 #include "support/assert.hpp"
 
 namespace sliq {

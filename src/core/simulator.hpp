@@ -16,6 +16,7 @@
 #include <array>
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "algebra/algebraic.hpp"
@@ -26,6 +27,8 @@
 #include "support/rng.hpp"
 
 namespace sliq {
+
+class MeasurementContext;
 
 class SliqSimulator {
  public:
@@ -53,6 +56,8 @@ class SliqSimulator {
   /// unavailable in this mode.
   struct SymbolicInit {};
   SliqSimulator(unsigned numQubits, SymbolicInit, const Config& config);
+
+  ~SliqSimulator();  // out of line: MeasurementContext is incomplete here
 
   unsigned numQubits() const { return n_; }
   /// Current integer bit width r (number of BDD slices per vector).
@@ -90,6 +95,16 @@ class SliqSimulator {
   /// Samples a complete basis state (bit q = outcome of qubit q) by one
   /// weighted descent of the monolithic BDD without collapsing the register.
   std::vector<bool> sampleAll(Rng& rng);
+  /// `count` independent shots sharing the persistent measurement context:
+  /// one weight traversal total instead of one per shot. Equivalent (same
+  /// deviate consumption) to calling sampleAll `count` times.
+  std::vector<std::vector<bool>> sampleShots(unsigned count, Rng& rng);
+
+  /// The persistent measurement context (built lazily, auto-invalidated
+  /// when the state mutates). All probability/sampling queries above go
+  /// through it; expose it directly for callers that want to control cache
+  /// lifetime (e.g. the sampling benches).
+  MeasurementContext& measurementContext();
 
   // ---- instrumentation ----------------------------------------------------
   struct Stats {
@@ -157,7 +172,11 @@ class SliqSimulator {
   void ensureEncodingVars();
   /// Builds (and caches) the hyper-function BDD of Eq. 12.
   bdd::Bdd monolithic();
-  void invalidateMonolithic() { monolithicValid_ = false; }
+  /// Every state mutation lands here: bumps the version the persistent
+  /// MeasurementContext checks, and eagerly drops the now-stale cached
+  /// BDD handles so dead cones do not stay pinned across later gates.
+  /// Out of line: needs MeasurementContext complete (measurement.cpp).
+  void invalidateMonolithic();
 
   Config config_;
   mutable bdd::BddManager mgr_;  // lazy projection-node creation is benign
@@ -169,6 +188,10 @@ class SliqSimulator {
   bdd::Bdd monolithicCache_;
   bool monolithicValid_ = false;
   bool symbolic_ = false;
+  /// Incremented on every state mutation; MeasurementContext compares it
+  /// against the version its caches were built at.
+  std::uint64_t stateVersion_ = 0;
+  std::unique_ptr<MeasurementContext> ctx_;
   Stats stats_;
 };
 

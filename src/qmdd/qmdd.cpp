@@ -300,6 +300,29 @@ double QmddManager::probabilityOne(VEdge root, unsigned n, unsigned qubit) {
   return std::norm(ct_.value(root.w)) * pOne(pOne, root.node);
 }
 
+std::uint64_t QmddManager::sampleOnce(
+    VEdge root, unsigned n, Rng& rng,
+    std::unordered_map<NodeId, double>& weightMemo) {
+  SLIQ_CHECK(!ct_.isZero(root.w), "zero state cannot be sampled");
+  std::uint64_t bits = 0;
+  VEdge e = root;
+  // Full-depth diagrams: the node at each step sits exactly at `level`
+  // (qubit index), so the descent is a straight n-step walk.
+  for (unsigned level = n; level-- > 0;) {
+    SLIQ_CHECK(e.node != kTerminal, "diagram shallower than qubit count");
+    const VNode& node = vNodes_[e.node];
+    SLIQ_ASSERT(node.level == static_cast<std::int32_t>(level));
+    const double w0 = nodeWeight(node.e[0], weightMemo);
+    const double w1 = nodeWeight(node.e[1], weightMemo);
+    const double sum = w0 + w1;
+    SLIQ_CHECK(sum > 0, "zero-weight subtree cannot be sampled");
+    const bool bit = rng.uniform() < w1 / sum;
+    if (bit) bits |= std::uint64_t{1} << level;
+    e = node.e[bit ? 1 : 0];
+  }
+  return bits;
+}
+
 VEdge QmddManager::collapse(VEdge root, unsigned n, unsigned qubit,
                             bool outcome) {
   const double pKeep = outcome ? probabilityOne(root, n, qubit)

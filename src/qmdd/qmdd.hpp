@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "qmdd/complex_table.hpp"
+#include "support/rng.hpp"
 
 namespace sliq::qmdd {
 
@@ -91,6 +92,13 @@ class QmddManager {
   double probabilityOne(VEdge root, unsigned n, unsigned qubit);
   /// Collapse: zero out the ¬outcome branch of `qubit` and renormalize.
   VEdge collapse(VEdge root, unsigned n, unsigned qubit, bool outcome);
+  /// One full basis-state sample (bit q of the result = outcome of qubit q)
+  /// by weighted top-down descent, without collapsing anything. `weightMemo`
+  /// caches the downward edge-weight products; share it across shots of an
+  /// unchanged root so a batch costs one weight pass plus n steps per shot.
+  /// Consumes exactly one uniform deviate per qubit, top level first.
+  std::uint64_t sampleOnce(VEdge root, unsigned n, Rng& rng,
+                           std::unordered_map<NodeId, double>& weightMemo);
 
   // ---- resource management -------------------------------------------------
   /// Roots registered here survive garbage collection.

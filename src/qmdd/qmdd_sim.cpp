@@ -113,6 +113,21 @@ bool QmddSimulator::measure(unsigned qubit, double random) {
   return outcome;
 }
 
+std::uint64_t QmddSimulator::sampleAll(Rng& rng) {
+  std::unordered_map<NodeId, double> memo;
+  return mgr_.sampleOnce(mgr_.root(), n_, rng, memo);
+}
+
+std::vector<std::uint64_t> QmddSimulator::sampleShots(unsigned count,
+                                                      Rng& rng) {
+  std::vector<std::uint64_t> shots;
+  shots.reserve(count);
+  std::unordered_map<NodeId, double> memo;  // shared across the batch
+  for (unsigned s = 0; s < count; ++s)
+    shots.push_back(mgr_.sampleOnce(mgr_.root(), n_, rng, memo));
+  return shots;
+}
+
 bool QmddSimulator::isNormalized(double tolerance) {
   return std::abs(totalProbability() - 1.0) <= tolerance;
 }

@@ -6,9 +6,11 @@
 
 #include <complex>
 #include <cstdint>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "qmdd/qmdd.hpp"
+#include "support/rng.hpp"
 
 namespace sliq::qmdd {
 
@@ -33,6 +35,13 @@ class QmddSimulator {
   double totalProbability();
   double probabilityOne(unsigned qubit);
   bool measure(unsigned qubit, double random);
+  /// One full-register sample (bit q = outcome of qubit q) by weighted
+  /// descent of the state DD, without collapsing the register.
+  std::uint64_t sampleAll(Rng& rng);
+  /// `count` samples sharing one downward edge-weight memo across the
+  /// batch: one weight pass plus n steps per shot. Deviate consumption per
+  /// shot matches sampleAll, so a fixed seed yields the same sequence.
+  std::vector<std::uint64_t> sampleShots(unsigned count, Rng& rng);
 
   /// True when |Σ|α|² − 1| ≤ tolerance (paper: the 'error' column trips
   /// when state probabilities no longer sum to 1).

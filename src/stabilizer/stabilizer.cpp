@@ -210,4 +210,12 @@ bool StabilizerSimulator::measure(unsigned qubit, double random) {
   return collapseRandom(qubit, p, random < 0.5);
 }
 
+std::vector<bool> StabilizerSimulator::sampleAll(Rng& rng) const {
+  StabilizerSimulator snapshot(*this);
+  std::vector<bool> bits(n_);
+  for (unsigned q = 0; q < n_; ++q)
+    bits[q] = snapshot.measure(q, rng.uniform());
+  return bits;
+}
+
 }  // namespace sliq

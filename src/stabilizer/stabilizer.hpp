@@ -46,6 +46,12 @@ class StabilizerSimulator {
   /// Pr[qubit = 1]: 0, 1, or 0.5 (stabilizer states admit nothing else).
   double probabilityOne(unsigned qubit);
 
+  /// One full-register shot (bit q = outcome of qubit q) without mutating
+  /// this tableau: every qubit is measured on a scratch snapshot copy, so a
+  /// shot costs one tableau copy instead of a circuit replay. Consumes one
+  /// uniform deviate per qubit (the measure(q, double) convention).
+  std::vector<bool> sampleAll(Rng& rng) const;
+
  private:
   // Tableau rows 0..n-1: destabilizers; n..2n-1: stabilizers; row 2n:
   // scratch. Each row stores x/z bit vectors (packed) and a phase bit.

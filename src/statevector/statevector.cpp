@@ -1,5 +1,6 @@
 #include "statevector/statevector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/assert.hpp"
@@ -152,6 +153,29 @@ std::uint64_t StatevectorSimulator::sampleAll(double random) const {
     if (random < acc) return i;
   }
   return state_.size() - 1;
+}
+
+std::vector<std::uint64_t> StatevectorSimulator::sampleShots(unsigned count,
+                                                             Rng& rng) const {
+  std::vector<std::uint64_t> shots;
+  shots.reserve(count);
+  if (count == 0) return shots;
+  // Sequential prefix sums: cdf[i] equals sampleAll's running `acc` after
+  // index i, so upper_bound picks the same state sampleAll would.
+  std::vector<double> cdf(state_.size());
+  double acc = 0;
+  for (std::uint64_t i = 0; i < state_.size(); ++i) {
+    acc += std::norm(state_[i]);
+    cdf[i] = acc;
+  }
+  for (unsigned s = 0; s < count; ++s) {
+    const double random = rng.uniform();
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), random);
+    shots.push_back(it == cdf.end()
+                        ? state_.size() - 1
+                        : static_cast<std::uint64_t>(it - cdf.begin()));
+  }
+  return shots;
 }
 
 }  // namespace sliq

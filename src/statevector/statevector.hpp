@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "support/rng.hpp"
 
 namespace sliq {
 
@@ -41,6 +42,11 @@ class StatevectorSimulator {
   bool measure(unsigned qubit, double random);
   /// Samples a full basis state without collapsing the register.
   std::uint64_t sampleAll(double random) const;
+  /// `count` samples through a one-time cumulative distribution + binary
+  /// search: O(2ⁿ + count·n) instead of sampleAll's O(count·2ⁿ). Prefix
+  /// sums accumulate in the same order as sampleAll, so identical deviates
+  /// select identical basis states. Consumes one deviate per shot.
+  std::vector<std::uint64_t> sampleShots(unsigned count, Rng& rng) const;
 
  private:
   void apply1(unsigned target, const Amplitude m[2][2]);

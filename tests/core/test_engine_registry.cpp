@@ -113,9 +113,8 @@ TEST(EngineRegistry, ShotsArePerfectlyCorrelatedOnBell) {
 }
 
 TEST(EngineRegistry, SampleShotAfterMeasureIsALogicErrorOnEveryEngine) {
-  // Replay-based engines (qmdd, chp) cannot see a collapse, so the facade
-  // rejects the mix uniformly instead of silently sampling engine-dependent
-  // distributions.
+  // The facade contract pins shot sampling to the state prepared by run();
+  // mixing it with collapses is rejected uniformly across engines.
   const QuantumCircuit bell = bellCircuit();
   for (const std::string& name : engineNames()) {
     SCOPED_TRACE(name);

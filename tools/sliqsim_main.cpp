@@ -14,8 +14,12 @@
 //   --seed S                   RNG seed (default: 1)
 //   --stats                    print engine statistics
 //   --list-engines             list registered engines and exit
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "circuit/optimizer.hpp"
@@ -62,6 +66,51 @@ bool endsWith(const std::string& s, const char* suffix) {
   return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
 }
 
+/// Checked parse of a non-negative integer flag value into [0, maxValue].
+/// Rejects negatives (which atoi-then-cast used to wrap to huge unsigneds),
+/// trailing garbage, overflow and empty strings, with a caller-facing
+/// message naming the flag.
+bool parseUnsigned(const char* flag, const char* text, std::uint64_t maxValue,
+                   std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') {
+    std::cerr << "error: " << flag << " requires a value\n";
+    return false;
+  }
+  // strtoul silently accepts "-1" by wrapping; reject any sign up front.
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '-' || *p == '+') {
+      std::cerr << "error: " << flag << " expects a non-negative integer, got '"
+                << text << "'\n";
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') {
+    std::cerr << "error: " << flag << " expects an integer, got '" << text
+              << "'\n";
+    return false;
+  }
+  if (errno == ERANGE || value > maxValue) {
+    std::cerr << "error: " << flag << " value '" << text
+              << "' is out of range (max " << maxValue << ")\n";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parseUnsigned(const char* flag, const char* text, unsigned* out) {
+  std::uint64_t value = 0;
+  if (!parseUnsigned(flag, text, std::numeric_limits<unsigned>::max(),
+                     &value)) {
+    return false;
+  }
+  *out = static_cast<unsigned>(value);
+  return true;
+}
+
 std::string bitsToString(const std::vector<bool>& bits) {
   std::string s;
   for (unsigned q = static_cast<unsigned>(bits.size()); q-- > 0;)
@@ -84,23 +133,21 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       opt.engine = v;
     } else if (arg == "--shots") {
-      const char* v = next();
-      if (v == nullptr) return usage();
-      opt.shots = static_cast<unsigned>(std::atoi(v));
+      if (!parseUnsigned("--shots", next(), &opt.shots)) return 2;
     } else if (arg == "--probs") {
       opt.probs = true;
     } else if (arg == "--amps") {
-      const char* v = next();
-      if (v == nullptr) return usage();
-      opt.amps = static_cast<unsigned>(std::atoi(v));
+      if (!parseUnsigned("--amps", next(), &opt.amps)) return 2;
     } else if (arg == "--modify-h") {
       opt.modifyH = true;
     } else if (arg == "--optimize") {
       opt.optimize = true;
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return usage();
-      opt.seed = std::strtoull(v, nullptr, 0);
+      if (!parseUnsigned("--seed", next(),
+                         std::numeric_limits<std::uint64_t>::max(),
+                         &opt.seed)) {
+        return 2;
+      }
     } else if (arg == "--stats") {
       opt.stats = true;
     } else if (arg == "--list-engines") {
@@ -158,9 +205,26 @@ int main(int argc, char** argv) {
       for (const auto& [index, value] : engine->nonzeroAmplitudes(opt.amps))
         std::cout << "amp[" << index << "] = " << value << "\n";
     }
-    for (unsigned s = 0; s < opt.shots; ++s) {
-      std::cout << "shot " << s << ": "
-                << bitsToString(engine->sampleShot(rng)) << "\n";
+    if (opt.shots > 0) {
+      // Batched path: per-state setup (weight traversal, cumulative
+      // distribution, ...) amortized across each chunk. Chunking keeps
+      // memory bounded and the output streaming for huge shot counts.
+      constexpr unsigned kChunk = 1u << 16;
+      WallTimer shotTimer;
+      double sampleSeconds = 0;
+      for (unsigned done = 0; done < opt.shots;) {
+        const unsigned batch = std::min(kChunk, opt.shots - done);
+        WallTimer batchTimer;
+        const std::vector<std::vector<bool>> shots =
+            engine->sampleShots(batch, rng);
+        sampleSeconds += batchTimer.seconds();
+        for (std::size_t s = 0; s < shots.size(); ++s)
+          std::cout << "shot " << done + s << ": " << bitsToString(shots[s])
+                    << "\n";
+        done += batch;
+      }
+      std::cout << "sampled " << opt.shots << " shots in " << sampleSeconds
+                << " s\n";
     }
     if (opt.stats) {
       const std::string stats = engine->statsSummary();
