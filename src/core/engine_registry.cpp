@@ -38,6 +38,9 @@ class ExactEngine final : public Engine {
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
+  EngineCapabilities capabilities() const override {
+    return {/*batchedSampling=*/true, /*noiseFastPath=*/false};
+  }
   void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
@@ -104,6 +107,9 @@ class QmddEngine final : public Engine {
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
+  EngineCapabilities capabilities() const override {
+    return {/*batchedSampling=*/true, /*noiseFastPath=*/false};
+  }
   void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
@@ -170,6 +176,11 @@ class ChpEngine final : public Engine {
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
+  EngineCapabilities capabilities() const override {
+    // Pauli noise is native here: a tableau absorbs X/Y/Z errors without
+    // ever leaving the stabilizer formalism (the trajectory fast path).
+    return {/*batchedSampling=*/false, /*noiseFastPath=*/true};
+  }
   bool supports(const QuantumCircuit& c) const override {
     return StabilizerSimulator::supports(c);
   }
@@ -201,16 +212,18 @@ class ChpEngine final : public Engine {
 
 class StatevectorEngine final : public Engine {
  public:
-  // The 2^n array is allocated lazily so that creating this engine at an
-  // infeasible width still succeeds and supports() can report the limit;
-  // only actually *using* it then throws.
+  // The 2^n array is allocated lazily on first use, so constructing this
+  // engine is free at every width: supports() probes (CLI, trajectory
+  // runner) never pay the allocation, and an infeasible width only throws
+  // when actually *used*.
   explicit StatevectorEngine(unsigned numQubits)
-      : name_("statevector"), n_(numQubits) {
-    if (n_ <= kMaxQubits) sim_ = std::make_unique<StatevectorSimulator>(n_);
-  }
+      : name_("statevector"), n_(numQubits) {}
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return n_; }
+  EngineCapabilities capabilities() const override {
+    return {/*batchedSampling=*/true, /*noiseFastPath=*/false};
+  }
   bool supports(const QuantumCircuit& c) const override {
     return c.numQubits() <= kMaxQubits && n_ <= kMaxQubits;
   }
@@ -249,7 +262,7 @@ class StatevectorEngine final : public Engine {
   std::vector<std::pair<std::uint64_t, std::string>> nonzeroAmplitudes(
       unsigned maxCount) override {
     std::vector<std::pair<std::uint64_t, std::string>> out;
-    if (!sim_) return out;  // infeasible width: empty, per the contract
+    if (n_ > kMaxQubits) return out;  // infeasible width, per the contract
     const std::uint64_t states = std::uint64_t{1} << n_;
     for (std::uint64_t i = 0; i < states && out.size() < maxCount; ++i) {
       const std::complex<double> amp = sim().amplitude(i);
@@ -269,10 +282,13 @@ class StatevectorEngine final : public Engine {
 
   StatevectorSimulator& sim() {
     if (!sim_) {
-      throw std::runtime_error(
-          "statevector engine supports at most " +
-          std::to_string(kMaxQubits) + " qubits (got " +
-          std::to_string(n_) + ")");
+      if (n_ > kMaxQubits) {
+        throw std::runtime_error(
+            "statevector engine supports at most " +
+            std::to_string(kMaxQubits) + " qubits (got " +
+            std::to_string(n_) + ")");
+      }
+      sim_ = std::make_unique<StatevectorSimulator>(n_);
     }
     return *sim_;
   }
@@ -290,29 +306,35 @@ EngineRegistry& EngineRegistry::instance() {
   static EngineRegistry* registry = [] {
     auto* r = new EngineRegistry;
     r->add("exact", "bit-sliced BDD engine (the paper's contribution)",
-           [](unsigned n) { return std::make_unique<ExactEngine>(n); });
+           [](unsigned n) { return std::make_unique<ExactEngine>(n); },
+           {/*batchedSampling=*/true, /*noiseFastPath=*/false});
     r->add("qmdd", "QMDD baseline, our DDSIM reimplementation",
-           [](unsigned n) { return std::make_unique<QmddEngine>(n); });
+           [](unsigned n) { return std::make_unique<QmddEngine>(n); },
+           {/*batchedSampling=*/true, /*noiseFastPath=*/false});
     r->add("chp", "CHP stabilizer tableau (Clifford circuits only)",
-           [](unsigned n) { return std::make_unique<ChpEngine>(n); });
+           [](unsigned n) { return std::make_unique<ChpEngine>(n); },
+           {/*batchedSampling=*/false, /*noiseFastPath=*/true});
     r->add("statevector", "dense 2^n array simulator (ground truth, n <= 26)",
-           [](unsigned n) { return std::make_unique<StatevectorEngine>(n); });
+           [](unsigned n) { return std::make_unique<StatevectorEngine>(n); },
+           {/*batchedSampling=*/true, /*noiseFastPath=*/false});
     return r;
   }();
   return *registry;
 }
 
 void EngineRegistry::add(const std::string& name,
-                         const std::string& description, Factory factory) {
+                         const std::string& description, Factory factory,
+                         EngineCapabilities capabilities) {
   const std::string key = toLower(name);
   for (Entry& e : entries_) {
     if (e.name == key) {
       e.description = description;
       e.factory = std::move(factory);
+      e.capabilities = capabilities;
       return;
     }
   }
-  entries_.push_back(Entry{key, description, std::move(factory)});
+  entries_.push_back(Entry{key, description, std::move(factory), capabilities});
 }
 
 const EngineRegistry::Entry* EngineRegistry::find(
@@ -352,6 +374,15 @@ std::string EngineRegistry::describe(const std::string& name) const {
                              "' (registered: " + namesJoined() + ")");
   }
   return e->description;
+}
+
+EngineCapabilities EngineRegistry::capabilities(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw UnknownEngineError("unknown engine '" + name +
+                             "' (registered: " + namesJoined() + ")");
+  }
+  return e->capabilities;
 }
 
 std::unique_ptr<Engine> EngineRegistry::create(const std::string& name,

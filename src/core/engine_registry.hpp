@@ -28,6 +28,19 @@ class UnknownEngineError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Per-engine capability flags, surfaced by `sliqsim --list-engines` and
+/// used by callers that pick execution strategies (e.g. the trajectory
+/// runner's reporting).
+struct EngineCapabilities {
+  /// sampleShots() is overridden with a native batch path that amortizes
+  /// per-state setup across the batch (vs the facade's sampleShot loop).
+  bool batchedSampling = false;
+  /// Pauli noise stays inside the engine's native formalism: stabilizer
+  /// tableaus absorb Pauli errors without leaving the Clifford fragment,
+  /// so noise trajectories never change the representation's cost class.
+  bool noiseFastPath = false;
+};
+
 /// Uniform facade over one engine instance of a fixed qubit width,
 /// prepared in |0...0⟩.
 class Engine {
@@ -37,6 +50,7 @@ class Engine {
   /// Canonical (lower-case) registry name of this engine.
   virtual const std::string& name() const = 0;
   virtual unsigned numQubits() const = 0;
+  virtual EngineCapabilities capabilities() const { return {}; }
 
   /// True when the engine can simulate every gate of `c` at this width
   /// within its structural limits (gate set, memory feasibility). Callers
@@ -69,11 +83,14 @@ class Engine {
   /// cumulative distribution, ...) across the batch. Every override
   /// consumes deviates exactly like `count` sampleShot() calls, so a fixed
   /// seed yields the same shots either way. Same collapse restriction as
-  /// sampleShot().
+  /// sampleShot(). Contract pinned across engines: `count == 0` returns an
+  /// empty vector WITHOUT consuming any deviate (so interleaving empty
+  /// batches never perturbs a seeded run); overrides must preserve this.
   virtual std::vector<std::vector<bool>> sampleShots(unsigned count,
                                                      Rng& rng) {
     requireUncollapsed();
     std::vector<std::vector<bool>> shots;
+    if (count == 0) return shots;
     shots.reserve(count);
     for (unsigned s = 0; s < count; ++s) shots.push_back(sampleShot(rng));
     return shots;
@@ -120,9 +137,13 @@ class EngineRegistry {
   static EngineRegistry& instance();
 
   /// Registers `factory` under `name` (matched case-insensitively).
-  /// Re-registering an existing name replaces its factory.
+  /// Re-registering an existing name replaces its factory. `capabilities`
+  /// must mirror what the engine's instances report (pinned by the registry
+  /// test for the built-ins) — stored here so that callers (e.g.
+  /// --list-engines) can query flags without constructing a throwaway
+  /// engine. Deliberately no default: registering forces the decision.
   void add(const std::string& name, const std::string& description,
-           Factory factory);
+           Factory factory, EngineCapabilities capabilities);
 
   bool contains(const std::string& name) const;
   /// Canonical engine names, sorted.
@@ -130,6 +151,8 @@ class EngineRegistry {
   /// names() joined with ", " — for error and usage messages.
   std::string namesJoined() const;
   std::string describe(const std::string& name) const;
+  /// Registered capability flags; throws UnknownEngineError like describe.
+  EngineCapabilities capabilities(const std::string& name) const;
 
   /// Instantiates the engine registered under `name` (case-insensitive);
   /// throws UnknownEngineError listing the registered names otherwise.
@@ -141,6 +164,7 @@ class EngineRegistry {
     std::string name;  // canonical lower-case
     std::string description;
     Factory factory;
+    EngineCapabilities capabilities;
   };
   const Entry* find(const std::string& name) const;
 

@@ -1,0 +1,122 @@
+#include "noise/channel.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sliq::noise {
+
+char pauliChar(Pauli p) {
+  switch (p) {
+    case Pauli::kI: return 'I';
+    case Pauli::kX: return 'X';
+    case Pauli::kY: return 'Y';
+    case Pauli::kZ: return 'Z';
+  }
+  return '?';
+}
+
+namespace {
+
+void requireProbability(const char* channel, const char* param, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw NoiseError(std::string(channel) + ": " + param +
+                     " must be in [0, 1], got " + std::to_string(p));
+  }
+}
+
+}  // namespace
+
+PauliChannel::PauliChannel(std::string name, double parameter, unsigned arity,
+                           std::vector<PauliTerm> terms)
+    : name_(std::move(name)),
+      parameter_(parameter),
+      arity_(arity),
+      terms_(std::move(terms)) {
+  double total = 0;
+  for (const PauliTerm& t : terms_) {
+    if (t.probability < 0) {
+      throw NoiseError(name_ + ": negative Kraus probability");
+    }
+    total += t.probability;
+  }
+  // The factories build probabilities that sum to 1 exactly up to rounding;
+  // anything beyond a few ulps means a construction bug, not noise.
+  if (std::abs(total - 1.0) > 1e-12) {
+    throw NoiseError(name_ + ": Kraus probabilities sum to " +
+                     std::to_string(total) + ", expected 1");
+  }
+}
+
+PauliChannel PauliChannel::bitFlip(double p) {
+  requireProbability("bitflip", "p", p);
+  return PauliChannel("bitflip", p, 1,
+                      {{1.0 - p, {Pauli::kI, Pauli::kI}},
+                       {p, {Pauli::kX, Pauli::kI}}});
+}
+
+PauliChannel PauliChannel::phaseFlip(double p) {
+  requireProbability("phaseflip", "p", p);
+  return PauliChannel("phaseflip", p, 1,
+                      {{1.0 - p, {Pauli::kI, Pauli::kI}},
+                       {p, {Pauli::kZ, Pauli::kI}}});
+}
+
+PauliChannel PauliChannel::depolarizing1(double p) {
+  requireProbability("depolarizing", "p", p);
+  return PauliChannel("depolarizing", p, 1,
+                      {{1.0 - p, {Pauli::kI, Pauli::kI}},
+                       {p / 3, {Pauli::kX, Pauli::kI}},
+                       {p / 3, {Pauli::kY, Pauli::kI}},
+                       {p / 3, {Pauli::kZ, Pauli::kI}}});
+}
+
+PauliChannel PauliChannel::depolarizing2(double p) {
+  requireProbability("depolarizing2", "p", p);
+  std::vector<PauliTerm> terms;
+  terms.reserve(16);
+  terms.push_back({1.0 - p, {Pauli::kI, Pauli::kI}});
+  const Pauli paulis[4] = {Pauli::kI, Pauli::kX, Pauli::kY, Pauli::kZ};
+  for (const Pauli a : paulis) {
+    for (const Pauli b : paulis) {
+      if (a == Pauli::kI && b == Pauli::kI) continue;
+      terms.push_back({p / 15, {a, b}});
+    }
+  }
+  return PauliChannel("depolarizing2", p, 2, std::move(terms));
+}
+
+PauliChannel PauliChannel::amplitudeDampingTwirl(double gamma) {
+  requireProbability("damping", "gamma", gamma);
+  // Chi-matrix diagonal of the amplitude-damping channel: with
+  // K0 = ((1+√(1−γ))/2)·I + ((1−√(1−γ))/2)·Z and K1 = (√γ/2)·(X + iY),
+  // twirling keeps exactly these four diagonal weights.
+  const double root = std::sqrt(1.0 - gamma);
+  const double pI = (1.0 + root) * (1.0 + root) / 4.0;
+  const double pZ = (1.0 - root) * (1.0 - root) / 4.0;
+  const double pXY = gamma / 4.0;
+  return PauliChannel("damping", gamma, 1,
+                      {{pI, {Pauli::kI, Pauli::kI}},
+                       {pXY, {Pauli::kX, Pauli::kI}},
+                       {pXY, {Pauli::kY, Pauli::kI}},
+                       {pZ, {Pauli::kZ, Pauli::kI}}});
+}
+
+std::size_t PauliChannel::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  double acc = 0;
+  for (std::size_t i = 0; i + 1 < terms_.size(); ++i) {
+    acc += terms_[i].probability;
+    if (u < acc) return i;
+  }
+  // Rounding guard: the tail term absorbs any accumulated float slack.
+  return terms_.size() - 1;
+}
+
+std::string PauliChannel::summary() const {
+  std::ostringstream os;
+  os << name_ << "(" << (name_ == "damping" ? "gamma=" : "p=") << parameter_
+     << ")";
+  return os.str();
+}
+
+}  // namespace sliq::noise

@@ -1,0 +1,85 @@
+// Pauli noise channels — the probabilistic error operators the trajectory
+// runner inserts into circuit realizations.
+//
+// Every channel here is a mixed-Pauli channel: a discrete distribution over
+// Pauli operators on one or two qubits, stored with its exact per-Kraus
+// probabilities. Restricting to Pauli terms is what keeps a noisy Clifford
+// circuit inside the stabilizer formalism (the CHP / Pauli-frame fast path
+// in trajectory.cpp) while still covering the standard device-noise set:
+// bit flip, phase flip, depolarizing (1q and 2q), and amplitude damping via
+// its Pauli-twirl approximation (see DESIGN.md §6 for the twirl derivation
+// and its approximation error).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace sliq::noise {
+
+enum class Pauli : std::uint8_t { kI, kX, kY, kZ };
+
+/// Mnemonic character: 'I', 'X', 'Y', 'Z'.
+char pauliChar(Pauli p);
+
+class NoiseError : public std::runtime_error {
+ public:
+  explicit NoiseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One Kraus term of a mixed-Pauli channel: apply `paulis` with
+/// `probability`. For 1-qubit channels paulis[1] is kI and unused.
+struct PauliTerm {
+  double probability;
+  std::array<Pauli, 2> paulis;
+};
+
+class PauliChannel {
+ public:
+  // ---- factories (the supported channel set) -----------------------------
+  /// X with probability p.
+  static PauliChannel bitFlip(double p);
+  /// Z with probability p.
+  static PauliChannel phaseFlip(double p);
+  /// Single-qubit depolarizing: each of X, Y, Z with probability p/3.
+  static PauliChannel depolarizing1(double p);
+  /// Two-qubit depolarizing: each of the 15 non-identity Pauli pairs with
+  /// probability p/15.
+  static PauliChannel depolarizing2(double p);
+  /// Pauli-twirl approximation of amplitude damping with decay `gamma`:
+  ///   p_X = p_Y = γ/4,  p_Z = (1 − √(1−γ))²/4,  p_I = (1 + √(1−γ))²/4
+  /// (the diagonal of the damping channel's chi matrix; the twirl drops the
+  /// off-diagonal coherences — exact for Pauli observables of the
+  /// maximally mixed input, an O(γ) approximation in general).
+  static PauliChannel amplitudeDampingTwirl(double gamma);
+
+  const std::string& name() const { return name_; }
+  /// 1 or 2 (how many qubits one application touches).
+  unsigned arity() const { return arity_; }
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+  /// Probability that an application is a no-op (the identity term).
+  double identityProbability() const { return terms_.front().probability; }
+
+  /// Samples one term index by inverse transform. Always consumes exactly
+  /// one uniform deviate — the deterministic-replay contract the trajectory
+  /// runner's RNG substream accounting relies on.
+  std::size_t sample(Rng& rng) const;
+
+  /// "depolarizing(p=0.01)" — for summaries and --list output.
+  std::string summary() const;
+
+ private:
+  PauliChannel(std::string name, double parameter, unsigned arity,
+               std::vector<PauliTerm> terms);
+
+  std::string name_;
+  double parameter_;
+  unsigned arity_;
+  std::vector<PauliTerm> terms_;  // terms_[0] is always the identity term
+};
+
+}  // namespace sliq::noise

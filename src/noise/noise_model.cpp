@@ -1,0 +1,255 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sliq::noise {
+
+bool AttachedChannel::appliesTo(unsigned qubit) const {
+  if (qubits.empty()) return true;
+  return std::binary_search(qubits.begin(), qubits.end(), qubit);
+}
+
+namespace {
+
+std::vector<unsigned> normalizedFilter(std::vector<unsigned> qubits) {
+  std::sort(qubits.begin(), qubits.end());
+  qubits.erase(std::unique(qubits.begin(), qubits.end()), qubits.end());
+  return qubits;
+}
+
+void appendRuleSummaries(std::ostringstream& os, const char* label,
+                         const std::vector<AttachedChannel>& rules,
+                         bool& first) {
+  for (const AttachedChannel& rule : rules) {
+    os << (first ? "" : "; ") << label << ": " << rule.channel.summary();
+    if (!rule.qubits.empty()) {
+      os << " on";
+      for (const unsigned q : rule.qubits) os << " " << q;
+    }
+    first = false;
+  }
+}
+
+void validateRulesForWidth(const char* label,
+                           const std::vector<AttachedChannel>& rules,
+                           unsigned numQubits) {
+  for (const AttachedChannel& rule : rules) {
+    for (const unsigned q : rule.qubits) {
+      if (q >= numQubits) {
+        throw NoiseError(std::string(label) + " rule references qubit " +
+                         std::to_string(q) + " but the circuit has only " +
+                         std::to_string(numQubits) + " qubits");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void NoiseModel::addAfterGate1(PauliChannel channel,
+                               std::vector<unsigned> qubits) {
+  if (channel.arity() != 1) {
+    throw NoiseError("gate1 rules take a one-qubit channel, got " +
+                     channel.summary());
+  }
+  gate1_.push_back({std::move(channel), normalizedFilter(std::move(qubits))});
+}
+
+void NoiseModel::addAfterGate2(PauliChannel channel,
+                               std::vector<unsigned> qubits) {
+  gate2_.push_back({std::move(channel), normalizedFilter(std::move(qubits))});
+}
+
+void NoiseModel::addIdle(PauliChannel channel, std::vector<unsigned> qubits) {
+  if (channel.arity() != 1) {
+    throw NoiseError("idle rules take a one-qubit channel, got " +
+                     channel.summary());
+  }
+  idle_.push_back({std::move(channel), normalizedFilter(std::move(qubits))});
+}
+
+void NoiseModel::setReadoutFlip(double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw NoiseError("measure: flip probability must be in [0, 1], got " +
+                     std::to_string(p));
+  }
+  readoutFlip_ = p;
+}
+
+bool NoiseModel::empty() const {
+  return gate1_.empty() && gate2_.empty() && idle_.empty() &&
+         readoutFlip_ == 0;
+}
+
+std::string NoiseModel::summary() const {
+  if (empty()) return "(no noise)";
+  std::ostringstream os;
+  bool first = true;
+  appendRuleSummaries(os, "gate1", gate1_, first);
+  appendRuleSummaries(os, "gate2", gate2_, first);
+  appendRuleSummaries(os, "idle", idle_, first);
+  if (readoutFlip_ > 0) {
+    os << (first ? "" : "; ") << "measure: " << readoutFlip_;
+  }
+  return os.str();
+}
+
+void NoiseModel::validateForWidth(unsigned numQubits) const {
+  validateRulesForWidth("gate1", gate1_, numQubits);
+  validateRulesForWidth("gate2", gate2_, numQubits);
+  validateRulesForWidth("idle", idle_, numQubits);
+}
+
+// ---- spec parsing ---------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void specError(const std::string& origin, unsigned line,
+                            const std::string& what) {
+  throw NoiseSpecError(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Strict double parse (whole token, no garbage), mirroring the CLI's
+/// strict integer parsing.
+double parseDouble(const std::string& origin, unsigned line,
+                   const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) {
+    specError(origin, line, "expected a number, got '" + token + "'");
+  }
+  return value;
+}
+
+unsigned parseQubit(const std::string& origin, unsigned line,
+                    const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+  if (token.empty() || token[0] == '-' || end == token.c_str() ||
+      *end != '\0' || errno == ERANGE || value > 1u << 24) {
+    specError(origin, line, "expected a qubit index, got '" + token + "'");
+  }
+  return static_cast<unsigned>(value);
+}
+
+/// Builds the channel named `name` for the given event class. `twoQubit`
+/// selects the two-qubit depolarizing variant under gate2.
+PauliChannel makeChannel(const std::string& origin, unsigned line,
+                         const std::string& name, double param,
+                         bool twoQubit) {
+  try {
+    if (name == "bitflip") return PauliChannel::bitFlip(param);
+    if (name == "phaseflip") return PauliChannel::phaseFlip(param);
+    if (name == "damping") return PauliChannel::amplitudeDampingTwirl(param);
+    if (name == "depolarizing") {
+      return twoQubit ? PauliChannel::depolarizing2(param)
+                      : PauliChannel::depolarizing1(param);
+    }
+  } catch (const NoiseError& e) {
+    specError(origin, line, e.what());
+  }
+  specError(origin, line,
+            "unknown channel '" + name +
+                "' (supported: bitflip, phaseflip, depolarizing, damping)");
+}
+
+}  // namespace
+
+NoiseModel NoiseModel::parse(std::istream& in, const std::string& origin) {
+  NoiseModel model;
+  std::string line;
+  unsigned lineNo = 0;
+  bool sawMeasure = false;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "measure") {
+      std::string prob;
+      if (!(tokens >> prob)) {
+        specError(origin, lineNo, "measure requires a flip probability");
+      }
+      std::string extra;
+      if (tokens >> extra) {
+        specError(origin, lineNo, "unexpected token '" + extra + "'");
+      }
+      if (sawMeasure) specError(origin, lineNo, "duplicate measure directive");
+      sawMeasure = true;
+      try {
+        model.setReadoutFlip(parseDouble(origin, lineNo, prob));
+      } catch (const NoiseSpecError&) {
+        throw;
+      } catch (const NoiseError& e) {
+        specError(origin, lineNo, e.what());
+      }
+      continue;
+    }
+
+    if (directive != "gate1" && directive != "gate2" && directive != "idle") {
+      specError(origin, lineNo,
+                "unknown directive '" + directive +
+                    "' (expected gate1, gate2, idle or measure)");
+    }
+    std::string channelName, paramToken;
+    if (!(tokens >> channelName >> paramToken)) {
+      specError(origin, lineNo,
+                directive + " requires a channel name and a parameter");
+    }
+    const double param = parseDouble(origin, lineNo, paramToken);
+    std::vector<unsigned> qubits;
+    std::string word;
+    if (tokens >> word) {
+      if (word != "on") {
+        specError(origin, lineNo, "unexpected token '" + word +
+                                      "' (expected 'on q0 q1 ...')");
+      }
+      std::string qubitToken;
+      while (tokens >> qubitToken) {
+        qubits.push_back(parseQubit(origin, lineNo, qubitToken));
+      }
+      if (qubits.empty()) {
+        specError(origin, lineNo, "'on' requires at least one qubit index");
+      }
+    }
+
+    PauliChannel channel = makeChannel(origin, lineNo, channelName, param,
+                                       directive == "gate2");
+    try {
+      if (directive == "gate1") {
+        model.addAfterGate1(std::move(channel), std::move(qubits));
+      } else if (directive == "gate2") {
+        model.addAfterGate2(std::move(channel), std::move(qubits));
+      } else {
+        model.addIdle(std::move(channel), std::move(qubits));
+      }
+    } catch (const NoiseError& e) {
+      specError(origin, lineNo, e.what());
+    }
+  }
+  return model;
+}
+
+NoiseModel NoiseModel::parseString(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+NoiseModel NoiseModel::parseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw NoiseSpecError("cannot open noise spec '" + path + "'");
+  }
+  return parse(in, path);
+}
+
+}  // namespace sliq::noise

@@ -1,0 +1,86 @@
+// NoiseModel — attaches Pauli channels to circuit events.
+//
+// A model is a set of rules keyed by event class:
+//   gate1    after every single-qubit gate, on its target
+//   gate2    after every multi-qubit gate, on its operands (a two-qubit
+//            channel acts on the gate's first two qubits in
+//            (controls..., targets...) order; a one-qubit channel acts on
+//            every operand independently)
+//   idle     during every gate, on each qubit the gate does NOT touch
+//   measure  classical readout: each sampled bit flips with probability p
+// plus an optional per-rule qubit filter ("on 2 3": only when the affected
+// qubit — both qubits, for a two-qubit channel — is listed).
+//
+// Models parse from a line-based text spec (see examples/noise_basic.txt):
+//   # comment
+//   gate1 depolarizing 0.01
+//   gate2 depolarizing 0.02
+//   idle damping 0.002 on 0 1
+//   measure 0.015
+// Channel names: bitflip, phaseflip, depolarizing, damping. Under gate2,
+// "depolarizing" means the two-qubit (15-term) variant.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "noise/channel.hpp"
+
+namespace sliq::noise {
+
+/// Parse failure, with the spec origin ("file:line") in the message.
+class NoiseSpecError : public NoiseError {
+ public:
+  explicit NoiseSpecError(const std::string& what) : NoiseError(what) {}
+};
+
+/// One rule: a channel plus an optional qubit filter.
+struct AttachedChannel {
+  PauliChannel channel;
+  std::vector<unsigned> qubits;  ///< sorted, deduplicated; empty = all
+
+  bool appliesTo(unsigned qubit) const;
+};
+
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+
+  // ---- construction ------------------------------------------------------
+  /// Attaches a one-qubit channel after every single-qubit gate.
+  void addAfterGate1(PauliChannel channel, std::vector<unsigned> qubits = {});
+  /// Attaches a channel (arity 1 or 2) after every multi-qubit gate.
+  void addAfterGate2(PauliChannel channel, std::vector<unsigned> qubits = {});
+  /// Attaches a one-qubit channel to idle qubits during every gate.
+  void addIdle(PauliChannel channel, std::vector<unsigned> qubits = {});
+  /// Sets the symmetric readout flip probability (0 disables).
+  void setReadoutFlip(double p);
+
+  // ---- queries -----------------------------------------------------------
+  const std::vector<AttachedChannel>& afterGate1() const { return gate1_; }
+  const std::vector<AttachedChannel>& afterGate2() const { return gate2_; }
+  const std::vector<AttachedChannel>& idle() const { return idle_; }
+  double readoutFlip() const { return readoutFlip_; }
+  bool hasReadoutError() const { return readoutFlip_ > 0; }
+  /// True when no rule can ever fire (ideal circuit).
+  bool empty() const;
+  /// One line, e.g. "gate1: depolarizing(p=0.01); measure: 0.015".
+  std::string summary() const;
+  /// Throws NoiseError if any qubit filter references a qubit >= numQubits.
+  void validateForWidth(unsigned numQubits) const;
+
+  // ---- spec parsing ------------------------------------------------------
+  static NoiseModel parse(std::istream& in,
+                          const std::string& origin = "<spec>");
+  static NoiseModel parseString(const std::string& text);
+  static NoiseModel parseFile(const std::string& path);
+
+ private:
+  std::vector<AttachedChannel> gate1_;
+  std::vector<AttachedChannel> gate2_;
+  std::vector<AttachedChannel> idle_;
+  double readoutFlip_ = 0;
+};
+
+}  // namespace sliq::noise

@@ -1,0 +1,379 @@
+#include "noise/trajectory.hpp"
+
+#include <atomic>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "core/engine_registry.hpp"
+#include "stabilizer/stabilizer.hpp"
+#include "support/bits.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace sliq::noise {
+
+namespace {
+
+/// One channel application site: `channel` acts on (q0, q1) (q1 unused for
+/// one-qubit channels). Pointers reference the NoiseModel, which outlives
+/// every plan.
+struct ChannelApplication {
+  const PauliChannel* channel;
+  unsigned q0, q1;
+};
+
+/// plan[i] = the channel applications attached after gate i, in the
+/// canonical order both execution paths share: gate1/gate2 rules first
+/// (operands in (controls..., targets...) order), then idle rules (idle
+/// qubits ascending). The plan depends only on (model, circuit), so it is
+/// built once per run and shared read-only by every worker; per trajectory
+/// only the channel.sample() draws remain — one uniform deviate per entry.
+using NoisePlan = std::vector<std::vector<ChannelApplication>>;
+
+NoisePlan buildNoisePlan(const NoiseModel& model,
+                         const QuantumCircuit& circuit) {
+  const unsigned n = circuit.numQubits();
+  NoisePlan plan;
+  plan.reserve(circuit.gateCount());
+  for (const Gate& gate : circuit.gates()) {
+    std::vector<ChannelApplication> sites;
+    std::vector<unsigned> operands;
+    operands.reserve(gate.arity());
+    operands.insert(operands.end(), gate.controls.begin(),
+                    gate.controls.end());
+    operands.insert(operands.end(), gate.targets.begin(), gate.targets.end());
+
+    if (operands.size() == 1) {
+      for (const AttachedChannel& rule : model.afterGate1()) {
+        if (rule.appliesTo(operands[0])) {
+          sites.push_back({&rule.channel, operands[0], operands[0]});
+        }
+      }
+    } else {
+      for (const AttachedChannel& rule : model.afterGate2()) {
+        if (rule.channel.arity() == 2) {
+          if (rule.appliesTo(operands[0]) && rule.appliesTo(operands[1])) {
+            sites.push_back({&rule.channel, operands[0], operands[1]});
+          }
+        } else {
+          for (const unsigned q : operands) {
+            if (rule.appliesTo(q)) sites.push_back({&rule.channel, q, q});
+          }
+        }
+      }
+    }
+    if (!model.idle().empty()) {
+      for (unsigned q = 0; q < n; ++q) {
+        bool touched = false;
+        for (const unsigned op : operands) touched = touched || op == q;
+        if (touched) continue;
+        for (const AttachedChannel& rule : model.idle()) {
+          if (rule.appliesTo(q)) sites.push_back({&rule.channel, q, q});
+        }
+      }
+    }
+    plan.push_back(std::move(sites));
+  }
+  return plan;
+}
+
+/// Classical readout error: flips each bit with the model's probability.
+/// Consumes one deviate per qubit whenever the model has readout error.
+void applyReadout(std::vector<bool>& bits, const NoiseModel& model,
+                  Rng& rng) {
+  if (!model.hasReadoutError()) return;
+  const double p = model.readoutFlip();
+  for (std::size_t q = 0; q < bits.size(); ++q) {
+    if (rng.uniform() < p) bits[q] = !bits[q];
+  }
+}
+
+GateKind pauliGateKind(Pauli p) {
+  switch (p) {
+    case Pauli::kX: return GateKind::kX;
+    case Pauli::kY: return GateKind::kY;
+    case Pauli::kZ: return GateKind::kZ;
+    case Pauli::kI: break;
+  }
+  throw NoiseError("identity term has no gate");
+}
+
+QuantumCircuit realizationFromPlan(const QuantumCircuit& circuit,
+                                   const NoisePlan& plan, Rng& rng) {
+  QuantumCircuit out(circuit.numQubits(), circuit.name() + "+noise");
+  for (std::size_t i = 0; i < circuit.gateCount(); ++i) {
+    out.append(circuit.gate(i));
+    for (const ChannelApplication& site : plan[i]) {
+      const PauliChannel& channel = *site.channel;
+      const PauliTerm& term = channel.terms()[channel.sample(rng)];
+      if (term.paulis[0] != Pauli::kI) {
+        out.append(Gate{pauliGateKind(term.paulis[0]), {site.q0}, {}});
+      }
+      if (channel.arity() == 2 && term.paulis[1] != Pauli::kI) {
+        out.append(Gate{pauliGateKind(term.paulis[1]), {site.q1}, {}});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QuantumCircuit sampleRealization(const QuantumCircuit& circuit,
+                                 const NoiseModel& model, Rng& rng) {
+  return realizationFromPlan(circuit, buildNoisePlan(model, circuit), rng);
+}
+
+// ---- PauliFrame -----------------------------------------------------------
+
+PauliFrame::PauliFrame(unsigned numQubits)
+    : x_(numQubits, false), z_(numQubits, false) {}
+
+bool PauliFrame::isIdentity() const {
+  for (std::size_t q = 0; q < x_.size(); ++q) {
+    if (x_[q] || z_[q]) return false;
+  }
+  return true;
+}
+
+void PauliFrame::multiply(unsigned q, Pauli p) {
+  switch (p) {
+    case Pauli::kI: break;
+    case Pauli::kX: x_[q] = !x_[q]; break;
+    case Pauli::kY: x_[q] = !x_[q]; z_[q] = !z_[q]; break;
+    case Pauli::kZ: z_[q] = !z_[q]; break;
+  }
+}
+
+void PauliFrame::propagateThrough(const Gate& gate) {
+  auto nonClifford = [&] {
+    throw NoiseError("Pauli frame cannot propagate through non-Clifford " +
+                     gateName(gate));
+  };
+  if (gate.controls.size() > 1) nonClifford();
+  switch (gate.kind) {
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+      break;  // Paulis commute with Paulis up to phase
+    case GateKind::kH: {
+      const unsigned t = gate.target();
+      const bool x = x_[t];
+      x_[t] = z_[t];
+      z_[t] = x;  // X ↔ Z
+      break;
+    }
+    case GateKind::kS:
+    case GateKind::kSdg: {
+      const unsigned t = gate.target();
+      z_[t] = z_[t] != x_[t];  // X → ±Y
+      break;
+    }
+    case GateKind::kRx90: {
+      const unsigned t = gate.target();
+      x_[t] = x_[t] != z_[t];  // Z → ∓Y
+      break;
+    }
+    case GateKind::kRy90: {
+      const unsigned t = gate.target();
+      const bool x = x_[t];
+      x_[t] = z_[t];
+      z_[t] = x;  // X → ∓Z, Z → ±X
+      break;
+    }
+    case GateKind::kCnot: {
+      if (gate.controls.empty()) break;  // degenerate: plain X
+      const unsigned c = gate.controls[0], t = gate.target();
+      x_[t] = x_[t] != x_[c];  // X_c → X_c X_t
+      z_[c] = z_[c] != z_[t];  // Z_t → Z_c Z_t
+      break;
+    }
+    case GateKind::kCz: {
+      if (gate.controls.empty()) break;  // degenerate: plain Z
+      const unsigned c = gate.controls[0], t = gate.target();
+      z_[t] = z_[t] != x_[c];  // X_c → X_c Z_t
+      z_[c] = z_[c] != x_[t];  // X_t → X_t Z_c
+      break;
+    }
+    case GateKind::kSwap: {
+      if (!gate.controls.empty()) nonClifford();  // Fredkin
+      const unsigned a = gate.targets[0], b = gate.targets[1];
+      const bool xa = x_[a], za = z_[a];
+      x_[a] = x_[b];
+      z_[a] = z_[b];
+      x_[b] = xa;
+      z_[b] = za;
+      break;
+    }
+    case GateKind::kT:
+    case GateKind::kTdg:
+      nonClifford();
+      break;
+  }
+}
+
+// ---- trajectory execution -------------------------------------------------
+
+namespace {
+
+using Counts = std::map<std::string, std::uint64_t>;
+
+/// Shared per-run inputs every worker reads (all const after setup).
+struct RunContext {
+  const std::string& engineName;
+  const QuantumCircuit& circuit;
+  const NoiseModel& model;
+  const NoisePlan& plan;
+  unsigned trajectories;
+  RngState root;
+};
+
+/// Generic path: one fresh engine + sampled realization per trajectory.
+void runGenericWorker(const RunContext& run, std::atomic<unsigned>& next,
+                      Counts& local) {
+  const unsigned n = run.circuit.numQubits();
+  for (;;) {
+    const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= run.trajectories) return;
+    Rng rng = run.root.split(t).rng();
+    const QuantumCircuit realization =
+        realizationFromPlan(run.circuit, run.plan, rng);
+    const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
+    engine->run(realization);
+    std::vector<bool> bits = engine->sampleShot(rng);
+    applyReadout(bits, run.model, rng);
+    ++local[bitsToString(bits)];
+  }
+}
+
+/// Pauli-frame fast path: the ideal circuit runs once per worker; each
+/// trajectory conjugates its sampled errors to the end of the circuit and
+/// XORs the frame into an ideal shot. Channel sampling visits the same
+/// plan sites as realizationFromPlan, so both paths consume substream
+/// deviates identically.
+void runFrameWorker(const RunContext& run, std::atomic<unsigned>& next,
+                    Counts& local) {
+  const unsigned n = run.circuit.numQubits();
+  const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
+  engine->run(run.circuit);
+  for (;;) {
+    const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= run.trajectories) return;
+    Rng rng = run.root.split(t).rng();
+    PauliFrame frame(n);
+    for (std::size_t i = 0; i < run.circuit.gateCount(); ++i) {
+      frame.propagateThrough(run.circuit.gate(i));
+      for (const ChannelApplication& site : run.plan[i]) {
+        const PauliChannel& channel = *site.channel;
+        const PauliTerm& term = channel.terms()[channel.sample(rng)];
+        frame.multiply(site.q0, term.paulis[0]);
+        if (channel.arity() == 2) frame.multiply(site.q1, term.paulis[1]);
+      }
+    }
+    std::vector<bool> bits = engine->sampleShot(rng);
+    for (unsigned q = 0; q < n; ++q) {
+      if (frame.x(q)) bits[q] = !bits[q];
+    }
+    applyReadout(bits, run.model, rng);
+    ++local[bitsToString(bits)];
+  }
+}
+
+/// Shared body. The caller has already verified the engine supports the
+/// circuit (each public overload does it with the cheapest instance it has).
+TrajectoryResult runChecked(const std::string& engineName,
+                            const QuantumCircuit& circuit,
+                            const NoiseModel& model,
+                            const TrajectoryOptions& options) {
+  model.validateForWidth(circuit.numQubits());
+
+  TrajectoryResult result;
+  result.trajectories = options.trajectories;
+  // Pauli insertions keep a Clifford circuit Clifford, so the frame path is
+  // valid exactly when the ideal circuit is stabilizer-simulable. The
+  // choice depends only on (circuit, options) — never on the thread count.
+  result.usedPauliFrameFastPath =
+      !options.forceGeneric && StabilizerSimulator::supports(circuit);
+  if (options.trajectories == 0) return result;
+
+  const unsigned threads =
+      std::min(options.threads == 0 ? ThreadPool::hardwareConcurrency()
+                                    : options.threads,
+               options.trajectories);
+  result.threadsUsed = std::max(1u, threads);
+
+  const NoisePlan plan = buildNoisePlan(model, circuit);
+  const RunContext run{engineName,          circuit, model, plan,
+                       options.trajectories, RngState{options.seed}};
+  std::atomic<unsigned> next{0};
+  std::vector<Counts> locals(result.threadsUsed);
+
+  const bool framePath = result.usedPauliFrameFastPath;
+  WallTimer timer;
+  {
+    // The pool is declared after `locals`/`next` so that unwinding on an
+    // exception joins the workers before their shared state dies.
+    ThreadPool pool(result.threadsUsed);
+    std::vector<std::future<void>> done;
+    done.reserve(result.threadsUsed);
+    for (unsigned w = 0; w < result.threadsUsed; ++w) {
+      Counts& local = locals[w];
+      done.push_back(pool.submit([&run, &next, &local, framePath] {
+        if (framePath) {
+          runFrameWorker(run, next, local);
+        } else {
+          runGenericWorker(run, next, local);
+        }
+      }));
+    }
+    std::exception_ptr failure;
+    for (std::future<void>& future : done) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!failure) failure = std::current_exception();
+      }
+    }
+    if (failure) std::rethrow_exception(failure);
+  }
+  result.seconds = timer.seconds();
+  for (const Counts& local : locals) {
+    for (const auto& [key, count] : local) result.counts[key] += count;
+  }
+  return result;
+}
+
+}  // namespace
+
+TrajectoryResult runTrajectories(const std::string& engineName,
+                                 const QuantumCircuit& circuit,
+                                 const NoiseModel& model,
+                                 const TrajectoryOptions& options) {
+  {
+    // One probe instance answers supports() before any worker spawns. The
+    // built-ins keep this cheap — in particular the statevector engine
+    // allocates its 2^n array lazily, not at construction.
+    const std::unique_ptr<Engine> probe =
+        makeEngine(engineName, circuit.numQubits());
+    if (!probe->supports(circuit)) {
+      throw NoiseError("engine '" + engineName +
+                       "' does not support this circuit");
+    }
+  }
+  return runChecked(engineName, circuit, model, options);
+}
+
+TrajectoryResult runTrajectories(Engine& prototype,
+                                 const QuantumCircuit& circuit,
+                                 const NoiseModel& model,
+                                 const TrajectoryOptions& options) {
+  // The caller's instance answers supports() directly — no probe needed.
+  if (!prototype.supports(circuit)) {
+    throw NoiseError("engine '" + prototype.name() +
+                     "' does not support this circuit");
+  }
+  return runChecked(prototype.name(), circuit, model, options);
+}
+
+}  // namespace sliq::noise

@@ -1,0 +1,113 @@
+// Stochastic-trajectory execution of noisy circuits.
+//
+// A trajectory is one Monte-Carlo realization of a noisy circuit: walk the
+// gate list, sample each attached Pauli channel (noise_model.hpp), and
+// execute the resulting concrete circuit on an engine, then draw one
+// full-register shot. Aggregating shots over many trajectories samples the
+// noisy device's output distribution.
+//
+// Execution paths, chosen deterministically from (circuit, model, options):
+//  - Pauli-frame fast path (Clifford circuits, any engine): the ideal
+//    circuit runs ONCE per worker; each trajectory only conjugates its
+//    sampled Pauli errors through the remaining Clifford gates (a
+//    Pauli frame) and XORs the frame's X mask into an ideal shot. For the
+//    chp engine this is the "Clifford + Pauli noise stays fully stabilizer"
+//    path; it is valid for every engine because the frame algebra is
+//    engine-independent.
+//  - Generic path (any circuit): each trajectory instantiates a fresh
+//    engine, runs its sampled realization, and draws one shot.
+//
+// Thread-determinism contract: trajectory t consumes only the RNG substream
+// RngState{seed}.split(t) (see support/rng.hpp) and counts are an
+// order-independent reduction, so results are bit-identical for every
+// thread count — the property the tier-1 tests and the CLI acceptance
+// check pin down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "noise/noise_model.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+class Engine;  // core/engine_registry.hpp
+}
+
+namespace sliq::noise {
+
+struct TrajectoryOptions {
+  unsigned trajectories = 1000;
+  /// Worker threads; 0 auto-detects hardware concurrency. Results never
+  /// depend on this value.
+  unsigned threads = 1;
+  std::uint64_t seed = 1;
+  /// Disables the Pauli-frame fast path (tests and the bench baseline).
+  bool forceGeneric = false;
+};
+
+struct TrajectoryResult {
+  /// Shot histogram keyed by bitstring (qubit n-1 leftmost, like the CLI's
+  /// shot output). std::map keeps the iteration order deterministic.
+  std::map<std::string, std::uint64_t> counts;
+  unsigned trajectories = 0;
+  unsigned threadsUsed = 0;
+  bool usedPauliFrameFastPath = false;
+  double seconds = 0;
+
+  double trajectoriesPerSecond() const {
+    return seconds > 0 ? trajectories / seconds : 0;
+  }
+};
+
+/// Runs `options.trajectories` noise trajectories of `circuit` under
+/// `model` on the engine registered as `engineName`, fanning them across
+/// worker threads. Throws NoiseError for an infeasible combination (model
+/// qubit filters out of range, engine unsupported for the circuit).
+TrajectoryResult runTrajectories(const std::string& engineName,
+                                 const QuantumCircuit& circuit,
+                                 const NoiseModel& model,
+                                 const TrajectoryOptions& options = {});
+
+/// Facade overload: `prototype` names the engine (its own state is not
+/// touched — trajectory execution needs one engine instance per worker or
+/// per trajectory, created through the registry).
+TrajectoryResult runTrajectories(Engine& prototype,
+                                 const QuantumCircuit& circuit,
+                                 const NoiseModel& model,
+                                 const TrajectoryOptions& options = {});
+
+/// One sampled Pauli-insertion realization of `circuit` under `model` —
+/// the generic path's per-trajectory circuit, exposed for tests. Consumes
+/// one uniform deviate per channel application, in gate order (gate1/gate2
+/// rules first, then idle rules, operands in (controls..., targets...)
+/// order, idle qubits ascending).
+QuantumCircuit sampleRealization(const QuantumCircuit& circuit,
+                                 const NoiseModel& model, Rng& rng);
+
+/// An n-qubit Pauli operator tracked up to phase (phases never affect
+/// Z-basis statistics), with conjugation through the Clifford gate set —
+/// the fast path's error representation, exposed for tests.
+class PauliFrame {
+ public:
+  explicit PauliFrame(unsigned numQubits);
+
+  unsigned numQubits() const { return static_cast<unsigned>(x_.size()); }
+  bool x(unsigned q) const { return x_[q]; }
+  bool z(unsigned q) const { return z_[q]; }
+  bool isIdentity() const;
+
+  /// Multiplies `p` on qubit `q` into the frame (Paulis compose by XOR).
+  void multiply(unsigned q, Pauli p);
+  /// Replaces the frame P by U·P·U† for Clifford `gate`; throws NoiseError
+  /// for non-Clifford gates (the fast path never reaches them).
+  void propagateThrough(const Gate& gate);
+
+ private:
+  std::vector<bool> x_, z_;
+};
+
+}  // namespace sliq::noise

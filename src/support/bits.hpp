@@ -1,0 +1,19 @@
+// Shared bit-vector rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sliq {
+
+/// Renders a measurement outcome with qubit n-1 leftmost — the one shot /
+/// histogram-key convention shared by the CLI and the trajectory runner
+/// (keeping it in one place is what keeps them from drifting apart).
+inline std::string bitsToString(const std::vector<bool>& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (std::size_t q = bits.size(); q-- > 0;) s += bits[q] ? '1' : '0';
+  return s;
+}
+
+}  // namespace sliq

@@ -1,0 +1,41 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sliq {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = std::max(1u, threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+unsigned ThreadPool::hardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace sliq

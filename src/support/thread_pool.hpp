@@ -1,0 +1,64 @@
+// Fixed-size worker thread pool.
+//
+// The repo's first parallel execution path (the noise-trajectory runner)
+// fans independent work items across these workers; determinism is the
+// caller's job (per-item RNG substreams, order-independent reduction — see
+// RngState::split), the pool only provides execution. Tasks are type-erased
+// thunks; submit() returns a std::future so exceptions thrown inside a task
+// propagate to whoever joins on the result.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sliq {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+  /// Drains the queue, then joins every worker. Pending tasks still run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `fn` and returns its future. A task that throws stores the
+  /// exception in the future (the worker itself never dies).
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn fn) {
+    using Result = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::move(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// std::thread::hardware_concurrency() clamped to at least 1 (the
+  /// standard allows it to report 0 when unknown).
+  static unsigned hardwareConcurrency();
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sliq

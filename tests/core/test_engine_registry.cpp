@@ -31,6 +31,27 @@ TEST(EngineRegistry, BuiltInsRegistered) {
   }
 }
 
+TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
+  // The registry stores capability flags so callers can query them without
+  // constructing an engine; this pins the copy to what instances report.
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    const EngineCapabilities fromRegistry =
+        EngineRegistry::instance().capabilities(name);
+    const EngineCapabilities fromInstance =
+        makeEngine(name, 2)->capabilities();
+    EXPECT_EQ(fromRegistry.batchedSampling, fromInstance.batchedSampling);
+    EXPECT_EQ(fromRegistry.noiseFastPath, fromInstance.noiseFastPath);
+  }
+  EXPECT_THROW(EngineRegistry::instance().capabilities("no-such-engine"),
+               UnknownEngineError);
+  // Distinguishing expectations: the exact engine batches natively, chp's
+  // stabilizer formalism absorbs Pauli noise.
+  EXPECT_TRUE(EngineRegistry::instance().capabilities("exact").batchedSampling);
+  EXPECT_TRUE(EngineRegistry::instance().capabilities("chp").noiseFastPath);
+  EXPECT_FALSE(EngineRegistry::instance().capabilities("chp").batchedSampling);
+}
+
 TEST(EngineRegistry, UnknownNameIsRejectedWithTheRegisteredList) {
   EXPECT_FALSE(EngineRegistry::instance().contains("no-such-engine"));
   try {
@@ -65,14 +86,20 @@ TEST(EngineRegistry, LookupIsCaseInsensitive) {
 
 TEST(EngineRegistry, ReRegisteringReplacesAndNewNamesExtend) {
   EngineRegistry local;
-  local.add("Mine", "first", [](unsigned n) { return makeEngine("exact", n); });
+  local.add("Mine", "first", [](unsigned n) { return makeEngine("exact", n); },
+            {/*batchedSampling=*/true, /*noiseFastPath=*/false});
   EXPECT_TRUE(local.contains("mine"));
   EXPECT_EQ(local.describe("MINE"), "first");
+  EXPECT_TRUE(local.capabilities("mine").batchedSampling);
   local.add("mine", "second",
-            [](unsigned n) { return makeEngine("qmdd", n); });
+            [](unsigned n) { return makeEngine("qmdd", n); },
+            {/*batchedSampling=*/false, /*noiseFastPath=*/true});
   EXPECT_EQ(local.names().size(), 1u);
   EXPECT_EQ(local.describe("mine"), "second");
   EXPECT_EQ(local.create("mine", 2)->name(), "qmdd");
+  // Re-registration replaces the capability flags along with the factory.
+  EXPECT_FALSE(local.capabilities("mine").batchedSampling);
+  EXPECT_TRUE(local.capabilities("mine").noiseFastPath);
 }
 
 TEST(EngineRegistry, EveryEngineRoundTripsABellCircuit) {

@@ -176,6 +176,23 @@ TEST(Sampling, SampleShotsZeroCountIsEmpty) {
   }
 }
 
+TEST(Sampling, SampleShotsZeroCountLeavesRngUntouched) {
+  // The facade contract pins count == 0 to "no deviate consumed" on every
+  // engine, so interleaving empty batches can never perturb a seeded run.
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 2);
+    engine->run(QuantumCircuit(2).h(0).cx(0, 1));
+    Rng used(123), untouched(123);
+    (void)engine->sampleShots(0, used);
+    EXPECT_EQ(used.next(), untouched.next());
+    // And subsequent sampling behaves as if the empty batch never happened.
+    Rng a(7), b(7);
+    (void)engine->sampleShots(0, a);
+    EXPECT_EQ(engine->sampleShots(2, a), engine->sampleShots(2, b));
+  }
+}
+
 TEST(Sampling, PersistentContextInvalidatesOnMutation) {
   // Interleave cached queries with state mutations and check every answer
   // against a dense simulator following the same evolution.

@@ -1,0 +1,142 @@
+// Pauli channels: closed-form Kraus probabilities, parameter validation,
+// and sampling statistics/determinism.
+#include "noise/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sliq::noise {
+namespace {
+
+double termProbability(const PauliChannel& channel, Pauli p0,
+                       Pauli p1 = Pauli::kI) {
+  for (const PauliTerm& t : channel.terms()) {
+    if (t.paulis[0] == p0 && t.paulis[1] == p1) return t.probability;
+  }
+  ADD_FAILURE() << "term " << pauliChar(p0) << pauliChar(p1) << " not found";
+  return -1;
+}
+
+double totalProbability(const PauliChannel& channel) {
+  double total = 0;
+  for (const PauliTerm& t : channel.terms()) total += t.probability;
+  return total;
+}
+
+TEST(Channel, BitFlipClosedForm) {
+  const PauliChannel c = PauliChannel::bitFlip(0.125);
+  EXPECT_EQ(c.arity(), 1u);
+  ASSERT_EQ(c.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kI), 0.875);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kX), 0.125);
+}
+
+TEST(Channel, PhaseFlipClosedForm) {
+  const PauliChannel c = PauliChannel::phaseFlip(0.25);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kI), 0.75);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kZ), 0.25);
+}
+
+TEST(Channel, Depolarizing1ClosedForm) {
+  const PauliChannel c = PauliChannel::depolarizing1(0.3);
+  ASSERT_EQ(c.terms().size(), 4u);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kI), 0.7);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kX), 0.1);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kY), 0.1);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kZ), 0.1);
+}
+
+TEST(Channel, Depolarizing2ClosedForm) {
+  const PauliChannel c = PauliChannel::depolarizing2(0.15);
+  EXPECT_EQ(c.arity(), 2u);
+  ASSERT_EQ(c.terms().size(), 16u);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kI, Pauli::kI), 0.85);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kX, Pauli::kZ), 0.01);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kI, Pauli::kY), 0.01);
+  EXPECT_NEAR(totalProbability(c), 1.0, 1e-15);
+}
+
+TEST(Channel, AmplitudeDampingTwirlClosedForm) {
+  // The chi-matrix diagonal of amplitude damping: p_X = p_Y = γ/4,
+  // p_Z = (1−√(1−γ))²/4, p_I = (1+√(1−γ))²/4.
+  const double gamma = 0.36;
+  const double root = std::sqrt(1.0 - gamma);  // = 0.8
+  const PauliChannel c = PauliChannel::amplitudeDampingTwirl(gamma);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kX), gamma / 4);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kY), gamma / 4);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kZ),
+                   (1 - root) * (1 - root) / 4);
+  EXPECT_DOUBLE_EQ(termProbability(c, Pauli::kI),
+                   (1 + root) * (1 + root) / 4);
+  EXPECT_NEAR(totalProbability(c), 1.0, 1e-15);
+}
+
+TEST(Channel, AmplitudeDampingTwirlLimits) {
+  EXPECT_DOUBLE_EQ(PauliChannel::amplitudeDampingTwirl(0.0)
+                       .identityProbability(),
+                   1.0);
+  // γ = 1: fully mixed over {I, X, Y, Z}.
+  const PauliChannel full = PauliChannel::amplitudeDampingTwirl(1.0);
+  for (const PauliTerm& t : full.terms()) {
+    EXPECT_DOUBLE_EQ(t.probability, 0.25);
+  }
+}
+
+TEST(Channel, ProbabilitiesSumToOneAcrossParameters) {
+  for (const double p : {0.0, 1e-6, 0.01, 0.3, 0.999, 1.0}) {
+    EXPECT_NEAR(totalProbability(PauliChannel::bitFlip(p)), 1.0, 1e-15);
+    EXPECT_NEAR(totalProbability(PauliChannel::phaseFlip(p)), 1.0, 1e-15);
+    EXPECT_NEAR(totalProbability(PauliChannel::depolarizing1(p)), 1.0, 1e-15);
+    EXPECT_NEAR(totalProbability(PauliChannel::depolarizing2(p)), 1.0, 1e-15);
+    EXPECT_NEAR(totalProbability(PauliChannel::amplitudeDampingTwirl(p)), 1.0,
+                1e-15);
+  }
+}
+
+TEST(Channel, InvalidParametersThrow) {
+  EXPECT_THROW(PauliChannel::bitFlip(-0.1), NoiseError);
+  EXPECT_THROW(PauliChannel::bitFlip(1.1), NoiseError);
+  EXPECT_THROW(PauliChannel::depolarizing2(2.0), NoiseError);
+  EXPECT_THROW(PauliChannel::amplitudeDampingTwirl(-1e-9), NoiseError);
+  EXPECT_THROW(PauliChannel::amplitudeDampingTwirl(
+                   std::nan("")),
+               NoiseError);
+}
+
+TEST(Channel, SampleFrequenciesMatchProbabilities) {
+  const PauliChannel c = PauliChannel::depolarizing1(0.4);
+  Rng rng(2024);
+  const unsigned kDraws = 40000;
+  std::vector<unsigned> counts(c.terms().size(), 0);
+  for (unsigned i = 0; i < kDraws; ++i) ++counts[c.sample(rng)];
+  double chiSq = 0;
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    const double expected = kDraws * c.terms()[t].probability;
+    chiSq += (counts[t] - expected) * (counts[t] - expected) / expected;
+  }
+  // chi²(3) 99.9th percentile is 16.27; the fixed seed makes this exact.
+  EXPECT_LT(chiSq, 16.27);
+}
+
+TEST(Channel, SampleConsumesExactlyOneDeviate) {
+  // The trajectory runner's deviate accounting (identical consumption on
+  // both execution paths) depends on this.
+  const PauliChannel c = PauliChannel::depolarizing2(0.2);
+  Rng sampled(77), reference(77);
+  for (int i = 0; i < 100; ++i) {
+    (void)c.sample(sampled);
+    (void)reference.uniform();
+  }
+  EXPECT_EQ(sampled.next(), reference.next());
+}
+
+TEST(Channel, ZeroProbabilityChannelAlwaysIdentity) {
+  const PauliChannel c = PauliChannel::depolarizing1(0.0);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(c.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace sliq::noise

@@ -1,0 +1,127 @@
+// NoiseModel: spec parsing (grammar, diagnostics), attachment semantics and
+// validation.
+#include "noise/noise_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sliq::noise {
+namespace {
+
+TEST(NoiseSpec, ParsesFullSpec) {
+  const NoiseModel model = NoiseModel::parseString(R"(
+# a full model
+gate1 depolarizing 0.01
+gate2 depolarizing 0.02   # two-qubit variant under gate2
+idle damping 0.002
+measure 0.015
+)");
+  ASSERT_EQ(model.afterGate1().size(), 1u);
+  EXPECT_EQ(model.afterGate1()[0].channel.name(), "depolarizing");
+  EXPECT_EQ(model.afterGate1()[0].channel.arity(), 1u);
+  ASSERT_EQ(model.afterGate2().size(), 1u);
+  EXPECT_EQ(model.afterGate2()[0].channel.arity(), 2u);
+  ASSERT_EQ(model.idle().size(), 1u);
+  EXPECT_EQ(model.idle()[0].channel.name(), "damping");
+  EXPECT_DOUBLE_EQ(model.readoutFlip(), 0.015);
+  EXPECT_FALSE(model.empty());
+}
+
+TEST(NoiseSpec, EmptyAndCommentOnlySpecsAreEmptyModels) {
+  EXPECT_TRUE(NoiseModel::parseString("").empty());
+  EXPECT_TRUE(NoiseModel::parseString("# nothing\n\n   \n# here\n").empty());
+  EXPECT_EQ(NoiseModel().summary(), "(no noise)");
+}
+
+TEST(NoiseSpec, QubitFiltersParseSortedAndDeduplicated) {
+  const NoiseModel model =
+      NoiseModel::parseString("gate1 bitflip 0.1 on 3 1 3 2\n");
+  ASSERT_EQ(model.afterGate1().size(), 1u);
+  const AttachedChannel& rule = model.afterGate1()[0];
+  EXPECT_EQ(rule.qubits, (std::vector<unsigned>{1, 2, 3}));
+  EXPECT_TRUE(rule.appliesTo(2));
+  EXPECT_FALSE(rule.appliesTo(0));
+  EXPECT_FALSE(rule.appliesTo(4));
+}
+
+TEST(NoiseSpec, EmptyFilterAppliesEverywhere) {
+  const NoiseModel model = NoiseModel::parseString("idle phaseflip 0.2\n");
+  EXPECT_TRUE(model.idle()[0].appliesTo(0));
+  EXPECT_TRUE(model.idle()[0].appliesTo(1000));
+}
+
+TEST(NoiseSpec, MultipleRulesPerEventStack) {
+  const NoiseModel model = NoiseModel::parseString(
+      "gate1 bitflip 0.1\ngate1 phaseflip 0.2 on 0\n");
+  ASSERT_EQ(model.afterGate1().size(), 2u);
+  EXPECT_EQ(model.afterGate1()[0].channel.name(), "bitflip");
+  EXPECT_EQ(model.afterGate1()[1].channel.name(), "phaseflip");
+}
+
+TEST(NoiseSpec, DiagnosticsNameOriginAndLine) {
+  try {
+    NoiseModel::parseString("gate1 depolarizing 0.01\nbogus 1\n");
+    FAIL() << "expected NoiseSpecError";
+  } catch (const NoiseSpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("<spec>:2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(NoiseSpec, RejectsMalformedLines) {
+  EXPECT_THROW(NoiseModel::parseString("gate1\n"), NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("gate1 bitflip\n"), NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("gate1 bitflip abc\n"),
+               NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("gate1 bitflip 1.5\n"),
+               NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("gate1 warp 0.1\n"), NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("gate1 bitflip 0.1 qubits 1\n"),
+               NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("gate1 bitflip 0.1 on\n"),
+               NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("gate1 bitflip 0.1 on -2\n"),
+               NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("measure\n"), NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("measure 0.1 0.2\n"), NoiseSpecError);
+  EXPECT_THROW(NoiseModel::parseString("measure 0.1\nmeasure 0.1\n"),
+               NoiseSpecError);
+}
+
+TEST(NoiseSpec, MissingFileThrows) {
+  EXPECT_THROW(NoiseModel::parseFile("/nonexistent/noise.txt"),
+               NoiseSpecError);
+}
+
+TEST(NoiseModelApi, RejectsWrongArityAttachments) {
+  NoiseModel model;
+  EXPECT_THROW(model.addAfterGate1(PauliChannel::depolarizing2(0.1)),
+               NoiseError);
+  EXPECT_THROW(model.addIdle(PauliChannel::depolarizing2(0.1)), NoiseError);
+  // gate2 accepts both arities.
+  model.addAfterGate2(PauliChannel::depolarizing2(0.1));
+  model.addAfterGate2(PauliChannel::bitFlip(0.1));
+  EXPECT_EQ(model.afterGate2().size(), 2u);
+}
+
+TEST(NoiseModelApi, ValidateForWidthChecksFilters) {
+  NoiseModel model;
+  model.addAfterGate1(PauliChannel::bitFlip(0.1), {1, 4});
+  model.validateForWidth(5);
+  EXPECT_THROW(model.validateForWidth(4), NoiseError);
+}
+
+TEST(NoiseModelApi, SummaryListsRules) {
+  NoiseModel model;
+  model.addAfterGate1(PauliChannel::depolarizing1(0.01), {0, 2});
+  model.setReadoutFlip(0.05);
+  const std::string s = model.summary();
+  EXPECT_NE(s.find("gate1: depolarizing(p=0.01) on 0 2"), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("measure: 0.05"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace sliq::noise

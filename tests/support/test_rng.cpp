@@ -59,5 +59,68 @@ TEST(Rng, FlipIsBalanced) {
   EXPECT_NEAR(heads, 5000, 300);
 }
 
+// ---- RngState::split substreams -------------------------------------------
+
+TEST(RngSplit, DeterministicPureFunctionOfSeedAndIndex) {
+  const RngState root{42};
+  EXPECT_EQ(root.split(7).seed, root.split(7).seed);
+  Rng a = root.split(7).rng(), b = root.split(7).rng();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  // Deriving other streams in between must not perturb stream 7 — split is
+  // a value operation, not a stateful one (the thread-determinism anchor).
+  const std::uint64_t first = root.split(7).rng().next();
+  (void)root.split(3);
+  (void)root.split(1000000);
+  EXPECT_EQ(root.split(7).rng().next(), first);
+}
+
+TEST(RngSplit, StreamsAndRootsDiffer) {
+  const RngState root{42};
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) seeds.insert(root.split(i).seed);
+  EXPECT_EQ(seeds.size(), 4096u);  // no collisions across stream indices
+  // Different roots land in unrelated parts of seed space.
+  EXPECT_NE(RngState{1}.split(0).seed, RngState{2}.split(0).seed);
+  // Sequential indices avalanche: adjacent streams share no prefix.
+  Rng s0 = root.split(0).rng(), s1 = root.split(1).rng();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += s0.next() == s1.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngSplit, SubstreamsAreStatisticallyIndependent) {
+  // Pool draws across many substreams of one root: uniformity must hold
+  // jointly, not just per stream. Also check pairwise cross-correlation of
+  // the leading bits between adjacent streams.
+  const RngState root{20240515};
+  const unsigned kStreams = 64, kDraws = 512;
+  std::vector<int> buckets(16, 0);
+  double bitAgreement = 0;
+  for (unsigned s = 0; s < kStreams; ++s) {
+    Rng a = root.split(s).rng();
+    Rng b = root.split(s + 1).rng();
+    for (unsigned d = 0; d < kDraws; ++d) {
+      const std::uint64_t va = a.next();
+      ++buckets[va >> 60];
+      bitAgreement += ((va >> 63) == (b.next() >> 63)) ? 1 : 0;
+    }
+  }
+  const double total = double(kStreams) * kDraws;
+  double chiSq = 0;
+  for (const int c : buckets) {
+    const double expected = total / 16;
+    chiSq += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chiSq, 37.70);  // chi²(15) 99.9th percentile
+  // Top bits of adjacent streams agree ~half the time.
+  EXPECT_NEAR(bitAgreement / total, 0.5, 0.02);
+}
+
+TEST(RngSplit, NestedSplitsDiffer) {
+  const RngState root{7};
+  EXPECT_NE(root.split(0).split(1).seed, root.split(1).split(0).seed);
+  EXPECT_NE(root.split(0).split(0).seed, root.split(0).seed);
+}
+
 }  // namespace
 }  // namespace sliq

@@ -1,0 +1,94 @@
+// ThreadPool: task execution, exception propagation through futures, and
+// concurrent-use smoke (the TSan CI job runs this suite).
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sliq {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 1000; ++i) {
+    done.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPool, ReturnsTaskValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 64; ++i) {
+    results.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[i].get(), i * i);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  const std::vector<int> values = [] {
+    std::vector<int> v(10000);
+    std::iota(v.begin(), v.end(), 1);
+    return v;
+  }();
+  const long expected =
+      std::accumulate(values.begin(), values.end(), 0L);
+
+  ThreadPool pool(4);
+  const std::size_t chunk = values.size() / 4;
+  std::vector<std::future<long>> parts;
+  for (unsigned w = 0; w < 4; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = w == 3 ? values.size() : begin + chunk;
+    parts.push_back(pool.submit([&values, begin, end] {
+      return std::accumulate(values.begin() + begin, values.begin() + end,
+                             0L);
+    }));
+  }
+  long total = 0;
+  for (auto& p : parts) total += p.get();
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFutureAndPoolSurvives) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failure");
+  });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task keeps serving.
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsStillRuns) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace sliq

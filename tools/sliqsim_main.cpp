@@ -13,7 +13,17 @@
 //   --optimize                 run the peephole optimizer before simulating
 //   --seed S                   RNG seed (default: 1)
 //   --stats                    print engine statistics
-//   --list-engines             list registered engines and exit
+//   --noise FILE               noise spec: run stochastic trajectories and
+//                              print the shot histogram instead of the
+//                              ideal-state queries
+//   --trajectories N           Monte-Carlo trajectories (default: 1000;
+//                              only with --noise)
+//   --threads N                trajectory worker threads; 0 auto-detects
+//                              hardware concurrency (default: 1; only with
+//                              --noise — results are thread-count
+//                              independent under a fixed --seed)
+//   --list-engines             list registered engines (with capability
+//                              flags) and exit
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
@@ -26,6 +36,9 @@
 #include "circuit/qasm.hpp"
 #include "circuit/real_format.hpp"
 #include "core/engine_registry.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/trajectory.hpp"
+#include "support/bits.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -41,6 +54,11 @@ struct Options {
   bool optimize = false;
   std::uint64_t seed = 1;
   bool stats = false;
+  std::string noisePath;
+  unsigned trajectories = 1000;
+  bool trajectoriesGiven = false;
+  unsigned threads = 1;
+  bool threadsGiven = false;
 };
 
 int usage() {
@@ -48,15 +66,21 @@ int usage() {
             << sliq::EngineRegistry::instance().namesJoined()
             << "] [--shots N] "
                "[--probs] [--amps K] [--modify-h] [--optimize] [--seed S] "
-               "[--stats] [--list-engines] "
+               "[--stats] [--noise FILE] [--trajectories N] [--threads N] "
+               "[--list-engines] "
                "<circuit.qasm|circuit.real>\n";
   return 2;
 }
 
 int listEngines() {
+  const sliq::EngineRegistry& registry = sliq::EngineRegistry::instance();
   for (const std::string& name : sliq::engineNames()) {
-    std::cout << name << " — "
-              << sliq::EngineRegistry::instance().describe(name) << "\n";
+    const sliq::EngineCapabilities caps = registry.capabilities(name);
+    std::cout << name << " — " << registry.describe(name) << " [capabilities:"
+              << (caps.batchedSampling ? " batched-sampling" : "")
+              << (caps.noiseFastPath ? " noise-fast-path" : "")
+              << (!caps.batchedSampling && !caps.noiseFastPath ? " none" : "")
+              << "]\n";
   }
   return 0;
 }
@@ -111,13 +135,6 @@ bool parseUnsigned(const char* flag, const char* text, unsigned* out) {
   return true;
 }
 
-std::string bitsToString(const std::vector<bool>& bits) {
-  std::string s;
-  for (unsigned q = static_cast<unsigned>(bits.size()); q-- > 0;)
-    s += bits[q] ? '1' : '0';
-  return s;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,6 +167,24 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (arg == "--noise") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::cerr << "error: --noise requires a spec file path\n";
+        return 2;
+      }
+      opt.noisePath = v;
+    } else if (arg == "--trajectories") {
+      if (!parseUnsigned("--trajectories", next(), &opt.trajectories))
+        return 2;
+      opt.trajectoriesGiven = true;
+    } else if (arg == "--threads") {
+      // 0 is the auto-detect sentinel; cap the explicit count well below
+      // anything spawnable so a typo cannot fork-bomb the host.
+      std::uint64_t threads = 0;
+      if (!parseUnsigned("--threads", next(), 1024, &threads)) return 2;
+      opt.threads = static_cast<unsigned>(threads);
+      opt.threadsGiven = true;
     } else if (arg == "--list-engines") {
       return listEngines();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -159,6 +194,19 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.path.empty()) return usage();
+  if (opt.noisePath.empty() && (opt.trajectoriesGiven || opt.threadsGiven)) {
+    std::cerr << "error: "
+              << (opt.trajectoriesGiven ? "--trajectories" : "--threads")
+              << " requires --noise\n";
+    return 2;
+  }
+  if (!opt.noisePath.empty() &&
+      (opt.shots > 0 || opt.probs || opt.amps > 0 || opt.stats)) {
+    std::cerr << "error: --noise replaces the ideal-state queries; drop "
+                 "--shots/--probs/--amps/--stats (trajectory counts are the "
+                 "noisy analogue of shots)\n";
+    return 2;
+  }
 
   try {
     QuantumCircuit circuit(1);
@@ -186,6 +234,28 @@ int main(int argc, char** argv) {
                 << EngineRegistry::instance().describe(engine->name())
                 << ")\n";
       return 1;
+    }
+
+    if (!opt.noisePath.empty()) {
+      const noise::NoiseModel model = noise::NoiseModel::parseFile(opt.noisePath);
+      std::cout << "noise: " << model.summary() << "\n";
+      noise::TrajectoryOptions traj;
+      traj.trajectories = opt.trajectories;
+      traj.threads = opt.threads;
+      traj.seed = opt.seed;
+      const noise::TrajectoryResult result =
+          noise::runTrajectories(*engine, circuit, model, traj);
+      for (const auto& [bits, count] : result.counts)
+        std::cout << bits << "  " << count << "\n";
+      std::cout << "ran " << result.trajectories << " trajectories in "
+                << result.seconds << " s ("
+                << static_cast<std::uint64_t>(result.trajectoriesPerSecond())
+                << " traj/s, " << result.threadsUsed << " thread"
+                << (result.threadsUsed == 1 ? "" : "s") << ", "
+                << (result.usedPauliFrameFastPath ? "pauli-frame fast path"
+                                                  : "generic path")
+                << ", " << engine->name() << ")\n";
+      return 0;
     }
 
     Rng rng(opt.seed);
