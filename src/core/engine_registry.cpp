@@ -5,6 +5,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "core/measurement_context.hpp"
+#include "core/observable.hpp"
 #include "core/simulator.hpp"
 #include "qmdd/qmdd_sim.hpp"
 #include "stabilizer/stabilizer.hpp"
@@ -39,7 +41,8 @@ class ExactEngine final : public Engine {
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
   EngineCapabilities capabilities() const override {
-    return {/*batchedSampling=*/true, /*noiseFastPath=*/false};
+    return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
+            /*nativeExpectation=*/true};
   }
   void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
   double probabilityOne(unsigned qubit) override {
@@ -60,6 +63,13 @@ class ExactEngine final : public Engine {
     // The persistent MeasurementContext makes the batch one exact weight
     // traversal plus count cheap descents.
     return sim_.sampleShots(count, rng);
+  }
+  double expectationImpl(const PauliObservable& observable) override {
+    double sum = 0;
+    for (const PauliString& term : observable.terms()) {
+      sum += term.coefficient * stringExpectation(term);
+    }
+    return sum;
   }
   bool numericalError() override {
     // Exact arithmetic: only the single final rounding of totalProbability
@@ -95,6 +105,37 @@ class ExactEngine final : public Engine {
   }
 
  private:
+  /// ⟨P⟩ of one string, exactly. Z factors need no state change at all —
+  /// one signed weight traversal of the monolithic hyper-function
+  /// (MeasurementContext::expectationZ). X/Y factors are first rotated into
+  /// the Z basis with the simulator's own exact Clifford kernels (H for X,
+  /// S†·H for Y) and rotated back afterwards: phase arithmetic in the
+  /// algebraic representation is exact, so the round trip restores every
+  /// amplitude bit for bit (the representation picks up a benign
+  /// 2/√2² rescaling per H pair).
+  double stringExpectation(const PauliString& term) {
+    if (term.isIdentity()) return 1.0;
+    std::vector<bool> zmask(sim_.numQubits(), false);
+    std::vector<Gate> applied;
+    for (const PauliFactor& f : term.factors) {
+      zmask[f.qubit] = true;
+      if (f.op == Pauli::kX) {
+        applied.push_back(Gate{GateKind::kH, {f.qubit}, {}});
+      } else if (f.op == Pauli::kY) {
+        applied.push_back(Gate{GateKind::kSdg, {f.qubit}, {}});
+        applied.push_back(Gate{GateKind::kH, {f.qubit}, {}});
+      }
+    }
+    for (const Gate& g : applied) sim_.applyGate(g);
+    const double value = sim_.measurementContext().expectationZ(zmask);
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      sim_.applyGate(Gate{it->kind == GateKind::kSdg ? GateKind::kS
+                                                     : GateKind::kH,
+                          it->targets, {}});
+    }
+    return value;
+  }
+
   std::string name_;
   SliqSimulator sim_;
 };
@@ -108,7 +149,8 @@ class QmddEngine final : public Engine {
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
   EngineCapabilities capabilities() const override {
-    return {/*batchedSampling=*/true, /*noiseFastPath=*/false};
+    return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
+            /*nativeExpectation=*/true};
   }
   void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
   double probabilityOne(unsigned qubit) override {
@@ -132,6 +174,17 @@ class QmddEngine final : public Engine {
     for (const std::uint64_t sample : sim_.sampleShots(count, rng))
       shots.push_back(bitsOf(sample, sim_.numQubits()));
     return shots;
+  }
+  double expectationImpl(const PauliObservable& observable) override {
+    double sum = 0;
+    for (const PauliString& term : observable.terms()) {
+      // Per-qubit code for the DD pair contraction (0=I, 1=X, 2=Y, 3=Z).
+      std::vector<std::uint8_t> codes(sim_.numQubits(), 0);
+      for (const PauliFactor& f : term.factors)
+        codes[f.qubit] = static_cast<std::uint8_t>(f.op);
+      sum += term.coefficient * sim_.expectationPauli(codes);
+    }
+    return sum;
   }
   bool numericalError() override {
     return !sim_.isNormalized(1e-4);  // the paper's 'error' criterion
@@ -179,7 +232,8 @@ class ChpEngine final : public Engine {
   EngineCapabilities capabilities() const override {
     // Pauli noise is native here: a tableau absorbs X/Y/Z errors without
     // ever leaving the stabilizer formalism (the trajectory fast path).
-    return {/*batchedSampling=*/false, /*noiseFastPath=*/true};
+    return {/*batchedSampling=*/false, /*noiseFastPath=*/true,
+            /*nativeExpectation=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return StabilizerSimulator::supports(c);
@@ -200,6 +254,20 @@ class ChpEngine final : public Engine {
     // Tableau snapshot reuse: measure every qubit on a scratch copy of the
     // run() tableau instead of replaying the circuit.
     return sim_.sampleAll(rng);
+  }
+  double expectationImpl(const PauliObservable& observable) override {
+    double sum = 0;
+    for (const PauliString& term : observable.terms()) {
+      // Tableau commutation gives the exact ±1/0 per string directly.
+      std::vector<bool> x(sim_.numQubits(), false);
+      std::vector<bool> z(sim_.numQubits(), false);
+      for (const PauliFactor& f : term.factors) {
+        if (f.op == Pauli::kX || f.op == Pauli::kY) x[f.qubit] = true;
+        if (f.op == Pauli::kZ || f.op == Pauli::kY) z[f.qubit] = true;
+      }
+      sum += term.coefficient * sim_.expectationPauli(x, z);
+    }
+    return sum;
   }
   std::string runSummary() override { return "stabilizer tableau"; }
 
@@ -222,7 +290,8 @@ class StatevectorEngine final : public Engine {
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return n_; }
   EngineCapabilities capabilities() const override {
-    return {/*batchedSampling=*/true, /*noiseFastPath=*/false};
+    return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
+            /*nativeExpectation=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return c.numQubits() <= kMaxQubits && n_ <= kMaxQubits;
@@ -250,6 +319,20 @@ class StatevectorEngine final : public Engine {
     for (const std::uint64_t sample : sim().sampleShots(count, rng))
       shots.push_back(bitsOf(sample, n_));
     return shots;
+  }
+  double expectationImpl(const PauliObservable& observable) override {
+    double sum = 0;
+    for (const PauliString& term : observable.terms()) {
+      std::uint64_t xmask = 0, ymask = 0, zmask = 0;
+      for (const PauliFactor& f : term.factors) {
+        const std::uint64_t bit = std::uint64_t{1} << f.qubit;
+        if (f.op == Pauli::kX) xmask |= bit;
+        if (f.op == Pauli::kY) ymask |= bit;
+        if (f.op == Pauli::kZ) zmask |= bit;
+      }
+      sum += term.coefficient * sim().expectationPauli(xmask, ymask, zmask);
+    }
+    return sum;
   }
   bool numericalError() override {
     return std::abs(sim().totalProbability() - 1.0) > 1e-4;
@@ -307,16 +390,20 @@ EngineRegistry& EngineRegistry::instance() {
     auto* r = new EngineRegistry;
     r->add("exact", "bit-sliced BDD engine (the paper's contribution)",
            [](unsigned n) { return std::make_unique<ExactEngine>(n); },
-           {/*batchedSampling=*/true, /*noiseFastPath=*/false});
+           {/*batchedSampling=*/true, /*noiseFastPath=*/false,
+            /*nativeExpectation=*/true});
     r->add("qmdd", "QMDD baseline, our DDSIM reimplementation",
            [](unsigned n) { return std::make_unique<QmddEngine>(n); },
-           {/*batchedSampling=*/true, /*noiseFastPath=*/false});
+           {/*batchedSampling=*/true, /*noiseFastPath=*/false,
+            /*nativeExpectation=*/true});
     r->add("chp", "CHP stabilizer tableau (Clifford circuits only)",
            [](unsigned n) { return std::make_unique<ChpEngine>(n); },
-           {/*batchedSampling=*/false, /*noiseFastPath=*/true});
+           {/*batchedSampling=*/false, /*noiseFastPath=*/true,
+            /*nativeExpectation=*/true});
     r->add("statevector", "dense 2^n array simulator (ground truth, n <= 26)",
            [](unsigned n) { return std::make_unique<StatevectorEngine>(n); },
-           {/*batchedSampling=*/true, /*noiseFastPath=*/false});
+           {/*batchedSampling=*/true, /*noiseFastPath=*/false,
+            /*nativeExpectation=*/true});
     return r;
   }();
   return *registry;

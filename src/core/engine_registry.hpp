@@ -22,6 +22,8 @@
 
 namespace sliq {
 
+class PauliObservable;  // core/observable.hpp
+
 class UnknownEngineError : public std::runtime_error {
  public:
   explicit UnknownEngineError(const std::string& what)
@@ -39,6 +41,11 @@ struct EngineCapabilities {
   /// tableaus absorb Pauli errors without leaving the Clifford fragment,
   /// so noise trajectories never change the representation's cost class.
   bool noiseFastPath = false;
+  /// expectation() is overridden with a native contraction (signed BDD
+  /// weight traversal, DD pair contraction, tableau commutation, dense
+  /// contraction) instead of the facade's basis-change + probabilityOne
+  /// fallback.
+  bool nativeExpectation = false;
 };
 
 /// Uniform facade over one engine instance of a fixed qubit width,
@@ -96,6 +103,17 @@ class Engine {
     return shots;
   }
 
+  /// ⟨O⟩ = Σ_s c_s·⟨P_s⟩ of a weighted Pauli-string observable on the state
+  /// prepared by run(), WITHOUT collapsing it (the state is restored up to
+  /// representation details; probabilities are never perturbed). Same
+  /// restriction as sampleShot(): only valid before any measure() call —
+  /// throws std::logic_error afterwards. Throws ObservableSpecError when the
+  /// observable references a qubit >= numQubits(). Implemented by
+  /// expectationImpl(); the default is the engine-agnostic basis-change
+  /// fallback (core/observable.hpp), overridden per engine with a native
+  /// contraction. Defined out of line in observable.cpp.
+  double expectation(const PauliObservable& observable);
+
   /// The paper's 'error' column: true when the engine's normalization
   /// invariant has drifted beyond its engine-specific tolerance.
   virtual bool numericalError() { return false; }
@@ -114,6 +132,11 @@ class Engine {
   }
 
  protected:
+  /// expectation() body, called after the facade has checked the collapse
+  /// restriction and the observable's width. The base implementation is the
+  /// generic basis-change + probabilityOne fallback.
+  virtual double expectationImpl(const PauliObservable& observable);
+
   /// Wrapper measure() implementations call this; sampleShot() then
   /// refuses via requireUncollapsed().
   void noteCollapsed() { collapsed_ = true; }

@@ -102,6 +102,55 @@ Zroot2 MeasurementContext::weightBelow(Edge e) {
   return sum;
 }
 
+Zroot2 MeasurementContext::signedWeightBelow(
+    Edge e, const std::vector<bool>& zmask,
+    std::unordered_map<std::uint32_t, Zroot2>& memo) {
+  const auto& mgr = sim_->mgr_;
+  const unsigned n = sim_->n_;
+  if (mgr.edgeLevel(e) >= n) return ampSq(e);
+  const auto it = memo.find(e.raw);
+  if (it != memo.end()) return it->second;
+  const unsigned level = mgr.edgeLevel(e);
+  // A level skipped by a child edge means the amplitude is independent of
+  // that qubit: an unmasked qubit doubles the weight, a masked one cancels
+  // the +/− pair exactly.
+  auto childTerm = [&](Edge child) -> Zroot2 {
+    const unsigned childLevel = std::min(mgr.edgeLevel(child), n);
+    unsigned doublings = 0;
+    for (unsigned skipped = level + 1; skipped < childLevel; ++skipped) {
+      if (zmask[mgr.varAtLevel(skipped)]) return Zroot2();
+      ++doublings;
+    }
+    return shiftLeft(signedWeightBelow(child, zmask, memo), doublings);
+  };
+  const Zroot2 thenWeight = childTerm(mgr.thenEdge(e));
+  const Zroot2 elseWeight = childTerm(mgr.elseEdge(e));
+  // Z on this qubit: the qubit=1 half enters with a − sign.
+  const Zroot2 sum = zmask[mgr.varAtLevel(level)] ? elseWeight - thenWeight
+                                                  : elseWeight + thenWeight;
+  memo.emplace(e.raw, sum);
+  return sum;
+}
+
+double MeasurementContext::expectationZ(const std::vector<bool>& zmask) {
+  SLIQ_REQUIRE(zmask.size() == sim_->n_, "zmask width mismatch");
+  refreshIfStale();
+  bool any = false;
+  for (const bool bit : zmask) any = any || bit;
+  if (!any) return 1.0;  // ⟨I⟩, exactly
+  const Edge root = mono_.edge();
+  const unsigned rootLevel = std::min(sim_->mgr_.edgeLevel(root), sim_->n_);
+  // Masked qubits skipped above the root cancel the whole signed sum.
+  for (unsigned level = 0; level < rootLevel; ++level) {
+    if (zmask[sim_->mgr_.varAtLevel(level)]) return 0.0;
+  }
+  std::unordered_map<std::uint32_t, Zroot2> memo;
+  const Zroot2 signedSum =
+      shiftLeft(signedWeightBelow(root, zmask, memo), rootLevel);
+  if (signedSum.isZero()) return 0.0;
+  return ratio(signedSum, totalWeightScaled());
+}
+
 Zroot2 MeasurementContext::rootWeight(const Bdd& f) {
   const Edge root = f.edge();
   const unsigned level = std::min(sim_->mgr_.edgeLevel(root), sim_->n_);

@@ -45,6 +45,16 @@ class MeasurementContext {
   /// √(2ᵏ / current weight); see SliqSimulator::normalizationCorrection.
   double normalizationCorrection();
 
+  /// Exact ⟨⊗_{q: zmask[q]} Z_q⟩ on the current state, by ONE signed
+  /// non-collapsing weight traversal of the monolithic hyper-function:
+  /// identical to the weightBelow recursion except that a THEN branch under
+  /// a masked qubit variable enters negatively (Z phase bookkeeping) and a
+  /// masked variable skipped by an edge zeroes the branch (the qubit's two
+  /// outcomes are equally weighted there, so +w and −w cancel exactly).
+  /// The signed sum and the total weight live in Z[√2]; their ratio is
+  /// rounded once. `zmask` is indexed by qubit; an empty mask yields 1.
+  double expectationZ(const std::vector<bool>& zmask);
+
   /// One full-register shot (bit q = outcome of qubit q) by weighted
   /// descent of the monolithic BDD; does not collapse the register.
   std::vector<bool> sampleAll(Rng& rng);
@@ -64,6 +74,11 @@ class MeasurementContext {
 
  private:
   void refreshIfStale();
+  /// Signed weight over qubit variables at levels [level(e), n) under
+  /// `zmask`; `memo` is per-call (keyed by edge word) because the values
+  /// depend on the mask, unlike the persistent unsigned weightMemo_.
+  Zroot2 signedWeightBelow(bdd::Edge e, const std::vector<bool>& zmask,
+                           std::unordered_map<std::uint32_t, Zroot2>& memo);
   /// Weight over qubit variables at levels [level(e), n).
   Zroot2 weightBelow(bdd::Edge e);
   /// |α|²·2ᵏ of the boundary node e (which encodes the four integers).

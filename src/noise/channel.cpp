@@ -5,16 +5,6 @@
 
 namespace sliq::noise {
 
-char pauliChar(Pauli p) {
-  switch (p) {
-    case Pauli::kI: return 'I';
-    case Pauli::kX: return 'X';
-    case Pauli::kY: return 'Y';
-    case Pauli::kZ: return 'Z';
-  }
-  return '?';
-}
-
 namespace {
 
 void requireProbability(const char* channel, const char* param, double p) {

@@ -17,14 +17,17 @@
 #include <string>
 #include <vector>
 
+#include "core/observable.hpp"
 #include "support/rng.hpp"
 
 namespace sliq::noise {
 
-enum class Pauli : std::uint8_t { kI, kX, kY, kZ };
-
-/// Mnemonic character: 'I', 'X', 'Y', 'Z'.
-char pauliChar(Pauli p);
+// One Pauli type across the library: the observable subsystem
+// (core/observable.hpp) owns the enum; the noise module re-exports it so
+// channel/trajectory code (and the Pauli-frame ↔ observable conjugation in
+// the expectation fast path) share a single vocabulary.
+using sliq::Pauli;
+using sliq::pauliChar;
 
 class NoiseError : public std::runtime_error {
  public:

@@ -1,6 +1,7 @@
 #include "noise/trajectory.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <exception>
 #include <future>
 #include <utility>
@@ -345,6 +346,219 @@ TrajectoryResult runChecked(const std::string& engineName,
 }
 
 }  // namespace
+
+// ---- trajectory expectations ----------------------------------------------
+
+namespace {
+
+/// Shared inputs of one expectation run (all const after setup).
+struct ExpectationRunContext {
+  const std::string& engineName;
+  const QuantumCircuit& circuit;
+  const NoisePlan& plan;
+  const PauliObservable& observable;
+  /// observable.terms()[s] wrapped as a standalone 1.0-coefficient
+  /// observable, built once so workers never re-normalize factor lists.
+  const std::vector<PauliObservable>& singles;
+  /// Per-string readout attenuation (1−2p)^|support| — closed form of the
+  /// symmetric flip channel on a parity observable, applied analytically so
+  /// no readout deviates are drawn.
+  const std::vector<double>& readoutFactors;
+  unsigned trajectories;
+  RngState root;
+};
+
+std::vector<double> readoutAttenuation(const NoiseModel& model,
+                                       const PauliObservable& observable) {
+  std::vector<double> factors;
+  factors.reserve(observable.terms().size());
+  for (const PauliString& term : observable.terms()) {
+    factors.push_back(
+        model.hasReadoutError()
+            ? std::pow(1.0 - 2.0 * model.readoutFlip(),
+                       static_cast<double>(term.factors.size()))
+            : 1.0);
+  }
+  return factors;
+}
+
+/// Generic path: one fresh engine + sampled realization per trajectory;
+/// the engine's (native or fallback) expectation is exact per realization.
+void runExpectationGenericWorker(const ExpectationRunContext& run,
+                                 std::atomic<unsigned>& next,
+                                 std::vector<double>& values) {
+  const unsigned n = run.circuit.numQubits();
+  for (;;) {
+    const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= run.trajectories) return;
+    Rng rng = run.root.split(t).rng();
+    const QuantumCircuit realization =
+        realizationFromPlan(run.circuit, run.plan, rng);
+    const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
+    engine->run(realization);
+    double value = 0;
+    const auto& terms = run.observable.terms();
+    for (std::size_t s = 0; s < terms.size(); ++s) {
+      value += terms[s].coefficient * run.readoutFactors[s] *
+               engine->expectation(run.singles[s]);
+    }
+    values[t] = value;
+  }
+}
+
+/// Pauli-frame fast path: the ideal circuit runs once per worker and every
+/// string's ideal ⟨P⟩ is computed once; a trajectory then only needs its
+/// frame's sign per string: F P F = ±P, with − exactly when F and P
+/// anticommute (symplectic product), so ⟨F P F⟩ = ±⟨P⟩ — exact, because
+/// conjugating a Pauli observable by a Pauli error is again ±P.
+void runExpectationFrameWorker(const ExpectationRunContext& run,
+                               std::atomic<unsigned>& next,
+                               std::vector<double>& values) {
+  const unsigned n = run.circuit.numQubits();
+  const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
+  engine->run(run.circuit);
+  const auto& terms = run.observable.terms();
+  std::vector<double> ideal;
+  ideal.reserve(terms.size());
+  for (const PauliObservable& single : run.singles)
+    ideal.push_back(engine->expectation(single));
+  for (;;) {
+    const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= run.trajectories) return;
+    Rng rng = run.root.split(t).rng();
+    PauliFrame frame(n);
+    for (std::size_t i = 0; i < run.circuit.gateCount(); ++i) {
+      frame.propagateThrough(run.circuit.gate(i));
+      for (const ChannelApplication& site : run.plan[i]) {
+        const PauliChannel& channel = *site.channel;
+        const PauliTerm& term = channel.terms()[channel.sample(rng)];
+        frame.multiply(site.q0, term.paulis[0]);
+        if (channel.arity() == 2) frame.multiply(site.q1, term.paulis[1]);
+      }
+    }
+    double value = 0;
+    for (std::size_t s = 0; s < terms.size(); ++s) {
+      bool anticommute = false;
+      for (const PauliFactor& f : terms[s].factors) {
+        const bool px = f.op == Pauli::kX || f.op == Pauli::kY;
+        const bool pz = f.op == Pauli::kZ || f.op == Pauli::kY;
+        anticommute ^= (frame.x(f.qubit) && pz) != (frame.z(f.qubit) && px);
+      }
+      value += (anticommute ? -1.0 : 1.0) * terms[s].coefficient *
+               run.readoutFactors[s] * ideal[s];
+    }
+    values[t] = value;
+  }
+}
+
+ExpectationResult runExpectationChecked(const std::string& engineName,
+                                        const QuantumCircuit& circuit,
+                                        const NoiseModel& model,
+                                        const PauliObservable& observable,
+                                        const TrajectoryOptions& options) {
+  model.validateForWidth(circuit.numQubits());
+  observable.validateForWidth(circuit.numQubits());
+
+  ExpectationResult result;
+  result.trajectories = options.trajectories;
+  result.usedPauliFrameFastPath =
+      !options.forceGeneric && StabilizerSimulator::supports(circuit);
+  if (options.trajectories == 0) return result;
+
+  const unsigned threads =
+      std::min(options.threads == 0 ? ThreadPool::hardwareConcurrency()
+                                    : options.threads,
+               options.trajectories);
+  result.threadsUsed = std::max(1u, threads);
+
+  const NoisePlan plan = buildNoisePlan(model, circuit);
+  std::vector<PauliObservable> singles;
+  singles.reserve(observable.terms().size());
+  for (const PauliString& term : observable.terms())
+    singles.push_back(singleStringObservable(term));
+  const std::vector<double> readoutFactors =
+      readoutAttenuation(model, observable);
+  const ExpectationRunContext run{engineName,          circuit,
+                                  plan,                observable,
+                                  singles,             readoutFactors,
+                                  options.trajectories, RngState{options.seed}};
+  std::atomic<unsigned> next{0};
+  // Indexed by trajectory: workers write disjoint slots, and the final
+  // reduction walks the indices in order — the float sums are therefore
+  // bit-identical for every thread count.
+  std::vector<double> values(options.trajectories, 0.0);
+
+  const bool framePath = result.usedPauliFrameFastPath;
+  WallTimer timer;
+  {
+    ThreadPool pool(result.threadsUsed);
+    std::vector<std::future<void>> done;
+    done.reserve(result.threadsUsed);
+    for (unsigned w = 0; w < result.threadsUsed; ++w) {
+      done.push_back(pool.submit([&run, &next, &values, framePath] {
+        if (framePath) {
+          runExpectationFrameWorker(run, next, values);
+        } else {
+          runExpectationGenericWorker(run, next, values);
+        }
+      }));
+    }
+    std::exception_ptr failure;
+    for (std::future<void>& future : done) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!failure) failure = std::current_exception();
+      }
+    }
+    if (failure) std::rethrow_exception(failure);
+  }
+  result.seconds = timer.seconds();
+
+  double sum = 0;
+  for (const double v : values) sum += v;
+  result.mean = sum / options.trajectories;
+  double sq = 0;
+  for (const double v : values) sq += (v - result.mean) * (v - result.mean);
+  result.stddev = options.trajectories > 1
+                      ? std::sqrt(sq / (options.trajectories - 1))
+                      : 0.0;
+  result.standardError =
+      result.stddev / std::sqrt(static_cast<double>(options.trajectories));
+  return result;
+}
+
+}  // namespace
+
+ExpectationResult runTrajectoryExpectation(const std::string& engineName,
+                                           const QuantumCircuit& circuit,
+                                           const NoiseModel& model,
+                                           const PauliObservable& observable,
+                                           const TrajectoryOptions& options) {
+  {
+    const std::unique_ptr<Engine> probe =
+        makeEngine(engineName, circuit.numQubits());
+    if (!probe->supports(circuit)) {
+      throw NoiseError("engine '" + engineName +
+                       "' does not support this circuit");
+    }
+  }
+  return runExpectationChecked(engineName, circuit, model, observable,
+                               options);
+}
+
+ExpectationResult runTrajectoryExpectation(Engine& prototype,
+                                           const QuantumCircuit& circuit,
+                                           const NoiseModel& model,
+                                           const PauliObservable& observable,
+                                           const TrajectoryOptions& options) {
+  if (!prototype.supports(circuit)) {
+    throw NoiseError("engine '" + prototype.name() +
+                     "' does not support this circuit");
+  }
+  return runExpectationChecked(prototype.name(), circuit, model, observable,
+                               options);
+}
 
 TrajectoryResult runTrajectories(const std::string& engineName,
                                  const QuantumCircuit& circuit,

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "core/observable.hpp"
 #include "noise/noise_model.hpp"
 #include "support/rng.hpp"
 
@@ -79,6 +80,55 @@ TrajectoryResult runTrajectories(Engine& prototype,
                                  const QuantumCircuit& circuit,
                                  const NoiseModel& model,
                                  const TrajectoryOptions& options = {});
+
+/// Noisy expectation value ⟨O⟩ averaged over stochastic trajectories.
+struct ExpectationResult {
+  /// Mean over trajectories of the per-trajectory exact ⟨O⟩. The reduction
+  /// runs in trajectory-index order regardless of which worker produced
+  /// which value, so it is bit-identical for every thread count.
+  double mean = 0;
+  /// Sample standard deviation of the per-trajectory values, and the
+  /// standard error of the mean (stddev/√trajectories) — the
+  /// estimator-variance note of DESIGN.md §7. Both reduced in index order.
+  double stddev = 0;
+  double standardError = 0;
+  unsigned trajectories = 0;
+  unsigned threadsUsed = 0;
+  bool usedPauliFrameFastPath = false;
+  double seconds = 0;
+
+  double trajectoriesPerSecond() const {
+    return seconds > 0 ? trajectories / seconds : 0;
+  }
+};
+
+/// Estimates ⟨O⟩ on the noisy device: each trajectory samples a Pauli
+/// realization (consuming substream split(t) exactly like the histogram
+/// runner) and contributes its engine-exact expectation — no shot noise,
+/// only trajectory noise. Execution paths mirror runTrajectories: the
+/// generic path runs each realization on a fresh engine and calls
+/// Engine::expectation; the Pauli-frame fast path (Clifford circuits) runs
+/// the ideal circuit once per worker, computes each string's ideal ⟨P⟩
+/// once, and per trajectory only flips signs — a sampled frame F turns
+/// ⟨F P F⟩ into ±⟨P⟩ by Pauli (anti)commutation, which is exact (the
+/// channel.hpp "exact for Pauli observables" note). A `measure` rule scales
+/// each string by (1−2p)^|support| analytically: symmetric readout flips
+/// shrink a k-qubit parity by exactly that factor, and applying it in
+/// closed form keeps the deviate accounting (and hence thread determinism)
+/// untouched. Throws NoiseError / ObservableSpecError on infeasible
+/// combinations, like runTrajectories.
+ExpectationResult runTrajectoryExpectation(const std::string& engineName,
+                                           const QuantumCircuit& circuit,
+                                           const NoiseModel& model,
+                                           const PauliObservable& observable,
+                                           const TrajectoryOptions& options = {});
+
+/// Facade overload: `prototype` names the engine (its state is untouched).
+ExpectationResult runTrajectoryExpectation(Engine& prototype,
+                                           const QuantumCircuit& circuit,
+                                           const NoiseModel& model,
+                                           const PauliObservable& observable,
+                                           const TrajectoryOptions& options = {});
 
 /// One sampled Pauli-insertion realization of `circuit` under `model` —
 /// the generic path's per-trajectory circuit, exposed for tests. Consumes

@@ -323,6 +323,53 @@ std::uint64_t QmddManager::sampleOnce(
   return bits;
 }
 
+Complex QmddManager::pauliExpectation(
+    VEdge root, unsigned n, const std::vector<std::uint8_t>& paulis) {
+  SLIQ_REQUIRE(paulis.size() == n, "pauli string width mismatch");
+  // inner(bra, ket, level): ⟨v_bra| ⊗_{q<level} P_q |v_ket⟩ including both
+  // edge weights (bra side conjugated). Memoized on the node pair — levels
+  // are implied because vector DDs are full-depth.
+  std::unordered_map<std::uint64_t, Complex> memo;
+  auto inner = [&](auto&& self, VEdge bra, VEdge ket,
+                   unsigned level) -> Complex {
+    if (ct_.isZero(bra.w) || ct_.isZero(ket.w)) return {0, 0};
+    const Complex base = std::conj(ct_.value(bra.w)) * ct_.value(ket.w);
+    if (level == 0) return base;
+    SLIQ_CHECK(bra.node != kTerminal && ket.node != kTerminal,
+               "diagram shallower than qubit count");
+    const std::uint64_t key =
+        (std::uint64_t{bra.node} << 32) | ket.node;
+    const auto it = memo.find(key);
+    if (it != memo.end()) return base * it->second;
+    const VNode& b = vNodes_[bra.node];
+    const VNode& k = vNodes_[ket.node];
+    SLIQ_ASSERT(b.level == static_cast<std::int32_t>(level) - 1 &&
+                k.level == b.level);
+    Complex below;
+    switch (paulis[level - 1]) {
+      case 1:  // X: ⟨0|X|1⟩ = ⟨1|X|0⟩ = 1
+        below = self(self, b.e[0], k.e[1], level - 1) +
+                self(self, b.e[1], k.e[0], level - 1);
+        break;
+      case 2:  // Y: Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩
+        below = Complex{0, 1} * self(self, b.e[1], k.e[0], level - 1) -
+                Complex{0, 1} * self(self, b.e[0], k.e[1], level - 1);
+        break;
+      case 3:  // Z: the |1⟩ branch enters negatively
+        below = self(self, b.e[0], k.e[0], level - 1) -
+                self(self, b.e[1], k.e[1], level - 1);
+        break;
+      default:  // I
+        below = self(self, b.e[0], k.e[0], level - 1) +
+                self(self, b.e[1], k.e[1], level - 1);
+        break;
+    }
+    memo.emplace(key, below);
+    return base * below;
+  };
+  return inner(inner, root, root, n);
+}
+
 VEdge QmddManager::collapse(VEdge root, unsigned n, unsigned qubit,
                             bool outcome) {
   const double pKeep = outcome ? probabilityOne(root, n, qubit)

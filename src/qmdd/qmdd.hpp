@@ -100,6 +100,15 @@ class QmddManager {
   std::uint64_t sampleOnce(VEdge root, unsigned n, Rng& rng,
                            std::unordered_map<NodeId, double>& weightMemo);
 
+  /// ⟨v|P|v⟩ (UN-normalized) for the Pauli string P given per qubit by
+  /// `paulis` (0=I, 1=X, 2=Y, 3=Z, indexed by qubit level), by one weighted
+  /// descent over node *pairs*: inner(a, b) = ⟨v_a|P_below|v_b⟩, memoized on
+  /// the (bra node, ket node) pair. Diagonal factors pair same-branch
+  /// children, X/Y pair opposite branches (the off-diagonal couplings),
+  /// Y adds the ±i bookkeeping. Does not collapse or mutate the diagram.
+  Complex pauliExpectation(VEdge root, unsigned n,
+                           const std::vector<std::uint8_t>& paulis);
+
   // ---- resource management -------------------------------------------------
   /// Roots registered here survive garbage collection.
   void setRoot(VEdge root) { root_ = root; }

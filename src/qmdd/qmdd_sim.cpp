@@ -128,6 +128,15 @@ std::vector<std::uint64_t> QmddSimulator::sampleShots(unsigned count,
   return shots;
 }
 
+double QmddSimulator::expectationPauli(
+    const std::vector<std::uint8_t>& paulis) {
+  const double norm = totalProbability();
+  SLIQ_CHECK(norm > 0, "zero state has no expectation values");
+  // ⟨P⟩ of a Hermitian Pauli string is real; the imaginary part the double
+  // arithmetic leaves behind is rounding noise and is dropped with it.
+  return mgr_.pauliExpectation(mgr_.root(), n_, paulis).real() / norm;
+}
+
 bool QmddSimulator::isNormalized(double tolerance) {
   return std::abs(totalProbability() - 1.0) <= tolerance;
 }

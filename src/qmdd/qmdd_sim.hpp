@@ -43,6 +43,12 @@ class QmddSimulator {
   /// shot matches sampleAll, so a fixed seed yields the same sequence.
   std::vector<std::uint64_t> sampleShots(unsigned count, Rng& rng);
 
+  /// ⟨P⟩ for the Pauli string given per qubit (0=I, 1=X, 2=Y, 3=Z),
+  /// normalized by Σ|α|² so accumulated edge-weight rounding drift cancels.
+  /// One pair-wise weighted descent of the state DD (QmddManager::
+  /// pauliExpectation); does not collapse or mutate the state.
+  double expectationPauli(const std::vector<std::uint8_t>& paulis);
+
   /// True when |Σ|α|² − 1| ≤ tolerance (paper: the 'error' column trips
   /// when state probabilities no longer sum to 1).
   bool isNormalized(double tolerance = 1e-4);

@@ -34,7 +34,7 @@ int StabilizerSimulator::rowPhaseExponent(const Row& a, const Row& b) const {
   return e;
 }
 
-void StabilizerSimulator::rowMult(Row& target, const Row& source) {
+void StabilizerSimulator::rowMult(Row& target, const Row& source) const {
   const int e = 2 * (target.phase ? 1 : 0) + 2 * (source.phase ? 1 : 0) +
                 rowPhaseExponent(source, target);
   SLIQ_ASSERT(((e % 4) + 4) % 4 % 2 == 0);
@@ -145,6 +145,46 @@ bool StabilizerSimulator::supports(const QuantumCircuit& circuit) {
     if (g.kind == GateKind::kSwap && !g.controls.empty()) return false;
   }
   return true;
+}
+
+bool StabilizerSimulator::anticommutes(const Row& a, const Row& b) const {
+  // popcount(u) + popcount(v) ≡ popcount(u ^ v) (mod 2), so the symplectic
+  // product reduces to one XOR + parity per word.
+  bool parity = false;
+  for (unsigned w = 0; w < words_; ++w) {
+    parity ^= __builtin_parityll((a.x[w] & b.z[w]) ^ (a.z[w] & b.x[w]));
+  }
+  return parity;
+}
+
+double StabilizerSimulator::expectationPauli(const std::vector<bool>& x,
+                                             const std::vector<bool>& z) const {
+  SLIQ_REQUIRE(x.size() == n_ && z.size() == n_, "pauli width mismatch");
+  Row p;
+  p.x.assign(words_, 0);
+  p.z.assign(words_, 0);
+  for (unsigned q = 0; q < n_; ++q) {
+    if (x[q]) p.x[q >> 6] |= std::uint64_t{1} << (q & 63);
+    if (z[q]) p.z[q >> 6] |= std::uint64_t{1} << (q & 63);
+  }
+  // Anticommuting with any stabilizer means the measurement of P is
+  // unbiased: ⟨P⟩ = 0.
+  for (unsigned i = n_; i < 2 * n_; ++i) {
+    if (anticommutes(rows_[i], p)) return 0.0;
+  }
+  // P commutes with the full stabilizer group, so P = ± Π s_i over exactly
+  // the generators whose destabilizer partners anticommute with P.
+  // Accumulate that product (with Aaronson–Gottesman phase bookkeeping) and
+  // read the sign off its phase bit.
+  Row product;
+  product.x.assign(words_, 0);
+  product.z.assign(words_, 0);
+  for (unsigned i = 0; i < n_; ++i) {
+    if (anticommutes(rows_[i], p)) rowMult(product, rows_[n_ + i]);
+  }
+  SLIQ_CHECK(product.x == p.x && product.z == p.z,
+             "commuting Pauli is not in the stabilizer group");
+  return product.phase ? -1.0 : 1.0;
 }
 
 double StabilizerSimulator::probabilityOne(unsigned qubit) {

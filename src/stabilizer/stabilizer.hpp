@@ -46,6 +46,16 @@ class StabilizerSimulator {
   /// Pr[qubit = 1]: 0, 1, or 0.5 (stabilizer states admit nothing else).
   double probabilityOne(unsigned qubit);
 
+  /// Exact ⟨P⟩ ∈ {−1, 0, +1} of the Pauli string with X support `x` and
+  /// Z support `z` (both indexed by qubit; x[q] && z[q] means Y_q), by
+  /// tableau commutation: 0 when P anticommutes with any stabilizer;
+  /// otherwise P is (up to sign) the product of the stabilizers whose
+  /// destabilizer partners anticommute with P, and the accumulated phase of
+  /// that product is the sign. Generalizes probabilityOne's deterministic
+  /// branch from Z_q to arbitrary strings; does not mutate the tableau.
+  double expectationPauli(const std::vector<bool>& x,
+                          const std::vector<bool>& z) const;
+
   /// One full-register shot (bit q = outcome of qubit q) without mutating
   /// this tableau: every qubit is measured on a scratch snapshot copy, so a
   /// shot costs one tableau copy instead of a circuit replay. Consumes one
@@ -76,8 +86,11 @@ class StabilizerSimulator {
     r.z[q >> 6] = v ? (r.z[q >> 6] | bit) : (r.z[q >> 6] & ~bit);
   }
 
-  void rowMult(Row& target, const Row& source);  // target *= source
+  void rowMult(Row& target, const Row& source) const;  // target *= source
   int rowPhaseExponent(const Row& a, const Row& b) const;
+  /// Symplectic product: true iff the Paulis of rows `a` and `b`
+  /// anticommute.
+  bool anticommutes(const Row& a, const Row& b) const;
 
   /// Index of the first stabilizer row with X on `qubit`, or 2n when the
   /// measurement outcome is deterministic.

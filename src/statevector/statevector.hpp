@@ -40,6 +40,13 @@ class StatevectorSimulator {
   /// Measures a single qubit (collapse + renormalize), consuming `random`
   /// in [0,1) to pick the outcome. Returns the observed bit.
   bool measure(unsigned qubit, double random);
+  /// ⟨P⟩ for the Pauli string with X-support `xmask`, Y-support `ymask` and
+  /// Z-support `zmask` (disjoint, bit q = qubit q), by direct contraction:
+  /// Σ_i conj(α_{i⊕flip})·phase(i)·α_i with flip = X∪Y support and
+  /// phase(i) = i^{|Y|}·(−1)^{popcount(i ∩ (Z∪Y))}. Normalized by Σ|α|²;
+  /// does not collapse or mutate the state.
+  double expectationPauli(std::uint64_t xmask, std::uint64_t ymask,
+                          std::uint64_t zmask) const;
   /// Samples a full basis state without collapsing the register.
   std::uint64_t sampleAll(double random) const;
   /// `count` samples through a one-time cumulative distribution + binary

@@ -42,14 +42,20 @@ TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
         makeEngine(name, 2)->capabilities();
     EXPECT_EQ(fromRegistry.batchedSampling, fromInstance.batchedSampling);
     EXPECT_EQ(fromRegistry.noiseFastPath, fromInstance.noiseFastPath);
+    EXPECT_EQ(fromRegistry.nativeExpectation, fromInstance.nativeExpectation);
   }
   EXPECT_THROW(EngineRegistry::instance().capabilities("no-such-engine"),
                UnknownEngineError);
   // Distinguishing expectations: the exact engine batches natively, chp's
-  // stabilizer formalism absorbs Pauli noise.
+  // stabilizer formalism absorbs Pauli noise, and every built-in contracts
+  // Pauli observables natively.
   EXPECT_TRUE(EngineRegistry::instance().capabilities("exact").batchedSampling);
   EXPECT_TRUE(EngineRegistry::instance().capabilities("chp").noiseFastPath);
   EXPECT_FALSE(EngineRegistry::instance().capabilities("chp").batchedSampling);
+  for (const std::string& name : engineNames()) {
+    EXPECT_TRUE(EngineRegistry::instance().capabilities(name).nativeExpectation)
+        << name;
+  }
 }
 
 TEST(EngineRegistry, UnknownNameIsRejectedWithTheRegisteredList) {

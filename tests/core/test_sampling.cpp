@@ -12,6 +12,7 @@
 #include "circuit/circuit.hpp"
 #include "core/engine_registry.hpp"
 #include "core/measurement_context.hpp"
+#include "core/observable.hpp"
 #include "core/simulator.hpp"
 #include "statevector/statevector.hpp"
 #include "support/rng.hpp"
@@ -190,6 +191,81 @@ TEST(Sampling, SampleShotsZeroCountLeavesRngUntouched) {
     Rng a(7), b(7);
     (void)engine->sampleShots(0, a);
     EXPECT_EQ(engine->sampleShots(2, a), engine->sampleShots(2, b));
+  }
+}
+
+/// Chi-squared-style test that shot-based estimators of ⟨Z_i⟩ and
+/// ⟨Z_i Z_j⟩ converge to the engine's analytic expectation(): each
+/// estimator's z² enters a summed statistic exactly like
+/// expectMarginalsMatch's, with Var[estimate] = (1 − e²)/shots for a ±1
+/// observable. Deterministic observables (|e| = 1) are checked exactly and
+/// excluded from the statistic.
+void expectShotEstimatesMatchExpectation(Engine& engine,
+                                         const QuantumCircuit& c,
+                                         unsigned shots, std::uint64_t seed) {
+  engine.run(c);
+  const unsigned n = engine.numQubits();
+  Rng rng(seed);
+  const auto samples = engine.sampleShots(shots, rng);
+  ASSERT_EQ(samples.size(), shots);
+
+  double chiSq = 0;
+  unsigned dof = 0;
+  auto check = [&](const PauliObservable& obs, double estimate) {
+    const double exact = engine.expectation(obs);
+    if (std::abs(exact) >= 1.0 - 1e-12) {
+      EXPECT_NEAR(estimate, exact, 1e-12) << obs.summary();
+      return;
+    }
+    const double variance = (1.0 - exact * exact) / shots;
+    const double diff = estimate - exact;
+    chiSq += diff * diff / variance;
+    ++dof;
+  };
+
+  // ⟨Z_i⟩ from per-qubit means of (−1)^bit.
+  for (unsigned q = 0; q < n; ++q) {
+    double mean = 0;
+    for (const auto& bits : samples) mean += bits[q] ? -1.0 : 1.0;
+    PauliObservable obs;
+    obs.addTerm(1.0, {{q, Pauli::kZ}});
+    check(obs, mean / shots);
+  }
+  // ⟨Z_i Z_j⟩ from pair parities (adjacent pairs keep the statistic small).
+  for (unsigned q = 0; q + 1 < n; ++q) {
+    double mean = 0;
+    for (const auto& bits : samples)
+      mean += (bits[q] != bits[q + 1]) ? -1.0 : 1.0;
+    PauliObservable obs;
+    obs.addTerm(1.0, {{q, Pauli::kZ}, {q + 1, Pauli::kZ}});
+    check(obs, mean / shots);
+  }
+  if (dof > 0) {
+    // Same heuristic bound as expectMarginalsMatch: the estimators are
+    // correlated on entangled states, so the summed z² is only
+    // approximately chi²(dof); the threshold clears the 99.9th percentile
+    // for every dof ≥ 1 and the fixed seed makes the run deterministic.
+    EXPECT_LT(chiSq, 10.0 + 4.0 * dof) << "dof = " << dof;
+  }
+}
+
+TEST(Sampling, ShotEstimatesConvergeToExpectationOnEveryEngine) {
+  const QuantumCircuit c = cliffordEntangled();
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, c.numQubits());
+    ASSERT_TRUE(engine->supports(c));
+    expectShotEstimatesMatchExpectation(*engine, c, 6000, 4321);
+  }
+}
+
+TEST(Sampling, ShotEstimatesConvergeToExpectationNonClifford) {
+  const QuantumCircuit c = tEntangled();
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, c.numQubits());
+    if (!engine->supports(c)) continue;  // chp: Clifford only
+    expectShotEstimatesMatchExpectation(*engine, c, 6000, 777);
   }
 }
 

@@ -1,0 +1,232 @@
+// Trajectory-mean Pauli expectations (noise::runTrajectoryExpectation):
+// thread-count invariance (bit-identical doubles), agreement of the
+// Pauli-frame sign path with the generic replay path, closed-form checks
+// for readout attenuation and simple channels, and the error contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/circuit.hpp"
+#include "core/engine_registry.hpp"
+#include "core/observable.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/trajectory.hpp"
+
+namespace sliq::noise {
+namespace {
+
+QuantumCircuit ghz(unsigned n) {
+  QuantumCircuit c(n, "ghz");
+  c.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  return c;
+}
+
+QuantumCircuit tEntangled() {
+  QuantumCircuit c(3, "t-entangled");
+  c.h(0).t(0).h(0).cx(0, 1).h(2).t(2).h(2).cx(1, 2);
+  return c;
+}
+
+NoiseModel depolarizingModel() {
+  NoiseModel model;
+  model.addAfterGate1(PauliChannel::depolarizing1(0.02));
+  model.addAfterGate2(PauliChannel::depolarizing2(0.03));
+  return model;
+}
+
+PauliObservable ghzObservable() {
+  return PauliObservable::parseString("1 Z0 Z1\n0.5 X0 X1 X2 X3\n-0.25 Z2\n");
+}
+
+TEST(TrajectoryExpectation, MeanIsThreadCountInvariantFastPath) {
+  const QuantumCircuit c = ghz(4);
+  const NoiseModel model = depolarizingModel();
+  const PauliObservable obs = ghzObservable();
+  for (const std::string& engine : engineNames()) {
+    SCOPED_TRACE(engine);
+    TrajectoryOptions options;
+    options.trajectories = 300;
+    options.seed = 11;
+    options.threads = 1;
+    const ExpectationResult one =
+        runTrajectoryExpectation(engine, c, model, obs, options);
+    EXPECT_TRUE(one.usedPauliFrameFastPath);
+    for (const unsigned threads : {2u, 3u, 8u}) {
+      options.threads = threads;
+      const ExpectationResult many =
+          runTrajectoryExpectation(engine, c, model, obs, options);
+      // Bit-identical, not approximately equal: the per-trajectory values
+      // land in index-addressed slots and reduce in index order.
+      EXPECT_EQ(many.mean, one.mean) << threads;
+      EXPECT_EQ(many.stddev, one.stddev) << threads;
+      EXPECT_EQ(many.standardError, one.standardError) << threads;
+    }
+  }
+}
+
+TEST(TrajectoryExpectation, MeanIsThreadCountInvariantGenericPath) {
+  const QuantumCircuit c = tEntangled();  // non-Clifford: generic path only
+  const NoiseModel model = depolarizingModel();
+  const PauliObservable obs =
+      PauliObservable::parseString("1 Z0 Z1\n-0.5 X2\n");
+  for (const char* engine : {"exact", "qmdd", "statevector"}) {
+    SCOPED_TRACE(engine);
+    TrajectoryOptions options;
+    options.trajectories = 60;
+    options.seed = 5;
+    options.threads = 1;
+    const ExpectationResult one =
+        runTrajectoryExpectation(engine, c, model, obs, options);
+    EXPECT_FALSE(one.usedPauliFrameFastPath);
+    options.threads = 4;
+    const ExpectationResult four =
+        runTrajectoryExpectation(engine, c, model, obs, options);
+    EXPECT_EQ(four.mean, one.mean);
+    EXPECT_EQ(four.stddev, one.stddev);
+  }
+}
+
+TEST(TrajectoryExpectation, FrameSignPathMatchesGenericReplay) {
+  // Same seeds, same substream consumption: the frame path's ±⟨P⟩_ideal per
+  // trajectory must equal the generic path's exact ⟨P⟩ of the realized
+  // noisy circuit (Pauli conjugation of a Pauli observable is exact).
+  const QuantumCircuit c = ghz(4);
+  const NoiseModel model = depolarizingModel();
+  const PauliObservable obs = ghzObservable();
+  for (const std::string& engine : engineNames()) {
+    SCOPED_TRACE(engine);
+    TrajectoryOptions options;
+    options.trajectories = 120;
+    options.seed = 21;
+    options.threads = 2;
+    const ExpectationResult fast =
+        runTrajectoryExpectation(engine, c, model, obs, options);
+    options.forceGeneric = true;
+    const ExpectationResult generic =
+        runTrajectoryExpectation(engine, c, model, obs, options);
+    EXPECT_TRUE(fast.usedPauliFrameFastPath);
+    EXPECT_FALSE(generic.usedPauliFrameFastPath);
+    EXPECT_NEAR(fast.mean, generic.mean, 1e-10);
+  }
+}
+
+TEST(TrajectoryExpectation, ReadoutAttenuationClosedForm) {
+  // Readout-only noise never randomizes the trajectory, so the mean is the
+  // exact closed form (1−2p)^|support|·⟨P⟩ with zero variance:
+  // GHZ-4 has ⟨Z0 Z1⟩ = 1 and ⟨X⊗4⟩ = 1.
+  const QuantumCircuit c = ghz(4);
+  NoiseModel model;
+  model.setReadoutFlip(0.1);
+  TrajectoryOptions options;
+  options.trajectories = 16;
+  options.seed = 3;
+  const double f2 = (1 - 0.2) * (1 - 0.2);
+  const double f4 = f2 * f2;
+  const ExpectationResult zz = runTrajectoryExpectation(
+      "exact", c, model, PauliObservable::parseString("1 Z0 Z1"), options);
+  EXPECT_NEAR(zz.mean, f2, 1e-12);
+  EXPECT_NEAR(zz.stddev, 0.0, 1e-12);
+  const ExpectationResult xxxx = runTrajectoryExpectation(
+      "chp", c, model, PauliObservable::parseString("1 X0 X1 X2 X3"),
+      options);
+  EXPECT_NEAR(xxxx.mean, f4, 1e-12);
+  // The identity term is a constant: untouched by readout error.
+  const ExpectationResult constant = runTrajectoryExpectation(
+      "exact", c, model, PauliObservable::parseString("2.5\n"), options);
+  EXPECT_NEAR(constant.mean, 2.5, 1e-12);
+}
+
+TEST(TrajectoryExpectation, BitFlipChannelClosedForm) {
+  // One-qubit circuit X(0) with gate1 bitflip(p): a trajectory flips the
+  // output with probability p, so ⟨Z0⟩ averages to −(1−2p). Monte-Carlo
+  // estimate with a fixed seed: allow 5 standard errors.
+  QuantumCircuit c(1);
+  c.x(0);
+  const double p = 0.2;
+  NoiseModel model;
+  model.addAfterGate1(PauliChannel::bitFlip(p));
+  TrajectoryOptions options;
+  options.trajectories = 4000;
+  options.seed = 77;
+  options.threads = 0;  // auto: determinism is thread-count independent
+  const ExpectationResult result = runTrajectoryExpectation(
+      "chp", c, model, PauliObservable::parseString("1 Z0"), options);
+  const double expected = -(1 - 2 * p);
+  EXPECT_NEAR(result.mean, expected, 5 * result.standardError + 1e-12);
+  // Per-trajectory values are ±1, so the sample stddev is ≈ 2√(p(1−p)).
+  EXPECT_NEAR(result.stddev, 2 * std::sqrt(p * (1 - p)), 0.05);
+}
+
+TEST(TrajectoryExpectation, DepolarizedGhzParityShrinks) {
+  // Depolarizing noise must shrink |⟨X⊗4⟩| strictly below 1 but keep it
+  // positive at these rates; the exact and chp engines agree bit-for-bit on
+  // the fast path because per-trajectory values are exact ±⟨P⟩.
+  const QuantumCircuit c = ghz(4);
+  const NoiseModel model = depolarizingModel();
+  const PauliObservable obs = PauliObservable::parseString("1 X0 X1 X2 X3");
+  TrajectoryOptions options;
+  options.trajectories = 1500;
+  options.seed = 13;
+  options.threads = 2;
+  const ExpectationResult exact =
+      runTrajectoryExpectation("exact", c, model, obs, options);
+  const ExpectationResult chp =
+      runTrajectoryExpectation("chp", c, model, obs, options);
+  EXPECT_EQ(exact.mean, chp.mean);
+  EXPECT_GT(exact.mean, 0.3);
+  EXPECT_LT(exact.mean, 0.99);
+}
+
+TEST(TrajectoryExpectation, ZeroTrajectoriesIsEmpty) {
+  TrajectoryOptions options;
+  options.trajectories = 0;
+  const ExpectationResult result = runTrajectoryExpectation(
+      "exact", ghz(2), NoiseModel(), PauliObservable::parseString("1 Z0"),
+      options);
+  EXPECT_EQ(result.trajectories, 0u);
+  EXPECT_EQ(result.mean, 0.0);
+}
+
+TEST(TrajectoryExpectation, ErrorsMirrorTheHistogramRunner) {
+  const PauliObservable obs = PauliObservable::parseString("1 Z0");
+  // chp cannot run T gates.
+  QuantumCircuit nonClifford(2);
+  nonClifford.t(0);
+  EXPECT_THROW(runTrajectoryExpectation("chp", nonClifford, NoiseModel(), obs),
+               NoiseError);
+  // Unknown engine.
+  EXPECT_THROW(
+      runTrajectoryExpectation("no-such-engine", ghz(2), NoiseModel(), obs),
+      UnknownEngineError);
+  // Observable wider than the circuit.
+  EXPECT_THROW(
+      runTrajectoryExpectation("exact", ghz(2), NoiseModel(),
+                               PauliObservable::parseString("1 Z5")),
+      ObservableSpecError);
+  // Noise-model filter wider than the circuit.
+  NoiseModel narrow;
+  narrow.addAfterGate1(PauliChannel::bitFlip(0.1), {7});
+  EXPECT_THROW(runTrajectoryExpectation("exact", ghz(2), narrow, obs),
+               NoiseError);
+}
+
+TEST(TrajectoryExpectation, FacadeOverloadMatchesNameOverload) {
+  const QuantumCircuit c = ghz(3);
+  const NoiseModel model = depolarizingModel();
+  const PauliObservable obs = PauliObservable::parseString("1 Z0 Z2");
+  TrajectoryOptions options;
+  options.trajectories = 64;
+  options.seed = 9;
+  const std::unique_ptr<Engine> prototype = makeEngine("qmdd", 3);
+  const ExpectationResult byName =
+      runTrajectoryExpectation("qmdd", c, model, obs, options);
+  const ExpectationResult byFacade =
+      runTrajectoryExpectation(*prototype, c, model, obs, options);
+  EXPECT_EQ(byName.mean, byFacade.mean);
+  EXPECT_EQ(byName.stddev, byFacade.stddev);
+}
+
+}  // namespace
+}  // namespace sliq::noise

@@ -1,0 +1,110 @@
+// Flag-combination validation for the sliqsim CLI (tools/cli_options.hpp):
+// the pure rules main() applies before doing any work, unit-tested without
+// spawning the binary.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cli_options.hpp"
+
+namespace sliq::cli {
+namespace {
+
+Options base() {
+  Options opt;
+  opt.path = "circuit.qasm";
+  return opt;
+}
+
+TEST(CliOptions, DefaultsAreValid) {
+  EXPECT_EQ(validateOptions(base()), "");
+}
+
+TEST(CliOptions, IdealModeQueriesAreValidTogether) {
+  Options opt = base();
+  opt.shots = 100;
+  opt.probs = true;
+  opt.amps = 4;
+  opt.stats = true;
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, TrajectoriesRequireNoise) {
+  Options opt = base();
+  opt.trajectoriesGiven = true;
+  const std::string error = validateOptions(opt);
+  EXPECT_NE(error.find("--trajectories"), std::string::npos) << error;
+  EXPECT_NE(error.find("--noise"), std::string::npos) << error;
+  opt.noisePath = "model.txt";
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, ThreadsRequireNoise) {
+  Options opt = base();
+  opt.threadsGiven = true;
+  const std::string error = validateOptions(opt);
+  EXPECT_NE(error.find("--threads"), std::string::npos) << error;
+  opt.noisePath = "model.txt";
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, NoiseRejectsIdealStateQueries) {
+  for (int which = 0; which < 4; ++which) {
+    Options opt = base();
+    opt.noisePath = "model.txt";
+    if (which == 0) opt.shots = 16;
+    if (which == 1) opt.probs = true;
+    if (which == 2) opt.amps = 2;
+    if (which == 3) opt.stats = true;
+    const std::string error = validateOptions(opt);
+    EXPECT_NE(error.find("--noise"), std::string::npos) << which << error;
+  }
+}
+
+TEST(CliOptions, ObservableRejectsShots) {
+  // Expectations are computed analytically; shot sampling estimates the
+  // same quantity with noise, so combining them is a category error.
+  Options opt = base();
+  opt.observablePath = "obs.txt";
+  opt.shots = 1000;
+  const std::string error = validateOptions(opt);
+  EXPECT_NE(error.find("--observable"), std::string::npos) << error;
+  EXPECT_NE(error.find("--shots"), std::string::npos) << error;
+}
+
+TEST(CliOptions, ObservableAloneAndWithIdealQueriesIsValid) {
+  Options opt = base();
+  opt.observablePath = "obs.txt";
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.probs = true;
+  opt.amps = 4;
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, ObservableWithNoiseTrajectoriesThreadsIsValid) {
+  // The noisy-expectation mode: --observable + --noise with the full
+  // trajectory parameterization (determinism across --threads is pinned by
+  // the trajectory-expectation tests and the CI diff smoke).
+  Options opt = base();
+  opt.observablePath = "obs.txt";
+  opt.noisePath = "model.txt";
+  opt.trajectoriesGiven = true;
+  opt.trajectories = 500;
+  opt.threadsGiven = true;
+  opt.threads = 4;
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, ObservableWithNoiseStillRejectsShotsAndProbes) {
+  Options opt = base();
+  opt.observablePath = "obs.txt";
+  opt.noisePath = "model.txt";
+  opt.shots = 16;
+  EXPECT_NE(validateOptions(opt), "");
+  opt.shots = 0;
+  opt.probs = true;
+  EXPECT_NE(validateOptions(opt), "");
+}
+
+}  // namespace
+}  // namespace sliq::cli

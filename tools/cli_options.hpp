@@ -1,0 +1,61 @@
+// sliqsim option state + pure flag-combination validation, extracted from
+// the CLI main so the combination rules are unit-testable without spawning
+// the binary (tests/tools/test_cli_options.cpp). main() owns parsing and
+// I/O; this header owns the "which flags make sense together" contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sliq::cli {
+
+struct Options {
+  std::string path;
+  std::string engine = "exact";
+  unsigned shots = 0;
+  bool probs = false;
+  unsigned amps = 0;
+  bool modifyH = false;
+  bool optimize = false;
+  std::uint64_t seed = 1;
+  bool stats = false;
+  std::string noisePath;
+  unsigned trajectories = 1000;
+  bool trajectoriesGiven = false;
+  unsigned threads = 1;
+  bool threadsGiven = false;
+  std::string observablePath;
+};
+
+/// Flag-combination validation: returns an error message for a nonsensical
+/// combination, or "" when the combination is coherent. The rules:
+///  * --trajectories / --threads parameterize the trajectory runner, which
+///    only exists under --noise.
+///  * --noise replaces the ideal-state queries (--shots/--probs/--amps/
+///    --stats) with the trajectory histogram — except --observable, whose
+///    noisy analogue (the trajectory-mean expectation) IS the --noise
+///    output.
+///  * --observable computes expectations analytically, so pairing it with
+///    --shots is a category error: shot sampling estimates what
+///    expectation() answers exactly (chi-squared tests pin the agreement).
+inline std::string validateOptions(const Options& opt) {
+  if (opt.noisePath.empty() && (opt.trajectoriesGiven || opt.threadsGiven)) {
+    return std::string(opt.trajectoriesGiven ? "--trajectories" : "--threads") +
+           " requires --noise";
+  }
+  if (!opt.observablePath.empty() && opt.shots > 0) {
+    return "--observable computes expectations analytically; drop --shots "
+           "(or use --noise --trajectories N for the noisy trajectory-mean "
+           "estimator)";
+  }
+  if (!opt.noisePath.empty() &&
+      (opt.shots > 0 || opt.probs || opt.amps > 0 || opt.stats)) {
+    return "--noise replaces the ideal-state queries; drop "
+           "--shots/--probs/--amps/--stats (trajectory counts are the noisy "
+           "analogue of shots, --observable the noisy analogue of "
+           "expectations)";
+  }
+  return "";
+}
+
+}  // namespace sliq::cli

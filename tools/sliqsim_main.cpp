@@ -13,9 +13,14 @@
 //   --optimize                 run the peephole optimizer before simulating
 //   --seed S                   RNG seed (default: 1)
 //   --stats                    print engine statistics
+//   --observable FILE          Pauli-observable spec: print exact per-term
+//                              and total expectation values ⟨O⟩; with
+//                              --noise, print the trajectory-mean noisy
+//                              expectation instead of the shot histogram
 //   --noise FILE               noise spec: run stochastic trajectories and
-//                              print the shot histogram instead of the
-//                              ideal-state queries
+//                              print the shot histogram (or, with
+//                              --observable, the noisy expectation) instead
+//                              of the ideal-state queries
 //   --trajectories N           Monte-Carlo trajectories (default: 1000;
 //                              only with --noise)
 //   --threads N                trajectory worker threads; 0 auto-detects
@@ -28,6 +33,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -35,7 +41,9 @@
 #include "circuit/optimizer.hpp"
 #include "circuit/qasm.hpp"
 #include "circuit/real_format.hpp"
+#include "cli_options.hpp"
 #include "core/engine_registry.hpp"
+#include "core/observable.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/trajectory.hpp"
 #include "support/bits.hpp"
@@ -44,30 +52,15 @@
 
 namespace {
 
-struct Options {
-  std::string path;
-  std::string engine = "exact";
-  unsigned shots = 0;
-  bool probs = false;
-  unsigned amps = 0;
-  bool modifyH = false;
-  bool optimize = false;
-  std::uint64_t seed = 1;
-  bool stats = false;
-  std::string noisePath;
-  unsigned trajectories = 1000;
-  bool trajectoriesGiven = false;
-  unsigned threads = 1;
-  bool threadsGiven = false;
-};
+using sliq::cli::Options;
 
 int usage() {
   std::cerr << "usage: sliqsim [--engine "
             << sliq::EngineRegistry::instance().namesJoined()
             << "] [--shots N] "
                "[--probs] [--amps K] [--modify-h] [--optimize] [--seed S] "
-               "[--stats] [--noise FILE] [--trajectories N] [--threads N] "
-               "[--list-engines] "
+               "[--stats] [--observable FILE] [--noise FILE] "
+               "[--trajectories N] [--threads N] [--list-engines] "
                "<circuit.qasm|circuit.real>\n";
   return 2;
 }
@@ -76,11 +69,13 @@ int listEngines() {
   const sliq::EngineRegistry& registry = sliq::EngineRegistry::instance();
   for (const std::string& name : sliq::engineNames()) {
     const sliq::EngineCapabilities caps = registry.capabilities(name);
+    const bool any =
+        caps.batchedSampling || caps.noiseFastPath || caps.nativeExpectation;
     std::cout << name << " — " << registry.describe(name) << " [capabilities:"
               << (caps.batchedSampling ? " batched-sampling" : "")
               << (caps.noiseFastPath ? " noise-fast-path" : "")
-              << (!caps.batchedSampling && !caps.noiseFastPath ? " none" : "")
-              << "]\n";
+              << (caps.nativeExpectation ? " native-expectation" : "")
+              << (any ? "" : " none") << "]\n";
   }
   return 0;
 }
@@ -174,6 +169,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.noisePath = v;
+    } else if (arg == "--observable") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::cerr << "error: --observable requires a spec file path\n";
+        return 2;
+      }
+      opt.observablePath = v;
     } else if (arg == "--trajectories") {
       if (!parseUnsigned("--trajectories", next(), &opt.trajectories))
         return 2;
@@ -194,17 +196,10 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.path.empty()) return usage();
-  if (opt.noisePath.empty() && (opt.trajectoriesGiven || opt.threadsGiven)) {
-    std::cerr << "error: "
-              << (opt.trajectoriesGiven ? "--trajectories" : "--threads")
-              << " requires --noise\n";
-    return 2;
-  }
-  if (!opt.noisePath.empty() &&
-      (opt.shots > 0 || opt.probs || opt.amps > 0 || opt.stats)) {
-    std::cerr << "error: --noise replaces the ideal-state queries; drop "
-                 "--shots/--probs/--amps/--stats (trajectory counts are the "
-                 "noisy analogue of shots)\n";
+  // Flag-combination rules live in cli_options.hpp (unit-tested directly).
+  if (const std::string error = sliq::cli::validateOptions(opt);
+      !error.empty()) {
+    std::cerr << "error: " << error << "\n";
     return 2;
   }
 
@@ -236,6 +231,13 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    PauliObservable observable;
+    if (!opt.observablePath.empty()) {
+      observable = PauliObservable::parseFile(opt.observablePath);
+      observable.validateForWidth(circuit.numQubits());
+      std::cout << "observable: " << observable.summary() << "\n";
+    }
+
     if (!opt.noisePath.empty()) {
       const noise::NoiseModel model = noise::NoiseModel::parseFile(opt.noisePath);
       std::cout << "noise: " << model.summary() << "\n";
@@ -243,6 +245,26 @@ int main(int argc, char** argv) {
       traj.trajectories = opt.trajectories;
       traj.threads = opt.threads;
       traj.seed = opt.seed;
+      if (!opt.observablePath.empty()) {
+        // Noisy expectation: the trajectory-mean of engine-exact ⟨O⟩,
+        // bit-identical for every --threads under a fixed --seed (printed
+        // with full precision so determinism diffs would catch any drift).
+        const noise::ExpectationResult result = noise::runTrajectoryExpectation(
+            *engine, circuit, model, observable, traj);
+        std::cout << "<O> = " << std::setprecision(17) << result.mean
+                  << std::setprecision(6) << "  (stat. error "
+                  << result.standardError << " over " << result.trajectories
+                  << " trajectories)\n";
+        std::cout << "ran " << result.trajectories << " trajectories in "
+                  << result.seconds << " s ("
+                  << static_cast<std::uint64_t>(result.trajectoriesPerSecond())
+                  << " traj/s, " << result.threadsUsed << " thread"
+                  << (result.threadsUsed == 1 ? "" : "s") << ", "
+                  << (result.usedPauliFrameFastPath ? "pauli-frame fast path"
+                                                    : "generic path")
+                  << ", " << engine->name() << ")\n";
+        return 0;
+      }
       const noise::TrajectoryResult result =
           noise::runTrajectories(*engine, circuit, model, traj);
       for (const auto& [bits, count] : result.counts)
@@ -266,6 +288,20 @@ int main(int argc, char** argv) {
     const std::string summary = engine->runSummary();
     if (!summary.empty()) std::cout << summary << "\n";
 
+    if (!opt.observablePath.empty()) {
+      // Exact expectations, one native contraction per string — the state
+      // is never collapsed, so the queries below still see the run() state.
+      WallTimer obsTimer;
+      double total = 0;
+      for (const PauliString& term : observable.terms()) {
+        const double value = engine->expectation(singleStringObservable(term));
+        total += term.coefficient * value;
+        std::cout << "<" << term.pauliText() << "> = " << std::setprecision(12)
+                  << value << " (coefficient " << term.coefficient << ")\n";
+      }
+      std::cout << "<O> = " << std::setprecision(12) << total << " in "
+                << std::setprecision(6) << obsTimer.seconds() << " s\n";
+    }
     if (opt.probs) {
       for (unsigned q = 0; q < circuit.numQubits(); ++q)
         std::cout << "Pr[q" << q << "=1] = " << engine->probabilityOne(q)
