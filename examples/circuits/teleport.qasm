@@ -1,0 +1,28 @@
+// Quantum teleportation — the canonical dynamic circuit (README walkthrough).
+//
+// q0 carries the payload |ψ⟩ = S·H|0⟩ = |+i⟩ (Clifford, so even the chp
+// engine runs this file); q1/q2 share a Bell pair. A Bell measurement of
+// (q0, q1) into creg c steers the Pauli corrections on q2: afterwards q2
+// is exactly |ψ⟩ for every one of the four equally likely outcomes, and
+// ⟨Y⟩ on q2 is +1. With c = c[0] + 2·c[1], the X correction fires when
+// c[1] = 1 (c ∈ {2,3}) and the Z correction when c[0] = 1 (c ∈ {1,3}).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+// payload
+h q[0];
+s q[0];
+// Bell pair q1-q2
+h q[1];
+cx q[1],q[2];
+// Bell measurement of (q0, q1)
+cx q[0],q[1];
+h q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+// classically-controlled corrections
+if (c==2) x q[2];
+if (c==3) x q[2];
+if (c==1) z q[2];
+if (c==3) z q[2];

@@ -1,6 +1,7 @@
 #include "circuit/circuit.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "support/assert.hpp"
 
@@ -11,8 +12,30 @@ QuantumCircuit::QuantumCircuit(unsigned numQubits, std::string name)
   SLIQ_REQUIRE(numQubits > 0, "circuit needs at least one qubit");
 }
 
+void QuantumCircuit::declareClassicalRegister(unsigned bits) {
+  SLIQ_REQUIRE(bits > 0, "classical register needs at least one bit");
+  SLIQ_REQUIRE(bits <= 64,
+               "classical register limited to 64 bits (one register word)");
+  SLIQ_REQUIRE(numClbits_ == 0 || numClbits_ == bits,
+               "classical register already declared with a different size");
+  numClbits_ = bits;
+}
+
 void QuantumCircuit::append(Gate gate) {
   validateGate(gate, numQubits_);
+  if (gate.kind == GateKind::kMeasure) {
+    SLIQ_REQUIRE(gate.cbit < numClbits_,
+                 "measure target bit out of range (declare the classical "
+                 "register first)");
+  }
+  if (gate.conditioned) {
+    SLIQ_REQUIRE(numClbits_ > 0,
+                 "conditioned operation without a classical register");
+    SLIQ_REQUIRE(
+        numClbits_ >= 64 || gate.conditionValue < (std::uint64_t{1} << numClbits_),
+        "condition value out of range for the classical register");
+  }
+  if (gate.isDynamicOp() || gate.conditioned) ++dynamicOps_;
   gates_.push_back(std::move(gate));
 }
 
@@ -60,14 +83,41 @@ QuantumCircuit& QuantumCircuit::cswap(unsigned control, unsigned q0,
   return *this;
 }
 
+QuantumCircuit& QuantumCircuit::measure(unsigned qubit, unsigned cbit) {
+  Gate g{GateKind::kMeasure, {qubit}, {}};
+  g.cbit = cbit;
+  append(std::move(g));
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::reset(unsigned qubit) {
+  append(Gate{GateKind::kReset, {qubit}, {}});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::onlyIf(std::uint64_t value, Gate gate) {
+  gate.conditioned = true;
+  gate.conditionValue = value;
+  append(std::move(gate));
+  return *this;
+}
+
 QuantumCircuit& QuantumCircuit::compose(const QuantumCircuit& other) {
   SLIQ_REQUIRE(other.numQubits_ == numQubits_,
                "compose requires equal qubit counts");
-  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+  SLIQ_REQUIRE(other.numClbits_ == 0 || other.numClbits_ == numClbits_,
+               "compose requires equal classical register sizes");
+  // Route through append so the dynamic-op counter stays coherent.
+  for (const Gate& g : other.gates_) append(g);
   return *this;
 }
 
 QuantumCircuit QuantumCircuit::inverse() const {
+  if (isDynamic()) {
+    throw std::logic_error(
+        "dynamic circuits have no inverse: measurement and reset are "
+        "irreversible");
+  }
   QuantumCircuit inv(numQubits_, name_ + "_inv");
   for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
     Gate g = *it;
@@ -105,8 +155,10 @@ std::size_t QuantumCircuit::countKIncrements() const {
 
 std::string QuantumCircuit::summary() const {
   std::ostringstream os;
-  os << name_ << ": " << numQubits_ << " qubits, " << gates_.size()
-     << " gates";
+  os << name_ << ": " << numQubits_ << " qubits, ";
+  if (numClbits_ > 0) os << numClbits_ << " clbits, ";
+  os << gates_.size() << " gates";
+  if (isDynamic()) os << " (dynamic)";
   bool first = true;
   for (const auto& [name, count] : histogram()) {
     os << (first ? " [" : ", ") << name << ":" << count;

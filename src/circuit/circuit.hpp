@@ -19,6 +19,18 @@ class QuantumCircuit {
   const std::string& name() const { return name_; }
   void setName(std::string name) { name_ = std::move(name); }
 
+  // ---- classical register (dynamic circuits, DESIGN.md §8) ---------------
+  /// Declares the classical register (`creg c[bits];`). At most 64 bits so
+  /// a register value fits one machine word; re-declaring with a different
+  /// size throws (the QASM frontend surfaces this as a redeclaration
+  /// diagnostic). Must be declared before any measure / conditioned op.
+  void declareClassicalRegister(unsigned bits);
+  unsigned numClbits() const { return numClbits_; }
+  /// True when the circuit contains any dynamic operation (measure, reset,
+  /// or a classically-conditioned gate) — such circuits collapse state
+  /// mid-run and must execute through Engine::runDynamic.
+  bool isDynamic() const { return dynamicOps_ > 0; }
+
   std::size_t gateCount() const { return gates_.size(); }
   const std::vector<Gate>& gates() const { return gates_; }
   const Gate& gate(std::size_t i) const { return gates_[i]; }
@@ -49,6 +61,15 @@ class QuantumCircuit {
   /// Fredkin (controlled swap).
   QuantumCircuit& cswap(unsigned control, unsigned q0, unsigned q1);
 
+  // Dynamic-circuit builders.
+  /// Mid-circuit measurement of `qubit` recorded into classical bit `cbit`.
+  QuantumCircuit& measure(unsigned qubit, unsigned cbit);
+  /// Reset of `qubit` to |0⟩ (measure + conditional flip).
+  QuantumCircuit& reset(unsigned qubit);
+  /// Appends `gate` conditioned on the full classical register equaling
+  /// `value` (OpenQASM 2.0 `if (c == value) gate;`).
+  QuantumCircuit& onlyIf(std::uint64_t value, Gate gate);
+
   /// Appends all gates of `other` (same width required).
   QuantumCircuit& compose(const QuantumCircuit& other);
 
@@ -57,7 +78,8 @@ class QuantumCircuit {
   /// Ry(π/2) invert only up to a global phase — Rx(π/2)⁻¹ ≃ H·S†·H and
   /// Ry(π/2)⁻¹ = Z·H... emitted as gate sequences; composing a circuit with
   /// its inverse therefore restores all probabilities exactly and all
-  /// amplitudes up to one global ω power per Rx gate.
+  /// amplitudes up to one global ω power per Rx gate. Dynamic circuits have
+  /// no inverse (measurement is irreversible) — throws std::logic_error.
   QuantumCircuit inverse() const;
 
   /// Gate-kind histogram keyed by mnemonic ("h", "cx", ...).
@@ -73,6 +95,8 @@ class QuantumCircuit {
   QuantumCircuit& add1(GateKind kind, unsigned q);
 
   unsigned numQubits_;
+  unsigned numClbits_ = 0;
+  std::size_t dynamicOps_ = 0;  // measure + reset + conditioned ops
   std::string name_;
   std::vector<Gate> gates_;
 };

@@ -22,6 +22,8 @@ std::string gateName(const Gate& gate) {
     case GateKind::kCnot: base = "x"; break;
     case GateKind::kCz: base = "z"; break;
     case GateKind::kSwap: base = "swap"; break;
+    case GateKind::kMeasure: base = "measure"; break;
+    case GateKind::kReset: base = "reset"; break;
   }
   if (gate.kind == GateKind::kCnot) {
     if (gate.controls.size() == 1) return "cx";
@@ -56,6 +58,10 @@ void validateGate(const Gate& gate, unsigned numQubits) {
       gate.kind == GateKind::kSwap ? 2 : 1;
   SLIQ_REQUIRE(gate.targets.size() == expectedTargets,
                "wrong target count for gate " + gateName(gate));
+  if (gate.isDynamicOp()) {
+    SLIQ_REQUIRE(gate.controls.empty(),
+                 "measure/reset take no control qubits");
+  }
   std::vector<unsigned> all = gate.targets;
   all.insert(all.end(), gate.controls.begin(), gate.controls.end());
   for (unsigned q : all)

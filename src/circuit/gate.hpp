@@ -22,20 +22,38 @@ enum class GateKind : std::uint8_t {
   kCnot,     // controlled-NOT (any number of controls = Toffoli family)
   kCz,       // controlled-Z
   kSwap,     // SWAP; with controls = Fredkin family
+  // Dynamic-circuit operations (DESIGN.md §8). These are not unitary gates:
+  // they collapse (and, for kMeasure, record) state, so the static
+  // Engine::run path rejects circuits containing them — execution goes
+  // through Engine::runDynamic, which owns the classical register.
+  kMeasure,  // projective Z measurement of targets[0], recorded in creg[cbit]
+  kReset,    // measure targets[0], then flip to |0⟩ (outcome discarded)
 };
 
 /// One circuit operation: a kind, target qubit(s) and control qubits.
 /// kCnot with >=2 controls is the Toffoli of the paper (arbitrary control
 /// count supported); kSwap with >=1 control is the Fredkin gate.
+///
+/// Dynamic-circuit extensions: kMeasure writes its outcome into classical
+/// bit `cbit`; any operation may carry a classical condition (`conditioned`
+/// + `conditionValue`), the OpenQASM 2.0 `if (c == n) op;` — the op
+/// executes iff the full classical register currently equals the value.
 struct Gate {
   GateKind kind;
   std::vector<unsigned> targets;   // 1 target (2 for kSwap)
   std::vector<unsigned> controls;  // empty unless controlled
+  unsigned cbit = 0;               // kMeasure: classical bit written
+  bool conditioned = false;        // classical condition attached?
+  std::uint64_t conditionValue = 0;  // execute iff creg == conditionValue
 
   unsigned target() const { return targets[0]; }
   /// Total distinct qubits touched.
   unsigned arity() const {
     return static_cast<unsigned>(targets.size() + controls.size());
+  }
+  /// True for the non-unitary dynamic operations (measure / reset).
+  bool isDynamicOp() const {
+    return kind == GateKind::kMeasure || kind == GateKind::kReset;
   }
 };
 
@@ -52,6 +70,8 @@ bool isPermutationGate(GateKind kind);
 bool incrementsK(GateKind kind);
 
 /// Validates qubit indices and distinctness; throws std::invalid_argument.
+/// (Classical-register fields — cbit range, condition width — are validated
+/// by QuantumCircuit::append, which knows the register size.)
 void validateGate(const Gate& gate, unsigned numQubits);
 
 }  // namespace sliq

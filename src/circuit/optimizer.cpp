@@ -68,6 +68,16 @@ QuantumCircuit optimizeCircuit(const QuantumCircuit& circuit,
   OptimizerReport local;
   local.gatesBefore = circuit.gateCount();
 
+  // Dynamic circuits are returned untouched: collapse points and classical
+  // conditions partition the gate list into regions the peephole rules
+  // would have to respect (a pair straddling a measure of a shared qubit
+  // must not fuse), and none of the rewrites below are aware of them.
+  if (circuit.isDynamic()) {
+    local.gatesAfter = circuit.gateCount();
+    if (report != nullptr) *report = local;
+    return circuit;
+  }
+
   std::vector<Gate> gates = circuit.gates();
   bool changed = true;
   while (changed) {

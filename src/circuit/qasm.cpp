@@ -1,7 +1,9 @@
 #include "circuit/qasm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -53,9 +55,8 @@ struct Parser {
     const std::string name = strip(operand.substr(0, open));
     if (name != reg) fail("unknown register '" + name + "'");
     const std::string idx = operand.substr(open + 1, close - open - 1);
-    for (char c : idx)
-      if (c < '0' || c > '9') fail("bad index '" + idx + "'");
-    return static_cast<unsigned>(std::stoul(idx));
+    return static_cast<unsigned>(
+        parseNumber(idx, std::numeric_limits<unsigned>::max(), "index"));
   }
 
   std::vector<unsigned> parseOperands(const std::string& args,
@@ -93,29 +94,180 @@ struct Parser {
     return std::move(*circuit);
   }
 
+  /// Overflow-checked decimal parse of `digits` into [0, maxValue] — keeps
+  /// huge literals inside the qasm:<line>: diagnostic contract instead of
+  /// leaking std::out_of_range (or silently truncating through a cast).
+  std::uint64_t parseNumber(const std::string& digits, std::uint64_t maxValue,
+                            const char* what) {
+    if (digits.empty()) fail(std::string("missing ") + what);
+    std::uint64_t value = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9')
+        fail(std::string("bad ") + what + " '" + digits + "'");
+      const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+      // Accumulation overflow (uint64) or final value beyond the cap both
+      // land in the same diagnostic.
+      if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10 ||
+          value * 10 + digit > maxValue)
+        fail(std::string(what) + " '" + digits + "' is out of range (max " +
+             std::to_string(maxValue) + ")");
+      value = value * 10 + digit;
+    }
+    return value;
+  }
+
+  /// Parses "name[size]" (register declarations).
+  void parseRegDecl(const std::string& args, const char* what,
+                    std::string& name, unsigned& size) {
+    const auto open = args.find('[');
+    const auto close = args.find(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open + 2)
+      fail(std::string("malformed ") + what);
+    name = strip(args.substr(0, open));
+    const std::string digits = args.substr(open + 1, close - open - 1);
+    size = static_cast<unsigned>(parseNumber(
+        digits, std::numeric_limits<unsigned>::max(),
+        (std::string(what) + " size").c_str()));
+  }
+
+  /// Bounds-checked qubit operand (both register-name and index range).
+  unsigned parseQubit(const std::string& operand, const std::string& qreg,
+                      const QuantumCircuit& circuit) {
+    const unsigned q = parseIndex(operand, qreg);
+    if (q >= circuit.numQubits()) {
+      fail("qubit index " + std::to_string(q) + " out of range for " + qreg +
+           "[" + std::to_string(circuit.numQubits()) + "]");
+    }
+    return q;
+  }
+
   void handleStatement(const std::string& stmt,
                        std::optional<QuantumCircuit>& circuit,
                        std::string& qreg) {
     std::string head, args;
     splitStatement(stmt, head, args);
 
-    if (head == "OPENQASM" || head == "include" || head == "creg" ||
-        head == "barrier")
+    if (head == "OPENQASM" || head == "include" || head == "barrier")
       return;  // accepted and ignored
     if (head == "qreg") {
-      const auto open = args.find('[');
-      const auto close = args.find(']');
-      if (open == std::string::npos || close == std::string::npos)
-        fail("malformed qreg");
-      qreg = strip(args.substr(0, open));
-      const unsigned n = static_cast<unsigned>(
-          std::stoul(args.substr(open + 1, close - open - 1)));
+      std::string name;
+      unsigned n = 0;
+      parseRegDecl(args, "qreg", name, n);
       if (circuit) fail("multiple qreg declarations");
+      qreg = name;
       circuit.emplace(n, circuitName);
       return;
     }
-    if (!circuit) fail("gate before qreg declaration");
-    if (head == "measure") return;  // terminal measurement handled by caller
+    if (!circuit) fail("statement before qreg declaration");
+    if (head == "creg") {
+      std::string name;
+      unsigned bits = 0;
+      parseRegDecl(args, "creg", name, bits);
+      if (!creg_.empty())
+        fail("classical register '" + creg_ + "' already declared (one creg "
+             "supported)");
+      if (bits == 0 || bits > 64)
+        fail("creg size must be in [1, 64], got " + std::to_string(bits));
+      creg_ = name;
+      circuit->declareClassicalRegister(bits);
+      return;
+    }
+
+    // OpenQASM 2.0 classical control: `if (c == n) <quantum op>;`.
+    bool conditioned = false;
+    std::uint64_t conditionValue = 0;
+    if (head == "if" || head.rfind("if(", 0) == 0) {
+      const auto open = stmt.find('(');
+      const auto close = stmt.find(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open)
+        fail("malformed if condition");
+      std::string cond = stmt.substr(open + 1, close - open - 1);
+      cond.erase(std::remove(cond.begin(), cond.end(), ' '), cond.end());
+      const auto eq = cond.find("==");
+      if (eq == std::string::npos) fail("if condition must be '<creg>==<n>'");
+      const std::string name = cond.substr(0, eq);
+      const std::string digits = cond.substr(eq + 2);
+      if (creg_.empty())
+        fail("if on undeclared classical register '" + name + "'");
+      if (name != creg_)
+        fail("if on undeclared classical register '" + name +
+             "' (declared: " + creg_ + ")");
+      if (digits.empty()) fail("if condition must be '<creg>==<n>'");
+      const unsigned bits = circuit->numClbits();
+      const std::uint64_t maxValue =
+          bits >= 64 ? std::numeric_limits<std::uint64_t>::max()
+                     : (std::uint64_t{1} << bits) - 1;
+      conditionValue = parseNumber(digits, maxValue, "condition value");
+      const std::string rest = strip(stmt.substr(close + 1));
+      if (rest.empty()) fail("if without a quantum operation");
+      splitStatement(rest, head, args);
+      if (head == "if" || head.rfind("if(", 0) == 0)
+        fail("nested if is not supported");
+      conditioned = true;
+    }
+
+    // Routes every op through the circuit's validated append, attaching the
+    // pending condition. (A conditioned whole-register *measure* is refused
+    // below: its expansion could not honor QASM's evaluate-once semantics.
+    // Whole-register reset is fine — resets never write the register.)
+    auto appendOp = [&](Gate g) {
+      if (conditioned) {
+        g.conditioned = true;
+        g.conditionValue = conditionValue;
+      }
+      circuit->append(std::move(g));
+    };
+
+    if (head == "measure") {
+      // `measure q[i] -> c[j];` or the whole-register `measure q -> c;`.
+      const auto arrow = args.find("->");
+      if (arrow == std::string::npos)
+        fail("measure expects '<qubit> -> <clbit>'");
+      const std::string src = strip(args.substr(0, arrow));
+      const std::string dst = strip(args.substr(arrow + 2));
+      if (creg_.empty()) fail("measure before creg declaration");
+      if (src == qreg && dst == creg_) {
+        if (circuit->numQubits() > circuit->numClbits())
+          fail("whole-register measure needs " + creg_ + " to span " + qreg);
+        if (conditioned) {
+          // QASM 2.0 evaluates `if` ONCE per statement, but the expansion
+          // below re-evaluates per bit — and earlier bits' creg writes
+          // would falsify the condition mid-statement. Refuse rather than
+          // silently diverge.
+          fail("conditioned whole-register measure is unsupported (the "
+               "per-bit expansion would re-evaluate the condition after "
+               "each recorded bit); write per-bit measures");
+        }
+        for (unsigned q = 0; q < circuit->numQubits(); ++q) {
+          Gate g{GateKind::kMeasure, {q}, {}};
+          g.cbit = q;
+          appendOp(std::move(g));
+        }
+        return;
+      }
+      const unsigned q = parseQubit(src, qreg, *circuit);
+      const unsigned c = parseIndex(dst, creg_);
+      if (c >= circuit->numClbits()) {
+        fail("classical bit " + std::to_string(c) + " out of range for " +
+             creg_ + "[" + std::to_string(circuit->numClbits()) + "]");
+      }
+      Gate g{GateKind::kMeasure, {q}, {}};
+      g.cbit = c;
+      appendOp(std::move(g));
+      return;
+    }
+    if (head == "reset") {
+      // `reset q[i];` or the whole-register `reset q;`.
+      if (strip(args) == qreg) {
+        for (unsigned q = 0; q < circuit->numQubits(); ++q)
+          appendOp(Gate{GateKind::kReset, {q}, {}});
+        return;
+      }
+      appendOp(Gate{GateKind::kReset, {parseQubit(args, qreg, *circuit)}, {}});
+      return;
+    }
 
     // Normalize parameterized mnemonics rx(pi/2) / ry(pi/2).
     std::string mnemonic = head;
@@ -148,22 +300,22 @@ struct Parser {
         {"rx90", GateKind::kRx90}, {"ry90", GateKind::kRy90}};
     if (auto it = kSingle.find(mnemonic); it != kSingle.end()) {
       need(1);
-      circuit->append(Gate{it->second, {ops[0]}, {}});
+      appendOp(Gate{it->second, {ops[0]}, {}});
     } else if (mnemonic == "cx") {
       need(2);
-      circuit->cx(ops[0], ops[1]);
+      appendOp(Gate{GateKind::kCnot, {ops[1]}, {ops[0]}});
     } else if (mnemonic == "cz") {
       need(2);
-      circuit->cz(ops[0], ops[1]);
+      appendOp(Gate{GateKind::kCz, {ops[1]}, {ops[0]}});
     } else if (mnemonic == "ccx") {
       need(3);
-      circuit->ccx(ops[0], ops[1], ops[2]);
+      appendOp(Gate{GateKind::kCnot, {ops[2]}, {ops[0], ops[1]}});
     } else if (mnemonic == "swap") {
       need(2);
-      circuit->swap(ops[0], ops[1]);
+      appendOp(Gate{GateKind::kSwap, {ops[0], ops[1]}, {}});
     } else if (mnemonic == "cswap") {
       need(3);
-      circuit->cswap(ops[0], ops[1], ops[2]);
+      appendOp(Gate{GateKind::kSwap, {ops[1], ops[2]}, {ops[0]}});
     } else if (mnemonic.size() > 2 && mnemonic.front() == 'c' &&
                (mnemonic.back() == 'x' || mnemonic.back() == 'z')) {
       // cNx / cNz with explicit count, e.g. "c3x q[0],q[1],q[2],q[3]".
@@ -175,15 +327,14 @@ struct Parser {
       }
       if (ops.size() != count + 1) fail("operand count mismatch");
       std::vector<unsigned> controls(ops.begin(), ops.end() - 1);
-      if (mnemonic.back() == 'x') {
-        circuit->mcx(controls, ops.back());
-      } else {
-        circuit->mcz(controls, ops.back());
-      }
+      appendOp(Gate{mnemonic.back() == 'x' ? GateKind::kCnot : GateKind::kCz,
+                    {ops.back()}, std::move(controls)});
     } else {
       fail("unknown gate '" + mnemonic + "'");
     }
   }
+
+  std::string creg_;  // declared classical register name ("" = none)
 };
 
 }  // namespace
@@ -208,7 +359,18 @@ QuantumCircuit parseQasmFile(const std::string& path) {
 void writeQasm(const QuantumCircuit& circuit, std::ostream& out) {
   out << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
   out << "qreg q[" << circuit.numQubits() << "];\n";
+  if (circuit.numClbits() > 0)
+    out << "creg c[" << circuit.numClbits() << "];\n";
   for (const Gate& g : circuit.gates()) {
+    if (g.conditioned) out << "if (c==" << g.conditionValue << ") ";
+    if (g.kind == GateKind::kMeasure) {
+      out << "measure q[" << g.target() << "] -> c[" << g.cbit << "];\n";
+      continue;
+    }
+    if (g.kind == GateKind::kReset) {
+      out << "reset q[" << g.target() << "];\n";
+      continue;
+    }
     std::string mnemonic = gateName(g);
     if (mnemonic == "rx90") mnemonic = "rx(pi/2)";
     if (mnemonic == "ry90") mnemonic = "ry(pi/2)";

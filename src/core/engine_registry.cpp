@@ -42,9 +42,9 @@ class ExactEngine final : public Engine {
   unsigned numQubits() const override { return sim_.numQubits(); }
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
   }
-  void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
+  void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
   }
@@ -52,6 +52,13 @@ class ExactEngine final : public Engine {
   bool measure(unsigned qubit, double random) override {
     noteCollapsed();
     return sim_.measure(qubit, random);
+  }
+  bool reset(unsigned qubit, double random) override {
+    // Collapse through the MeasurementContext (state-version bump included)
+    // plus the exact X kernel; later probabilities renormalize implicitly
+    // against the post-collapse Z[√2] weight.
+    noteCollapsed();
+    return sim_.reset(qubit, random);
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
@@ -136,6 +143,10 @@ class ExactEngine final : public Engine {
     return value;
   }
 
+  void runStatic(const QuantumCircuit& circuit) override {
+    sim_.run(circuit);
+  }
+
   std::string name_;
   SliqSimulator sim_;
 };
@@ -150,9 +161,9 @@ class QmddEngine final : public Engine {
   unsigned numQubits() const override { return sim_.numQubits(); }
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
   }
-  void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
+  void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
   }
@@ -160,6 +171,11 @@ class QmddEngine final : public Engine {
   bool measure(unsigned qubit, double random) override {
     noteCollapsed();
     return sim_.measure(qubit, random);
+  }
+  bool reset(unsigned qubit, double random) override {
+    // Weighted-descent collapse (renormalizing the root weight) + X.
+    noteCollapsed();
+    return sim_.reset(qubit, random);
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
@@ -217,6 +233,10 @@ class QmddEngine final : public Engine {
   }
 
  private:
+  void runStatic(const QuantumCircuit& circuit) override {
+    sim_.run(circuit);
+  }
+
   std::string name_;
   qmdd::QmddSimulator sim_;
 };
@@ -233,12 +253,12 @@ class ChpEngine final : public Engine {
     // Pauli noise is native here: a tableau absorbs X/Y/Z errors without
     // ever leaving the stabilizer formalism (the trajectory fast path).
     return {/*batchedSampling=*/false, /*noiseFastPath=*/true,
-            /*nativeExpectation=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return StabilizerSimulator::supports(c);
   }
-  void run(const QuantumCircuit& circuit) override { sim_.run(circuit); }
+  void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
   }
@@ -248,6 +268,11 @@ class ChpEngine final : public Engine {
   bool measure(unsigned qubit, double random) override {
     noteCollapsed();
     return sim_.measure(qubit, random);
+  }
+  bool reset(unsigned qubit, double random) override {
+    // Tableau measurement + row phase flip (StabilizerSimulator::reset).
+    noteCollapsed();
+    return sim_.reset(qubit, random);
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
@@ -272,6 +297,10 @@ class ChpEngine final : public Engine {
   std::string runSummary() override { return "stabilizer tableau"; }
 
  private:
+  void runStatic(const QuantumCircuit& circuit) override {
+    sim_.run(circuit);
+  }
+
   std::string name_;
   StabilizerSimulator sim_;
 };
@@ -291,12 +320,12 @@ class StatevectorEngine final : public Engine {
   unsigned numQubits() const override { return n_; }
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return c.numQubits() <= kMaxQubits && n_ <= kMaxQubits;
   }
-  void run(const QuantumCircuit& circuit) override { sim().run(circuit); }
+  void applyGate(const Gate& gate) override { sim().applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
     return sim().probabilityOne(qubit);
   }
@@ -304,6 +333,11 @@ class StatevectorEngine final : public Engine {
   bool measure(unsigned qubit, double random) override {
     noteCollapsed();
     return sim().measure(qubit, random);
+  }
+  bool reset(unsigned qubit, double random) override {
+    // Projective collapse (renormalizing) + dense X.
+    noteCollapsed();
+    return sim().reset(qubit, random);
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
@@ -359,6 +393,10 @@ class StatevectorEngine final : public Engine {
   }
 
  private:
+  void runStatic(const QuantumCircuit& circuit) override {
+    sim().run(circuit);
+  }
+
   // 2^26 amplitudes = 1 GiB of complex<double>; beyond that the dense
   // representation is infeasible, not merely slow.
   static constexpr unsigned kMaxQubits = 26;
@@ -383,6 +421,66 @@ class StatevectorEngine final : public Engine {
 
 }  // namespace
 
+// ---- facade: static vs dynamic execution ---------------------------------
+
+void Engine::run(const QuantumCircuit& circuit) {
+  if (circuit.isDynamic()) {
+    throw std::logic_error(
+        "run() cannot execute a dynamic circuit (mid-circuit "
+        "measure/reset/classical control): use runDynamic(circuit, rng)");
+  }
+  runStatic(circuit);
+}
+
+DynamicRun Engine::runDynamic(const QuantumCircuit& circuit, Rng& rng,
+                              const DynamicInstrument* instrument) {
+  if (circuit.numQubits() != numQubits()) {
+    throw std::invalid_argument("runDynamic: circuit width " +
+                                std::to_string(circuit.numQubits()) +
+                                " != engine width " +
+                                std::to_string(numQubits()));
+  }
+  DynamicRun result;
+  std::uint64_t creg = 0;
+  for (std::size_t i = 0; i < circuit.gateCount(); ++i) {
+    const Gate& op = circuit.gate(i);
+    // The classical condition gates EXECUTION: a skipped op applies no
+    // gate, consumes no deviate, and fires no instrument hook.
+    if (op.conditioned && creg != op.conditionValue) continue;
+    switch (op.kind) {
+      case GateKind::kMeasure: {
+        bool bit = measure(op.target(), rng.uniform());
+        ++result.measures;
+        if (instrument != nullptr && instrument->recordMeasure) {
+          bit = instrument->recordMeasure(bit);
+        }
+        result.outcomes.push_back(bit);
+        const std::uint64_t mask = std::uint64_t{1} << op.cbit;
+        creg = bit ? (creg | mask) : (creg & ~mask);
+        break;
+      }
+      case GateKind::kReset:
+        reset(op.target(), rng.uniform());
+        ++result.resets;
+        break;
+      default:
+        applyGate(op);
+        break;
+    }
+    if (instrument != nullptr && instrument->afterOp) {
+      instrument->afterOp(*this, i);
+    }
+  }
+  result.creg.assign(circuit.numClbits(), false);
+  for (unsigned c = 0; c < circuit.numClbits(); ++c)
+    result.creg[c] = (creg >> c) & 1;
+  // The post-execution state is the new reference state: re-arm (rather
+  // than leave tripped) the ad-hoc-measure() collapse restriction so
+  // sampleShot/expectation answer questions about it.
+  collapsed_ = false;
+  return result;
+}
+
 // ---- registry ------------------------------------------------------------
 
 EngineRegistry& EngineRegistry::instance() {
@@ -391,19 +489,19 @@ EngineRegistry& EngineRegistry::instance() {
     r->add("exact", "bit-sliced BDD engine (the paper's contribution)",
            [](unsigned n) { return std::make_unique<ExactEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
     r->add("qmdd", "QMDD baseline, our DDSIM reimplementation",
            [](unsigned n) { return std::make_unique<QmddEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
     r->add("chp", "CHP stabilizer tableau (Clifford circuits only)",
            [](unsigned n) { return std::make_unique<ChpEngine>(n); },
            {/*batchedSampling=*/false, /*noiseFastPath=*/true,
-            /*nativeExpectation=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
     r->add("statevector", "dense 2^n array simulator (ground truth, n <= 26)",
            [](unsigned n) { return std::make_unique<StatevectorEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
     return r;
   }();
   return *registry;

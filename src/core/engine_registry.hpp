@@ -23,6 +23,7 @@
 namespace sliq {
 
 class PauliObservable;  // core/observable.hpp
+class Engine;
 
 class UnknownEngineError : public std::runtime_error {
  public:
@@ -46,6 +47,50 @@ struct EngineCapabilities {
   /// contraction) instead of the facade's basis-change + probabilityOne
   /// fallback.
   bool nativeExpectation = false;
+  /// The engine implements the per-op primitives (applyGate / measure /
+  /// reset) that runDynamic() drives, so it executes dynamic circuits
+  /// (mid-circuit measurement, reset, classical control). The noise
+  /// trajectory runner checks this flag before replaying dynamic circuits
+  /// and refuses the Pauli-frame fast path for them regardless (frames do
+  /// not commute through classical control).
+  bool dynamicCircuits = false;
+};
+
+/// Result of one dynamic-circuit execution (Engine::runDynamic).
+struct DynamicRun {
+  /// Final classical register, bit c = creg[c] (the value classical
+  /// conditions compared against mid-run).
+  std::vector<bool> creg;
+  /// Chronological recorded outcomes of every *executed* measure op (after
+  /// any instrument readout transformation) — the per-shot classical
+  /// outcome stream the differential harness compares across engines.
+  std::vector<bool> outcomes;
+  /// Executed op counts: the run consumed exactly `measures + resets`
+  /// uniform deviates (one per collapse; conditioned ops whose condition
+  /// failed consume none) — the cross-engine deviate contract, plus any
+  /// deviates an instrument drew.
+  unsigned measures = 0;
+  unsigned resets = 0;
+
+  /// Final register as an integer (bit c = creg[c]); 0 when no creg.
+  std::uint64_t cregValue() const {
+    std::uint64_t v = 0;
+    for (std::size_t c = 0; c < creg.size(); ++c)
+      if (creg[c]) v |= std::uint64_t{1} << c;
+    return v;
+  }
+};
+
+/// Optional per-op instrumentation for runDynamic(). The noise subsystem
+/// injects sampled error gates and readout flips through these hooks so the
+/// classical-control walk (condition evaluation, deviate order, creg
+/// updates) lives in exactly one place. Hooks fire for *executed* ops only.
+struct DynamicInstrument {
+  /// Called after op `opIndex` executed (gate applied / outcome recorded).
+  std::function<void(Engine&, std::size_t opIndex)> afterOp;
+  /// Transforms a measured bit before it is recorded into the creg (e.g. a
+  /// classical readout flip). Classical control sees the transformed bit.
+  std::function<bool(bool outcome)> recordMeasure;
 };
 
 /// Uniform facade over one engine instance of a fixed qubit width,
@@ -67,7 +112,34 @@ class Engine {
     return true;
   }
 
-  virtual void run(const QuantumCircuit& circuit) = 0;
+  /// Prepares the engine state by applying a *static* circuit. Dynamic
+  /// circuits (mid-circuit measure / reset / classical control) throw
+  /// std::logic_error here — they carry classical state the static path
+  /// cannot execute; use runDynamic().
+  void run(const QuantumCircuit& circuit);
+
+  /// Executes `circuit` op by op, owning the classical register: plain
+  /// gates go through applyGate(), a conditioned op executes iff the
+  /// register currently equals its condition value, kMeasure collapses via
+  /// measure() and records the bit, kReset collapses via reset(). Every
+  /// engine consumes `rng` identically — exactly one uniform deviate per
+  /// executed measure/reset, in op order — so a shared seed yields
+  /// bit-identical classical outcome streams wherever the engines agree on
+  /// probabilities (they do, to ≥10 digits). Also valid for static
+  /// circuits (it degenerates to run()). Afterwards the engine holds the
+  /// post-execution state as a NEW well-defined reference state:
+  /// probabilityOne / sampleShot(s) / expectation query it (the
+  /// measure()-collapse restriction is re-armed, not left tripped).
+  /// `instrument` (optional) receives per-executed-op callbacks — see
+  /// DynamicInstrument.
+  DynamicRun runDynamic(const QuantumCircuit& circuit, Rng& rng,
+                        const DynamicInstrument* instrument = nullptr);
+
+  /// Applies one unitary gate to the current state (the per-op primitive
+  /// runDynamic drives; also useful for incremental state preparation).
+  /// Throws for the non-unitary kinds (kMeasure/kReset) and, for engines
+  /// with a restricted gate set, for unsupported gates.
+  virtual void applyGate(const Gate& gate) = 0;
 
   virtual double probabilityOne(unsigned qubit) = 0;
   /// Σ|α|² (1 up to engine-specific rounding while normalized).
@@ -76,6 +148,15 @@ class Engine {
   /// iff random < Pr[qubit = 1] — the convention shared by every engine,
   /// so identical deviates yield identical collapse cascades.
   virtual bool measure(unsigned qubit, double random) = 0;
+  /// Resets `qubit` to |0⟩: a measure() collapse (consuming exactly the
+  /// one deviate) followed by an X flip when the observed bit was 1.
+  /// Returns the pre-reset measured bit. Engines override this with their
+  /// native reset; the semantics and deviate count are pinned identical.
+  virtual bool reset(unsigned qubit, double random) {
+    const bool was = measure(qubit, random);
+    if (was) applyGate(Gate{GateKind::kX, {qubit}, {}});
+    return was;
+  }
   /// One full-register shot (bit q = outcome of qubit q) from the state
   /// prepared by run(), leaving the engine state intact. Every built-in
   /// engine samples natively without collapsing (BDD/DD descent, tableau
@@ -132,6 +213,10 @@ class Engine {
   }
 
  protected:
+  /// run() body for a static circuit, called after the facade has rejected
+  /// dynamic circuits.
+  virtual void runStatic(const QuantumCircuit& circuit) = 0;
+
   /// expectation() body, called after the facade has checked the collapse
   /// restriction and the observable's width. The base implementation is the
   /// generic basis-change + probabilityOne fallback.
@@ -144,7 +229,8 @@ class Engine {
     if (collapsed_) {
       throw std::logic_error(
           "sampleShot() after measure(): shot sampling is defined on the "
-          "state prepared by run(), not on a collapsed register");
+          "state prepared by run()/runDynamic(), not on a collapsed "
+          "register");
     }
   }
 

@@ -33,6 +33,9 @@ class EquivalenceChecker {
     // `first`'s manager. We take the last option: one symbolic simulator
     // per circuit, both built over the identical variable layout, then
     // slice BDDs are compared by structural hashing across managers.
+    SLIQ_REQUIRE(!first.isDynamic() && !second.isDynamic(),
+                 "equivalence checking is defined for unitary circuits only "
+                 "(dynamic circuits measure mid-run)");
     SliqSimulator a(first.numQubits(), SliqSimulator::SymbolicInit{}, config);
     SliqSimulator b(second.numQubits(), SliqSimulator::SymbolicInit{},
                     config);

@@ -104,7 +104,31 @@ bool SliqSimulator::measure(unsigned qubit, double random) {
   for (auto& slices : vec_)
     for (Bdd& f : slices) f &= literal;
   invalidateMonolithic();
+  // Post-measure renormalization (DESIGN.md §8): scaling the physical
+  // state by √2 is free in this representation — it is one decrement of
+  // the k scalar — so whenever the post-collapse weight Σ|α|²·2ᵏ is an
+  // exact power of two (always for Clifford circuits, whose measurement
+  // probabilities are dyadic) the state is renormalized *exactly* by
+  // re-pointing k at it. Non-dyadic weights (T-circuits) keep the implicit
+  // path: every query divides by the current weight, so probabilities are
+  // identical either way. The traversal this costs is the one the next
+  // probability query would run anyway (the context caches it; k does not
+  // enter the cached weights).
+  const Zroot2& weight = measurementContext().totalWeightScaled();
+  if (weight.irrational().isZero() && weight.rational().signum() > 0) {
+    const BigInt& u = weight.rational();
+    const unsigned bits = u.bitLength();
+    if (u == BigInt::pow2(bits - 1)) {
+      k_ = static_cast<std::int64_t>(bits) - 1;  // Σ|α|² = 2ᵏ/2ᵏ = 1 again
+    }
+  }
   return outcome;
+}
+
+bool SliqSimulator::reset(unsigned qubit, double random) {
+  const bool was = measure(qubit, random);
+  if (was) applyGate(Gate{GateKind::kX, {qubit}, {}});
+  return was;
 }
 
 std::vector<bool> SliqSimulator::sampleAll(Rng& rng) {

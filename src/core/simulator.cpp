@@ -160,6 +160,12 @@ void SliqSimulator::applyGate(const Gate& gate) {
     case GateKind::kSwap:
       applySwap(gate.controls, gate.targets[0], gate.targets[1]);
       break;
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      SLIQ_REQUIRE(false,
+                   "measure/reset are not unitary gates — dynamic circuits "
+                   "execute through Engine::runDynamic");
+      break;
   }
   ++stats_.gatesApplied;
   stats_.maxBitWidth = std::max(stats_.maxBitWidth, r_);

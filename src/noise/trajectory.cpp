@@ -45,7 +45,13 @@ NoisePlan buildNoisePlan(const NoiseModel& model,
                     gate.controls.end());
     operands.insert(operands.end(), gate.targets.begin(), gate.targets.end());
 
-    if (operands.size() == 1) {
+    // Measure/reset are not gates: the gate1/gate2 rules do not fire
+    // (readout error models measurement noise instead). The shared idle
+    // loop below still applies — the op's target counts as busy, so only
+    // the *other* qubits pick up idle noise.
+    if (gate.isDynamicOp()) {
+      // fall through to the idle rules only
+    } else if (operands.size() == 1) {
       for (const AttachedChannel& rule : model.afterGate1()) {
         if (rule.appliesTo(operands[0])) {
           sites.push_back({&rule.channel, operands[0], operands[0]});
@@ -123,6 +129,12 @@ QuantumCircuit realizationFromPlan(const QuantumCircuit& circuit,
 
 QuantumCircuit sampleRealization(const QuantumCircuit& circuit,
                                  const NoiseModel& model, Rng& rng) {
+  if (circuit.isDynamic()) {
+    throw NoiseError(
+        "sampleRealization is defined for static circuits: a dynamic "
+        "realization depends on mid-run outcomes (use runTrajectories, "
+        "which replays the classical control per trajectory)");
+  }
   return realizationFromPlan(circuit, buildNoisePlan(model, circuit), rng);
 }
 
@@ -211,6 +223,14 @@ void PauliFrame::propagateThrough(const Gate& gate) {
     case GateKind::kTdg:
       nonClifford();
       break;
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      // Frames conjugate through unitaries only; collapse points end the
+      // frame algebra (the runner never picks the fast path for dynamic
+      // circuits — see runChecked).
+      throw NoiseError(
+          "Pauli frame cannot propagate through " + gateName(gate) +
+          ": frames do not commute through classical control");
   }
 }
 
@@ -245,6 +265,48 @@ void runGenericWorker(const RunContext& run, std::atomic<unsigned>& next,
     std::vector<bool> bits = engine->sampleShot(rng);
     applyReadout(bits, run.model, rng);
     ++local[bitsToString(bits)];
+  }
+}
+
+/// Dynamic-circuit path: each trajectory re-executes the classical control
+/// flow through Engine::runDynamic on a fresh engine, with the noise plan
+/// injected per executed op through the DynamicInstrument hooks — the walk
+/// (condition evaluation, creg updates, deviate order) lives in the facade,
+/// so zero-noise trajectories are bit-identical to plain runDynamic. The
+/// trajectory's "shot" is the final classical register.
+void runDynamicWorker(const RunContext& run, std::atomic<unsigned>& next,
+                      Counts& local) {
+  const unsigned n = run.circuit.numQubits();
+  const bool readout = run.model.hasReadoutError();
+  const double flip = readout ? run.model.readoutFlip() : 0.0;
+  for (;;) {
+    const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= run.trajectories) return;
+    Rng rng = run.root.split(t).rng();
+    const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
+    DynamicInstrument instrument;
+    instrument.afterOp = [&run, &rng](Engine& e, std::size_t i) {
+      for (const ChannelApplication& site : run.plan[i]) {
+        const PauliChannel& channel = *site.channel;
+        const PauliTerm& term = channel.terms()[channel.sample(rng)];
+        if (term.paulis[0] != Pauli::kI) {
+          e.applyGate(Gate{pauliGateKind(term.paulis[0]), {site.q0}, {}});
+        }
+        if (channel.arity() == 2 && term.paulis[1] != Pauli::kI) {
+          e.applyGate(Gate{pauliGateKind(term.paulis[1]), {site.q1}, {}});
+        }
+      }
+    };
+    if (readout) {
+      // Mid-circuit readout error: the *recorded* bit flips, and classical
+      // control downstream sees the flipped record — one deviate per
+      // executed measure, mirroring applyReadout's per-bit convention.
+      instrument.recordMeasure = [&rng, flip](bool outcome) {
+        return rng.uniform() < flip ? !outcome : outcome;
+      };
+    }
+    const DynamicRun shot = engine->runDynamic(run.circuit, rng, &instrument);
+    ++local[bitsToString(shot.creg)];
   }
 }
 
@@ -289,13 +351,38 @@ TrajectoryResult runChecked(const std::string& engineName,
                             const TrajectoryOptions& options) {
   model.validateForWidth(circuit.numQubits());
 
+  const bool dynamic = circuit.isDynamic();
+  if (options.forcePauliFrame) {
+    if (options.forceGeneric) {
+      throw NoiseError(
+          "forceGeneric and forcePauliFrame are mutually exclusive");
+    }
+    if (dynamic) {
+      throw NoiseError(
+          "Pauli-frame fast path cannot execute dynamic circuits: frames "
+          "do not commute through classical control (measure/reset/if)");
+    }
+    if (!StabilizerSimulator::supports(circuit)) {
+      throw NoiseError(
+          "Pauli-frame fast path requires a Clifford circuit");
+    }
+  }
+  if (dynamic &&
+      !EngineRegistry::instance().capabilities(engineName).dynamicCircuits) {
+    throw NoiseError("engine '" + engineName +
+                     "' does not declare the dynamic-circuits capability");
+  }
+
   TrajectoryResult result;
   result.trajectories = options.trajectories;
   // Pauli insertions keep a Clifford circuit Clifford, so the frame path is
-  // valid exactly when the ideal circuit is stabilizer-simulable. The
-  // choice depends only on (circuit, options) — never on the thread count.
+  // valid exactly when the ideal circuit is stabilizer-simulable AND static
+  // (a classical condition decides mid-run whether a Clifford gate exists —
+  // no frame conjugation order is correct for both branches). The choice
+  // depends only on (circuit, options) — never on the thread count.
   result.usedPauliFrameFastPath =
-      !options.forceGeneric && StabilizerSimulator::supports(circuit);
+      !dynamic && !options.forceGeneric &&
+      StabilizerSimulator::supports(circuit);
   if (options.trajectories == 0) return result;
 
   const unsigned threads =
@@ -320,9 +407,11 @@ TrajectoryResult runChecked(const std::string& engineName,
     done.reserve(result.threadsUsed);
     for (unsigned w = 0; w < result.threadsUsed; ++w) {
       Counts& local = locals[w];
-      done.push_back(pool.submit([&run, &next, &local, framePath] {
+      done.push_back(pool.submit([&run, &next, &local, framePath, dynamic] {
         if (framePath) {
           runFrameWorker(run, next, local);
+        } else if (dynamic) {
+          runDynamicWorker(run, next, local);
         } else {
           runGenericWorker(run, next, local);
         }
@@ -458,6 +547,12 @@ ExpectationResult runExpectationChecked(const std::string& engineName,
                                         const TrajectoryOptions& options) {
   model.validateForWidth(circuit.numQubits());
   observable.validateForWidth(circuit.numQubits());
+  if (circuit.isDynamic()) {
+    throw NoiseError(
+        "trajectory expectation requires a static circuit: a dynamic "
+        "circuit's <O> is conditioned on its classical outcome stream "
+        "(mirrors the CLI's --observable restriction)");
+  }
 
   ExpectationResult result;
   result.trajectories = options.trajectories;

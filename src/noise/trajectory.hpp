@@ -48,11 +48,19 @@ struct TrajectoryOptions {
   std::uint64_t seed = 1;
   /// Disables the Pauli-frame fast path (tests and the bench baseline).
   bool forceGeneric = false;
+  /// Demands the Pauli-frame fast path, turning the silent fallback into a
+  /// strict error: throws NoiseError when the circuit is non-Clifford or
+  /// dynamic (frames do not commute through classical control), instead of
+  /// quietly running the generic path.
+  bool forcePauliFrame = false;
 };
 
 struct TrajectoryResult {
   /// Shot histogram keyed by bitstring (qubit n-1 leftmost, like the CLI's
   /// shot output). std::map keeps the iteration order deterministic.
+  /// Dynamic circuits histogram their *classical register* instead (bit
+  /// numClbits-1 leftmost): the creg stream is the output of a dynamic
+  /// circuit, and the post-run quantum state is conditioned on it.
   std::map<std::string, std::uint64_t> counts;
   unsigned trajectories = 0;
   unsigned threadsUsed = 0;
@@ -67,7 +75,18 @@ struct TrajectoryResult {
 /// Runs `options.trajectories` noise trajectories of `circuit` under
 /// `model` on the engine registered as `engineName`, fanning them across
 /// worker threads. Throws NoiseError for an infeasible combination (model
-/// qubit filters out of range, engine unsupported for the circuit).
+/// qubit filters out of range, engine unsupported for the circuit, a
+/// dynamic circuit on an engine without the dynamicCircuits capability or
+/// with options.forcePauliFrame set).
+///
+/// Dynamic circuits run on a dedicated generic path: each trajectory
+/// re-executes the classical control flow through Engine::runDynamic with
+/// its own substream, sampling the attached channels of each *executed* op
+/// in the shared canonical order (op deviates first — one per
+/// measure/reset, plus one readout-flip deviate per measure when the model
+/// has readout error — then one per channel site). Ops skipped by a failed
+/// classical condition consume no deviates and receive no noise. The
+/// histogram is keyed by the final classical register.
 TrajectoryResult runTrajectories(const std::string& engineName,
                                  const QuantumCircuit& circuit,
                                  const NoiseModel& model,
@@ -116,7 +135,10 @@ struct ExpectationResult {
 /// shrink a k-qubit parity by exactly that factor, and applying it in
 /// closed form keeps the deviate accounting (and hence thread determinism)
 /// untouched. Throws NoiseError / ObservableSpecError on infeasible
-/// combinations, like runTrajectories.
+/// combinations, like runTrajectories; dynamic circuits always throw —
+/// their ⟨O⟩ is conditioned on the classical outcome stream, so a single
+/// trajectory-mean number would be ill-defined (the same restriction the
+/// CLI enforces for --observable on dynamic circuits).
 ExpectationResult runTrajectoryExpectation(const std::string& engineName,
                                            const QuantumCircuit& circuit,
                                            const NoiseModel& model,

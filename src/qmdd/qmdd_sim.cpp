@@ -32,6 +32,12 @@ U2 gateMatrix(GateKind kind) {
     case GateKind::kCnot: return {{0, 1, 1, 0}};
     case GateKind::kCz: return {{1, 0, 0, -1}};
     case GateKind::kSwap: break;
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      SLIQ_REQUIRE(false,
+                   "measure/reset are not unitary gates — dynamic circuits "
+                   "execute through Engine::runDynamic");
+      break;
   }
   SLIQ_CHECK(false, "no single-qubit matrix for this gate");
   return {};
@@ -111,6 +117,12 @@ bool QmddSimulator::measure(unsigned qubit, double random) {
   const bool outcome = random < p1;
   mgr_.setRoot(mgr_.collapse(mgr_.root(), n_, qubit, outcome));
   return outcome;
+}
+
+bool QmddSimulator::reset(unsigned qubit, double random) {
+  const bool was = measure(qubit, random);
+  if (was) applyGate(Gate{GateKind::kX, {qubit}, {}});
+  return was;
 }
 
 std::uint64_t QmddSimulator::sampleAll(Rng& rng) {

@@ -35,10 +35,21 @@ int StabilizerSimulator::rowPhaseExponent(const Row& a, const Row& b) const {
 }
 
 void StabilizerSimulator::rowMult(Row& target, const Row& source) const {
+  // Valid only for commuting rows (phase stays in i^even); anticommuting
+  // products need rowMultMaskOnly (destabilizer updates, where the phase
+  // is never read).
   const int e = 2 * (target.phase ? 1 : 0) + 2 * (source.phase ? 1 : 0) +
                 rowPhaseExponent(source, target);
   SLIQ_ASSERT(((e % 4) + 4) % 4 % 2 == 0);
   target.phase = (((e % 4) + 4) % 4) == 2;
+  for (unsigned w = 0; w < words_; ++w) {
+    target.x[w] ^= source.x[w];
+    target.z[w] ^= source.z[w];
+  }
+}
+
+void StabilizerSimulator::rowMultMaskOnly(Row& target,
+                                          const Row& source) const {
   for (unsigned w = 0; w < words_; ++w) {
     target.x[w] ^= source.x[w];
     target.z[w] ^= source.z[w];
@@ -130,6 +141,12 @@ void StabilizerSimulator::applyGate(const Gate& gate) {
     case GateKind::kTdg:
       unsupported();
       break;
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      SLIQ_REQUIRE(false,
+                   "measure/reset are not unitary gates — dynamic circuits "
+                   "execute through Engine::runDynamic");
+      break;
   }
 }
 
@@ -215,9 +232,20 @@ unsigned StabilizerSimulator::anticommutingStabilizer(unsigned qubit) const {
 
 bool StabilizerSimulator::collapseRandom(unsigned qubit, unsigned p,
                                          bool outcome) {
-  // Random outcome: update the tableau per Aaronson-Gottesman.
+  // Random outcome: update the tableau per Aaronson-Gottesman. Stabilizer
+  // rows commute with row p (stabilizers commute mutually), so their phase
+  // bookkeeping stays in i^even. Destabilizer rows may ANTICOMMUTE with
+  // row p — their product picks up an i^odd the ±1 phase bit cannot
+  // represent — but destabilizer phases are never read (probabilityOne /
+  // expectationPauli only consult their X/Z masks to select stabilizers),
+  // so they update mask-only.
   for (unsigned i = 0; i < 2 * n_; ++i) {
-    if (i != p && getX(rows_[i], qubit)) rowMult(rows_[i], rows_[p]);
+    if (i == p || !getX(rows_[i], qubit)) continue;
+    if (i < n_) {
+      rowMultMaskOnly(rows_[i], rows_[p]);
+    } else {
+      rowMult(rows_[i], rows_[p]);
+    }
   }
   rows_[p - n_] = rows_[p];  // destabilizer partner takes the old stabilizer
   Row& fresh = rows_[p];
@@ -248,6 +276,15 @@ bool StabilizerSimulator::measure(unsigned qubit, double random) {
   }
   // Pr[qubit = 1] is exactly 1/2 here: outcome = random < p1.
   return collapseRandom(qubit, p, random < 0.5);
+}
+
+bool StabilizerSimulator::reset(unsigned qubit, double random) {
+  // Tableau reset: measure (collapsing the tableau rows onto the observed
+  // eigenspace), then flip the row phases with an X when the bit was 1 —
+  // afterwards Z_qubit is a +1 stabilizer again.
+  const bool was = measure(qubit, random);
+  if (was) applyX(qubit);
+  return was;
 }
 
 std::vector<bool> StabilizerSimulator::sampleAll(Rng& rng) const {

@@ -43,6 +43,10 @@ class StabilizerSimulator {
   /// outcome is not deterministic), so identical deviates reproduce
   /// identical collapse cascades across engines.
   bool measure(unsigned qubit, double random);
+  /// Resets a qubit to |0⟩: tableau measurement + row phase flip (X) when
+  /// the observed bit was 1. Consumes one deviate (the collapse); returns
+  /// the pre-reset measured bit.
+  bool reset(unsigned qubit, double random);
   /// Pr[qubit = 1]: 0, 1, or 0.5 (stabilizer states admit nothing else).
   double probabilityOne(unsigned qubit);
 
@@ -87,6 +91,9 @@ class StabilizerSimulator {
   }
 
   void rowMult(Row& target, const Row& source) const;  // target *= source
+  /// target *= source tracking X/Z masks only — for destabilizer updates,
+  /// whose phases are never read (anticommuting products would need i^odd).
+  void rowMultMaskOnly(Row& target, const Row& source) const;
   int rowPhaseExponent(const Row& a, const Row& b) const;
   /// Symplectic product: true iff the Paulis of rows `a` and `b`
   /// anticommute.

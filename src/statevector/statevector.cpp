@@ -110,6 +110,12 @@ void StatevectorSimulator::applyGate(const Gate& gate) {
     case GateKind::kSwap:
       applySwap(gate.controls, gate.targets[0], gate.targets[1]);
       break;
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      SLIQ_REQUIRE(false,
+                   "measure/reset are not unitary gates — dynamic circuits "
+                   "execute through Engine::runDynamic");
+      break;
   }
 }
 
@@ -173,6 +179,12 @@ bool StatevectorSimulator::measure(unsigned qubit, double random) {
     state_[i] = isOne == outcome ? state_[i] * scale : Amplitude{0, 0};
   }
   return outcome;
+}
+
+bool StatevectorSimulator::reset(unsigned qubit, double random) {
+  const bool was = measure(qubit, random);
+  if (was) applyGate(Gate{GateKind::kX, {qubit}, {}});
+  return was;
 }
 
 std::uint64_t StatevectorSimulator::sampleAll(double random) const {

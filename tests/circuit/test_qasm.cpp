@@ -26,11 +26,16 @@ TEST(Qasm, ParsesAllSupportedGates) {
   )";
   const QuantumCircuit c = parseQasmString(text);
   EXPECT_EQ(c.numQubits(), 4u);
-  EXPECT_EQ(c.gateCount(), 15u);  // barrier/measure/creg ignored
+  EXPECT_EQ(c.numClbits(), 4u);
+  EXPECT_EQ(c.gateCount(), 16u);  // barrier ignored; measure is an op now
   EXPECT_EQ(c.gate(0).kind, GateKind::kH);
   EXPECT_EQ(c.gate(8).kind, GateKind::kRx90);
   EXPECT_EQ(c.gate(14).kind, GateKind::kSwap);
   EXPECT_EQ(c.gate(14).controls.size(), 1u);
+  EXPECT_EQ(c.gate(15).kind, GateKind::kMeasure);
+  EXPECT_EQ(c.gate(15).target(), 0u);
+  EXPECT_EQ(c.gate(15).cbit, 0u);
+  EXPECT_TRUE(c.isDynamic());
 }
 
 TEST(Qasm, RoundTrip) {
@@ -77,6 +82,171 @@ TEST(Qasm, CommentsIgnored) {
   const QuantumCircuit c =
       parseQasmString("qreg q[1]; // declare\nh q[0]; // mix\n// x q[0];");
   EXPECT_EQ(c.gateCount(), 1u);
+}
+
+// ---- dynamic-circuit surface (measure / reset / creg / if) ----------------
+
+/// The qasm:<line>: prefix of every parser diagnostic, asserted so the
+/// file:line contract of the new surface is pinned, not just the throw.
+std::string diagnosticOf(const std::string& text) {
+  try {
+    parseQasmString(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Qasm, ParsesDynamicOps) {
+  const QuantumCircuit c = parseQasmString(R"(
+    OPENQASM 2.0;
+    qreg q[3];
+    creg c[2];
+    h q[0];
+    measure q[0] -> c[1];
+    reset q[2];
+    if (c==2) x q[1];
+    if(c == 1) measure q[1] -> c[0];
+  )");
+  ASSERT_EQ(c.gateCount(), 5u);
+  EXPECT_EQ(c.numClbits(), 2u);
+  EXPECT_TRUE(c.isDynamic());
+  EXPECT_EQ(c.gate(1).kind, GateKind::kMeasure);
+  EXPECT_EQ(c.gate(1).target(), 0u);
+  EXPECT_EQ(c.gate(1).cbit, 1u);
+  EXPECT_EQ(c.gate(2).kind, GateKind::kReset);
+  EXPECT_EQ(c.gate(2).target(), 2u);
+  EXPECT_TRUE(c.gate(3).conditioned);
+  EXPECT_EQ(c.gate(3).conditionValue, 2u);
+  EXPECT_EQ(c.gate(3).kind, GateKind::kX);
+  EXPECT_TRUE(c.gate(4).conditioned);
+  EXPECT_EQ(c.gate(4).conditionValue, 1u);
+  EXPECT_EQ(c.gate(4).kind, GateKind::kMeasure);
+}
+
+TEST(Qasm, WholeRegisterMeasureAndReset) {
+  const QuantumCircuit c = parseQasmString(
+      "qreg q[3]; creg c[3]; h q[0]; measure q -> c; reset q;");
+  ASSERT_EQ(c.gateCount(), 7u);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.gate(1 + i).kind, GateKind::kMeasure);
+    EXPECT_EQ(c.gate(1 + i).target(), i);
+    EXPECT_EQ(c.gate(1 + i).cbit, i);
+    EXPECT_EQ(c.gate(4 + i).kind, GateKind::kReset);
+  }
+}
+
+TEST(Qasm, CregRedeclarationDiagnostic) {
+  const std::string msg =
+      diagnosticOf("qreg q[2];\ncreg c[2];\ncreg d[3];\n");
+  EXPECT_NE(msg.find("qasm:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("already declared"), std::string::npos) << msg;
+}
+
+TEST(Qasm, IfOnUndeclaredRegisterDiagnostic) {
+  // No creg at all...
+  std::string msg = diagnosticOf("qreg q[2];\nif (c==1) x q[0];\n");
+  EXPECT_NE(msg.find("qasm:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("undeclared classical register 'c'"), std::string::npos)
+      << msg;
+  // ...and a declared creg under a different name.
+  msg = diagnosticOf("qreg q[2];\ncreg c[2];\nif (d==1) x q[0];\n");
+  EXPECT_NE(msg.find("qasm:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("undeclared classical register 'd'"), std::string::npos)
+      << msg;
+}
+
+TEST(Qasm, ConditionValueOutOfRangeDiagnostic) {
+  const std::string msg =
+      diagnosticOf("qreg q[2];\ncreg c[2];\nif (c==4) x q[0];\n");
+  EXPECT_NE(msg.find("qasm:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  // Boundary: c==3 is the largest representable value for creg c[2].
+  EXPECT_NO_THROW(
+      parseQasmString("qreg q[2]; creg c[2]; if (c==3) x q[0];"));
+}
+
+TEST(Qasm, ResetOnMissingQubitDiagnostic) {
+  const std::string msg = diagnosticOf("qreg q[2];\nreset q[5];\n");
+  EXPECT_NE(msg.find("qasm:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+}
+
+TEST(Qasm, MeasureDiagnostics) {
+  // Measure before any creg declaration.
+  std::string msg = diagnosticOf("qreg q[2];\nmeasure q[0] -> c[0];\n");
+  EXPECT_NE(msg.find("qasm:2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("creg"), std::string::npos) << msg;
+  // Classical target bit out of range.
+  msg = diagnosticOf("qreg q[2];\ncreg c[1];\nmeasure q[0] -> c[1];\n");
+  EXPECT_NE(msg.find("qasm:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  // Malformed arrow.
+  msg = diagnosticOf("qreg q[2];\ncreg c[2];\nmeasure q[0], c[0];\n");
+  EXPECT_NE(msg.find("qasm:3:"), std::string::npos) << msg;
+}
+
+TEST(Qasm, ConditionedWholeRegisterMeasureRejected) {
+  // QASM 2.0 evaluates `if` once per statement; the per-bit expansion
+  // would re-evaluate it after each recorded bit (an earlier outcome can
+  // falsify the condition mid-statement), so the combination is refused.
+  const std::string msg = diagnosticOf(
+      "qreg q[2];\ncreg c[2];\nx q[0]; x q[1];\nif (c==0) measure q -> c;\n");
+  EXPECT_NE(msg.find("qasm:4:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("whole-register measure"), std::string::npos) << msg;
+  // Per-bit conditioned measures and conditioned whole-register reset
+  // (which never writes the register) remain legal.
+  EXPECT_NO_THROW(parseQasmString(
+      "qreg q[2]; creg c[2]; if (c==0) measure q[0] -> c[0]; "
+      "if (c==0) reset q;"));
+}
+
+TEST(Qasm, HugeNumericLiteralsStayInsideTheDiagnosticContract) {
+  // 2^32 + 2 used to truncate to a 2-qubit register through the unsigned
+  // cast; >uint64 literals used to escape as bare std::out_of_range.
+  std::string msg = diagnosticOf("qreg q[4294967298];\n");
+  EXPECT_NE(msg.find("qasm:1:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  msg = diagnosticOf("qreg q[99999999999999999999];\n");
+  EXPECT_NE(msg.find("qasm:1:"), std::string::npos) << msg;
+  msg = diagnosticOf("qreg q[2];\nh q[99999999999999999999];\n");
+  EXPECT_NE(msg.find("qasm:2:"), std::string::npos) << msg;
+  msg = diagnosticOf(
+      "qreg q[2];\ncreg c[2];\nif (c==99999999999999999999) x q[0];\n");
+  EXPECT_NE(msg.find("qasm:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+}
+
+TEST(Qasm, NestedIfRejected) {
+  const std::string msg = diagnosticOf(
+      "qreg q[2];\ncreg c[2];\nif (c==1) if (c==2) x q[0];\n");
+  EXPECT_NE(msg.find("nested if"), std::string::npos) << msg;
+}
+
+TEST(Qasm, DynamicRoundTrip) {
+  QuantumCircuit c(3, "dyn_rt");
+  c.declareClassicalRegister(2);
+  c.h(0).cx(0, 1);
+  c.measure(0, 0).measure(1, 1);
+  c.reset(0);
+  c.onlyIf(2, Gate{GateKind::kX, {2}, {}});
+  c.onlyIf(3, Gate{GateKind::kZ, {2}, {}});
+  Gate condMeasure{GateKind::kMeasure, {2}, {}};
+  condMeasure.cbit = 0;
+  c.onlyIf(1, std::move(condMeasure));
+
+  const QuantumCircuit parsed = parseQasmString(toQasmString(c));
+  ASSERT_EQ(parsed.gateCount(), c.gateCount());
+  ASSERT_EQ(parsed.numClbits(), c.numClbits());
+  for (std::size_t i = 0; i < c.gateCount(); ++i) {
+    EXPECT_EQ(parsed.gate(i).kind, c.gate(i).kind) << i;
+    EXPECT_EQ(parsed.gate(i).targets, c.gate(i).targets) << i;
+    EXPECT_EQ(parsed.gate(i).cbit, c.gate(i).cbit) << i;
+    EXPECT_EQ(parsed.gate(i).conditioned, c.gate(i).conditioned) << i;
+    EXPECT_EQ(parsed.gate(i).conditionValue, c.gate(i).conditionValue) << i;
+  }
+  // Emit → parse → emit is a fixpoint.
+  EXPECT_EQ(toQasmString(parsed), toQasmString(c));
 }
 
 }  // namespace

@@ -1,0 +1,320 @@
+// Dynamic-circuit execution through the Engine facade: classical control
+// flow, collapse/reset semantics, the cross-engine deviate-consumption
+// contract, and the closed-form scenarios (teleportation, repeat-until-
+// success) that only dynamic circuits can express.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/optimizer.hpp"
+#include "core/engine_registry.hpp"
+#include "core/equivalence.hpp"
+#include "core/observable.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+/// ⟨P_q⟩ of a single one-qubit Pauli on the engine's current state.
+double pauliExpectation(Engine& engine, unsigned q, Pauli p) {
+  PauliObservable obs;
+  obs.addTerm(1.0, {PauliFactor{q, p}});
+  return engine.expectation(obs);
+}
+
+/// Standard teleportation of the 1-qubit state prepared by `payloadPrep`
+/// on q0: Bell pair (q1, q2), Bell measurement of (q0, q1) into c, then
+/// the classically-controlled Pauli corrections on q2.
+QuantumCircuit teleport(const std::vector<Gate>& payloadPrep) {
+  QuantumCircuit c(3, "teleport");
+  c.declareClassicalRegister(2);
+  for (const Gate& g : payloadPrep) c.append(g);
+  c.h(1).cx(1, 2);
+  c.cx(0, 1).h(0);
+  c.measure(0, 0).measure(1, 1);
+  c.onlyIf(2, Gate{GateKind::kX, {2}, {}});
+  c.onlyIf(3, Gate{GateKind::kX, {2}, {}});
+  c.onlyIf(1, Gate{GateKind::kZ, {2}, {}});
+  c.onlyIf(3, Gate{GateKind::kZ, {2}, {}});
+  return c;
+}
+
+TEST(Dynamic, StaticRunRejectsDynamicCircuits) {
+  QuantumCircuit c(2);
+  c.declareClassicalRegister(1);
+  c.h(0).measure(0, 0);
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    EXPECT_THROW(makeEngine(name, 2)->run(c), std::logic_error);
+  }
+}
+
+TEST(Dynamic, RunDynamicDegeneratesToRunOnStaticCircuits) {
+  QuantumCircuit c(2);
+  c.h(0).cx(0, 1).t(1);
+  for (const std::string& name : engineNames()) {
+    if (name == "chp") continue;  // T gate
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> viaRun = makeEngine(name, 2);
+    viaRun->run(c);
+    std::unique_ptr<Engine> viaDynamic = makeEngine(name, 2);
+    Rng rng(1);
+    const DynamicRun result = viaDynamic->runDynamic(c, rng);
+    EXPECT_EQ(result.measures, 0u);
+    EXPECT_EQ(result.resets, 0u);
+    EXPECT_TRUE(result.creg.empty());
+    // No deviate was drawn for a measure-free circuit.
+    EXPECT_EQ(rng.next(), Rng(1).next());
+    for (unsigned q = 0; q < 2; ++q) {
+      EXPECT_NEAR(viaDynamic->probabilityOne(q), viaRun->probabilityOne(q),
+                  1e-12);
+    }
+  }
+}
+
+TEST(Dynamic, ClassicalConditionsGateExecution) {
+  // x q0 makes the first measure deterministically 1; the condition c==1
+  // then fires the X on q1, whose measure records 1; the condition c==0
+  // (now false: c==3) must NOT fire the X on q2.
+  QuantumCircuit c(3);
+  c.declareClassicalRegister(3);
+  c.x(0);
+  c.measure(0, 0);
+  c.onlyIf(1, Gate{GateKind::kX, {1}, {}});
+  c.measure(1, 1);
+  c.onlyIf(0, Gate{GateKind::kX, {2}, {}});
+  c.measure(2, 2);
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 3);
+    Rng rng(7);
+    const DynamicRun result = engine->runDynamic(c, rng);
+    ASSERT_EQ(result.creg.size(), 3u);
+    EXPECT_TRUE(result.creg[0]);
+    EXPECT_TRUE(result.creg[1]);
+    EXPECT_FALSE(result.creg[2]);
+    EXPECT_EQ(result.cregValue(), 3u);
+    EXPECT_EQ(result.measures, 3u);
+    EXPECT_EQ(result.outcomes, (std::vector<bool>{true, true, false}));
+  }
+}
+
+TEST(Dynamic, ResetForcesZeroFromAnyState) {
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    // From a superposition...
+    {
+      QuantumCircuit c(1);
+      c.h(0).reset(0);
+      std::unique_ptr<Engine> engine = makeEngine(name, 1);
+      Rng rng(3);
+      const DynamicRun result = engine->runDynamic(c, rng);
+      EXPECT_EQ(result.resets, 1u);
+      EXPECT_NEAR(engine->probabilityOne(0), 0.0, 1e-12);
+      EXPECT_NEAR(engine->totalProbability(), 1.0, 1e-9);
+    }
+    // ...and from a definite |1⟩ (the X-correction branch of reset).
+    {
+      QuantumCircuit c(2);
+      c.x(0).cx(0, 1).reset(0);
+      std::unique_ptr<Engine> engine = makeEngine(name, 2);
+      Rng rng(3);
+      engine->runDynamic(c, rng);
+      EXPECT_NEAR(engine->probabilityOne(0), 0.0, 1e-12);
+      // The entangled partner keeps its collapsed value.
+      EXPECT_NEAR(engine->probabilityOne(1), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Dynamic, PostDynamicStateIsANewReferenceState) {
+  const QuantumCircuit c = teleport({Gate{GateKind::kH, {0}, {}}});
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 3);
+    Rng rng(11);
+    const DynamicRun result = engine->runDynamic(c, rng);
+    // Measured qubits hold their recorded value...
+    EXPECT_NEAR(engine->probabilityOne(0), result.creg[0] ? 1.0 : 0.0, 1e-12);
+    EXPECT_NEAR(engine->probabilityOne(1), result.creg[1] ? 1.0 : 0.0, 1e-12);
+    // ...and the post-run state is sampleable and queryable (the collapse
+    // restriction is re-armed, not left tripped by the mid-run measures).
+    EXPECT_NO_THROW(engine->sampleShot(rng));
+    EXPECT_NO_THROW(engine->expectation(PauliObservable{}));
+    // An ad-hoc measure() afterwards trips it again.
+    engine->measure(2, 0.5);
+    EXPECT_THROW(engine->sampleShot(rng), std::logic_error);
+  }
+}
+
+TEST(Dynamic, TeleportationPreservesThePayloadExactly) {
+  // Payload T·H|0⟩ — Bloch vector (1/√2, 1/√2, 0), non-Clifford, so the
+  // teleported state is checked on the three full-amplitude engines.
+  const double inv = 1.0 / std::sqrt(2.0);
+  const QuantumCircuit magic =
+      teleport({Gate{GateKind::kH, {0}, {}}, Gate{GateKind::kT, {0}, {}}});
+  for (const std::string& name : engineNames()) {
+    if (name == "chp") continue;
+    SCOPED_TRACE(name);
+    std::set<std::uint64_t> branches;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      std::unique_ptr<Engine> engine = makeEngine(name, 3);
+      Rng rng(seed);
+      const DynamicRun result = engine->runDynamic(magic, rng);
+      branches.insert(result.cregValue());
+      // Fidelity 1: the output Bloch vector IS the payload's, for every
+      // measurement branch.
+      EXPECT_NEAR(pauliExpectation(*engine, 2, Pauli::kX), inv, 1e-10);
+      EXPECT_NEAR(pauliExpectation(*engine, 2, Pauli::kY), inv, 1e-10);
+      EXPECT_NEAR(pauliExpectation(*engine, 2, Pauli::kZ), 0.0, 1e-10);
+    }
+    // The 20 fixed seeds exercise every correction branch (validated once;
+    // deterministic forever).
+    EXPECT_EQ(branches.size(), 4u);
+  }
+  // Clifford payload S·H|0⟩ = |+i⟩ for the stabilizer engine: ⟨Y⟩ = +1.
+  const QuantumCircuit clifford =
+      teleport({Gate{GateKind::kH, {0}, {}}, Gate{GateKind::kS, {0}, {}}});
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    std::unique_ptr<Engine> engine = makeEngine("chp", 3);
+    Rng rng(seed);
+    engine->runDynamic(clifford, rng);
+    EXPECT_NEAR(pauliExpectation(*engine, 2, Pauli::kY), 1.0, 1e-12);
+    EXPECT_NEAR(pauliExpectation(*engine, 2, Pauli::kX), 0.0, 1e-12);
+    EXPECT_NEAR(pauliExpectation(*engine, 2, Pauli::kZ), 0.0, 1e-12);
+  }
+}
+
+TEST(Dynamic, RepeatUntilSuccessFailureDecaysGeometrically) {
+  // K unrolled rounds of "flip a fair coin until it lands 0": round 1 runs
+  // unconditionally, rounds 2..K only while the register still reads 1
+  // (failure). P[fail after K rounds] = 2^-K.
+  constexpr unsigned kRounds = 8;
+  QuantumCircuit c(1, "rus");
+  c.declareClassicalRegister(1);
+  c.h(0).measure(0, 0);
+  for (unsigned round = 1; round < kRounds; ++round) {
+    c.onlyIf(1, Gate{GateKind::kReset, {0}, {}});
+    c.onlyIf(1, Gate{GateKind::kH, {0}, {}});
+    Gate m{GateKind::kMeasure, {0}, {}};
+    m.cbit = 0;
+    c.onlyIf(1, std::move(m));
+  }
+  constexpr unsigned kShots = 200;
+  unsigned failures = 0;
+  Rng rng(42);
+  for (unsigned s = 0; s < kShots; ++s) {
+    std::unique_ptr<Engine> engine = makeEngine("statevector", 1);
+    const DynamicRun result = engine->runDynamic(c, rng);
+    failures += result.creg[0] ? 1 : 0;
+    // Deviate accounting doubles as a loop bound: a run that succeeded in
+    // round r consumed 1 + 2(r-1) deviates (one measure per round, plus a
+    // reset per retry), never more than 1 + 2(K-1).
+    EXPECT_LE(result.measures + result.resets, 1 + 2 * (kRounds - 1));
+  }
+  // E[failures] = 200/256 ≈ 0.8; the bound is ~8 binomial sigmas out and
+  // the fixed seed makes the draw deterministic anyway.
+  EXPECT_LE(failures, 8u);
+}
+
+TEST(Dynamic, DeviateConsumptionIsPinnedAcrossEngines) {
+  // Executed ops: 2 measures + 1 reset (the c==0 reset is skipped: c==3).
+  // Contract: exactly one uniform deviate per executed measure/reset, in
+  // op order, for EVERY engine — that is what makes seeded classical
+  // outcome streams engine-independent.
+  QuantumCircuit c(2);
+  c.declareClassicalRegister(2);
+  c.x(0);
+  c.measure(0, 0);
+  c.onlyIf(1, Gate{GateKind::kX, {1}, {}});
+  c.measure(1, 1);
+  c.reset(0);
+  c.onlyIf(0, Gate{GateKind::kReset, {1}, {}});
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 2);
+    Rng rng(99);
+    const DynamicRun result = engine->runDynamic(c, rng);
+    EXPECT_EQ(result.measures, 2u);
+    EXPECT_EQ(result.resets, 1u);
+    Rng expected(99);
+    for (unsigned d = 0; d < 3; ++d) expected.next();
+    EXPECT_EQ(rng.next(), expected.next());
+  }
+}
+
+TEST(Dynamic, SampleShotsAfterRunDynamicKeepsItsDeviateContract) {
+  // Extends the PR 2 sampleShots(0) pinning: after a dynamic run, batched
+  // sampling still consumes exactly the documented deviates — none for an
+  // empty batch, and per shot one deviate per qubit on the descent-based
+  // engines (exact/qmdd/chp) vs one per shot on the CDF-based statevector.
+  QuantumCircuit c(3);
+  c.declareClassicalRegister(1);
+  c.h(0).cx(0, 1).measure(0, 0).h(2);
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<Engine> engine = makeEngine(name, 3);
+    Rng runRng(5);
+    engine->runDynamic(c, runRng);
+
+    Rng empty(17);
+    EXPECT_TRUE(engine->sampleShots(0, empty).empty());
+    EXPECT_EQ(empty.next(), Rng(17).next());
+
+    constexpr unsigned kShots = 4;
+    Rng sampling(17);
+    const auto shots = engine->sampleShots(kShots, sampling);
+    ASSERT_EQ(shots.size(), kShots);
+    const unsigned perShot = name == "statevector" ? 1u : 3u;
+    Rng expected(17);
+    for (unsigned d = 0; d < kShots * perShot; ++d) expected.next();
+    EXPECT_EQ(sampling.next(), expected.next());
+  }
+}
+
+TEST(Dynamic, StructuralToolsRejectOrPassDynamicCircuitsThrough) {
+  QuantumCircuit c(2);
+  c.declareClassicalRegister(1);
+  c.h(0).h(0).measure(0, 0);  // the H·H pair would fuse if it were static
+  EXPECT_THROW(c.inverse(), std::logic_error);
+  OptimizerReport report;
+  const QuantumCircuit optimized = optimizeCircuit(c, &report);
+  EXPECT_EQ(optimized.gateCount(), c.gateCount());
+  EXPECT_TRUE(optimized.isDynamic());
+  EXPECT_EQ(report.gatesBefore, report.gatesAfter);
+  QuantumCircuit other(2);
+  other.h(0);
+  EXPECT_THROW(checkEquivalence(c, other), std::invalid_argument);
+  EXPECT_THROW(checkEquivalence(other, c), std::invalid_argument);
+}
+
+TEST(Dynamic, CircuitBuilderValidation) {
+  QuantumCircuit c(2);
+  // Measure / conditions need a declared register.
+  EXPECT_THROW(c.measure(0, 0), std::invalid_argument);
+  EXPECT_THROW(c.onlyIf(0, Gate{GateKind::kX, {0}, {}}),
+               std::invalid_argument);
+  EXPECT_FALSE(c.isDynamic());
+  c.declareClassicalRegister(2);
+  EXPECT_THROW(c.declareClassicalRegister(3), std::invalid_argument);
+  c.declareClassicalRegister(2);  // same size: idempotent
+  EXPECT_THROW(c.measure(0, 2), std::invalid_argument);  // cbit range
+  EXPECT_THROW(c.onlyIf(4, Gate{GateKind::kX, {0}, {}}),
+               std::invalid_argument);  // condition value range
+  c.measure(0, 1);
+  EXPECT_TRUE(c.isDynamic());
+  QuantumCircuit wide(2);
+  EXPECT_THROW(wide.declareClassicalRegister(65), std::invalid_argument);
+  EXPECT_THROW(wide.declareClassicalRegister(0), std::invalid_argument);
+  // Controls on measure/reset are rejected at the gate level.
+  Gate bad{GateKind::kMeasure, {0}, {1}};
+  EXPECT_THROW(validateGate(bad, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sliq

@@ -43,6 +43,7 @@ TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
     EXPECT_EQ(fromRegistry.batchedSampling, fromInstance.batchedSampling);
     EXPECT_EQ(fromRegistry.noiseFastPath, fromInstance.noiseFastPath);
     EXPECT_EQ(fromRegistry.nativeExpectation, fromInstance.nativeExpectation);
+    EXPECT_EQ(fromRegistry.dynamicCircuits, fromInstance.dynamicCircuits);
   }
   EXPECT_THROW(EngineRegistry::instance().capabilities("no-such-engine"),
                UnknownEngineError);
@@ -54,6 +55,9 @@ TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
   EXPECT_FALSE(EngineRegistry::instance().capabilities("chp").batchedSampling);
   for (const std::string& name : engineNames()) {
     EXPECT_TRUE(EngineRegistry::instance().capabilities(name).nativeExpectation)
+        << name;
+    // Every built-in implements the per-op primitives runDynamic drives.
+    EXPECT_TRUE(EngineRegistry::instance().capabilities(name).dynamicCircuits)
         << name;
   }
 }

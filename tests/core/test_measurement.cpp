@@ -134,17 +134,32 @@ TEST(Measurement, SampleAllUniformOnSkippedQubits) {
 }
 
 TEST(Measurement, NormalizationCorrectionAfterCollapse) {
+  // Dyadic collapse (Clifford): the post-measure renormalization path
+  // re-points the k scalar at the halved weight, so the state is exactly
+  // normalized again and the correction degenerates to 1 (DESIGN.md §8).
   SliqSimulator sim(2);
   sim.applyGate(Gate{GateKind::kH, {0}, {}});
   sim.applyGate(Gate{GateKind::kH, {1}, {}});
   sim.measure(0, 0.2);  // collapse to q0 = 1 branch (p1 = 0.5 > 0.2)
-  // Raw amplitudes are sub-normalized (weight halved); the correction
-  // restores physical amplitudes.
-  EXPECT_NEAR(sim.totalProbability(), 0.5, 1e-12);
-  const double s = sim.normalizationCorrection();
-  EXPECT_NEAR(s, std::sqrt(2.0), 1e-12);
-  const auto amp = sim.amplitude(0b01).toComplex() * s;
+  EXPECT_NEAR(sim.totalProbability(), 1.0, 1e-12);
+  EXPECT_NEAR(sim.normalizationCorrection(), 1.0, 1e-12);
+  const auto amp = sim.amplitude(0b01).toComplex();
   EXPECT_NEAR(std::abs(amp), 1.0 / std::sqrt(2.0), 1e-12);
+
+  // Non-dyadic collapse (T-circuit): √(keep probability) is not a power of
+  // √2, so the state stays sub-normalized and normalizationCorrection
+  // restores physical amplitudes, exactly as before.
+  SliqSimulator tsim(1);
+  tsim.applyGate(Gate{GateKind::kH, {0}, {}});
+  tsim.applyGate(Gate{GateKind::kT, {0}, {}});
+  tsim.applyGate(Gate{GateKind::kH, {0}, {}});
+  // p1 = (2−√2)/4 ≈ 0.1464: random 0.5 collapses to the 0 branch.
+  const double keep = (2.0 + std::sqrt(2.0)) / 4.0;
+  EXPECT_FALSE(tsim.measure(0, 0.5));
+  EXPECT_NEAR(tsim.totalProbability(), keep, 1e-12);
+  const double s = tsim.normalizationCorrection();
+  EXPECT_NEAR(s, 1.0 / std::sqrt(keep), 1e-12);
+  EXPECT_NEAR(std::abs(tsim.amplitude(0).toComplex()) * s, 1.0, 1e-12);
 }
 
 TEST(Measurement, RepeatedMeasurementIsStable) {

@@ -1,0 +1,265 @@
+// Conditioned cross-engine differential fuzz harness for DYNAMIC circuits:
+// seeded random Clifford(+T) circuits with interleaved mid-circuit
+// measurements, resets and classically-conditioned gates, executed shot by
+// shot through Engine::runDynamic under one shared seed per engine. The
+// per-shot classical-register outcome streams must agree BIT-EXACTLY across
+// the exact, qmdd and statevector engines (chp joins on the Clifford-only
+// subset): every engine consumes one deviate per executed collapse in op
+// order, and their collapse probabilities agree to >=10 digits, so a shared
+// seed forces identical classical control flow end to end.
+//
+// Reproducibility: the committed golden file pins an FNV-1a digest of each
+// generated op list AND of the exact engine's outcome stream, so neither
+// the generator nor the execution pipeline can drift silently. Regenerate
+// with SLIQ_REGEN_GOLDEN=1 (rewrites the file in the source tree).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "core/engine_registry.hpp"
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+
+#ifndef SLIQ_DIFFERENTIAL_DYNAMIC_GOLDEN
+#error "tests/CMakeLists.txt must define SLIQ_DIFFERENTIAL_DYNAMIC_GOLDEN"
+#endif
+
+namespace sliq {
+namespace {
+
+constexpr unsigned kShotsPerCase = 6;
+
+struct FuzzCase {
+  std::string id;
+  QuantumCircuit circuit;
+  bool cliffordOnly;
+};
+
+/// Random dynamic circuit: a Clifford (or Clifford+T) gate stream with
+/// interleaved measure → creg, reset, and `if (c==v)` conditioned ops.
+/// Measures target low classical bits and condition values stay small so
+/// conditions genuinely fire on some shots (both branches get coverage).
+QuantumCircuit randomDynamic(unsigned numQubits, unsigned numOps,
+                             std::uint64_t seed, bool cliffordOnly) {
+  QuantumCircuit c(numQubits, cliffordOnly ? "dyn-clifford" : "dyn-fuzz");
+  c.declareClassicalRegister(numQubits);
+  Rng rng(seed);
+  for (unsigned q = 0; q < numQubits; ++q) c.h(q);
+  auto randomGate = [&]() -> Gate {
+    const unsigned kinds = cliffordOnly ? 9u : 11u;
+    const unsigned kind = static_cast<unsigned>(rng.below(kinds));
+    const unsigned a = static_cast<unsigned>(rng.below(numQubits));
+    unsigned b = static_cast<unsigned>(rng.below(numQubits));
+    while (b == a) b = static_cast<unsigned>(rng.below(numQubits));
+    switch (kind) {
+      case 0: return Gate{GateKind::kH, {a}, {}};
+      case 1: return Gate{GateKind::kS, {a}, {}};
+      case 2: return Gate{GateKind::kSdg, {a}, {}};
+      case 3: return Gate{GateKind::kX, {a}, {}};
+      case 4: return Gate{GateKind::kY, {a}, {}};
+      case 5: return Gate{GateKind::kZ, {a}, {}};
+      case 6: return Gate{GateKind::kCnot, {b}, {a}};
+      case 7: return Gate{GateKind::kCz, {b}, {a}};
+      case 8: return Gate{GateKind::kSwap, {a, b}, {}};
+      case 9: return Gate{GateKind::kT, {a}, {}};
+      default: return Gate{GateKind::kTdg, {a}, {}};
+    }
+  };
+  for (unsigned op = 0; op < numOps; ++op) {
+    const std::uint64_t roll = rng.below(10);
+    if (roll < 6) {
+      c.append(randomGate());
+    } else if (roll < 8) {
+      const unsigned q = static_cast<unsigned>(rng.below(numQubits));
+      const unsigned cbit =
+          static_cast<unsigned>(rng.below(std::min(numQubits, 2u)));
+      c.measure(q, cbit);
+    } else if (roll < 9) {
+      c.reset(static_cast<unsigned>(rng.below(numQubits)));
+    } else {
+      // Conditioned op: usually a gate, sometimes a measure — condition
+      // values in [0, 4) so low-bit measures actually trigger them.
+      const std::uint64_t value = rng.below(4);
+      if (rng.below(4) == 0) {
+        Gate m{GateKind::kMeasure,
+               {static_cast<unsigned>(rng.below(numQubits))},
+               {}};
+        m.cbit = static_cast<unsigned>(rng.below(std::min(numQubits, 2u)));
+        c.onlyIf(value, std::move(m));
+      } else {
+        c.onlyIf(value, randomGate());
+      }
+    }
+  }
+  // Every circuit ends with a full-register measurement so the creg carries
+  // information about every qubit's final state.
+  for (unsigned q = 0; q < numQubits; ++q) c.measure(q, q);
+  return c;
+}
+
+/// FNV-1a over the structural op stream, dynamic fields included.
+std::uint64_t circuitDigest(const QuantumCircuit& c) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(c.numQubits());
+  mix(c.numClbits());
+  for (const Gate& g : c.gates()) {
+    mix(0xff);  // op separator
+    mix(static_cast<std::uint64_t>(g.kind));
+    for (const unsigned q : g.controls) mix(0x100 + q);
+    for (const unsigned q : g.targets) mix(0x200 + q);
+    if (g.kind == GateKind::kMeasure) mix(0x300 + g.cbit);
+    if (g.conditioned) {
+      mix(0x400);
+      mix(g.conditionValue);
+    }
+  }
+  return h;
+}
+
+/// Executes `kShotsPerCase` seeded shots on one engine (fresh instance per
+/// shot, one shared Rng across shots — the CLI's per-shot re-execution
+/// semantics) and renders the full classical record: final creg plus the
+/// chronological measure-outcome stream of every shot.
+std::string outcomeStream(const std::string& engineName,
+                          const QuantumCircuit& circuit, std::uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream os;
+  for (unsigned s = 0; s < kShotsPerCase; ++s) {
+    const std::unique_ptr<Engine> engine =
+        makeEngine(engineName, circuit.numQubits());
+    const DynamicRun run = engine->runDynamic(circuit, rng);
+    os << bitsToString(run.creg) << ":";
+    for (const bool bit : run.outcomes) os << (bit ? '1' : '0');
+    os << ";";
+  }
+  return os.str();
+}
+
+std::uint64_t streamDigest(const std::string& stream) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : stream) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<FuzzCase> fuzzCorpus() {
+  std::vector<FuzzCase> cases;
+  for (unsigned n = 2; n <= 4; ++n) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      {
+        std::ostringstream id;
+        id << "dyn-clifford+t n=" << n << " seed=" << seed;
+        cases.push_back(
+            {id.str(), randomDynamic(n, 6 * n, 3000 * n + seed, false),
+             false});
+      }
+      {
+        std::ostringstream id;
+        id << "dyn-clifford n=" << n << " seed=" << seed;
+        cases.push_back(
+            {id.str(), randomDynamic(n, 6 * n, 4000 * n + seed, true),
+             true});
+      }
+    }
+  }
+  return cases;
+}
+
+std::uint64_t caseSeed(const FuzzCase& fuzz) {
+  return circuitDigest(fuzz.circuit) | 1;  // any nonzero function of the case
+}
+
+std::string goldenLine(const FuzzCase& fuzz) {
+  std::ostringstream os;
+  os << fuzz.id << " | ops=" << fuzz.circuit.gateCount() << " digest="
+     << std::hex << circuitDigest(fuzz.circuit) << " stream="
+     << streamDigest(outcomeStream("exact", fuzz.circuit, caseSeed(fuzz)));
+  return os.str();
+}
+
+TEST(DifferentialDynamic, GoldenFilePinsCorpusAndOutcomeStreams) {
+  const std::vector<FuzzCase> corpus = fuzzCorpus();
+  if (std::getenv("SLIQ_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(SLIQ_DIFFERENTIAL_DYNAMIC_GOLDEN);
+    ASSERT_TRUE(out.good()) << SLIQ_DIFFERENTIAL_DYNAMIC_GOLDEN;
+    out << "# Fixed-seed dynamic fuzz corpus: circuit digests + exact-engine "
+           "outcome-stream digests.\n"
+           "# Regenerate with SLIQ_REGEN_GOLDEN=1 ./test_differential_dynamic\n";
+    for (const FuzzCase& fuzz : corpus) out << goldenLine(fuzz) << "\n";
+    GTEST_SKIP() << "regenerated " << SLIQ_DIFFERENTIAL_DYNAMIC_GOLDEN;
+  }
+  std::ifstream in(SLIQ_DIFFERENTIAL_DYNAMIC_GOLDEN);
+  ASSERT_TRUE(in.good()) << "missing golden file "
+                         << SLIQ_DIFFERENTIAL_DYNAMIC_GOLDEN;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), corpus.size())
+      << "corpus size changed; regenerate the golden file";
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(lines[i], goldenLine(corpus[i]))
+        << "generator or execution pipeline drifted for " << corpus[i].id;
+  }
+}
+
+TEST(DifferentialDynamic, OutcomeStreamsAgreeBitExactlyAcrossEngines) {
+  for (const FuzzCase& fuzz : fuzzCorpus()) {
+    SCOPED_TRACE(fuzz.id);
+    const std::uint64_t seed = caseSeed(fuzz);
+    const std::string reference =
+        outcomeStream("statevector", fuzz.circuit, seed);
+    for (const std::string& name : engineNames()) {
+      if (name == "statevector") continue;
+      if (name == "chp" && !fuzz.cliffordOnly) continue;
+      SCOPED_TRACE(name);
+      EXPECT_EQ(outcomeStream(name, fuzz.circuit, seed), reference);
+    }
+  }
+}
+
+TEST(DifferentialDynamic, PostRunStatesAgreeAcrossEngines) {
+  // Beyond the classical record: after one shared-seed dynamic run, the
+  // engines hold the same post-measurement quantum state — per-qubit
+  // Pr[q=1] agrees to 10 digits (the collapse cascade was identical).
+  for (const FuzzCase& fuzz : fuzzCorpus()) {
+    SCOPED_TRACE(fuzz.id);
+    const std::uint64_t seed = caseSeed(fuzz);
+    const unsigned n = fuzz.circuit.numQubits();
+    std::unique_ptr<Engine> reference = makeEngine("statevector", n);
+    {
+      Rng rng(seed);
+      reference->runDynamic(fuzz.circuit, rng);
+    }
+    for (const std::string& name : engineNames()) {
+      if (name == "statevector") continue;
+      if (name == "chp" && !fuzz.cliffordOnly) continue;
+      SCOPED_TRACE(name);
+      std::unique_ptr<Engine> engine = makeEngine(name, n);
+      Rng rng(seed);
+      engine->runDynamic(fuzz.circuit, rng);
+      for (unsigned q = 0; q < n; ++q) {
+        EXPECT_NEAR(engine->probabilityOne(q), reference->probabilityOne(q),
+                    1e-10)
+            << "qubit " << q;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sliq

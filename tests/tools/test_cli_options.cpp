@@ -106,5 +106,47 @@ TEST(CliOptions, ObservableWithNoiseStillRejectsShotsAndProbes) {
   EXPECT_NE(validateOptions(opt), "");
 }
 
+// ---- dynamic-circuit rules (validateDynamic) ------------------------------
+
+TEST(CliOptions, StaticCircuitsAreUnaffectedByDynamicRules) {
+  Options opt = base();
+  opt.observablePath = "obs.txt";
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/false), "");
+  opt.shots = 16;
+  opt.observablePath.clear();
+  opt.probs = true;
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/false), "");
+}
+
+TEST(CliOptions, ObservableOnDynamicCircuitsIsAStrictError) {
+  // Mirrors the facade's collapse restriction: a dynamic circuit's <O> is
+  // conditioned on its classical outcome stream.
+  Options opt = base();
+  opt.observablePath = "obs.txt";
+  EXPECT_NE(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+  // ...with or without --noise.
+  opt.noisePath = "model.txt";
+  EXPECT_NE(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+}
+
+TEST(CliOptions, DynamicShotsExcludeSingleFinalStateQueries) {
+  Options opt = base();
+  opt.shots = 16;
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+  opt.probs = true;
+  EXPECT_NE(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+  opt.probs = false;
+  opt.amps = 4;
+  EXPECT_NE(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+  // Without --shots the single post-run state exists and is queryable.
+  opt.shots = 0;
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+  // Dynamic circuits under --noise histogram the creg: fine without the
+  // ideal-state queries (validateOptions already rejects those).
+  Options noisy = base();
+  noisy.noisePath = "model.txt";
+  EXPECT_EQ(validateDynamic(noisy, /*circuitIsDynamic=*/true), "");
+}
+
 }  // namespace
 }  // namespace sliq::cli

@@ -58,4 +58,29 @@ inline std::string validateOptions(const Options& opt) {
   return "";
 }
 
+/// Flag-combination rules that need the parsed circuit: some combinations
+/// are only nonsensical for *dynamic* circuits (mid-circuit measure/reset/
+/// classical control), which main() discovers after parsing. Same contract
+/// as validateOptions: an error message, or "" when coherent.
+///  * --observable needs the (single, uncollapsed) state prepared by
+///    run(); a dynamic circuit collapses mid-run, so its expectations are
+///    conditioned on the classical outcome stream — the strict error
+///    mirrors the facade's collapse restriction.
+///  * --shots over a dynamic circuit re-executes per shot, so there is no
+///    single final state for --probs/--amps to query.
+inline std::string validateDynamic(const Options& opt, bool circuitIsDynamic) {
+  if (!circuitIsDynamic) return "";
+  if (!opt.observablePath.empty()) {
+    return "--observable requires a static circuit: a dynamic circuit "
+           "collapses mid-run, so <O> is conditioned on the classical "
+           "outcome stream (drop --observable, or query the post-run state "
+           "programmatically via Engine::runDynamic + expectation)";
+  }
+  if (opt.shots > 0 && (opt.probs || opt.amps > 0)) {
+    return "--shots on a dynamic circuit re-executes the circuit per shot, "
+           "leaving no single final state; drop --probs/--amps or --shots";
+  }
+  return "";
+}
+
 }  // namespace sliq::cli

@@ -6,7 +6,10 @@
 // Options:
 //   --engine NAME              any registered engine (default: exact);
 //                              built-ins: exact, qmdd, chp, statevector
-//   --shots N                  sample N basis states (default: 0)
+//   --shots N                  sample N basis states (default: 0). On a
+//                              dynamic circuit (mid-circuit measure/reset/
+//                              if), each shot re-executes the circuit and
+//                              prints the final classical register instead
 //   --probs                    print per-qubit Pr[q=1]
 //   --amps K                   print the first K nonzero amplitudes
 //   --modify-h                 apply the paper's H-modification (.real only)
@@ -69,12 +72,13 @@ int listEngines() {
   const sliq::EngineRegistry& registry = sliq::EngineRegistry::instance();
   for (const std::string& name : sliq::engineNames()) {
     const sliq::EngineCapabilities caps = registry.capabilities(name);
-    const bool any =
-        caps.batchedSampling || caps.noiseFastPath || caps.nativeExpectation;
+    const bool any = caps.batchedSampling || caps.noiseFastPath ||
+                     caps.nativeExpectation || caps.dynamicCircuits;
     std::cout << name << " — " << registry.describe(name) << " [capabilities:"
               << (caps.batchedSampling ? " batched-sampling" : "")
               << (caps.noiseFastPath ? " noise-fast-path" : "")
               << (caps.nativeExpectation ? " native-expectation" : "")
+              << (caps.dynamicCircuits ? " dynamic-circuits" : "")
               << (any ? "" : " none") << "]\n";
   }
   return 0;
@@ -213,6 +217,14 @@ int main(int argc, char** argv) {
       circuit = parseQasmFile(opt.path);
     }
     std::cout << "loaded: " << circuit.summary() << "\n";
+    // Rules that depend on whether the circuit is dynamic (mid-circuit
+    // measure/reset/classical control) — checkable only after parsing.
+    if (const std::string error =
+            sliq::cli::validateDynamic(opt, circuit.isDynamic());
+        !error.empty()) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
     if (opt.optimize) {
       OptimizerReport report;
       circuit = optimizeCircuit(circuit, &report);
@@ -282,9 +294,35 @@ int main(int argc, char** argv) {
 
     Rng rng(opt.seed);
     WallTimer timer;
-    engine->run(circuit);
-    std::cout << "simulated in " << timer.seconds() << " s ("
-              << engine->name() << ")\n";
+    if (circuit.isDynamic()) {
+      if (opt.shots > 0) {
+        // Per-shot re-execution: mid-circuit collapse makes each shot a
+        // fresh run of the whole circuit; the shared Rng advances across
+        // shots (one deviate per executed measure/reset), so the shot
+        // stream is a pure function of --seed — and identical across
+        // engines, the property the determinism smoke diffs.
+        for (unsigned s = 0; s < opt.shots; ++s) {
+          const std::unique_ptr<Engine> shotEngine =
+              makeEngine(opt.engine, circuit.numQubits());
+          const DynamicRun run = shotEngine->runDynamic(circuit, rng);
+          std::cout << "shot " << s << ": " << bitsToString(run.creg)
+                    << "\n";
+        }
+        std::cout << "executed " << opt.shots
+                  << " dynamic shots (classical register bits, per-shot "
+                     "re-execution) in "
+                  << timer.seconds() << " s (" << engine->name() << ")\n";
+        return 0;
+      }
+      const DynamicRun run = engine->runDynamic(circuit, rng);
+      std::cout << "simulated in " << timer.seconds() << " s ("
+                << engine->name() << ", dynamic)\n";
+      std::cout << "creg: " << bitsToString(run.creg) << "\n";
+    } else {
+      engine->run(circuit);
+      std::cout << "simulated in " << timer.seconds() << " s ("
+                << engine->name() << ")\n";
+    }
     const std::string summary = engine->runSummary();
     if (!summary.empty()) std::cout << summary << "\n";
 
