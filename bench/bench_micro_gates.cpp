@@ -1,86 +1,448 @@
-// Micro-benchmarks for the bit-sliced gate kernels (google-benchmark):
-// per-gate-kind application cost on a warmed-up entangled state.
-#include <benchmark/benchmark.h>
-
-#include <memory>
+// Gate-kernel micro-bench: fused vs unfused dense execution, thread
+// scaling, the QMDD fused path, and the retained bit-sliced BDD per-kind
+// rows (DESIGN.md §9).
+//
+// Sections:
+//   dense    — per qubit count (12/16/20), one seeded random circuit run
+//              three ways: `legacy` (the pre-blocking reference loops kept
+//              here verbatim: pair loop + full 2^n controlled scan),
+//              `unfused` (the blocked per-gate kernels), `fused`
+//              (QuantumCircuit::fused() blocks — the engine default).
+//              fusion_speedup = unfused/fused, total_speedup =
+//              legacy/fused (the PR's fusion+blocking acceptance metric).
+//   threads  — the 20-qubit fused workload across setThreads(1/2/4/8).
+//   qmdd     — fused vs per-gate DD multiplies on one random circuit.
+//   bdd      — per-gate-kind application cost on a warmed bit-sliced
+//              state (what this binary measured before the rewrite).
+//
+// Correctness is checked in-binary (legacy vs unfused vs fused amplitudes
+// to 1e-12) and fails HARD (exit 1). Throughput lives in BENCH_gates.json
+// ($SLIQ_BENCH_JSON overrides); `--check BASELINE` applies the harness
+// regression gate (exit 2, soft in CI unless SLIQ_BENCH_STRICT=1).
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "circuit/generators.hpp"
+#include "circuit/optimizer.hpp"
 #include "core/simulator.hpp"
+#include "harness.hpp"
+#include "qmdd/qmdd_sim.hpp"
+#include "statevector/statevector.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
 
-namespace sliq {
+namespace sliq::bench {
 namespace {
 
-constexpr unsigned kQubits = 24;
+constexpr unsigned kDenseGates = 300;
+constexpr unsigned kLayeredLayers = 8;
+constexpr unsigned kThreadQubits = 20;
+constexpr unsigned kQmddQubits = 14;
+constexpr unsigned kQmddGates = 120;
+constexpr unsigned kBddQubits = 20;
+constexpr unsigned kBddGatesPerKind = 16;
+constexpr std::uint64_t kSeed = 7;
 
-std::unique_ptr<SliqSimulator> makeWarmState() {
-  auto sim = std::make_unique<SliqSimulator>(kQubits);
-  sim->run(randomCircuit(kQubits, 48, 7));
-  return sim;
-}
+volatile double gSink = 0;
+void sink(double v) { gSink = gSink + v; }
 
-void applyKind(benchmark::State& state, GateKind kind, unsigned numControls) {
-  // One warmed simulator per iteration batch; gates cycle over qubits.
-  auto sim = makeWarmState();
-  unsigned q = 0;
-  for (auto _ : state) {
-    Gate gate;
-    gate.kind = kind;
-    const unsigned t = q % kQubits;
-    if (kind == GateKind::kSwap) {
-      gate.targets = {t, (t + 1) % kQubits};
-      for (unsigned c = 0; c < numControls; ++c)
-        gate.controls.push_back((t + 2 + c) % kQubits);
-    } else {
-      gate.targets = {t};
-      for (unsigned c = 0; c < numControls; ++c)
-        gate.controls.push_back((t + 1 + c) % kQubits);
+// ---- legacy dense reference (pre-blocking apply loops, kept verbatim) -----
+
+class LegacyStatevector {
+ public:
+  using Amp = std::complex<double>;
+
+  explicit LegacyStatevector(unsigned numQubits)
+      : numQubits_(numQubits),
+        state_(std::uint64_t{1} << numQubits, Amp{0, 0}) {
+    state_[0] = 1.0;
+  }
+
+  const std::vector<Amp>& state() const { return state_; }
+
+  void run(const QuantumCircuit& c) {
+    for (const Gate& g : c.gates()) applyGate(g);
+  }
+
+  void applyGate(const Gate& g) {
+    if (g.kind == GateKind::kSwap) {
+      applySwap(g);
+      return;
     }
-    sim->applyGate(gate);
-    ++q;
+    Amp m[4];
+    gateUnitary2x2(g.kind, m);
+    if (g.controls.empty()) {
+      apply1(g.target(), m);
+      return;
+    }
+    std::uint64_t controlMask = 0;
+    for (unsigned c : g.controls) controlMask |= std::uint64_t{1} << c;
+    const std::uint64_t stride = std::uint64_t{1} << g.target();
+    for (std::uint64_t i0 = 0; i0 < state_.size(); ++i0) {
+      if ((i0 & stride) != 0) continue;
+      if ((i0 & controlMask) != controlMask) continue;
+      const std::uint64_t i1 = i0 | stride;
+      const Amp a0 = state_[i0];
+      const Amp a1 = state_[i1];
+      state_[i0] = m[0] * a0 + m[1] * a1;
+      state_[i1] = m[2] * a0 + m[3] * a1;
+    }
   }
-  state.counters["r"] = sim->bitWidth();
-  state.counters["nodes"] = static_cast<double>(sim->stateNodeCount());
+
+ private:
+  void apply1(unsigned target, const Amp m[4]) {
+    const std::uint64_t stride = std::uint64_t{1} << target;
+    for (std::uint64_t base = 0; base < state_.size(); base += 2 * stride) {
+      for (std::uint64_t off = 0; off < stride; ++off) {
+        const std::uint64_t i0 = base + off;
+        const std::uint64_t i1 = i0 + stride;
+        const Amp a0 = state_[i0];
+        const Amp a1 = state_[i1];
+        state_[i0] = m[0] * a0 + m[1] * a1;
+        state_[i1] = m[2] * a0 + m[3] * a1;
+      }
+    }
+  }
+
+  void applySwap(const Gate& g) {
+    std::uint64_t controlMask = 0;
+    for (unsigned c : g.controls) controlMask |= std::uint64_t{1} << c;
+    const std::uint64_t bit0 = std::uint64_t{1} << g.targets[0];
+    const std::uint64_t bit1 = std::uint64_t{1} << g.targets[1];
+    for (std::uint64_t i = 0; i < state_.size(); ++i) {
+      if ((i & bit0) == 0 || (i & bit1) != 0) continue;
+      if ((i & controlMask) != controlMask) continue;
+      std::swap(state_[i], state_[(i & ~bit0) | bit1]);
+    }
+  }
+
+  unsigned numQubits_;
+  std::vector<Amp> state_;
+};
+
+// ---- timing ---------------------------------------------------------------
+
+// Repeats `fn` until ~0.1 s elapsed; returns mean seconds per repetition.
+// One untimed warm-up call first (page-faults the state arrays).
+template <typename Fn>
+double timeReps(const Fn& fn) {
+  fn();
+  WallTimer timer;
+  fn();
+  double elapsed = timer.seconds();
+  unsigned reps = 1;
+  while (elapsed < 0.1 && reps < 1u << 14) {
+    const unsigned extra = reps;  // double the count each round
+    for (unsigned i = 0; i < extra; ++i) fn();
+    reps += extra;
+    elapsed = timer.seconds();
+  }
+  return elapsed / reps;
 }
 
-void BM_GateX(benchmark::State& s) { applyKind(s, GateKind::kX, 0); }
-void BM_GateH(benchmark::State& s) { applyKind(s, GateKind::kH, 0); }
-void BM_GateT(benchmark::State& s) { applyKind(s, GateKind::kT, 0); }
-void BM_GateS(benchmark::State& s) { applyKind(s, GateKind::kS, 0); }
-void BM_GateY(benchmark::State& s) { applyKind(s, GateKind::kY, 0); }
-void BM_GateZ(benchmark::State& s) { applyKind(s, GateKind::kZ, 0); }
-void BM_GateRx90(benchmark::State& s) { applyKind(s, GateKind::kRx90, 0); }
-void BM_GateRy90(benchmark::State& s) { applyKind(s, GateKind::kRy90, 0); }
-void BM_GateCnot(benchmark::State& s) { applyKind(s, GateKind::kCnot, 1); }
-void BM_GateToffoli(benchmark::State& s) { applyKind(s, GateKind::kCnot, 2); }
-void BM_GateCz(benchmark::State& s) { applyKind(s, GateKind::kCz, 1); }
-void BM_GateSwap(benchmark::State& s) { applyKind(s, GateKind::kSwap, 0); }
-void BM_GateFredkin(benchmark::State& s) { applyKind(s, GateKind::kSwap, 1); }
-
-BENCHMARK(BM_GateX);
-BENCHMARK(BM_GateH);
-BENCHMARK(BM_GateT);
-BENCHMARK(BM_GateS);
-BENCHMARK(BM_GateY);
-BENCHMARK(BM_GateZ);
-BENCHMARK(BM_GateRx90);
-BENCHMARK(BM_GateRy90);
-BENCHMARK(BM_GateCnot);
-BENCHMARK(BM_GateToffoli);
-BENCHMARK(BM_GateCz);
-BENCHMARK(BM_GateSwap);
-BENCHMARK(BM_GateFredkin);
-
-void BM_MeasureProbability(benchmark::State& state) {
-  auto sim = makeWarmState();
-  unsigned q = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim->probabilityOne(q % kQubits));
-    ++q;
+bool statesAgree(const std::vector<std::complex<double>>& a,
+                 const std::vector<std::complex<double>>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > 1e-12) return false;
   }
+  return true;
 }
-BENCHMARK(BM_MeasureProbability);
+
+// ---- sections -------------------------------------------------------------
+
+// Ansatz-style layered workload: an Euler-style 4-gate 1q run on every
+// qubit, then a brickwork CX ladder (even/odd pairing alternates per
+// layer). This is the circuit family gate fusion targets — each 2-qubit
+// block absorbs ~9 gates before the alternating ladder forces a flush —
+// whereas randomCircuit's interleaving keeps runs short (~1.7 gates/op).
+QuantumCircuit layeredCircuit(unsigned qubits, unsigned layers) {
+  QuantumCircuit c(qubits);
+  for (unsigned layer = 0; layer < layers; ++layer) {
+    for (unsigned q = 0; q < qubits; ++q) c.h(q).t(q).h(q).s(q);
+    for (unsigned q = layer % 2; q + 1 < qubits; q += 2) c.cx(q, q + 1);
+  }
+  return c;
+}
+
+struct DenseRow {
+  std::string workload;
+  unsigned qubits = 0;
+  unsigned gates = 0;
+  std::size_t fusedOps = 0;
+  double legacyPerS = 0, unfusedPerS = 0, fusedPerS = 0;
+  double fusionSpeedup = 0, totalSpeedup = 0;
+};
+
+// Returns false on a correctness failure (printed; caller exits hard).
+bool runDense(const std::string& workload, unsigned qubits,
+              const QuantumCircuit& c, std::vector<DenseRow>* rows) {
+  const FusedCircuit fc = c.fused();
+
+  LegacyStatevector legacy(qubits);
+  legacy.run(c);
+  StatevectorSimulator unfused(qubits);
+  unfused.run(c);
+  StatevectorSimulator fused(qubits);
+  fused.runFused(fc);
+  if (!statesAgree(legacy.state(), unfused.state()) ||
+      !statesAgree(legacy.state(), fused.state())) {
+    std::cerr << "FAIL: dense paths disagree beyond 1e-12 at " << qubits
+              << " qubits\n";
+    return false;
+  }
+
+  DenseRow row;
+  row.workload = workload;
+  row.qubits = qubits;
+  row.gates = c.gateCount();
+  row.fusedOps = fc.opCount();
+  const double legacyS = timeReps([&] {
+    LegacyStatevector sim(qubits);
+    sim.run(c);
+    sink(sim.state()[0].real());
+  });
+  const double unfusedS = timeReps([&] {
+    StatevectorSimulator sim(qubits);
+    sim.run(c);
+    sink(sim.state()[0].real());
+  });
+  const double fusedS = timeReps([&] {
+    StatevectorSimulator sim(qubits);
+    sim.runFused(fc);
+    sink(sim.state()[0].real());
+  });
+  row.legacyPerS = row.gates / legacyS;
+  row.unfusedPerS = row.gates / unfusedS;
+  row.fusedPerS = row.gates / fusedS;
+  row.fusionSpeedup = unfusedS / fusedS;
+  row.totalSpeedup = legacyS / fusedS;
+  rows->push_back(row);
+  return true;
+}
+
+struct ThreadRow {
+  unsigned threads = 0;
+  double gatesPerS = 0;
+  double threadSpeedup = 0;  // vs the 1-thread row
+};
+
+std::vector<ThreadRow> runThreads() {
+  const QuantumCircuit c =
+      layeredCircuit(kThreadQubits, std::max(1u, scaled(kLayeredLayers)));
+  const FusedCircuit fc = c.fused();
+  std::vector<ThreadRow> rows;
+  double oneThreadS = 0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const double seconds = timeReps([&] {
+      StatevectorSimulator sim(kThreadQubits);
+      sim.setThreads(threads);
+      sim.runFused(fc);
+      sink(sim.state()[0].real());
+    });
+    if (threads == 1) oneThreadS = seconds;
+    ThreadRow row;
+    row.threads = threads;
+    row.gatesPerS = c.gateCount() / seconds;
+    row.threadSpeedup = oneThreadS / seconds;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct QmddRow {
+  unsigned qubits = 0;
+  unsigned gates = 0;
+  double unfusedPerS = 0, fusedPerS = 0, fusionSpeedup = 0;
+};
+
+QmddRow runQmdd() {
+  const unsigned gates = scaled(kQmddGates);
+  const QuantumCircuit c = randomCircuit(kQmddQubits, gates, kSeed);
+  const FusedCircuit fc = c.fused();
+  QmddRow row;
+  row.qubits = kQmddQubits;
+  row.gates = c.gateCount();
+  const double unfusedS = timeReps([&] {
+    qmdd::QmddSimulator sim(kQmddQubits);
+    sim.run(c);
+    sink(sim.amplitude(0).real());
+  });
+  const double fusedS = timeReps([&] {
+    qmdd::QmddSimulator sim(kQmddQubits);
+    sim.runFused(fc);
+    sink(sim.amplitude(0).real());
+  });
+  row.unfusedPerS = row.gates / unfusedS;
+  row.fusedPerS = row.gates / fusedS;
+  row.fusionSpeedup = unfusedS / fusedS;
+  return row;
+}
+
+struct BddRow {
+  std::string kind;
+  double gatesPerS = 0;
+};
+
+std::vector<BddRow> runBdd() {
+  struct KindSpec {
+    const char* name;
+    GateKind kind;
+    unsigned controls;
+  };
+  const KindSpec kinds[] = {{"x", GateKind::kX, 0},
+                            {"h", GateKind::kH, 0},
+                            {"t", GateKind::kT, 0},
+                            {"cx", GateKind::kCnot, 1},
+                            {"ccx", GateKind::kCnot, 2}};
+  const unsigned perKind = scaled(kBddGatesPerKind);
+  std::vector<BddRow> rows;
+  for (const KindSpec& spec : kinds) {
+    // Fresh warmed state per kind so earlier kinds don't grow the BDD the
+    // later ones pay for.
+    SliqSimulator sim(kBddQubits);
+    sim.run(randomCircuit(kBddQubits, 40, kSeed));
+    WallTimer timer;
+    for (unsigned i = 0; i < perKind; ++i) {
+      Gate gate;
+      gate.kind = spec.kind;
+      const unsigned t = i % kBddQubits;
+      gate.targets = {t};
+      for (unsigned cIdx = 0; cIdx < spec.controls; ++cIdx)
+        gate.controls.push_back((t + 1 + cIdx) % kBddQubits);
+      sim.applyGate(gate);
+    }
+    const double seconds = timer.seconds();
+    sink(static_cast<double>(sim.stateNodeCount()));
+    BddRow row;
+    row.kind = spec.name;
+    row.gatesPerS = seconds > 0 ? perKind / seconds : 0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---- output ---------------------------------------------------------------
+
+void writeJson(const std::vector<DenseRow>& dense,
+               const std::vector<ThreadRow>& threads, const QmddRow& qmdd,
+               const std::vector<BddRow>& bdd) {
+  const char* env = std::getenv("SLIQ_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_gates.json";
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"micro_gates\",\n  \"dense\": [\n";
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    const DenseRow& r = dense[i];
+    os << "    {\"workload\": \"" << r.workload << "\", \"qubits\": "
+       << r.qubits << ", \"gates\": " << r.gates
+       << ", \"fused_ops\": " << r.fusedOps
+       << ", \"legacy_gates_per_s\": " << r.legacyPerS
+       << ", \"unfused_gates_per_s\": " << r.unfusedPerS
+       << ", \"fused_gates_per_s\": " << r.fusedPerS
+       << ", \"fusion_speedup\": " << r.fusionSpeedup
+       << ", \"total_speedup\": " << r.totalSpeedup << "}"
+       << (i + 1 < dense.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"threads\": [\n";
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const ThreadRow& r = threads[i];
+    os << "    {\"threads\": " << r.threads
+       << ", \"gates_per_s\": " << r.gatesPerS
+       << ", \"thread_speedup\": " << r.threadSpeedup << "}"
+       << (i + 1 < threads.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"qmdd\": {\"qubits\": " << qmdd.qubits
+     << ", \"gates\": " << qmdd.gates
+     << ", \"unfused_gates_per_s\": " << qmdd.unfusedPerS
+     << ", \"fused_gates_per_s\": " << qmdd.fusedPerS
+     << ", \"fusion_speedup\": " << qmdd.fusionSpeedup << "},\n"
+     << "  \"bdd\": [\n";
+  for (std::size_t i = 0; i < bdd.size(); ++i) {
+    os << "    {\"kind\": \"" << bdd[i].kind
+       << "\", \"gates_per_s\": " << bdd[i].gatesPerS << "}"
+       << (i + 1 < bdd.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+std::string round2(double v) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string rate(double v) {
+  std::ostringstream os;
+  os.precision(0);
+  os << std::fixed << v;
+  return os.str();
+}
+
+int report() {
+  std::vector<DenseRow> dense;
+  for (unsigned qubits : {12u, 16u, 20u}) {
+    const QuantumCircuit random =
+        randomCircuit(qubits, scaled(kDenseGates), kSeed);
+    const QuantumCircuit layered =
+        layeredCircuit(qubits, std::max(1u, scaled(kLayeredLayers)));
+    // Hard correctness failures (legacy/unfused/fused disagree) exit 1.
+    if (!runDense("random", qubits, random, &dense)) return 1;
+    if (!runDense("layered", qubits, layered, &dense)) return 1;
+  }
+  const std::vector<ThreadRow> threads = runThreads();
+  const QmddRow qmdd = runQmdd();
+  const std::vector<BddRow> bdd = runBdd();
+
+  AsciiTable denseTable({"Workload", "Qubits", "Gates", "Fused ops",
+                         "Legacy g/s", "Unfused g/s", "Fused g/s", "Fusion x",
+                         "Total x"});
+  for (const DenseRow& r : dense) {
+    denseTable.addRow({r.workload, std::to_string(r.qubits),
+                       std::to_string(r.gates), std::to_string(r.fusedOps),
+                       rate(r.legacyPerS), rate(r.unfusedPerS),
+                       rate(r.fusedPerS), round2(r.fusionSpeedup),
+                       round2(r.totalSpeedup)});
+  }
+  std::cout << "Dense statevector: legacy loops vs blocked kernels vs fused "
+               "blocks\n\n";
+  denseTable.print(std::cout);
+
+  AsciiTable threadTable({"Threads", "Gates/s", "Speedup"});
+  for (const ThreadRow& r : threads) {
+    threadTable.addRow({std::to_string(r.threads), rate(r.gatesPerS),
+                        round2(r.threadSpeedup) + "x"});
+  }
+  std::cout << "\nFused dense workload at " << kThreadQubits
+            << " qubits across setThreads(n)\n\n";
+  threadTable.print(std::cout);
+
+  std::cout << "\nQMDD " << qmdd.qubits << "q: " << rate(qmdd.unfusedPerS)
+            << " gates/s unfused, " << rate(qmdd.fusedPerS)
+            << " gates/s fused (" << round2(qmdd.fusionSpeedup) << "x)\n";
+
+  AsciiTable bddTable({"BDD kind", "Gates/s"});
+  for (const BddRow& r : bdd) bddTable.addRow({r.kind, rate(r.gatesPerS)});
+  std::cout << "\nBit-sliced BDD per-kind application (warmed "
+            << kBddQubits << "q state)\n\n";
+  bddTable.print(std::cout);
+
+  writeJson(dense, threads, qmdd, bdd);
+  return 0;
+}
 
 }  // namespace
-}  // namespace sliq
+}  // namespace sliq::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int rc = sliq::bench::report();
+  if (rc != 0) return rc;
+  return sliq::bench::maybeCheckBaseline(argc, argv, "BENCH_gates.json");
+}

@@ -204,7 +204,7 @@ void report() {
 }  // namespace
 }  // namespace sliq::bench
 
-int main() {
+int main(int argc, char** argv) {
   sliq::bench::report();
-  return 0;
+  return sliq::bench::maybeCheckBaseline(argc, argv, "BENCH_observables.json");
 }

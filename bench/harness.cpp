@@ -6,13 +6,17 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <new>
+#include <sstream>
 #include <stdexcept>
 
 #include "bdd/types.hpp"
@@ -186,6 +190,217 @@ std::string CellStats::memCell() const {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.1f", totalMemMB / memSamples);
   return buf;
+}
+
+// ---- perf-regression gate (--check) ---------------------------------------
+
+namespace {
+
+// Minimal recursive-descent JSON reader flattening numeric leaves into
+// dotted key paths. Covers exactly the subset the bench binaries emit.
+class JsonFlattener {
+ public:
+  explicit JsonFlattener(const std::string& text) : text_(text) {}
+
+  std::map<std::string, double> parse() {
+    std::map<std::string, double> out;
+    value("", out);
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return out;
+  }
+
+ private:
+  void value(const std::string& path, std::map<std::string, double>& out) {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object(path, out);
+    if (c == '[') return array(path, out);
+    if (c == '"') {
+      (void)string();
+      return;
+    }
+    if (c == 't' || c == 'f' || c == 'n') return literal();
+    number(path, out);
+  }
+
+  void object(const std::string& path, std::map<std::string, double>& out) {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skipWs();
+      const std::string key = string();
+      skipWs();
+      expect(':');
+      value(path.empty() ? key : path + "." + key, out);
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void array(const std::string& path, std::map<std::string, double>& out) {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    std::size_t index = 0;
+    while (true) {
+      value(path + "." + std::to_string(index++), out);
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      s += text_[pos_++];
+    }
+    expect('"');
+    return s;
+  }
+
+  void literal() {
+    // true / false / null — uninteresting for the numeric view.
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void number(const std::string& path, std::map<std::string, double>& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    out[path] = std::atof(text_.substr(start, pos_ - start).c_str());
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Throughput metrics only: higher is better by construction. Timing keys
+/// ("*_s") are excluded — see harness.hpp.
+bool isThroughputKey(const std::string& key) {
+  const std::size_t dot = key.rfind('.');
+  const std::string leaf = dot == std::string::npos ? key : key.substr(dot + 1);
+  return endsWith(leaf, "_per_s") || endsWith(leaf, "speedup");
+}
+
+}  // namespace
+
+std::map<std::string, double> readJsonNumbers(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  return JsonFlattener(text).parse();
+}
+
+BaselineCheck checkAgainstBaseline(const std::string& baselinePath,
+                                   const std::string& currentPath) {
+  const std::map<std::string, double> baseline = readJsonNumbers(baselinePath);
+  const std::map<std::string, double> current = readJsonNumbers(currentPath);
+  BaselineCheck check;
+  for (const auto& [key, base] : baseline) {
+    if (!isThroughputKey(key)) continue;
+    const auto it = current.find(key);
+    if (it == current.end() || base <= 0) continue;
+    ++check.compared;
+    const double floor = base * (1.0 - kBenchRegressionTolerance);
+    if (it->second < floor) {
+      ++check.regressions;
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "%s: %.4g < %.4g (baseline %.4g - %.0f%% tolerance)",
+                    key.c_str(), it->second, floor, base,
+                    kBenchRegressionTolerance * 100);
+      check.messages.push_back(buf);
+    }
+  }
+  return check;
+}
+
+int maybeCheckBaseline(int argc, char** argv, const std::string& defaultJson) {
+  std::string baselinePath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--check requires a baseline JSON path\n";
+        return 1;
+      }
+      baselinePath = argv[i + 1];
+    }
+  }
+  if (baselinePath.empty()) return 0;
+  const char* env = std::getenv("SLIQ_BENCH_JSON");
+  const std::string currentPath = env != nullptr ? env : defaultJson;
+  try {
+    const BaselineCheck check = checkAgainstBaseline(baselinePath, currentPath);
+    std::cout << "\nbaseline check vs " << baselinePath << ": "
+              << check.compared << " throughput metric"
+              << (check.compared == 1 ? "" : "s") << " compared, "
+              << check.regressions << " regression"
+              << (check.regressions == 1 ? "" : "s") << "\n";
+    for (const std::string& m : check.messages) {
+      std::cout << "  REGRESSION " << m << "\n";
+    }
+    return check.regressions > 0 ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "baseline check failed: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace sliq::bench

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 
@@ -72,5 +74,46 @@ double benchTimeoutSeconds();
 std::size_t benchMemLimitMB();
 /// Scales a workload dimension by SLIQ_BENCH_SCALE percent.
 unsigned scaled(unsigned value);
+
+// ---- perf-regression gate (--check) ---------------------------------------
+//
+// Every bench binary writes a JSON record; the repo commits one baseline
+// per binary (BENCH_*.json at the repo root). `bench --check BASELINE`
+// runs the bench as usual, then compares every *throughput-like* metric of
+// the fresh JSON against the baseline: keys whose last path segment ends
+// in "_per_s" or "speedup" (higher = better). Timing keys ("*_s") are NOT
+// compared — absolute seconds vary with host load, while throughput ratios
+// and normalized rates are the quantities the baselines pin. A metric
+// below baseline·(1 − kBenchRegressionTolerance) is a regression.
+//
+// Exit-code contract: 0 ok, 2 throughput regression (CI treats it as soft
+// unless SLIQ_BENCH_STRICT=1), 1 unreadable/malformed baseline — the same
+// hard code the benches' internal correctness checks use.
+
+constexpr double kBenchRegressionTolerance = 0.25;
+
+struct BaselineCheck {
+  int compared = 0;
+  int regressions = 0;
+  std::vector<std::string> messages;  // one line per regression
+};
+
+/// Flattened key → number view of one JSON file ("engines.0.speedup").
+/// Minimal parser covering the bench JSON subset (objects, arrays,
+/// numbers, strings, bools, null); throws std::runtime_error on malformed
+/// input or unreadable files.
+std::map<std::string, double> readJsonNumbers(const std::string& path);
+
+/// Compares the throughput metrics of `currentPath` against
+/// `baselinePath`. Metrics present in only one file are ignored (adding a
+/// bench row must not fail the gate retroactively).
+BaselineCheck checkAgainstBaseline(const std::string& baselinePath,
+                                   const std::string& currentPath);
+
+/// Standard main() tail for every bench binary: parses `--check FILE` from
+/// argv (returns 0 when absent), compares the JSON the bench just wrote
+/// ($SLIQ_BENCH_JSON or `defaultJson`) against FILE, prints a report and
+/// returns the exit-code contract above.
+int maybeCheckBaseline(int argc, char** argv, const std::string& defaultJson);
 
 }  // namespace sliq::bench

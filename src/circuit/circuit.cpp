@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "circuit/optimizer.hpp"
 #include "support/assert.hpp"
 
 namespace sliq {
@@ -140,6 +141,8 @@ QuantumCircuit QuantumCircuit::inverse() const {
   }
   return inv;
 }
+
+FusedCircuit QuantumCircuit::fused() const { return fuseCircuit(*this); }
 
 std::map<std::string, std::size_t> QuantumCircuit::histogram() const {
   std::map<std::string, std::size_t> h;

@@ -11,6 +11,8 @@
 
 namespace sliq {
 
+class FusedCircuit;  // circuit/optimizer.hpp
+
 class QuantumCircuit {
  public:
   explicit QuantumCircuit(unsigned numQubits, std::string name = "circuit");
@@ -81,6 +83,11 @@ class QuantumCircuit {
   /// amplitudes up to one global ω power per Rx gate. Dynamic circuits have
   /// no inverse (measurement is irreversible) — throws std::logic_error.
   QuantumCircuit inverse() const;
+
+  /// The fused view of this circuit (optimizer.hpp: greedy two-qubit-block
+  /// gate fusion; dynamic circuits pass through verbatim). The dense-path
+  /// engines (statevector, qmdd) execute this by default in runStatic.
+  FusedCircuit fused() const;
 
   /// Gate-kind histogram keyed by mnemonic ("h", "cx", ...).
   std::map<std::string, std::size_t> histogram() const;

@@ -1,6 +1,8 @@
 #include "circuit/gate.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 #include "support/assert.hpp"
 
@@ -46,6 +48,63 @@ std::string gateName(const Gate& gate) {
 bool isPermutationGate(GateKind kind) {
   return kind == GateKind::kX || kind == GateKind::kCnot ||
          kind == GateKind::kSwap;
+}
+
+bool hasUnitary2x2(GateKind kind) {
+  return kind != GateKind::kSwap && kind != GateKind::kMeasure &&
+         kind != GateKind::kReset;
+}
+
+void gateUnitary2x2(GateKind kind, std::complex<double> m[4]) {
+  // 1/√2 to the last bit (std::sqrt would round identically, but a literal
+  // keeps the constant independent of libm).
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  const std::complex<double> i{0.0, 1.0};
+  const std::complex<double> omega = std::polar(1.0, M_PI / 4);
+  switch (kind) {
+    case GateKind::kX:
+    case GateKind::kCnot: m[0] = 0; m[1] = 1; m[2] = 1; m[3] = 0; return;
+    case GateKind::kY: m[0] = 0; m[1] = -i; m[2] = i; m[3] = 0; return;
+    case GateKind::kZ:
+    case GateKind::kCz: m[0] = 1; m[1] = 0; m[2] = 0; m[3] = -1; return;
+    case GateKind::kH:
+      m[0] = kInvSqrt2; m[1] = kInvSqrt2;
+      m[2] = kInvSqrt2; m[3] = -kInvSqrt2;
+      return;
+    case GateKind::kS: m[0] = 1; m[1] = 0; m[2] = 0; m[3] = i; return;
+    case GateKind::kSdg: m[0] = 1; m[1] = 0; m[2] = 0; m[3] = -i; return;
+    case GateKind::kT: m[0] = 1; m[1] = 0; m[2] = 0; m[3] = omega; return;
+    case GateKind::kTdg:
+      m[0] = 1; m[1] = 0; m[2] = 0; m[3] = std::conj(omega);
+      return;
+    case GateKind::kRx90:
+      m[0] = kInvSqrt2; m[1] = -i * kInvSqrt2;
+      m[2] = -i * kInvSqrt2; m[3] = kInvSqrt2;
+      return;
+    case GateKind::kRy90:
+      m[0] = kInvSqrt2; m[1] = -kInvSqrt2;
+      m[2] = kInvSqrt2; m[3] = kInvSqrt2;
+      return;
+    case GateKind::kSwap:
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      break;
+  }
+  throw std::invalid_argument("no single-qubit unitary for this gate kind");
+}
+
+bool isDiagonalGate(GateKind kind) {
+  switch (kind) {
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kCz:
+      return true;
+    default:
+      return false;
+  }
 }
 
 bool incrementsK(GateKind kind) {

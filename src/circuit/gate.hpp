@@ -2,6 +2,7 @@
 // extensions (marked; see DESIGN.md §3).
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -64,6 +65,22 @@ std::string gateName(const Gate& gate);
 /// True for gates that only permute basis states (no amplitude arithmetic):
 /// X, CNOT/Toffoli, SWAP/Fredkin.
 bool isPermutationGate(GateKind kind);
+
+/// The 2×2 unitary applied to the target qubit, row-major
+/// (m[0]=⟨0|U|0⟩, m[1]=⟨0|U|1⟩, m[2]=⟨1|U|0⟩, m[3]=⟨1|U|1⟩). Valid for
+/// every kind with a single-qubit base unitary — i.e. everything except
+/// kSwap and the dynamic ops, for which it throws std::invalid_argument.
+/// For kCnot/kCz this is the base X/Z applied under the controls. The one
+/// shared definition of the gate constants (dense engine, QMDD gate DDs and
+/// the fusion pass all consume it).
+void gateUnitary2x2(GateKind kind, std::complex<double> m[4]);
+
+/// True when gateUnitary2x2 is defined for `kind`.
+bool hasUnitary2x2(GateKind kind);
+
+/// True for gates whose unitary is diagonal in the computational basis
+/// (Z, S, S†, T, T†, CZ and their multi-controlled forms).
+bool isDiagonalGate(GateKind kind);
 
 /// True for the gates carrying a 1/√2 factor (H, Rx(π/2), Ry(π/2)); these
 /// increment the global k scalar in the algebraic representation.

@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "support/assert.hpp"
+
 namespace sliq {
 
 namespace {
@@ -133,6 +135,270 @@ QuantumCircuit optimizeCircuit(const QuantumCircuit& circuit,
   local.gatesAfter = out.gateCount();
   if (report != nullptr) *report = local;
   return out;
+}
+
+// ---- gate fusion -----------------------------------------------------------
+
+namespace {
+
+using C = std::complex<double>;
+
+/// out = a · b, row-major 2×2.
+std::array<C, 4> mul2(const std::array<C, 4>& a, const std::array<C, 4>& b) {
+  std::array<C, 4> out{};
+  for (unsigned r = 0; r < 2; ++r)
+    for (unsigned c = 0; c < 2; ++c)
+      out[r * 2 + c] = a[r * 2 + 0] * b[0 * 2 + c] + a[r * 2 + 1] * b[1 * 2 + c];
+  return out;
+}
+
+/// out = a · b, row-major 4×4.
+std::array<C, 16> mul4(const std::array<C, 16>& a, const std::array<C, 16>& b) {
+  std::array<C, 16> out{};
+  for (unsigned r = 0; r < 4; ++r)
+    for (unsigned c = 0; c < 4; ++c) {
+      C acc = 0;
+      for (unsigned k = 0; k < 4; ++k) acc += a[r * 4 + k] * b[k * 4 + c];
+      out[r * 4 + c] = acc;
+    }
+  return out;
+}
+
+/// Embeds a 2×2 into the 4×4 over (lo, hi); basis index b = 2·b_hi + b_lo.
+/// `atLow` selects which slot the 2×2 acts on (identity on the other).
+std::array<C, 16> embed2(const std::array<C, 4>& u, bool atLow) {
+  std::array<C, 16> out{};
+  for (unsigned other = 0; other < 2; ++other)
+    for (unsigned r = 0; r < 2; ++r)
+      for (unsigned c = 0; c < 2; ++c) {
+        const unsigned row = atLow ? other * 2 + r : r * 2 + other;
+        const unsigned col = atLow ? other * 2 + c : c * 2 + other;
+        out[row * 4 + col] = u[r * 2 + c];
+      }
+  return out;
+}
+
+/// The 4×4 of one gate whose support ⊆ {lo, hi} (lo < hi), basis index
+/// b = 2·b_hi + b_lo, built column by column: out[r·4+c] = ⟨r|G|c⟩.
+std::array<C, 16> gateBlock4(const Gate& g, unsigned lo, unsigned hi) {
+  SLIQ_CHECK(lo < hi, "block support must be ordered");
+  std::array<C, 16> out{};
+  if (g.kind == GateKind::kSwap && g.controls.empty()) {
+    for (unsigned col = 0; col < 4; ++col) {
+      const unsigned swapped = ((col & 1u) << 1) | ((col >> 1) & 1u);
+      out[swapped * 4 + col] = 1.0;
+    }
+    return out;
+  }
+  const auto bitOf = [&](unsigned q, unsigned col) -> unsigned {
+    return q == lo ? (col & 1u) : ((col >> 1) & 1u);
+  };
+  const auto withBit = [&](unsigned col, unsigned q, unsigned bit) -> unsigned {
+    const unsigned shift = q == lo ? 0u : 1u;
+    return (col & ~(1u << shift)) | (bit << shift);
+  };
+  C u[4];
+  gateUnitary2x2(g.kind, u);
+  const unsigned t = g.target();
+  for (unsigned col = 0; col < 4; ++col) {
+    bool active = true;
+    for (unsigned c : g.controls) active = active && bitOf(c, col) == 1u;
+    if (!active) {
+      out[col * 4 + col] = 1.0;  // controls unmet: identity column
+      continue;
+    }
+    const unsigned tb = bitOf(t, col);
+    out[withBit(col, t, 0) * 4 + col] += u[0 * 2 + tb];
+    out[withBit(col, t, 1) * 4 + col] += u[1 * 2 + tb];
+  }
+  return out;
+}
+
+/// One pending fusion block: an accumulated unitary over 1 or 2 qubits.
+struct Block {
+  std::vector<unsigned> qs;  // ascending support, size 1 or 2
+  std::array<C, 4> m1{};     // qs.size() == 1
+  std::array<C, 16> m2{};    // qs.size() == 2
+  Gate firstGate;            // emitted verbatim when count == 1
+  unsigned count = 0;
+  bool alive = false;
+};
+
+/// True when the fusion pass may absorb `g` into a block: a unitary whose
+/// support fits a 2-qubit block. (Dynamic ops never reach here — dynamic
+/// circuits pass through whole.)
+bool fusible(const Gate& g) {
+  if (g.isDynamicOp() || g.conditioned) return false;
+  if (g.targets.size() + g.controls.size() > 2) return false;
+  return hasUnitary2x2(g.kind) ||
+         (g.kind == GateKind::kSwap && g.controls.empty());
+}
+
+std::vector<unsigned> gateSupport(const Gate& g) {
+  std::vector<unsigned> qs = g.targets;
+  qs.insert(qs.end(), g.controls.begin(), g.controls.end());
+  std::sort(qs.begin(), qs.end());
+  return qs;
+}
+
+/// Widens a block to the 2-qubit support `qs` (ascending, superset of the
+/// current support) without changing the represented unitary.
+void widenBlock(Block& b, const std::vector<unsigned>& qs) {
+  if (b.qs == qs) return;
+  b.m2 = embed2(b.m1, /*atLow=*/b.qs[0] == qs[0]);
+  b.qs = qs;
+}
+
+}  // namespace
+
+FusedCircuit fuseCircuit(const QuantumCircuit& circuit, FusionReport* report) {
+  FusionReport local;
+  local.gatesIn = circuit.gateCount();
+  std::vector<FusedOp> ops;
+
+  // Dynamic circuits: verbatim passthrough (see header).
+  if (circuit.isDynamic()) {
+    for (const Gate& g : circuit.gates()) {
+      FusedOp op;
+      op.gate = g;
+      ops.push_back(std::move(op));
+    }
+    local.opsOut = ops.size();
+    if (report != nullptr) *report = local;
+    return FusedCircuit(circuit.numQubits(), std::move(ops));
+  }
+
+  std::vector<Block> blocks;
+  std::vector<int> freeSlots;  // dead entries of `blocks`, reused for new ones
+  // Qubit -> index of the block currently accumulating on it (-1: none).
+  // Active blocks have pairwise disjoint supports, so blocks commute with
+  // each other and a flushed block may be emitted at the current position.
+  std::vector<int> owner(circuit.numQubits(), -1);
+
+  const auto emit = [&](int index) {
+    Block& b = blocks[index];
+    FusedOp op;
+    op.gatesFused = b.count;
+    if (b.count == 1) {
+      op.gate = b.firstGate;  // keep the engines' specialized gate kernels
+    } else if (b.qs.size() == 1) {
+      op.kind = FusedOp::Kind::k1q;
+      op.q0 = b.qs[0];
+      op.m1 = b.m1;
+      ++local.fusedBlocks;
+    } else {
+      op.kind = FusedOp::Kind::k2q;
+      op.q0 = b.qs[0];
+      op.q1 = b.qs[1];
+      op.m2 = b.m2;
+      op.diagonal = true;
+      for (unsigned r = 0; r < 4 && op.diagonal; ++r)
+        for (unsigned c = 0; c < 4; ++c)
+          if (r != c && b.m2[r * 4 + c] != 0.0) {
+            op.diagonal = false;
+            break;
+          }
+      if (op.diagonal) ++local.diagonalBlocks;
+      ++local.fusedBlocks;
+    }
+    ops.push_back(std::move(op));
+    for (unsigned q : b.qs) owner[q] = -1;
+    b.alive = false;
+    freeSlots.push_back(index);
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    const std::vector<unsigned> support = gateSupport(g);
+
+    // Blocks already accumulating on this gate's qubits, in index order.
+    std::vector<int> touched;
+    for (unsigned q : support) {
+      const int b = owner[q];
+      if (b >= 0 &&
+          std::find(touched.begin(), touched.end(), b) == touched.end())
+        touched.push_back(b);
+    }
+
+    // Combined support of gate + touched blocks.
+    std::vector<unsigned> combined = support;
+    for (int bi : touched)
+      for (unsigned q : blocks[bi].qs)
+        if (std::find(combined.begin(), combined.end(), q) == combined.end())
+          combined.push_back(q);
+    std::sort(combined.begin(), combined.end());
+
+    if (!fusible(g) || combined.size() > 2) {
+      // Conflict: retire the touched blocks (disjoint from everything still
+      // pending, so position-order is preserved), then restart below.
+      for (int bi : touched) emit(bi);
+      if (!fusible(g)) {
+        FusedOp op;
+        op.gate = g;
+        ops.push_back(std::move(op));
+        continue;
+      }
+      touched.clear();
+      combined = support;
+    }
+
+    if (touched.empty()) {
+      Block b;
+      b.qs = combined;
+      b.firstGate = g;
+      b.count = 1;
+      b.alive = true;
+      if (combined.size() == 1) {
+        gateUnitary2x2(g.kind, b.m1.data());
+      } else {
+        b.m2 = gateBlock4(g, combined[0], combined[1]);
+      }
+      int slot;
+      if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+        blocks[slot] = std::move(b);
+      } else {
+        slot = static_cast<int>(blocks.size());
+        blocks.push_back(std::move(b));
+      }
+      for (unsigned q : combined) owner[q] = slot;
+      continue;
+    }
+
+    // Merge everything into touched[0], then multiply the gate on top.
+    Block& target = blocks[touched[0]];
+    if (combined.size() == 1) {
+      std::array<C, 4> u;
+      gateUnitary2x2(g.kind, u.data());
+      target.m1 = mul2(u, target.m1);
+    } else {
+      widenBlock(target, combined);
+      for (std::size_t i = 1; i < touched.size(); ++i) {
+        Block& other = blocks[touched[i]];
+        widenBlock(other, combined);
+        // Disjoint original supports: the embedded factors commute, so the
+        // product order is immaterial.
+        target.m2 = mul4(other.m2, target.m2);
+        target.count += other.count;
+        for (unsigned q : other.qs) owner[q] = touched[0];
+        other.alive = false;
+        freeSlots.push_back(touched[i]);
+      }
+      target.m2 = mul4(gateBlock4(g, combined[0], combined[1]), target.m2);
+      for (unsigned q : combined) owner[q] = touched[0];
+      target.qs = combined;
+    }
+    ++target.count;
+  }
+
+  // Retire the survivors (supports are disjoint, so any order is
+  // unitary-equivalent; slot order keeps the output deterministic).
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    if (blocks[i].alive) emit(static_cast<int>(i));
+
+  local.opsOut = ops.size();
+  if (report != nullptr) *report = local;
+  return FusedCircuit(circuit.numQubits(), std::move(ops));
 }
 
 }  // namespace sliq

@@ -12,6 +12,9 @@
 // checker.
 #pragma once
 
+#include <array>
+#include <complex>
+
 #include "circuit/circuit.hpp"
 
 namespace sliq {
@@ -25,5 +28,70 @@ struct OptimizerReport {
 
 QuantumCircuit optimizeCircuit(const QuantumCircuit& circuit,
                                OptimizerReport* report = nullptr);
+
+// ---- gate fusion (DESIGN.md §9) -------------------------------------------
+//
+// Dense-engine preprocessing: runs of adjacent gates whose combined support
+// fits in one or two qubits are multiplied into a single 2×2 or 4×4 unitary
+// block, so the amplitude array (or decision diagram) is traversed once per
+// *block* instead of once per gate. "Adjacent" is modulo trivially commuting
+// gates on disjoint qubits: a 1q gate on q fuses past any number of gates
+// not touching q. Blocks never reorder relative to gates they share a qubit
+// with, so the fused circuit computes the exact same unitary (up to the
+// floating-point reassociation of the matrix products — bounded by the
+// differential tests at 1e-12).
+
+/// One operation of a fused circuit: either an original gate passed through
+/// (multi-qubit support > 2, or nothing adjacent to fuse with), a fused 2×2
+/// on one qubit, or a fused 4×4 on an ordered qubit pair.
+struct FusedOp {
+  enum class Kind : std::uint8_t {
+    kGate,  // `gate` verbatim (Toffoli/Fredkin/MCZ, or an unfused single)
+    k1q,    // m1 applied to qubit q0
+    k2q,    // m2 applied to the (q0, q1) pair, q0 < q1
+  };
+
+  Kind kind = Kind::kGate;
+  Gate gate;                 // kGate only
+  unsigned q0 = 0;           // k1q / k2q
+  unsigned q1 = 0;           // k2q only (q0 < q1)
+  /// Row-major 2×2 (k1q).
+  std::array<std::complex<double>, 4> m1{};
+  /// Row-major 4×4 (k2q); basis index b = 2·(bit of q1) + (bit of q0).
+  std::array<std::complex<double>, 16> m2{};
+  /// k2q with every off-diagonal entry exactly zero (a run of Z/S/T/CZ):
+  /// engines apply it as a phase multiply instead of a 4×4 product.
+  bool diagonal = false;
+  /// Original gates combined into this op (1 for kGate).
+  unsigned gatesFused = 1;
+};
+
+struct FusionReport {
+  std::size_t gatesIn = 0;
+  std::size_t opsOut = 0;
+  std::size_t fusedBlocks = 0;     // ops combining >= 2 gates
+  std::size_t diagonalBlocks = 0;  // k2q blocks with the diagonal flag
+};
+
+/// A fused view of one static circuit (see QuantumCircuit::fused()).
+class FusedCircuit {
+ public:
+  FusedCircuit(unsigned numQubits, std::vector<FusedOp> ops)
+      : numQubits_(numQubits), ops_(std::move(ops)) {}
+
+  unsigned numQubits() const { return numQubits_; }
+  std::size_t opCount() const { return ops_.size(); }
+  const std::vector<FusedOp>& ops() const { return ops_; }
+
+ private:
+  unsigned numQubits_;
+  std::vector<FusedOp> ops_;
+};
+
+/// Greedy two-qubit-block fusion. Dynamic circuits pass through untouched
+/// (every op emitted as kGate in order): collapse points and classical
+/// conditions must see exactly the per-op execution runDynamic drives.
+FusedCircuit fuseCircuit(const QuantumCircuit& circuit,
+                         FusionReport* report = nullptr);
 
 }  // namespace sliq

@@ -195,6 +195,15 @@ class Engine {
   /// contraction. Defined out of line in observable.cpp.
   double expectation(const PauliObservable& observable);
 
+  /// Requests `threads` worker threads for single-circuit execution
+  /// (0 = hardware concurrency). Engines without an intra-circuit parallel
+  /// path ignore it — today only the dense statevector engine partitions
+  /// its amplitude groups (StatevectorSimulator::setThreads); the result is
+  /// bit-identical for every thread count. Distinct from the *inter*-
+  /// trajectory parallelism of the noise runner, which runs one engine per
+  /// worker.
+  virtual void setExecutionThreads(unsigned threads) { (void)threads; }
+
   /// The paper's 'error' column: true when the engine's normalization
   /// invariant has drifted beyond its engine-specific tolerance.
   virtual bool numericalError() { return false; }

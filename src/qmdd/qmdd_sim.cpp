@@ -2,45 +2,27 @@
 
 #include <cmath>
 
+#include "circuit/optimizer.hpp"
 #include "support/assert.hpp"
 
 namespace sliq::qmdd {
 
 namespace {
-constexpr double kInvSqrt2 = 0.7071067811865476;
-const Complex kI{0.0, 1.0};
 
 struct U2 {
   Complex m[4];  // row-major
 };
 
+// Shared Table I constants (circuit/gate.cpp) — one definition of 1/√2 and
+// ω for every dense engine, so cross-engine differential tests compare the
+// exact same matrices.
 U2 gateMatrix(GateKind kind) {
-  const Complex omega = std::polar(1.0, M_PI / 4);
-  switch (kind) {
-    case GateKind::kX: return {{0, 1, 1, 0}};
-    case GateKind::kY: return {{0, -kI, kI, 0}};
-    case GateKind::kZ: return {{1, 0, 0, -1}};
-    case GateKind::kH: return {{kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2}};
-    case GateKind::kS: return {{1, 0, 0, kI}};
-    case GateKind::kSdg: return {{1, 0, 0, -kI}};
-    case GateKind::kT: return {{1, 0, 0, omega}};
-    case GateKind::kTdg: return {{1, 0, 0, std::conj(omega)}};
-    case GateKind::kRx90:
-      return {{kInvSqrt2, -kI * kInvSqrt2, -kI * kInvSqrt2, kInvSqrt2}};
-    case GateKind::kRy90:
-      return {{kInvSqrt2, -kInvSqrt2, kInvSqrt2, kInvSqrt2}};
-    case GateKind::kCnot: return {{0, 1, 1, 0}};
-    case GateKind::kCz: return {{1, 0, 0, -1}};
-    case GateKind::kSwap: break;
-    case GateKind::kMeasure:
-    case GateKind::kReset:
-      SLIQ_REQUIRE(false,
-                   "measure/reset are not unitary gates — dynamic circuits "
-                   "execute through Engine::runDynamic");
-      break;
-  }
-  SLIQ_CHECK(false, "no single-qubit matrix for this gate");
-  return {};
+  SLIQ_REQUIRE(kind != GateKind::kMeasure && kind != GateKind::kReset,
+               "measure/reset are not unitary gates — dynamic circuits "
+               "execute through Engine::runDynamic");
+  U2 u;
+  gateUnitary2x2(kind, u.m);
+  return u;
 }
 
 const Complex kIdentityBlock[4] = {1, 0, 0, 1};
@@ -94,9 +76,62 @@ void QmddSimulator::applyGate(const Gate& gate) {
   applyControlledU(u.m, gate.controls, gate.target());
 }
 
+void QmddSimulator::applyTwoQubitU(const Complex u[16], unsigned qLow,
+                                   unsigned qHigh) {
+  SLIQ_REQUIRE(qLow < qHigh && qHigh < n_, "bad two-qubit block support");
+  mgr_.gcIfNeeded();
+  // Gate DD = Σ_{r,c} E_{rc} at qHigh ⊗ (2×2 sub-block at qLow), identity
+  // on every other level. All-zero sub-blocks contribute nothing and are
+  // skipped (every diagonal fused block has two of them).
+  bool haveSum = false;
+  MEdge sum{};
+  for (unsigned r = 0; r < 2; ++r) {
+    for (unsigned c = 0; c < 2; ++c) {
+      const Complex sub[4] = {u[(2 * r + 0) * 4 + (2 * c + 0)],
+                              u[(2 * r + 0) * 4 + (2 * c + 1)],
+                              u[(2 * r + 1) * 4 + (2 * c + 0)],
+                              u[(2 * r + 1) * 4 + (2 * c + 1)]};
+      if (sub[0] == Complex{} && sub[1] == Complex{} && sub[2] == Complex{} &&
+          sub[3] == Complex{}) {
+        continue;
+      }
+      Complex outer[4] = {0, 0, 0, 0};
+      outer[r * 2 + c] = 1;
+      std::vector<const Complex*> blocks(n_, kIdentityBlock);
+      blocks[qHigh] = outer;
+      blocks[qLow] = sub;
+      const MEdge term = mgr_.makeKronecker(n_, blocks);
+      sum = haveSum ? mgr_.mAdd(sum, term) : term;
+      haveSum = true;
+    }
+  }
+  SLIQ_CHECK(haveSum, "two-qubit block is the zero matrix");
+  mgr_.setRoot(mgr_.mvMultiply(sum, mgr_.root()));
+}
+
+void QmddSimulator::applyFusedOp(const FusedOp& op) {
+  switch (op.kind) {
+    case FusedOp::Kind::kGate:
+      applyGate(op.gate);
+      return;
+    case FusedOp::Kind::k1q:
+      mgr_.gcIfNeeded();
+      applyControlledU(op.m1.data(), {}, op.q0);
+      return;
+    case FusedOp::Kind::k2q:
+      applyTwoQubitU(op.m2.data(), op.q0, op.q1);
+      return;
+  }
+}
+
 void QmddSimulator::run(const QuantumCircuit& circuit) {
   SLIQ_REQUIRE(circuit.numQubits() == n_, "circuit width mismatch");
   for (const Gate& g : circuit.gates()) applyGate(g);
+}
+
+void QmddSimulator::runFused(const FusedCircuit& circuit) {
+  SLIQ_REQUIRE(circuit.numQubits() == n_, "circuit width mismatch");
+  for (const FusedOp& op : circuit.ops()) applyFusedOp(op);
 }
 
 Complex QmddSimulator::amplitude(std::uint64_t basisState) {

@@ -12,6 +12,10 @@
 #include "qmdd/qmdd.hpp"
 #include "support/rng.hpp"
 
+namespace sliq {
+struct FusedOp;  // circuit/optimizer.hpp
+}
+
 namespace sliq::qmdd {
 
 class QmddSimulator {
@@ -28,6 +32,13 @@ class QmddSimulator {
 
   void applyGate(const Gate& gate);
   void run(const QuantumCircuit& circuit);
+  /// Applies one fused op (circuit/optimizer.hpp): a verbatim gate, a
+  /// fused 2×2 through the controlled-U path, or a fused 4×4 built as a
+  /// matrix DD (applyTwoQubitU) — one DD traversal for the whole block.
+  void applyFusedOp(const FusedOp& op);
+  /// Runs a fused circuit — run(c.fused()) equals run(c) up to the
+  /// reassociation rounding of the fused matrix products.
+  void runFused(const FusedCircuit& circuit);
 
   Complex amplitude(std::uint64_t basisState);
   /// Σ|α|²; drifts away from 1 as rounding accumulates — the paper's
@@ -65,6 +76,10 @@ class QmddSimulator {
   void applyControlledU(const Complex u[4],
                         const std::vector<unsigned>& controls,
                         unsigned target);
+  /// Applies a 4×4 unitary over (qLow, qHigh), qLow < qHigh, basis index
+  /// b = 2·(bit of qHigh) + (bit of qLow), matrix row-major: the gate DD
+  /// is Σ_{r,c} E_{rc}(qHigh) ⊗ U_{rc}(qLow) with identity elsewhere.
+  void applyTwoQubitU(const Complex u[16], unsigned qLow, unsigned qHigh);
 
   unsigned n_;
   QmddManager mgr_;

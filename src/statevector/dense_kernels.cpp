@@ -1,0 +1,333 @@
+#include "statevector/dense_kernels.hpp"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+#if defined(SLIQ_SIMD) && defined(__AVX2__)
+#define SLIQ_DENSE_AVX2 1
+#include <immintrin.h>
+#elif defined(SLIQ_SIMD) && defined(__ARM_NEON)
+#define SLIQ_DENSE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace sliq::dense {
+
+namespace {
+
+// ---- partitioning ---------------------------------------------------------
+
+// Runs body(lo, hi) over contiguous partitions of [0, work). Each partition
+// is one pool task (the calling thread takes the first); partitions touch
+// disjoint amplitude groups, so any thread count produces bit-identical
+// state. Joins before returning — `body` may be captured by reference.
+template <typename Body>
+void parallelFor(const ExecContext& ctx, std::uint64_t work,
+                 const Body& body) {
+  const bool serial = ctx.pool == nullptr || ctx.threads <= 1 ||
+                      work < kMinParallelGroups;
+  if (serial) {
+    body(std::uint64_t{0}, work);
+    return;
+  }
+  const std::uint64_t parts = std::min<std::uint64_t>(ctx.threads, work);
+  const std::uint64_t chunk = (work + parts - 1) / parts;
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<std::size_t>(parts) - 1);
+  for (std::uint64_t p = 1; p < parts; ++p) {
+    const std::uint64_t lo = std::min(work, p * chunk);
+    const std::uint64_t hi = std::min(work, lo + chunk);
+    if (lo >= hi) break;
+    pending.push_back(ctx.pool->submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  body(std::uint64_t{0}, std::min(chunk, work));
+  for (auto& f : pending) f.get();
+}
+
+// ---- complex run primitives ----------------------------------------------
+//
+// Every kernel below bottoms out in one of these: unit-stride loops over
+// one, two or four parallel amplitude streams. The streams are what the
+// run decomposition buys — the SIMD bodies need nothing but contiguous
+// loads/stores, and the scalar fallbacks auto-vectorize.
+
+#if SLIQ_DENSE_AVX2
+// (re, im) broadcast pair for one matrix entry.
+struct AvxEntry {
+  __m256d re, im;
+};
+inline AvxEntry avxEntry(const Amp& c) {
+  return {_mm256_set1_pd(c.real()), _mm256_set1_pd(c.imag())};
+}
+// Two complex products per vector: v·c with v = [a0r a0i a1r a1i].
+inline __m256d cmul(__m256d v, const AvxEntry& c) {
+  return _mm256_addsub_pd(_mm256_mul_pd(v, c.re),
+                          _mm256_mul_pd(_mm256_permute_pd(v, 0x5), c.im));
+}
+inline __m256d load2(const Amp* p) {
+  return _mm256_loadu_pd(reinterpret_cast<const double*>(p));
+}
+inline void store2(Amp* p, __m256d v) {
+  _mm256_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+#elif SLIQ_DENSE_NEON
+struct NeonEntry {
+  float64x2_t re, im;
+};
+inline NeonEntry neonEntry(const Amp& c) {
+  return {vdupq_n_f64(c.real()), vdupq_n_f64(c.imag())};
+}
+// One complex product: [vr·cr − vi·ci, vi·cr + vr·ci].
+inline float64x2_t cmul(float64x2_t v, const NeonEntry& c) {
+  const float64x2_t sign = {-1.0, 1.0};
+  return vfmaq_f64(vmulq_f64(v, c.re),
+                   vmulq_f64(vextq_f64(v, v, 1), c.im), sign);
+}
+inline float64x2_t load1(const Amp* p) {
+  return vld1q_f64(reinterpret_cast<const double*>(p));
+}
+inline void store1(Amp* p, float64x2_t v) {
+  vst1q_f64(reinterpret_cast<double*>(p), v);
+}
+#endif
+
+// lo/hi ← [m0 m1; m2 m3]·[lo; hi] over n contiguous pairs of streams.
+void run2x2(Amp* lo, Amp* hi, std::uint64_t n, const Amp m[4]) {
+  std::uint64_t k = 0;
+#if SLIQ_DENSE_AVX2
+  const AvxEntry e00 = avxEntry(m[0]), e01 = avxEntry(m[1]);
+  const AvxEntry e10 = avxEntry(m[2]), e11 = avxEntry(m[3]);
+  for (; k + 2 <= n; k += 2) {
+    const __m256d a = load2(lo + k);
+    const __m256d b = load2(hi + k);
+    store2(lo + k, _mm256_add_pd(cmul(a, e00), cmul(b, e01)));
+    store2(hi + k, _mm256_add_pd(cmul(a, e10), cmul(b, e11)));
+  }
+#elif SLIQ_DENSE_NEON
+  const NeonEntry e00 = neonEntry(m[0]), e01 = neonEntry(m[1]);
+  const NeonEntry e10 = neonEntry(m[2]), e11 = neonEntry(m[3]);
+  for (; k < n; ++k) {
+    const float64x2_t a = load1(lo + k);
+    const float64x2_t b = load1(hi + k);
+    store1(lo + k, vaddq_f64(cmul(a, e00), cmul(b, e01)));
+    store1(hi + k, vaddq_f64(cmul(a, e10), cmul(b, e11)));
+  }
+#endif
+  for (; k < n; ++k) {
+    const Amp a = lo[k];
+    const Amp b = hi[k];
+    lo[k] = m[0] * a + m[1] * b;
+    hi[k] = m[2] * a + m[3] * b;
+  }
+}
+
+// s ← c·s over n contiguous amplitudes (diagonal fast path).
+void runScale(Amp* s, std::uint64_t n, const Amp& c) {
+  std::uint64_t k = 0;
+#if SLIQ_DENSE_AVX2
+  const AvxEntry e = avxEntry(c);
+  for (; k + 2 <= n; k += 2) store2(s + k, cmul(load2(s + k), e));
+#elif SLIQ_DENSE_NEON
+  const NeonEntry e = neonEntry(c);
+  for (; k < n; ++k) store1(s + k, cmul(load1(s + k), e));
+#endif
+  for (; k < n; ++k) s[k] *= c;
+}
+
+// Exchanges n contiguous amplitudes between two streams.
+void runExchange(Amp* a, Amp* b, std::uint64_t n) {
+  for (std::uint64_t k = 0; k < n; ++k) std::swap(a[k], b[k]);
+}
+
+// Full 4×4 over the four streams of one run (basis b = 2·hi + lo).
+void run4x4(Amp* s00, Amp* s01, Amp* s10, Amp* s11, std::uint64_t n,
+            const Amp m[16]) {
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const Amp a0 = s00[k], a1 = s01[k], a2 = s10[k], a3 = s11[k];
+    s00[k] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+    s01[k] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+    s10[k] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+    s11[k] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+  }
+}
+
+// ---- generic fixed-bit index enumeration ----------------------------------
+//
+// A kernel that touches groups of amplitudes differing only in a few
+// "free" qubit bits enumerates the base index of every group directly:
+// the group counter k is expanded by inserting a fixed bit value at each
+// fixed position (controls → 1, the group's own qubits → 0), ascending.
+// This visits exactly the 2^(n−f) participating groups instead of
+// scanning all 2^n indices and testing masks (the old controlled path) —
+// for an (n−1)-control Toffoli that is a 2^(n-1)-fold reduction.
+struct FixedBits {
+  unsigned pos[66];            // ascending final bit positions
+  std::uint64_t set[66];       // 0 or 1<<pos: value the position takes
+  unsigned count = 0;
+  std::uint64_t lowMask = 0;   // (1 << pos[0]) − 1: run-length bound
+
+  void add(unsigned p, bool one) {
+    unsigned i = count++;
+    while (i > 0 && pos[i - 1] > p) {
+      pos[i] = pos[i - 1];
+      set[i] = set[i - 1];
+      --i;
+    }
+    pos[i] = p;
+    set[i] = one ? (std::uint64_t{1} << p) : 0;
+  }
+  void finish() { lowMask = count ? (std::uint64_t{1} << pos[0]) - 1 : 0; }
+
+  std::uint64_t expand(std::uint64_t k) const {
+    std::uint64_t idx = k;
+    for (unsigned i = 0; i < count; ++i) {
+      const std::uint64_t low = (std::uint64_t{1} << pos[i]) - 1;
+      idx = ((idx & ~low) << 1) | (idx & low) | set[i];
+    }
+    return idx;
+  }
+};
+
+// Decomposes [gLo, gHi) group indices into contiguous runs: group k and
+// k+1 map to adjacent base indices exactly while k stays below the lowest
+// fixed bit, so each run spans at most 2^pos[0] groups.
+template <typename RunBody>
+void forRuns(const FixedBits& fixed, std::uint64_t gLo, std::uint64_t gHi,
+             const RunBody& body) {
+  std::uint64_t g = gLo;
+  while (g < gHi) {
+    const std::uint64_t inSeg =
+        fixed.lowMask ? (fixed.lowMask + 1) - (g & fixed.lowMask)
+                      : std::uint64_t{1};
+    const std::uint64_t run = std::min(inSeg, gHi - g);
+    body(fixed.expand(g), run);
+    g += run;
+  }
+}
+
+inline bool isDiagonal2(const Amp m[4]) {
+  return m[1] == Amp{} && m[2] == Amp{};
+}
+
+}  // namespace
+
+// ---- kernels --------------------------------------------------------------
+
+void apply1(Amp* state, std::uint64_t size, unsigned target, const Amp m[4],
+            const ExecContext& ctx) {
+  const std::uint64_t stride = std::uint64_t{1} << target;
+  const std::uint64_t groups = size / 2;
+  const bool diag = isDiagonal2(m);
+  const bool skipLo = diag && m[0] == Amp{1.0, 0.0};
+  parallelFor(ctx, groups, [&](std::uint64_t lo, std::uint64_t hi) {
+    // Pairs (i, i+stride): runs are bounded by the target stride itself.
+    std::uint64_t g = lo;
+    while (g < hi) {
+      const std::uint64_t off = g & (stride - 1);
+      const std::uint64_t run = std::min(stride - off, hi - g);
+      const std::uint64_t i0 = ((g >> target) << (target + 1)) | off;
+      if (diag) {
+        if (!skipLo) runScale(state + i0, run, m[0]);
+        runScale(state + i0 + stride, run, m[3]);
+      } else {
+        run2x2(state + i0, state + i0 + stride, run, m);
+      }
+      g += run;
+    }
+  });
+}
+
+void applyControlled1(Amp* state, std::uint64_t size,
+                      std::uint64_t controlMask, unsigned target,
+                      const Amp m[4], const ExecContext& ctx) {
+  if (controlMask == 0) {
+    apply1(state, size, target, m, ctx);
+    return;
+  }
+  SLIQ_CHECK((controlMask & (std::uint64_t{1} << target)) == 0,
+             "target listed as its own control");
+  FixedBits fixed;
+  fixed.add(target, false);
+  for (unsigned b = 0; b < 64; ++b)
+    if (controlMask & (std::uint64_t{1} << b)) fixed.add(b, true);
+  fixed.finish();
+  const std::uint64_t stride = std::uint64_t{1} << target;
+  const std::uint64_t groups = size >> fixed.count;
+  const bool diag = isDiagonal2(m);
+  const bool skipLo = diag && m[0] == Amp{1.0, 0.0};
+  parallelFor(ctx, groups, [&](std::uint64_t lo, std::uint64_t hi) {
+    forRuns(fixed, lo, hi, [&](std::uint64_t i0, std::uint64_t run) {
+      if (diag) {
+        if (!skipLo) runScale(state + i0, run, m[0]);
+        runScale(state + i0 + stride, run, m[3]);
+      } else {
+        run2x2(state + i0, state + i0 + stride, run, m);
+      }
+    });
+  });
+}
+
+void apply2(Amp* state, std::uint64_t size, unsigned qLow, unsigned qHigh,
+            const Amp m[16], bool diagonal, const ExecContext& ctx) {
+  SLIQ_CHECK(qLow < qHigh, "apply2 requires qLow < qHigh");
+  FixedBits fixed;
+  fixed.add(qLow, false);
+  fixed.add(qHigh, false);
+  fixed.finish();
+  const std::uint64_t sLow = std::uint64_t{1} << qLow;
+  const std::uint64_t sHigh = std::uint64_t{1} << qHigh;
+  const std::uint64_t groups = size / 4;
+  parallelFor(ctx, groups, [&](std::uint64_t lo, std::uint64_t hi) {
+    forRuns(fixed, lo, hi, [&](std::uint64_t i00, std::uint64_t run) {
+      Amp* s00 = state + i00;
+      Amp* s01 = s00 + sLow;
+      Amp* s10 = s00 + sHigh;
+      Amp* s11 = s10 + sLow;
+      if (diagonal) {
+        if (m[0] != Amp{1.0, 0.0}) runScale(s00, run, m[0]);
+        if (m[5] != Amp{1.0, 0.0}) runScale(s01, run, m[5]);
+        if (m[10] != Amp{1.0, 0.0}) runScale(s10, run, m[10]);
+        if (m[15] != Amp{1.0, 0.0}) runScale(s11, run, m[15]);
+      } else {
+        run4x4(s00, s01, s10, s11, run, m);
+      }
+    });
+  });
+}
+
+void applySwap(Amp* state, std::uint64_t size, std::uint64_t controlMask,
+               unsigned q0, unsigned q1, const ExecContext& ctx) {
+  SLIQ_CHECK(q0 != q1, "swap requires distinct qubits");
+  const std::uint64_t bit0 = std::uint64_t{1} << q0;
+  const std::uint64_t bit1 = std::uint64_t{1} << q1;
+  SLIQ_CHECK((controlMask & (bit0 | bit1)) == 0,
+             "swapped qubit listed as a control");
+  // Visit each exchanged pair once: q0 set, q1 clear.
+  FixedBits fixed;
+  fixed.add(q0, true);
+  fixed.add(q1, false);
+  for (unsigned b = 0; b < 64; ++b)
+    if (controlMask & (std::uint64_t{1} << b)) fixed.add(b, true);
+  fixed.finish();
+  const std::uint64_t groups = size >> fixed.count;
+  parallelFor(ctx, groups, [&](std::uint64_t lo, std::uint64_t hi) {
+    forRuns(fixed, lo, hi, [&](std::uint64_t i, std::uint64_t run) {
+      const std::uint64_t j = (i ^ bit0) | bit1;
+      runExchange(state + i, state + j, run);
+    });
+  });
+}
+
+bool simdEnabled() {
+#if SLIQ_DENSE_AVX2 || SLIQ_DENSE_NEON
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace sliq::dense

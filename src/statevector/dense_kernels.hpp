@@ -1,0 +1,67 @@
+// Cache-blocked dense statevector kernels (DESIGN.md §9).
+//
+// Free-function kernels over a raw amplitude array, shared by the
+// statevector simulator's per-gate path and its fused-block path. Each
+// kernel decomposes the 2^n amplitude array into contiguous runs (bounded
+// by the lowest varying qubit stride) so the inner loops are unit-stride
+// streams the compiler auto-vectorizes; with SLIQ_SIMD defined the runs
+// additionally dispatch to explicit AVX2 (x86-64) or NEON (aarch64)
+// complex-arithmetic bodies.
+//
+// Parallelism: an ExecContext carries an optional ThreadPool. Work is the
+// flattened group index (pairs for apply1, quads for apply2); it is split
+// into `threads` contiguous ranges, one task per range. Every amplitude is
+// written by exactly one task and each update reads only amplitudes inside
+// its own range's groups — no reductions, no shared accumulators — so the
+// result is bit-identical for every thread count (the fusion tests pin
+// this exactly, not to a tolerance).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace sliq {
+
+class ThreadPool;
+
+namespace dense {
+
+using Amp = std::complex<double>;
+
+/// Execution context for one kernel call. Default: serial.
+struct ExecContext {
+  ThreadPool* pool = nullptr;  // null → serial
+  unsigned threads = 1;        // partitions when pool != nullptr
+};
+
+/// Groups below this size run serially even with a pool attached — the
+/// submit/join overhead dwarfs the arithmetic for small registers.
+constexpr std::uint64_t kMinParallelGroups = std::uint64_t{1} << 15;
+
+/// state[i], state[i+2^target] ← m · (…) for every pair. Row-major 2×2.
+void apply1(Amp* state, std::uint64_t size, unsigned target, const Amp m[4],
+            const ExecContext& ctx);
+
+/// apply1 restricted to indices with every bit of controlMask set.
+/// controlMask must not contain bit `target`.
+void applyControlled1(Amp* state, std::uint64_t size,
+                      std::uint64_t controlMask, unsigned target,
+                      const Amp m[4], const ExecContext& ctx);
+
+/// 4×4 block on the (qLow, qHigh) pair, qLow < qHigh; basis index
+/// b = 2·(bit of qHigh) + (bit of qLow), matrix row-major. With
+/// `diagonal` set only the 4 diagonal entries are read (phase multiply).
+void apply2(Amp* state, std::uint64_t size, unsigned qLow, unsigned qHigh,
+            const Amp m[16], bool diagonal, const ExecContext& ctx);
+
+/// (Controlled) SWAP of qubits q0 and q1 (order irrelevant).
+/// controlMask must not contain bit q0 or bit q1.
+void applySwap(Amp* state, std::uint64_t size, std::uint64_t controlMask,
+               unsigned q0, unsigned q1, const ExecContext& ctx);
+
+/// True when this build carries the explicit SIMD kernel bodies
+/// (compiled under SLIQ_SIMD with AVX2 or NEON available).
+bool simdEnabled();
+
+}  // namespace dense
+}  // namespace sliq

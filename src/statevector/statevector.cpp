@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/optimizer.hpp"
+#include "statevector/dense_kernels.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sliq {
 
 namespace {
-constexpr double kInvSqrt2 = 0.7071067811865476;
 const std::complex<double> kI{0.0, 1.0};
 }  // namespace
 
@@ -23,105 +25,98 @@ StatevectorSimulator::StatevectorSimulator(unsigned numQubits,
   state_[basisState] = 1.0;
 }
 
-void StatevectorSimulator::apply1(unsigned target, const Amplitude m[2][2]) {
-  const std::uint64_t stride = std::uint64_t{1} << target;
-  for (std::uint64_t base = 0; base < state_.size(); base += 2 * stride) {
-    for (std::uint64_t off = 0; off < stride; ++off) {
-      const std::uint64_t i0 = base + off;
-      const std::uint64_t i1 = i0 + stride;
-      const Amplitude a0 = state_[i0];
-      const Amplitude a1 = state_[i1];
-      state_[i0] = m[0][0] * a0 + m[0][1] * a1;
-      state_[i1] = m[1][0] * a0 + m[1][1] * a1;
-    }
+StatevectorSimulator::~StatevectorSimulator() = default;
+StatevectorSimulator::StatevectorSimulator(StatevectorSimulator&&) noexcept =
+    default;
+StatevectorSimulator& StatevectorSimulator::operator=(
+    StatevectorSimulator&&) noexcept = default;
+
+void StatevectorSimulator::setThreads(unsigned threads) {
+  if (threads == 0) threads = ThreadPool::hardwareConcurrency();
+  threads_ = threads;
+  if (threads_ <= 1) {
+    pool_.reset();
+  } else if (!pool_ || pool_->size() != threads_) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
   }
+}
+
+namespace {
+dense::ExecContext execContext(ThreadPool* pool, unsigned threads) {
+  dense::ExecContext ctx;
+  ctx.pool = threads > 1 ? pool : nullptr;
+  ctx.threads = threads;
+  return ctx;
+}
+}  // namespace
+
+void StatevectorSimulator::apply1(unsigned target, const Amplitude m[4]) {
+  dense::apply1(state_.data(), state_.size(), target, m,
+                execContext(pool_.get(), threads_));
 }
 
 void StatevectorSimulator::applyControlled1(
     const std::vector<unsigned>& controls, unsigned target,
-    const Amplitude m[2][2]) {
-  if (controls.empty()) {
-    apply1(target, m);
-    return;
-  }
+    const Amplitude m[4]) {
   std::uint64_t controlMask = 0;
   for (unsigned c : controls) controlMask |= std::uint64_t{1} << c;
-  const std::uint64_t stride = std::uint64_t{1} << target;
-  for (std::uint64_t i0 = 0; i0 < state_.size(); ++i0) {
-    if ((i0 & stride) != 0) continue;
-    if ((i0 & controlMask) != controlMask) continue;
-    const std::uint64_t i1 = i0 | stride;
-    const Amplitude a0 = state_[i0];
-    const Amplitude a1 = state_[i1];
-    state_[i0] = m[0][0] * a0 + m[0][1] * a1;
-    state_[i1] = m[1][0] * a0 + m[1][1] * a1;
-  }
+  dense::applyControlled1(state_.data(), state_.size(), controlMask, target,
+                          m, execContext(pool_.get(), threads_));
 }
 
 void StatevectorSimulator::applySwap(const std::vector<unsigned>& controls,
                                      unsigned q0, unsigned q1) {
   std::uint64_t controlMask = 0;
   for (unsigned c : controls) controlMask |= std::uint64_t{1} << c;
-  const std::uint64_t bit0 = std::uint64_t{1} << q0;
-  const std::uint64_t bit1 = std::uint64_t{1} << q1;
-  for (std::uint64_t i = 0; i < state_.size(); ++i) {
-    // Visit each swapped pair once: q0 set, q1 clear.
-    if ((i & bit0) == 0 || (i & bit1) != 0) continue;
-    if ((i & controlMask) != controlMask) continue;
-    const std::uint64_t j = (i & ~bit0) | bit1;
-    std::swap(state_[i], state_[j]);
-  }
+  dense::applySwap(state_.data(), state_.size(), controlMask, q0, q1,
+                   execContext(pool_.get(), threads_));
 }
 
 void StatevectorSimulator::applyGate(const Gate& gate) {
   validateGate(gate, numQubits_);
-  const Amplitude kX[2][2] = {{0, 1}, {1, 0}};
-  const Amplitude kY[2][2] = {{0, -kI}, {kI, 0}};
-  const Amplitude kZ[2][2] = {{1, 0}, {0, -1}};
-  const Amplitude kH[2][2] = {{kInvSqrt2, kInvSqrt2},
-                              {kInvSqrt2, -kInvSqrt2}};
-  const Amplitude kS[2][2] = {{1, 0}, {0, kI}};
-  const Amplitude kSdg[2][2] = {{1, 0}, {0, -kI}};
-  const Amplitude omega = std::polar(1.0, M_PI / 4);
-  const Amplitude kT[2][2] = {{1, 0}, {0, omega}};
-  const Amplitude kTdg[2][2] = {{1, 0}, {0, std::conj(omega)}};
-  const Amplitude kRx[2][2] = {{kInvSqrt2, -kI * kInvSqrt2},
-                               {-kI * kInvSqrt2, kInvSqrt2}};
-  const Amplitude kRy[2][2] = {{kInvSqrt2, -kInvSqrt2},
-                               {kInvSqrt2, kInvSqrt2}};
-
   switch (gate.kind) {
-    case GateKind::kX: apply1(gate.target(), kX); break;
-    case GateKind::kY: apply1(gate.target(), kY); break;
-    case GateKind::kZ: apply1(gate.target(), kZ); break;
-    case GateKind::kH: apply1(gate.target(), kH); break;
-    case GateKind::kS: apply1(gate.target(), kS); break;
-    case GateKind::kSdg: apply1(gate.target(), kSdg); break;
-    case GateKind::kT: apply1(gate.target(), kT); break;
-    case GateKind::kTdg: apply1(gate.target(), kTdg); break;
-    case GateKind::kRx90: apply1(gate.target(), kRx); break;
-    case GateKind::kRy90: apply1(gate.target(), kRy); break;
-    case GateKind::kCnot:
-      applyControlled1(gate.controls, gate.target(), kX);
-      break;
-    case GateKind::kCz:
-      applyControlled1(gate.controls, gate.target(), kZ);
-      break;
     case GateKind::kSwap:
       applySwap(gate.controls, gate.targets[0], gate.targets[1]);
-      break;
+      return;
     case GateKind::kMeasure:
     case GateKind::kReset:
       SLIQ_REQUIRE(false,
                    "measure/reset are not unitary gates — dynamic circuits "
                    "execute through Engine::runDynamic");
-      break;
+      return;
+    default: {
+      Amplitude m[4];
+      gateUnitary2x2(gate.kind, m);
+      applyControlled1(gate.controls, gate.target(), m);
+      return;
+    }
+  }
+}
+
+void StatevectorSimulator::applyFused(const FusedOp& op) {
+  const auto ctx = execContext(pool_.get(), threads_);
+  switch (op.kind) {
+    case FusedOp::Kind::kGate:
+      applyGate(op.gate);
+      return;
+    case FusedOp::Kind::k1q:
+      dense::apply1(state_.data(), state_.size(), op.q0, op.m1.data(), ctx);
+      return;
+    case FusedOp::Kind::k2q:
+      dense::apply2(state_.data(), state_.size(), op.q0, op.q1,
+                    op.m2.data(), op.diagonal, ctx);
+      return;
   }
 }
 
 void StatevectorSimulator::run(const QuantumCircuit& circuit) {
   SLIQ_REQUIRE(circuit.numQubits() == numQubits_, "circuit width mismatch");
   for (const Gate& g : circuit.gates()) applyGate(g);
+}
+
+void StatevectorSimulator::runFused(const FusedCircuit& circuit) {
+  SLIQ_REQUIRE(circuit.numQubits() == numQubits_, "circuit width mismatch");
+  for (const FusedOp& op : circuit.ops()) applyFused(op);
 }
 
 double StatevectorSimulator::probabilityOne(unsigned qubit) const {

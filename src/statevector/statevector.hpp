@@ -8,12 +8,16 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "support/rng.hpp"
 
 namespace sliq {
+
+class ThreadPool;
+struct FusedOp;  // circuit/optimizer.hpp
 
 class StatevectorSimulator {
  public:
@@ -23,12 +27,30 @@ class StatevectorSimulator {
   /// corresponds to qubit q; qubit 0 is the least significant bit).
   explicit StatevectorSimulator(unsigned numQubits,
                                 std::uint64_t basisState = 0);
+  ~StatevectorSimulator();
+  StatevectorSimulator(StatevectorSimulator&&) noexcept;
+  StatevectorSimulator& operator=(StatevectorSimulator&&) noexcept;
 
   unsigned numQubits() const { return numQubits_; }
   const std::vector<Amplitude>& state() const { return state_; }
 
+  /// Number of worker threads the gate kernels partition amplitude groups
+  /// across. 1 (default) runs in the calling thread; 0 means "auto"
+  /// (hardware concurrency). The partitioning is contiguous and
+  /// reduction-free, so every thread count yields bit-identical amplitudes
+  /// (pinned exactly by the fusion tests). Small registers stay serial
+  /// regardless (dense::kMinParallelGroups).
+  void setThreads(unsigned threads);
+  unsigned threads() const { return threads_; }
+
   void applyGate(const Gate& gate);
   void run(const QuantumCircuit& circuit);
+  /// Applies one fused op (optimizer.hpp): a verbatim gate, a fused 2×2,
+  /// or a fused 4×4 / diagonal block.
+  void applyFused(const FusedOp& op);
+  /// Runs a fused circuit — run(c.fused()) equals run(c) up to the
+  /// reassociation error of the fused matrix products.
+  void runFused(const FusedCircuit& circuit);
 
   Amplitude amplitude(std::uint64_t basisState) const {
     return state_[basisState];
@@ -60,14 +82,16 @@ class StatevectorSimulator {
   std::vector<std::uint64_t> sampleShots(unsigned count, Rng& rng) const;
 
  private:
-  void apply1(unsigned target, const Amplitude m[2][2]);
+  void apply1(unsigned target, const Amplitude m[4]);
   void applyControlled1(const std::vector<unsigned>& controls, unsigned target,
-                        const Amplitude m[2][2]);
+                        const Amplitude m[4]);
   void applySwap(const std::vector<unsigned>& controls, unsigned q0,
                  unsigned q1);
 
   unsigned numQubits_;
+  unsigned threads_ = 1;
   std::vector<Amplitude> state_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily built on setThreads(>1)
 };
 
 }  // namespace sliq

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <complex>
+
 #include "circuit/generators.hpp"
 
 namespace sliq {
@@ -88,6 +91,118 @@ TEST(Optimizer, ReportCountsConsistent) {
   EXPECT_EQ(r.gatesBefore, c.gateCount());
   EXPECT_EQ(r.gatesAfter, opt.gateCount());
   EXPECT_EQ(r.gatesBefore - r.gatesAfter, r.cancelled + r.merged);
+}
+
+// ---- gate fusion structure (behavioral agreement: integration/test_fusion)
+
+TEST(Fusion, SingleQubitRunBecomesOneBlock) {
+  QuantumCircuit c(1);
+  c.h(0).t(0).s(0).h(0);
+  FusionReport r;
+  const FusedCircuit fc = fuseCircuit(c, &r);
+  ASSERT_EQ(fc.opCount(), 1u);
+  EXPECT_EQ(fc.ops()[0].kind, FusedOp::Kind::k1q);
+  EXPECT_EQ(fc.ops()[0].gatesFused, 4u);
+  EXPECT_EQ(r.fusedBlocks, 1u);
+  // H·S·T·H (right-to-left product) — spot-check one entry: row 0 applied
+  // to |0⟩ gives (1 + e^{3iπ/4})/2.
+  const std::complex<double> expected =
+      (1.0 + std::polar(1.0, 3 * M_PI / 4)) / 2.0;
+  EXPECT_NEAR(std::abs(fc.ops()[0].m1[0] - expected), 0.0, 1e-15);
+}
+
+TEST(Fusion, LoneGatePassesThroughVerbatim) {
+  QuantumCircuit c(3);
+  c.h(0).ccx(0, 1, 2);  // Toffoli: support 3, never fused
+  const FusedCircuit fc = fuseCircuit(c);
+  ASSERT_EQ(fc.opCount(), 2u);
+  EXPECT_EQ(fc.ops()[0].kind, FusedOp::Kind::kGate);  // H flushed alone
+  EXPECT_EQ(fc.ops()[1].kind, FusedOp::Kind::kGate);
+  EXPECT_EQ(fc.ops()[1].gate.kind, GateKind::kCnot);
+}
+
+TEST(Fusion, CnotRunBecomesOne2qBlock) {
+  QuantumCircuit c(2);
+  c.h(0).cx(0, 1).h(1).cx(0, 1);
+  FusionReport r;
+  const FusedCircuit fc = fuseCircuit(c, &r);
+  ASSERT_EQ(fc.opCount(), 1u);
+  EXPECT_EQ(fc.ops()[0].kind, FusedOp::Kind::k2q);
+  EXPECT_EQ(fc.ops()[0].q0, 0u);
+  EXPECT_EQ(fc.ops()[0].q1, 1u);
+  EXPECT_EQ(fc.ops()[0].gatesFused, 4u);
+  EXPECT_FALSE(fc.ops()[0].diagonal);
+}
+
+TEST(Fusion, DiagonalRunSetsDiagonalFlag) {
+  QuantumCircuit c(2);
+  c.t(0).cz(0, 1).s(1).tdg(0);
+  FusionReport r;
+  const FusedCircuit fc = fuseCircuit(c, &r);
+  ASSERT_EQ(fc.opCount(), 1u);
+  ASSERT_EQ(fc.ops()[0].kind, FusedOp::Kind::k2q);
+  EXPECT_TRUE(fc.ops()[0].diagonal);
+  EXPECT_EQ(r.diagonalBlocks, 1u);
+  for (unsigned row = 0; row < 4; ++row) {
+    for (unsigned col = 0; col < 4; ++col) {
+      if (row != col) {
+        EXPECT_EQ(fc.ops()[0].m2[row * 4 + col], std::complex<double>{})
+            << row << "," << col;
+      }
+    }
+  }
+}
+
+TEST(Fusion, FusesPastDisjointQubits) {
+  // H(0) … H(0) with intervening gates on other qubits only: the two H's
+  // commute past them and must land in one block.
+  QuantumCircuit c(4);
+  c.h(0).x(1).cz(2, 3).h(0);
+  const FusedCircuit fc = fuseCircuit(c);
+  unsigned blocksOn0 = 0;
+  for (const FusedOp& op : fc.ops()) {
+    if (op.kind == FusedOp::Kind::k1q && op.q0 == 0) {
+      ++blocksOn0;
+      EXPECT_EQ(op.gatesFused, 2u);
+    }
+  }
+  EXPECT_EQ(blocksOn0, 1u);
+}
+
+TEST(Fusion, SharedQubitConflictPreservesOrder) {
+  // CX(0,1) then CX(1,2): support {0,1,2} exceeds a block — the second CX
+  // must flush the first, preserving program order on the shared qubit.
+  QuantumCircuit c(3);
+  c.cx(0, 1).cx(1, 2);
+  const FusedCircuit fc = fuseCircuit(c);
+  ASSERT_EQ(fc.opCount(), 2u);
+}
+
+TEST(Fusion, UncontrolledSwapFuses) {
+  QuantumCircuit c(2);
+  c.x(0).swap(0, 1);
+  const FusedCircuit fc = fuseCircuit(c);
+  ASSERT_EQ(fc.opCount(), 1u);
+  ASSERT_EQ(fc.ops()[0].kind, FusedOp::Kind::k2q);
+  // SWAP · (X⊗I) maps |00⟩ → |01⟩ → swap → |10⟩: column 0 has its one at
+  // row 2 (b = 2·bit(q1) + bit(q0)).
+  EXPECT_NEAR(std::abs(fc.ops()[0].m2[2 * 4 + 0] - 1.0), 0.0, 1e-15);
+}
+
+TEST(Fusion, ReportTotalsAreConsistent) {
+  const QuantumCircuit c = randomCircuit(6, 80, 33);
+  FusionReport r;
+  const FusedCircuit fc = fuseCircuit(c, &r);
+  EXPECT_EQ(r.gatesIn, c.gateCount());
+  EXPECT_EQ(r.opsOut, fc.opCount());
+  std::size_t gatesAccounted = 0;
+  std::size_t fusedBlocks = 0;
+  for (const FusedOp& op : fc.ops()) {
+    gatesAccounted += op.gatesFused;
+    if (op.gatesFused >= 2) ++fusedBlocks;
+  }
+  EXPECT_EQ(gatesAccounted, c.gateCount());
+  EXPECT_EQ(fusedBlocks, r.fusedBlocks);
 }
 
 }  // namespace

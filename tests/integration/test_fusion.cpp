@@ -1,0 +1,184 @@
+// Gate fusion differential suite (DESIGN.md §9).
+//
+// The fused execution path is the *default* for the dense engines
+// (statevector, qmdd) in Engine::runStatic, so these tests pin:
+//   * fused vs unfused amplitudes/probabilities/expectations agree to
+//     1e-12 on a seeded random corpus, across every engine in the registry
+//   * thread invariance: StatevectorSimulator::setThreads(1..8) yields
+//     BIT-IDENTICAL amplitudes (the kernels partition contiguously with no
+//     reductions) — run under TSan in CI, this also races the pool
+//   * the peephole optimizer and the fusion pass compose
+//   * dynamic circuits pass through fusion verbatim
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/optimizer.hpp"
+#include "core/engine_registry.hpp"
+#include "core/observable.hpp"
+#include "statevector/statevector.hpp"
+
+namespace sliq {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// Unfused dense ground truth for a static circuit.
+std::vector<std::complex<double>> unfusedState(const QuantumCircuit& c) {
+  StatevectorSimulator sim(c.numQubits());
+  sim.run(c);
+  return sim.state();
+}
+
+TEST(Fusion, FusedStatevectorMatchesUnfusedAmplitudes) {
+  for (std::uint64_t seed : {101ull, 102ull, 103ull, 104ull}) {
+    const QuantumCircuit c = randomCircuit(8, 80, seed);
+    const auto reference = unfusedState(c);
+    StatevectorSimulator fusedSim(c.numQubits());
+    fusedSim.runFused(c.fused());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_NEAR(std::abs(fusedSim.state()[i] - reference[i]), 0.0, kTol)
+          << "seed " << seed << " amplitude " << i;
+    }
+  }
+}
+
+TEST(Fusion, FusionReducesOpCount) {
+  // The corpus is 1q/2q-heavy, so fusion must actually combine something —
+  // guards against a regression that silently emits everything verbatim.
+  const QuantumCircuit c = randomCircuit(8, 80, 101);
+  FusionReport report;
+  const FusedCircuit fc = fuseCircuit(c, &report);
+  EXPECT_EQ(report.gatesIn, c.gateCount());
+  EXPECT_EQ(report.opsOut, fc.opCount());
+  EXPECT_LT(fc.opCount(), c.gateCount());
+  EXPECT_GE(report.fusedBlocks, 1u);
+}
+
+TEST(Fusion, AllEnginesAgreeOnFusedDefaultPath) {
+  // Engine::run() is the fused default path for statevector/qmdd; the
+  // exact and chp engines execute unfused. Everything must agree with the
+  // unfused dense ground truth to 1e-12.
+  for (std::uint64_t seed : {201ull, 202ull, 203ull}) {
+    const QuantumCircuit c = randomCircuit(7, 60, seed);
+    const auto reference = unfusedState(c);
+    for (const std::string& name : engineNames()) {
+      std::unique_ptr<Engine> engine = makeEngine(name, c.numQubits());
+      if (!engine->supports(c)) continue;
+      engine->run(c);
+      for (unsigned q = 0; q < c.numQubits(); ++q) {
+        double p1 = 0;
+        const std::uint64_t bit = std::uint64_t{1} << q;
+        for (std::uint64_t i = 0; i < reference.size(); ++i) {
+          if (i & bit) p1 += std::norm(reference[i]);
+        }
+        ASSERT_NEAR(engine->probabilityOne(q), p1, kTol)
+            << "seed " << seed << " engine " << name << " q" << q;
+      }
+    }
+  }
+}
+
+TEST(Fusion, AllEnginesAgreeOnExpectations) {
+  const QuantumCircuit c = randomCircuit(6, 50, 301);
+  const PauliObservable obs = PauliObservable::parseString(
+      "0.75 Z0\n-0.5 X1 X2\n0.25 Y3 Z4\n1.5 Z1 Z5\n");
+  std::unique_ptr<Engine> reference = makeEngine("statevector", c.numQubits());
+  reference->run(c);
+  const double expected = reference->expectation(obs);
+  for (const std::string& name : engineNames()) {
+    std::unique_ptr<Engine> engine = makeEngine(name, c.numQubits());
+    if (!engine->supports(c)) continue;
+    engine->run(c);
+    EXPECT_NEAR(engine->expectation(obs), expected, kTol) << name;
+  }
+}
+
+TEST(Fusion, ThreadCountYieldsBitIdenticalAmplitudes) {
+  // 17 qubits → 2^16 pairs per 1q kernel, above dense::kMinParallelGroups,
+  // so the pool genuinely partitions. Contiguous reduction-free partitions
+  // make every thread count bit-identical — EQ on doubles, not NEAR.
+  const QuantumCircuit c = randomCircuit(17, 120, 401);
+  const FusedCircuit fc = c.fused();
+  StatevectorSimulator reference(c.numQubits());
+  reference.setThreads(1);
+  reference.runFused(fc);
+  for (unsigned threads : {2u, 3u, 4u, 8u}) {
+    StatevectorSimulator sim(c.numQubits());
+    sim.setThreads(threads);
+    sim.runFused(fc);
+    for (std::size_t i = 0; i < reference.state().size(); ++i) {
+      ASSERT_EQ(sim.state()[i].real(), reference.state()[i].real())
+          << threads << " threads, amplitude " << i;
+      ASSERT_EQ(sim.state()[i].imag(), reference.state()[i].imag())
+          << threads << " threads, amplitude " << i;
+    }
+  }
+}
+
+TEST(Fusion, ThreadedUnfusedGatePathIsAlsoBitIdentical) {
+  // The per-gate kernels (apply1/applyControlled1/applySwap) share the
+  // same partitioning; pin them too, including controlled + swap gates.
+  QuantumCircuit c(17);
+  for (unsigned q = 0; q < 17; ++q) c.h(q);
+  c.ccx(0, 1, 2).cswap(3, 4, 5).swap(6, 7).t(8).cz(9, 10).cx(11, 12);
+  StatevectorSimulator reference(c.numQubits());
+  reference.setThreads(1);
+  reference.run(c);
+  StatevectorSimulator sim(c.numQubits());
+  sim.setThreads(4);
+  sim.run(c);
+  for (std::size_t i = 0; i < reference.state().size(); ++i) {
+    ASSERT_EQ(sim.state()[i].real(), reference.state()[i].real()) << i;
+    ASSERT_EQ(sim.state()[i].imag(), reference.state()[i].imag()) << i;
+  }
+}
+
+TEST(Fusion, ComposesWithPeepholeOptimizer) {
+  for (std::uint64_t seed : {501ull, 502ull}) {
+    const QuantumCircuit c = randomCircuit(8, 80, seed);
+    const auto reference = unfusedState(c);
+    const QuantumCircuit peepholed = optimizeCircuit(c);
+    StatevectorSimulator sim(c.numQubits());
+    sim.runFused(peepholed.fused());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_NEAR(std::abs(sim.state()[i] - reference[i]), 0.0, kTol)
+          << "seed " << seed << " amplitude " << i;
+    }
+  }
+}
+
+TEST(Fusion, DynamicCircuitsPassThroughVerbatim) {
+  QuantumCircuit c(3);
+  c.declareClassicalRegister(2);
+  c.h(0).cx(0, 1);
+  c.measure(0, 0);
+  c.onlyIf(1, Gate{GateKind::kX, {2}, {}});
+  c.h(1).h(1);  // would fuse in a static circuit
+  c.reset(0);
+  FusionReport report;
+  const FusedCircuit fc = fuseCircuit(c, &report);
+  ASSERT_EQ(fc.opCount(), c.gateCount());
+  EXPECT_EQ(report.fusedBlocks, 0u);
+  for (std::size_t i = 0; i < fc.opCount(); ++i) {
+    EXPECT_EQ(fc.ops()[i].kind, FusedOp::Kind::kGate) << i;
+    EXPECT_EQ(fc.ops()[i].gate.kind, c.gate(i).kind) << i;
+  }
+}
+
+TEST(Fusion, SupremacyStyleCircuitFusesAndAgrees) {
+  // Entanglement family exercises H+CNOT chains (long fusable runs).
+  const QuantumCircuit c = entanglementCircuit(10);
+  const auto reference = unfusedState(c);
+  StatevectorSimulator sim(c.numQubits());
+  sim.runFused(c.fused());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_NEAR(std::abs(sim.state()[i] - reference[i]), 0.0, kTol) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sliq

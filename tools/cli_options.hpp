@@ -29,8 +29,11 @@ struct Options {
 
 /// Flag-combination validation: returns an error message for a nonsensical
 /// combination, or "" when the combination is coherent. The rules:
-///  * --trajectories / --threads parameterize the trajectory runner, which
-///    only exists under --noise.
+///  * --trajectories parameterizes the trajectory runner, which only
+///    exists under --noise. --threads is valid everywhere: under --noise
+///    it fans trajectories across workers, otherwise it partitions the
+///    single-circuit dense kernels (Engine::setExecutionThreads) — both
+///    paths are thread-count deterministic.
 ///  * --noise replaces the ideal-state queries (--shots/--probs/--amps/
 ///    --stats) with the trajectory histogram — except --observable, whose
 ///    noisy analogue (the trajectory-mean expectation) IS the --noise
@@ -39,9 +42,8 @@ struct Options {
 ///    --shots is a category error: shot sampling estimates what
 ///    expectation() answers exactly (chi-squared tests pin the agreement).
 inline std::string validateOptions(const Options& opt) {
-  if (opt.noisePath.empty() && (opt.trajectoriesGiven || opt.threadsGiven)) {
-    return std::string(opt.trajectoriesGiven ? "--trajectories" : "--threads") +
-           " requires --noise";
+  if (opt.noisePath.empty() && opt.trajectoriesGiven) {
+    return "--trajectories requires --noise";
   }
   if (!opt.observablePath.empty() && opt.shots > 0) {
     return "--observable computes expectations analytically; drop --shots "

@@ -26,10 +26,13 @@
 //                              of the ideal-state queries
 //   --trajectories N           Monte-Carlo trajectories (default: 1000;
 //                              only with --noise)
-//   --threads N                trajectory worker threads; 0 auto-detects
-//                              hardware concurrency (default: 1; only with
-//                              --noise — results are thread-count
-//                              independent under a fixed --seed)
+//   --threads N                worker threads; 0 auto-detects hardware
+//                              concurrency (default: 1). With --noise this
+//                              fans trajectories across workers; otherwise
+//                              it partitions the single-circuit dense
+//                              kernels (statevector engine). Results are
+//                              thread-count independent under a fixed
+//                              --seed either way.
 //   --list-engines             list registered engines (with capability
 //                              flags) and exit
 #include <algorithm>
@@ -235,6 +238,9 @@ int main(int argc, char** argv) {
     // The one code path for every engine: name -> registry -> facade.
     std::unique_ptr<Engine> engine =
         makeEngine(opt.engine, circuit.numQubits());
+    if (opt.threadsGiven && opt.noisePath.empty()) {
+      engine->setExecutionThreads(opt.threads);
+    }
     if (!engine->supports(circuit)) {
       std::cerr << "error: engine '" << engine->name()
                 << "' does not support this circuit ("
