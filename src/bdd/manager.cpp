@@ -1,8 +1,12 @@
 #include "bdd/manager.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "support/assert.hpp"
+#include "support/audit.hpp"
 #include "support/hash.hpp"
 
 namespace sliq::bdd {
@@ -25,9 +29,49 @@ BddManager::BddManager(const Config& config) : config_(config) {
   cache_.assign(std::size_t{1} << config_.cacheLog2, CacheEntry{});
   cacheMask_ = (std::uint64_t{1} << config_.cacheLog2) - 1;
   for (unsigned i = 0; i < config_.initialVars; ++i) newVar();
+  audit::noteLiveStructure(audit::StructureKind::kBddManager);
 }
 
-BddManager::~BddManager() = default;
+BddManager::~BddManager() {
+  // Teardown leak scan (always on, O(allocated nodes)): recount parent
+  // references over the unique table; any surplus in a stored refcount is
+  // an external Bdd handle that outlived the manager. Destructors must not
+  // throw, so leaks are recorded for the gtest leak-check environment.
+  // A stored count *below* the parent recount is corruption, not a leak —
+  // auditInvariants() reports it; here it clamps to zero.
+  std::vector<std::uint64_t> parentRefs(nodes_.size(), 0);
+  for (const Subtable& st : subtables_) {
+    for (std::uint32_t head : st.buckets) {
+      for (std::uint32_t idx = head; idx != kNil; idx = nodes_[idx].next) {
+        ++parentRefs[nodes_[idx].hi.index()];
+        ++parentRefs[nodes_[idx].lo.index()];
+      }
+    }
+  }
+  std::size_t leakedRefs = 0;
+  std::string firstLeak;
+  for (const Subtable& st : subtables_) {
+    for (std::uint32_t head : st.buckets) {
+      for (std::uint32_t idx = head; idx != kNil; idx = nodes_[idx].next) {
+        const Node& n = nodes_[idx];
+        if (n.ref == kStickyRef || n.ref <= parentRefs[idx]) continue;
+        leakedRefs += n.ref - parentRefs[idx];
+        if (firstLeak.empty()) {
+          firstLeak = "node " + std::to_string(idx) + " (var " +
+                      std::to_string(n.var) + ") holds " +
+                      std::to_string(n.ref - parentRefs[idx]) +
+                      " external reference(s) at teardown";
+        }
+      }
+    }
+  }
+  if (leakedRefs > 0) {
+    audit::noteLeakedNodes(audit::StructureKind::kBddManager, leakedRefs,
+                           std::to_string(leakedRefs) +
+                               " leaked reference(s); first: " + firstLeak);
+  }
+  audit::noteDeadStructure(audit::StructureKind::kBddManager);
+}
 
 unsigned BddManager::newVar() {
   const unsigned var = static_cast<unsigned>(varToLevel_.size());
@@ -214,6 +258,159 @@ void BddManager::checkConsistency() const {
     counted += inTable;
   }
   SLIQ_CHECK(counted == liveNodes_, "live node count mismatch");
+}
+
+void BddManager::auditInvariants() const {
+  static const std::string kStructure = "bdd-unique-table";
+  const auto nodeDesc = [this](std::uint32_t idx) {
+    return "node " + std::to_string(idx) + " (var " +
+           std::to_string(nodes_[idx].var) + ")";
+  };
+
+  // Variable order: varToLevel_ / levelToVar_ must be inverse bijections
+  // with one subtable per level.
+  if (varToLevel_.size() != levelToVar_.size() ||
+      subtables_.size() != levelToVar_.size()) {
+    audit::fail(kStructure, "variable/level/subtable arrays out of sync");
+  }
+  for (unsigned v = 0; v < varToLevel_.size(); ++v) {
+    if (varToLevel_[v] >= levelToVar_.size() ||
+        levelToVar_[varToLevel_[v]] != v) {
+      audit::fail(kStructure, "variable order is not a bijection at var " +
+                                  std::to_string(v));
+    }
+  }
+  if (nodes_.empty() || nodes_[0].ref != kStickyRef) {
+    audit::fail(kStructure, "terminal node 0 lost its sticky refcount");
+  }
+
+  // Sweep the unique table: canonicity, level filing, bucket placement,
+  // duplicate (var, then, else) triples, and a parent-reference recount.
+  std::vector<std::uint64_t> parentRefs(nodes_.size(), 0);
+  std::vector<char> inTable(nodes_.size(), 0);
+  inTable[0] = 1;
+  std::size_t counted = 1;  // terminal
+  for (unsigned level = 0; level < subtables_.size(); ++level) {
+    const Subtable& st = subtables_[level];
+    // One variable per level, so a triple at this level is keyed by its
+    // (then, else) edge pair alone.
+    std::unordered_set<std::uint64_t> triples;
+    std::size_t tableCount = 0;
+    for (std::size_t bucket = 0; bucket < st.buckets.size(); ++bucket) {
+      for (std::uint32_t idx = st.buckets[bucket]; idx != kNil;
+           idx = nodes_[idx].next) {
+        if (idx >= nodes_.size()) {
+          audit::fail(kStructure, "bucket chain index " + std::to_string(idx) +
+                                      " out of range at level " +
+                                      std::to_string(level));
+        }
+        const Node& n = nodes_[idx];
+        if (inTable[idx]) {
+          audit::fail(kStructure, nodeDesc(idx) + " filed twice");
+        }
+        inTable[idx] = 1;
+        ++tableCount;
+        if (n.var >= varToLevel_.size() || varToLevel_[n.var] != level) {
+          audit::fail(kStructure, nodeDesc(idx) + " filed at wrong level " +
+                                      std::to_string(level));
+        }
+        if (n.hi.complemented()) {
+          audit::fail(kStructure, "canonical form violated on " +
+                                      nodeDesc(idx) +
+                                      ": THEN edge complemented");
+        }
+        if (n.hi == n.lo) {
+          audit::fail(kStructure, "redundant " + nodeDesc(idx) +
+                                      ": THEN == ELSE");
+        }
+        if (edgeLevel(n.hi) <= level || edgeLevel(n.lo) <= level) {
+          audit::fail(kStructure, "ordered-vars violation on " + nodeDesc(idx) +
+                                      ": child level not below parent");
+        }
+        if ((nodeHash(n.var, n.hi, n.lo) & (st.buckets.size() - 1)) !=
+            bucket) {
+          audit::fail(kStructure, nodeDesc(idx) + " filed in wrong bucket");
+        }
+        const std::uint64_t triple =
+            (static_cast<std::uint64_t>(n.hi.raw) << 32) | n.lo.raw;
+        if (!triples.insert(triple).second) {
+          audit::fail(kStructure,
+                      "duplicate (var, then, else) triple at " + nodeDesc(idx) +
+                          ": then=" + std::to_string(n.hi.raw) +
+                          " else=" + std::to_string(n.lo.raw));
+        }
+        ++parentRefs[n.hi.index()];
+        ++parentRefs[n.lo.index()];
+      }
+    }
+    if (tableCount != st.count) {
+      audit::fail(kStructure, "subtable count mismatch at level " +
+                                  std::to_string(level));
+    }
+    counted += tableCount;
+  }
+  if (counted != liveNodes_) {
+    audit::fail(kStructure,
+                "live-node count mismatch: tables hold " +
+                    std::to_string(counted) + ", manager claims " +
+                    std::to_string(liveNodes_));
+  }
+
+  // Freelist: disjoint from the tables, acyclic, and together with them
+  // accounting for every allocated slot.
+  std::size_t freeCount = 0;
+  std::vector<char> onFreeList(nodes_.size(), 0);
+  for (std::uint32_t idx = freeList_; idx != kNil; idx = nodes_[idx].next) {
+    if (idx >= nodes_.size()) {
+      audit::fail(kStructure,
+                  "freelist index " + std::to_string(idx) + " out of range");
+    }
+    if (onFreeList[idx]) {
+      audit::fail(kStructure, "freelist cycle at node " + std::to_string(idx));
+    }
+    if (inTable[idx]) {
+      audit::fail(kStructure,
+                  nodeDesc(idx) + " is on the freelist AND in the table");
+    }
+    onFreeList[idx] = 1;
+    ++freeCount;
+  }
+  if (counted + freeCount != nodes_.size()) {
+    audit::fail(kStructure, "node accounting mismatch: " +
+                                std::to_string(nodes_.size()) +
+                                " allocated != " + std::to_string(counted) +
+                                " live + " + std::to_string(freeCount) +
+                                " free (leaked slots)");
+  }
+
+  // Refcount recount: a stored count below the parent recount means a
+  // missing ref() — a use-after-reclaim waiting for the next GC. (A surplus
+  // is legal: external Bdd handles. The teardown scan in ~BddManager
+  // verifies the surplus reaches zero once all handles are gone.)
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    if (!inTable[idx]) continue;
+    const Node& n = nodes_[idx];
+    if (n.ref == kStickyRef) continue;
+    if (n.ref < parentRefs[idx]) {
+      audit::fail(kStructure, "refcount underflow on " + nodeDesc(idx) +
+                                  ": stored " + std::to_string(n.ref) +
+                                  " < " + std::to_string(parentRefs[idx]) +
+                                  " parent references");
+    }
+  }
+
+  // Computed cache: valid entries must name live nodes (the cache is
+  // flushed whenever GC reclaims or reordering moves anything).
+  for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
+    const CacheEntry& e = cache_[slot];
+    if (!e.valid) continue;
+    const std::uint32_t idx = Edge{e.result}.index();
+    if (idx >= nodes_.size() || !inTable[idx]) {
+      audit::fail("bdd-computed-cache",
+                  "slot " + std::to_string(slot) +
+                      " caches a reclaimed node " + std::to_string(idx));
+    }
+  }
 }
 
 bool BddManager::cacheLookup(std::uint64_t key1, std::uint64_t key2,

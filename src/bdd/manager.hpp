@@ -136,8 +136,18 @@ class BddManager {
   /// Verifies unique-table canonicity and refcount consistency (tests).
   void checkConsistency() const;
 
+  /// Deep structural audit (DESIGN.md §10): everything checkConsistency
+  /// covers plus duplicate (var, then, else) triple detection, hash-bucket
+  /// placement, freelist integrity, a full parent-reference recount
+  /// (stored refcount must cover every parent edge; the surplus is the
+  /// external Bdd-handle count, verified to reach zero at teardown), and
+  /// computed-cache entry validity. Throws audit::AuditError naming the
+  /// offending node on the first violation. O(allocated nodes).
+  void auditInvariants() const;
+
  private:
   friend class Reorderer;
+  friend struct AuditCorruptor;  // test-only deliberate corruption hooks
 
   struct Node {
     std::uint32_t var;

@@ -43,7 +43,8 @@ class ExactEngine final : public Engine {
   unsigned numQubits() const override { return sim_.numQubits(); }
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true};
   }
   void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
@@ -111,6 +112,7 @@ class ExactEngine final : public Engine {
     }
     return out;
   }
+  void auditInvariants() override { sim_.auditInvariants(); }
 
  private:
   /// ⟨P⟩ of one string, exactly. Z factors need no state change at all —
@@ -162,7 +164,8 @@ class QmddEngine final : public Engine {
   unsigned numQubits() const override { return sim_.numQubits(); }
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true};
   }
   void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
@@ -232,6 +235,7 @@ class QmddEngine final : public Engine {
     }
     return out;
   }
+  void auditInvariants() override { sim_.auditInvariants(); }
 
  private:
   void runStatic(const QuantumCircuit& circuit) override {
@@ -256,7 +260,8 @@ class ChpEngine final : public Engine {
     // Pauli noise is native here: a tableau absorbs X/Y/Z errors without
     // ever leaving the stabilizer formalism (the trajectory fast path).
     return {/*batchedSampling=*/false, /*noiseFastPath=*/true,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return StabilizerSimulator::supports(c);
@@ -298,6 +303,7 @@ class ChpEngine final : public Engine {
     return sum;
   }
   std::string runSummary() override { return "stabilizer tableau"; }
+  void auditInvariants() override { sim_.auditInvariants(); }
 
  private:
   void runStatic(const QuantumCircuit& circuit) override {
@@ -323,7 +329,8 @@ class StatevectorEngine final : public Engine {
   unsigned numQubits() const override { return n_; }
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true};
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return c.numQubits() <= kMaxQubits && n_ <= kMaxQubits;
@@ -400,6 +407,12 @@ class StatevectorEngine final : public Engine {
     if (sim_) sim_->setThreads(threads);
   }
 
+  void auditInvariants() override {
+    // The 2^n array is allocated lazily; before first use there is no
+    // state to scan.
+    if (sim_) sim_->auditInvariants();
+  }
+
  private:
   void runStatic(const QuantumCircuit& circuit) override {
     // Fused execution: one amplitude-array traversal per fused block
@@ -442,6 +455,7 @@ void Engine::run(const QuantumCircuit& circuit) {
         "measure/reset/classical control): use runDynamic(circuit, rng)");
   }
   runStatic(circuit);
+  maybeAudit();  // SLIQ_AUDIT builds validate the representation post-run
 }
 
 DynamicRun Engine::runDynamic(const QuantumCircuit& circuit, Rng& rng,
@@ -469,11 +483,13 @@ DynamicRun Engine::runDynamic(const QuantumCircuit& circuit, Rng& rng,
         result.outcomes.push_back(bit);
         const std::uint64_t mask = std::uint64_t{1} << op.cbit;
         creg = bit ? (creg | mask) : (creg & ~mask);
+        maybeAudit();  // SLIQ_AUDIT: validate after every collapse
         break;
       }
       case GateKind::kReset:
         reset(op.target(), rng.uniform());
         ++result.resets;
+        maybeAudit();  // SLIQ_AUDIT: validate after every collapse
         break;
       default:
         applyGate(op);
@@ -490,6 +506,7 @@ DynamicRun Engine::runDynamic(const QuantumCircuit& circuit, Rng& rng,
   // than leave tripped) the ad-hoc-measure() collapse restriction so
   // sampleShot/expectation answer questions about it.
   collapsed_ = false;
+  maybeAudit();  // SLIQ_AUDIT: validate the post-execution reference state
   return result;
 }
 
@@ -501,19 +518,23 @@ EngineRegistry& EngineRegistry::instance() {
     r->add("exact", "bit-sliced BDD engine (the paper's contribution)",
            [](unsigned n) { return std::make_unique<ExactEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true});
     r->add("qmdd", "QMDD baseline, our DDSIM reimplementation",
            [](unsigned n) { return std::make_unique<QmddEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true});
     r->add("chp", "CHP stabilizer tableau (Clifford circuits only)",
            [](unsigned n) { return std::make_unique<ChpEngine>(n); },
            {/*batchedSampling=*/false, /*noiseFastPath=*/true,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true});
     r->add("statevector", "dense 2^n array simulator (ground truth, n <= 26)",
            [](unsigned n) { return std::make_unique<StatevectorEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
-            /*nativeExpectation=*/true, /*dynamicCircuits=*/true});
+            /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
+            /*invariantAudit=*/true});
     return r;
   }();
   return *registry;

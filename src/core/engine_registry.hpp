@@ -54,6 +54,11 @@ struct EngineCapabilities {
   /// and refuses the Pauli-frame fast path for them regardless (frames do
   /// not commute through classical control).
   bool dynamicCircuits = false;
+  /// auditInvariants() is overridden with a deep structural validator of
+  /// the engine's representation (unique-table canonicity, tableau
+  /// symplectic checks, norm scans — DESIGN.md §10). Engines without one
+  /// keep the facade's no-op, and SLIQ_AUDIT builds audit nothing there.
+  bool invariantAudit = false;
 };
 
 /// Result of one dynamic-circuit execution (Engine::runDynamic).
@@ -221,7 +226,25 @@ class Engine {
     return {};
   }
 
+  /// Deep structural audit of the engine's representation (DESIGN.md §10):
+  /// throws audit::AuditError naming the violated structure and node on
+  /// the first broken invariant, returns normally on a sound state. The
+  /// facade default is a no-op (capabilities().invariantAudit tells
+  /// callers whether an engine actually validates anything). Under
+  /// `-DSLIQ_AUDIT=ON` the facade calls this automatically after run(),
+  /// and after every executed collapse inside runDynamic(). Tests can wrap
+  /// single operations in any build via audit::withAudit.
+  virtual void auditInvariants() {}
+
  protected:
+  /// The SLIQ_AUDIT hook point: compiled to auditInvariants() only when
+  /// the audit build option is on, so release binaries pay nothing.
+  void maybeAudit() {
+#ifdef SLIQ_AUDIT
+    auditInvariants();
+#endif
+  }
+
   /// run() body for a static circuit, called after the facade has rejected
   /// dynamic circuits.
   virtual void runStatic(const QuantumCircuit& circuit) = 0;

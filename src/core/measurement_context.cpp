@@ -62,6 +62,8 @@ void MeasurementContext::refreshIfStale() {
   builtReorderings_ = sim_->mgr_.stats().reorderings;
 }
 
+// lint: memo-traversal — reads the DD through evalPoint only; creating
+// nodes here could trigger a GC that moves the very edges being memoized.
 Zroot2 MeasurementContext::ampSq(Edge e) {
   const auto it = ampMemo_.find(e.raw);
   if (it != ampMemo_.end()) return it->second;
@@ -86,6 +88,7 @@ Zroot2 MeasurementContext::ampSq(Edge e) {
   return w;
 }
 
+// lint: memo-traversal
 Zroot2 MeasurementContext::weightBelow(Edge e) {
   const auto& mgr = sim_->mgr_;
   const unsigned n = sim_->n_;
@@ -102,6 +105,7 @@ Zroot2 MeasurementContext::weightBelow(Edge e) {
   return sum;
 }
 
+// lint: memo-traversal
 Zroot2 MeasurementContext::signedWeightBelow(
     Edge e, const std::vector<bool>& zmask,
     std::unordered_map<std::uint32_t, Zroot2>& memo) {
@@ -208,7 +212,10 @@ double MeasurementContext::normalizationCorrection() {
 #ifndef NDEBUG
   // Callers that used to recompute the total from scratch now read the
   // cache; in debug builds verify the cache against a fresh traversal.
-  SLIQ_ASSERT(weight == computeTotalFresh());
+  // The traversal is hoisted out of the assertion: SLIQ_ASSERT compiles
+  // to nothing under NDEBUG, so its argument must stay side-effect-free.
+  const Zroot2 freshTotal = computeTotalFresh();
+  SLIQ_ASSERT(weight == freshTotal);
 #endif
   const Zroot2 pow2k(BigInt::pow2(static_cast<unsigned>(sim_->k_)),
                      BigInt(0));

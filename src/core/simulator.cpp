@@ -1,9 +1,11 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/measurement_context.hpp"  // complete type for ctx_ cleanup
 #include "support/assert.hpp"
+#include "support/audit.hpp"
 
 namespace sliq {
 
@@ -190,6 +192,42 @@ std::size_t SliqSimulator::stateNodeCount() const {
   for (const auto& slices : vec_)
     for (const Bdd& f : slices) roots.push_back(f.edge());
   return mgr_.nodeCountMulti(roots);
+}
+
+void SliqSimulator::auditInvariants() const {
+  static const std::string kStructure = "sliq-bitsliced-state";
+  mgr_.auditInvariants();
+  if (r_ < 1) audit::fail(kStructure, "bit width r fell below 1");
+  for (unsigned v = 0; v < 4; ++v) {
+    if (vec_[v].size() != r_) {
+      audit::fail(kStructure, "vector " + std::to_string(v) + " holds " +
+                                  std::to_string(vec_[v].size()) +
+                                  " slices, expected r = " +
+                                  std::to_string(r_));
+    }
+    for (unsigned bit = 0; bit < r_; ++bit) {
+      if (!vec_[v][bit].valid()) {
+        audit::fail(kStructure, "slice (" + std::to_string(v) + ", " +
+                                    std::to_string(bit) +
+                                    ") holds a detached BDD handle");
+      }
+    }
+  }
+  // k grows by at most 1 per √2-introducing gate (H/Rx90/Ry90 and the
+  // equivalence checker's alignment kernel, bounded by gate count), and
+  // the dyadic renormalization after collapse keeps it non-negative.
+  const std::int64_t kBound =
+      2 * static_cast<std::int64_t>(stats_.gatesApplied) +
+      2 * static_cast<std::int64_t>(n_) + 64;
+  if (k_ < 0 || k_ > kBound) {
+    audit::fail(kStructure, "k-scalar " + std::to_string(k_) +
+                                " outside its reachable range [0, " +
+                                std::to_string(kBound) + "]");
+  }
+  if (monolithicValid_ && !monolithicCache_.valid()) {
+    audit::fail(kStructure,
+                "monolithic cache flagged valid but handle is detached");
+  }
 }
 
 }  // namespace sliq

@@ -131,9 +131,18 @@ class SliqSimulator {
 
   bool isSymbolic() const { return symbolic_; }
 
+  /// Deep structural audit (DESIGN.md §10): the full BDD-package audit
+  /// (unique-table canonicity, refcount recount, freelist integrity) plus
+  /// the bit-sliced state's own invariants — 4 vectors × r live slices and
+  /// the k-scalar inside its reachable range (k only grows by 1 per √2
+  /// gate and renormalization keeps it non-negative). Throws
+  /// audit::AuditError naming the failing structure.
+  void auditInvariants() const;
+
  private:
   friend class MeasurementContext;
   friend class EquivalenceChecker;
+  friend struct AuditCorruptor;  // test-only deliberate corruption hooks
   using Slices = std::vector<bdd::Bdd>;
 
   // -- helpers shared by the gate kernels (gate_kernels.cpp) --

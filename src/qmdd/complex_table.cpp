@@ -1,7 +1,10 @@
 #include "qmdd/complex_table.hpp"
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "support/audit.hpp"
 #include "support/hash.hpp"
 
 namespace sliq::qmdd {
@@ -51,6 +54,74 @@ CIndex ComplexTable::lookup(Complex value) {
                                         static_cast<std::uint64_t>(ki));
   buckets_[key].push_back(idx);
   return idx;
+}
+
+void ComplexTable::auditInvariants() const {
+  static const std::string kStructure = "qmdd-complex-table";
+  if (values_.size() < 2 || values_[0] != Complex{0.0, 0.0} ||
+      values_[1] != Complex{1.0, 0.0}) {
+    audit::fail(kStructure, "pre-interned 0/1 constants are not bit-exact");
+  }
+  for (CIndex i = 0; i < values_.size(); ++i) {
+    if (!std::isfinite(values_[i].real()) || !std::isfinite(values_[i].imag()))
+      audit::fail(kStructure,
+                  "entry " + std::to_string(i) + " is not finite");
+  }
+  // Bucket integrity: every filed index is in range, filed exactly once,
+  // and filed under the grid key of its own (snapped) value.
+  std::vector<char> filed(values_.size(), 0);
+  std::size_t filedCount = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    for (const CIndex idx : bucket) {
+      if (idx >= values_.size()) {
+        audit::fail(kStructure, "bucket holds out-of-range entry " +
+                                    std::to_string(idx));
+      }
+      if (filed[idx]) {
+        audit::fail(kStructure,
+                    "entry " + std::to_string(idx) + " filed twice");
+      }
+      const std::uint64_t home =
+          hashCombine(static_cast<std::uint64_t>(gridKey(values_[idx].real())),
+                      static_cast<std::uint64_t>(gridKey(values_[idx].imag())));
+      if (key != home) {
+        audit::fail(kStructure, "entry " + std::to_string(idx) +
+                                    " filed in a foreign grid cell");
+      }
+      filed[idx] = 1;
+      ++filedCount;
+    }
+  }
+  if (filedCount != values_.size()) {
+    audit::fail(kStructure,
+                std::to_string(values_.size() - filedCount) +
+                    " entries are unreachable from the grid buckets");
+  }
+  // Dedup: within-tolerance values have grid keys at most one cell apart
+  // (cell = 16·tolerance), so probing the neighbors mirrors lookup exactly.
+  for (CIndex i = 0; i < values_.size(); ++i) {
+    const std::int64_t kr = gridKey(values_[i].real());
+    const std::int64_t ki = gridKey(values_[i].imag());
+    for (std::int64_t dr = -1; dr <= 1; ++dr) {
+      for (std::int64_t di = -1; di <= 1; ++di) {
+        const std::uint64_t key =
+            hashCombine(static_cast<std::uint64_t>(kr + dr),
+                        static_cast<std::uint64_t>(ki + di));
+        const auto it = buckets_.find(key);
+        if (it == buckets_.end()) continue;
+        for (const CIndex j : it->second) {
+          if (j <= i) continue;
+          if (std::abs(values_[j].real() - values_[i].real()) < kTolerance &&
+              std::abs(values_[j].imag() - values_[i].imag()) < kTolerance) {
+            audit::fail(kStructure, "dedup violation: entries " +
+                                        std::to_string(i) + " and " +
+                                        std::to_string(j) +
+                                        " are within the intern tolerance");
+          }
+        }
+      }
+    }
+  }
 }
 
 CIndex ComplexTable::mul(CIndex a, CIndex b) {

@@ -40,7 +40,16 @@ class ComplexTable {
 
   std::size_t size() const { return values_.size(); }
 
+  /// Structural audit (DESIGN.md §10): the 0/1 constants are bit-exact,
+  /// every entry is finite and filed in its grid bucket, and no two entries
+  /// lie within the intern tolerance of each other (dedup — probed over
+  /// neighboring grid cells exactly like lookup). Throws audit::AuditError
+  /// naming the offending entries.
+  void auditInvariants() const;
+
  private:
+  friend struct AuditCorruptor;  // test-only deliberate corruption hooks
+
   std::int64_t gridKey(double v) const;
 
   std::vector<Complex> values_;

@@ -1,8 +1,10 @@
 #include "qmdd/qmdd.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "support/assert.hpp"
+#include "support/audit.hpp"
 #include "support/hash.hpp"
 
 namespace sliq::qmdd {
@@ -34,6 +36,11 @@ QmddManager::QmddManager(const Config& config)
     : config_(config), gcThreshold_(config.gcThreshold) {
   vNodes_.reserve(1u << 12);
   mNodes_.reserve(1u << 12);
+  audit::noteLiveStructure(audit::StructureKind::kQmddManager);
+}
+
+QmddManager::~QmddManager() {
+  audit::noteDeadStructure(audit::StructureKind::kQmddManager);
 }
 
 VEdge QmddManager::makeVNode(std::int32_t level, VEdge e0, VEdge e1) {
@@ -252,6 +259,8 @@ VEdge QmddManager::mvMultiply(MEdge m, VEdge v) {
   return result;
 }
 
+// lint: memo-traversal — the memo keys node ids, which makeVNode/GC would
+// invalidate mid-walk; this walk must stay read-only.
 double QmddManager::nodeWeight(VEdge e,
                                std::unordered_map<NodeId, double>& memo) {
   if (ct_.isZero(e.w)) return 0.0;
@@ -395,6 +404,179 @@ VEdge QmddManager::collapse(VEdge root, unsigned n, unsigned qubit,
   collapsed.w =
       ct_.lookup(ct_.value(collapsed.w) / std::sqrt(pKeep));
   return collapsed;
+}
+
+void QmddManager::auditInvariants(unsigned numQubits) const {
+  static const std::string kV = "qmdd-vector-table";
+  static const std::string kM = "qmdd-matrix-table";
+  ct_.auditInvariants();
+
+  const auto checkWeight = [this](const std::string& structure, NodeId id,
+                                  CIndex w) {
+    if (w >= ct_.size()) {
+      audit::fail(structure, "node " + std::to_string(id) +
+                                 " references out-of-range weight " +
+                                 std::to_string(w));
+    }
+  };
+
+  // Vector unique table: every node filed exactly once under its own key;
+  // no duplicate (level, child-edges) tuples within a bucket.
+  std::vector<char> filed(vNodes_.size(), 0);
+  std::size_t filedCount = 0;
+  for (const auto& [key, bucket] : vUnique_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId id = bucket[i];
+      if (id >= vNodes_.size()) {
+        audit::fail(kV, "bucket holds out-of-range node " + std::to_string(id));
+      }
+      if (filed[id]) {
+        audit::fail(kV, "node " + std::to_string(id) + " filed twice");
+      }
+      const VNode& n = vNodes_[id];
+      if (vKey(n.level, n.e[0], n.e[1]) != key) {
+        audit::fail(kV, "node " + std::to_string(id) +
+                            " filed under a foreign key");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const VNode& m = vNodes_[bucket[j]];
+        if (m.level == n.level && m.e[0].node == n.e[0].node &&
+            m.e[0].w == n.e[0].w && m.e[1].node == n.e[1].node &&
+            m.e[1].w == n.e[1].w) {
+          audit::fail(kV, "duplicate (level, children) tuple: nodes " +
+                              std::to_string(bucket[j]) + " and " +
+                              std::to_string(id) + " at level " +
+                              std::to_string(n.level));
+        }
+      }
+      filed[id] = 1;
+      ++filedCount;
+    }
+  }
+  if (filedCount != vNodes_.size()) {
+    audit::fail(kV, std::to_string(vNodes_.size() - filedCount) +
+                        " vector nodes are unreachable from the unique table");
+  }
+
+  // Per-node structure: normalization and full-depth levels.
+  for (NodeId id = 0; id < vNodes_.size(); ++id) {
+    const VNode& n = vNodes_[id];
+    if (n.level < 0) {
+      audit::fail(kV, "node " + std::to_string(id) + " has negative level");
+    }
+    bool hasUnitChild = false;
+    for (int c = 0; c < 2; ++c) {
+      const VEdge& e = n.e[c];
+      checkWeight(kV, id, e.w);
+      if (ct_.isZero(e.w)) {
+        if (e.node != kTerminal) {
+          audit::fail(kV, "node " + std::to_string(id) +
+                              " has a zero-weight child not at the terminal");
+        }
+        continue;
+      }
+      hasUnitChild |= ct_.isOne(e.w);
+      if (n.level == 0) {
+        if (e.node != kTerminal) {
+          audit::fail(kV, "level-0 node " + std::to_string(id) +
+                              " has a non-terminal child");
+        }
+      } else if (e.node == kTerminal ||
+                 e.node >= vNodes_.size() ||
+                 vNodes_[e.node].level != n.level - 1) {
+        audit::fail(kV, "full-depth violation: node " + std::to_string(id) +
+                            " (level " + std::to_string(n.level) +
+                            ") child is not at level " +
+                            std::to_string(n.level - 1));
+      }
+    }
+    if (!hasUnitChild) {
+      audit::fail(kV, "normalization violation on node " + std::to_string(id) +
+                          ": no child carries weight 1");
+    }
+  }
+
+  // Matrix table: same filing + normalization checks over 4 children.
+  std::vector<char> mFiled(mNodes_.size(), 0);
+  std::size_t mFiledCount = 0;
+  for (const auto& [key, bucket] : mUnique_) {
+    for (const NodeId id : bucket) {
+      if (id >= mNodes_.size()) {
+        audit::fail(kM, "bucket holds out-of-range node " + std::to_string(id));
+      }
+      if (mFiled[id]) {
+        audit::fail(kM, "node " + std::to_string(id) + " filed twice");
+      }
+      const MNode& n = mNodes_[id];
+      if (mKey(n.level, n.e) != key) {
+        audit::fail(kM, "node " + std::to_string(id) +
+                            " filed under a foreign key");
+      }
+      mFiled[id] = 1;
+      ++mFiledCount;
+    }
+  }
+  if (mFiledCount != mNodes_.size()) {
+    audit::fail(kM, std::to_string(mNodes_.size() - mFiledCount) +
+                        " matrix nodes are unreachable from the unique table");
+  }
+  for (NodeId id = 0; id < mNodes_.size(); ++id) {
+    const MNode& n = mNodes_[id];
+    bool hasUnitChild = false;
+    for (int c = 0; c < 4; ++c) {
+      const MEdge& e = n.e[c];
+      checkWeight(kM, id, e.w);
+      if (ct_.isZero(e.w)) {
+        if (e.node != kTerminal) {
+          audit::fail(kM, "node " + std::to_string(id) +
+                              " has a zero-weight child not at the terminal");
+        }
+        continue;
+      }
+      hasUnitChild |= ct_.isOne(e.w);
+      if (n.level == 0) {
+        if (e.node != kTerminal) {
+          audit::fail(kM, "level-0 node " + std::to_string(id) +
+                              " has a non-terminal child");
+        }
+      } else if (e.node == kTerminal || e.node >= mNodes_.size() ||
+                 mNodes_[e.node].level != n.level - 1) {
+        audit::fail(kM, "full-depth violation: node " + std::to_string(id) +
+                            " (level " + std::to_string(n.level) + ")");
+      }
+    }
+    if (!hasUnitChild) {
+      audit::fail(kM, "normalization violation on node " + std::to_string(id) +
+                          ": no child carries weight 1");
+    }
+  }
+
+  // Registered root and operation caches must name live nodes.
+  if (root_.w >= ct_.size() ||
+      (root_.node != kTerminal && root_.node >= vNodes_.size())) {
+    audit::fail(kV, "registered root is dangling");
+  }
+  if (numQubits > 0 && root_.node != kTerminal &&
+      vNodes_[root_.node].level != static_cast<std::int32_t>(numQubits) - 1) {
+    audit::fail(kV, "registered root at level " +
+                        std::to_string(vNodes_[root_.node].level) +
+                        ", expected " + std::to_string(numQubits - 1));
+  }
+  for (const auto& [key, e] : addCache_) {
+    if (e.node != kTerminal && e.node >= vNodes_.size()) {
+      audit::fail(kV, "add-cache entry names a reclaimed node");
+    }
+  }
+  for (const auto& [key, e] : mvCache_) {
+    if (e.node != kTerminal && e.node >= vNodes_.size()) {
+      audit::fail(kV, "mv-cache entry names a reclaimed node");
+    }
+  }
+  for (const auto& [key, e] : mAddCache_) {
+    if (e.node != kTerminal && e.node >= mNodes_.size()) {
+      audit::fail(kM, "madd-cache entry names a reclaimed node");
+    }
+  }
 }
 
 void QmddManager::garbageCollect() {

@@ -62,6 +62,9 @@ class QmddManager {
 
   QmddManager();
   explicit QmddManager(const Config& config);
+  QmddManager(const QmddManager&) = delete;
+  QmddManager& operator=(const QmddManager&) = delete;
+  ~QmddManager();
 
   ComplexTable& complexTable() { return ct_; }
 
@@ -122,7 +125,17 @@ class QmddManager {
   /// Approximate bytes held by nodes + tables.
   std::size_t memoryBytes() const;
 
+  /// Deep structural audit (DESIGN.md §10): complex-table dedup/bucket
+  /// integrity, unique-table filing (every node filed exactly once under
+  /// its own key, no duplicate (level, children) tuples), edge-weight
+  /// normalization (each node has a child with weight exactly 1; zero
+  /// weights point at the terminal), full-depth level structure, and cache
+  /// entry validity. When `numQubits` > 0, also checks the registered
+  /// root's depth. Throws audit::AuditError naming the offending node.
+  void auditInvariants(unsigned numQubits = 0) const;
+
  private:
+  friend struct AuditCorruptor;  // test-only deliberate corruption hooks
   void maybeGc();
   double nodeWeight(VEdge e, std::unordered_map<NodeId, double>& memo);
 

@@ -72,7 +72,13 @@ class QmddSimulator {
   std::size_t peakNodes() const { return mgr_.peakNodes(); }
   std::size_t memoryBytes() const { return mgr_.memoryBytes(); }
 
+  /// Deep structural audit of the DD package state (DESIGN.md §10),
+  /// including the registered root's full-depth check against this
+  /// simulator's width. Throws audit::AuditError on the first violation.
+  void auditInvariants() const { mgr_.auditInvariants(n_); }
+
  private:
+  friend struct AuditCorruptor;  // test-only deliberate corruption hooks
   void applyControlledU(const Complex u[4],
                         const std::vector<unsigned>& controls,
                         unsigned target);

@@ -1,6 +1,9 @@
 #include "stabilizer/stabilizer.hpp"
 
+#include <string>
+
 #include "support/assert.hpp"
+#include "support/audit.hpp"
 
 namespace sliq {
 
@@ -285,6 +288,55 @@ bool StabilizerSimulator::reset(unsigned qubit, double random) {
   const bool was = measure(qubit, random);
   if (was) applyX(qubit);
   return was;
+}
+
+void StabilizerSimulator::auditInvariants() const {
+  static const std::string kStructure = "chp-tableau";
+  const auto rowName = [this](unsigned i) {
+    return i < n_ ? "destabilizer " + std::to_string(i)
+                  : "stabilizer " + std::to_string(i - n_);
+  };
+  if (rows_.size() != 2 * n_ + 1) {
+    audit::fail(kStructure, "tableau holds " + std::to_string(rows_.size()) +
+                                " rows, expected " +
+                                std::to_string(2 * n_ + 1));
+  }
+  // Packing: correct word counts, no stray bits above qubit n-1.
+  const std::uint64_t padMask =
+      (n_ & 63) ? ~((std::uint64_t{1} << (n_ & 63)) - 1) : 0;
+  for (unsigned i = 0; i < 2 * n_; ++i) {
+    const Row& r = rows_[i];
+    if (r.x.size() != words_ || r.z.size() != words_) {
+      audit::fail(kStructure, rowName(i) + " has wrong word count");
+    }
+    if (padMask != 0 &&
+        ((r.x[words_ - 1] & padMask) != 0 || (r.z[words_ - 1] & padMask) != 0)) {
+      audit::fail(kStructure, rowName(i) + " has set bits beyond qubit n-1");
+    }
+    bool zero = true;
+    for (unsigned w = 0; w < words_ && zero; ++w)
+      zero = r.x[w] == 0 && r.z[w] == 0;
+    if (zero) {
+      audit::fail(kStructure, rowName(i) + " is the identity Pauli "
+                                           "(degenerate generator)");
+    }
+  }
+  // Symplectic pairing: ⟨row_i, row_j⟩ must be δ_{i, j±n} — stabilizers
+  // pairwise commute, destabilizers pairwise commute, and destabilizer i
+  // anticommutes with exactly its partner stabilizer i. Together these
+  // force all 2n generators linearly independent.
+  for (unsigned i = 0; i < 2 * n_; ++i) {
+    for (unsigned j = i + 1; j < 2 * n_; ++j) {
+      const bool expect = (j == i + n_);
+      if (anticommutes(rows_[i], rows_[j]) != expect) {
+        audit::fail(kStructure,
+                    rowName(i) + " and " + rowName(j) +
+                        (expect ? " commute (pairing violation: partners "
+                                  "must anticommute)"
+                                : " anticommute (symplectic violation)"));
+      }
+    }
+  }
 }
 
 std::vector<bool> StabilizerSimulator::sampleAll(Rng& rng) const {

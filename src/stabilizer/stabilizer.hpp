@@ -66,7 +66,17 @@ class StabilizerSimulator {
   /// uniform deviate per qubit (the measure(q, double) convention).
   std::vector<bool> sampleAll(Rng& rng) const;
 
+  /// Deep structural audit (DESIGN.md §10): symplectic consistency of the
+  /// tableau — stabilizers pairwise commute, destabilizer i anticommutes
+  /// with stabilizer i and commutes with every other row, no generator row
+  /// is the identity, and the packed words carry no set bits beyond qubit
+  /// n-1. Destabilizer *phases* are deliberately unchecked (they are
+  /// mask-only by construction; see collapseRandom). Throws
+  /// audit::AuditError naming the offending row. O(n³) bit-packed.
+  void auditInvariants() const;
+
  private:
+  friend struct AuditCorruptor;  // test-only deliberate corruption hooks
   // Tableau rows 0..n-1: destabilizers; n..2n-1: stabilizers; row 2n:
   // scratch. Each row stores x/z bit vectors (packed) and a phase bit.
   struct Row {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "circuit/optimizer.hpp"
 #include "statevector/dense_kernels.hpp"
 #include "support/assert.hpp"
+#include "support/audit.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sliq {
@@ -132,6 +134,29 @@ double StatevectorSimulator::totalProbability() const {
   double p = 0;
   for (const Amplitude& a : state_) p += std::norm(a);
   return p;
+}
+
+void StatevectorSimulator::auditInvariants(double normTolerance) const {
+  static const std::string kStructure = "statevector";
+  if (state_.size() != std::uint64_t{1} << numQubits_) {
+    audit::fail(kStructure, "state holds " + std::to_string(state_.size()) +
+                                " amplitudes, expected 2^" +
+                                std::to_string(numQubits_));
+  }
+  double norm = 0;
+  for (std::uint64_t i = 0; i < state_.size(); ++i) {
+    const Amplitude& a = state_[i];
+    if (!std::isfinite(a.real()) || !std::isfinite(a.imag())) {
+      audit::fail(kStructure, "amplitude " + std::to_string(i) +
+                                  " is not finite (NaN/Inf)");
+    }
+    norm += std::norm(a);
+  }
+  if (std::abs(norm - 1.0) > normTolerance) {
+    audit::fail(kStructure,
+                "norm drifted to " + std::to_string(norm) +
+                    " (|Σ|α|² − 1| > " + std::to_string(normTolerance) + ")");
+  }
 }
 
 double StatevectorSimulator::expectationPauli(std::uint64_t xmask,

@@ -81,7 +81,14 @@ class StatevectorSimulator {
   /// select identical basis states. Consumes one deviate per shot.
   std::vector<std::uint64_t> sampleShots(unsigned count, Rng& rng) const;
 
+  /// Structural audit (DESIGN.md §10): every amplitude finite (NaN/Inf
+  /// scan) and Σ|α|² within `normTolerance` of 1 — measure() renormalizes,
+  /// so the norm must survive any gate/collapse sequence. Throws
+  /// audit::AuditError naming the first offending amplitude.
+  void auditInvariants(double normTolerance = 1e-6) const;
+
  private:
+  friend struct AuditCorruptor;  // test-only deliberate corruption hooks
   void apply1(unsigned target, const Amplitude m[4]);
   void applyControlled1(const std::vector<unsigned>& controls, unsigned target,
                         const Amplitude m[4]);

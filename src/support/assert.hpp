@@ -5,6 +5,14 @@
 //                (e.g. unique-table canonicity); throws std::logic_error.
 // SLIQ_REQUIRE — precondition check on public API entry points; throws
 //                std::invalid_argument with a caller-facing message.
+//
+// Contract: the argument of SLIQ_ASSERT must be side-effect free. The macro
+// expands to ((void)0) under NDEBUG, so any mutation, ++/--, assignment, or
+// call with observable effects inside it silently changes behavior between
+// build types. Hoist such expressions into a named local first and assert
+// on the local (see tools/lint/sliq_lint.py, which enforces this). CHECK
+// and REQUIRE always evaluate their condition, but keep them pure anyway —
+// an assertion that mutates state is a bug magnet in either flavor.
 #pragma once
 
 #include <sstream>

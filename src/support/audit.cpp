@@ -1,0 +1,109 @@
+#include "support/audit.hpp"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+namespace sliq::audit {
+
+AuditError::AuditError(std::string structure, const std::string& detail)
+    : std::logic_error("invariant audit failed [" + structure + "]: " + detail),
+      structure_(std::move(structure)) {}
+
+void fail(const std::string& structure, const std::string& detail) {
+  throw AuditError(structure, detail);
+}
+
+namespace {
+
+constexpr std::size_t kKinds = 2;
+
+const char* kindName(StructureKind kind) {
+  switch (kind) {
+    case StructureKind::kBddManager: return "bdd-manager";
+    case StructureKind::kQmddManager: return "qmdd-manager";
+  }
+  return "unknown";
+}
+
+std::array<std::atomic<long long>, kKinds>& liveCounts() {
+  static std::array<std::atomic<long long>, kKinds> counts{};
+  return counts;
+}
+
+std::atomic<unsigned long long>& leakedTotal() {
+  static std::atomic<unsigned long long> total{0};
+  return total;
+}
+
+std::mutex& reportMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::string& leakDetails() {
+  static std::string details;
+  return details;
+}
+
+}  // namespace
+
+void noteLiveStructure(StructureKind kind) noexcept {
+  liveCounts()[static_cast<unsigned>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void noteDeadStructure(StructureKind kind) noexcept {
+  liveCounts()[static_cast<unsigned>(kind)].fetch_sub(
+      1, std::memory_order_relaxed);
+}
+
+void noteLeakedNodes(StructureKind kind, std::size_t count,
+                     const std::string& detail) noexcept {
+  if (count == 0) return;
+  leakedTotal().fetch_add(count, std::memory_order_relaxed);
+  try {
+    const std::lock_guard<std::mutex> lock(reportMutex());
+    leakDetails() += std::string("  [") + kindName(kind) + "] " + detail + "\n";
+  } catch (...) {
+    // Reporting is best-effort inside destructors; the counter above is
+    // what the leak-check environment gates on.
+  }
+}
+
+std::size_t liveStructureCount() noexcept {
+  long long total = 0;
+  for (const auto& c : liveCounts()) total += c.load(std::memory_order_relaxed);
+  return total > 0 ? static_cast<std::size_t>(total) : 0;
+}
+
+std::size_t leakedNodeCount() noexcept {
+  return static_cast<std::size_t>(leakedTotal().load(std::memory_order_relaxed));
+}
+
+std::string leakReport() {
+  std::ostringstream os;
+  os << "live structures:";
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    os << ' ' << kindName(static_cast<StructureKind>(k)) << '='
+       << liveCounts()[k].load(std::memory_order_relaxed);
+  }
+  os << "; leaked nodes=" << leakedNodeCount() << '\n';
+  {
+    const std::lock_guard<std::mutex> lock(reportMutex());
+    os << leakDetails();
+  }
+  return os.str();
+}
+
+void resetLeakStats() noexcept {
+  leakedTotal().store(0, std::memory_order_relaxed);
+  try {
+    const std::lock_guard<std::mutex> lock(reportMutex());
+    leakDetails().clear();
+  } catch (...) {
+  }
+}
+
+}  // namespace sliq::audit

@@ -1,0 +1,103 @@
+// Runtime structural-audit framework (DESIGN.md §10).
+//
+// Every engine representation carries invariants the normal API never
+// re-checks: unique-table canonicity and refcount discipline in the BDD
+// package, complex-table dedup and edge-weight normalization in the QMDD
+// package, symplectic consistency of the CHP tableau, norm preservation in
+// the statevector. `auditInvariants()` methods walk the live structures and
+// throw AuditError (naming the structure and the offending node/row) on the
+// first violation.
+//
+// Audits are always *compiled*; what `-DSLIQ_AUDIT=ON` adds is the facade
+// hooks: Engine::run/runDynamic call auditInvariants() after every static
+// run and after every mid-circuit collapse. Tests can run any callable
+// under an audit in every build via `withAudit`.
+//
+// This header also owns the process-wide teardown leak accounting: managers
+// register in their constructors and report leaked nodes from their
+// destructors (destructors must not throw), and the gtest leak-check
+// environment fails the binary if anything is still live or leaked after
+// the last test.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace sliq::audit {
+
+// Compile-time switch mirror of the SLIQ_AUDIT CMake option: true when the
+// facade audit hooks are active in this build.
+inline constexpr bool kHooksEnabled =
+#ifdef SLIQ_AUDIT
+    true;
+#else
+    false;
+#endif
+
+/// A structural invariant violation. `structure()` names the representation
+/// that failed ("bdd-unique-table", "qmdd-complex-table", "chp-tableau",
+/// "statevector", ...); what() carries the full diagnostic including the
+/// offending node/row.
+class AuditError : public std::logic_error {
+ public:
+  AuditError(std::string structure, const std::string& detail);
+  const std::string& structure() const noexcept { return structure_; }
+
+ private:
+  std::string structure_;
+};
+
+/// Throws AuditError{structure, detail}.
+[[noreturn]] void fail(const std::string& structure, const std::string& detail);
+
+// ---------------------------------------------------------------------------
+// Teardown leak accounting (process-wide, thread-safe: trajectory workers
+// construct and destroy engines concurrently).
+
+enum class StructureKind : unsigned {
+  kBddManager = 0,
+  kQmddManager = 1,
+};
+
+/// Registered by manager constructors / destructors.
+void noteLiveStructure(StructureKind kind) noexcept;
+void noteDeadStructure(StructureKind kind) noexcept;
+
+/// Called from manager destructors when nodes (or external references) are
+/// still live at teardown. Never throws — destructors report, the gtest
+/// leak-check environment fails.
+void noteLeakedNodes(StructureKind kind, std::size_t count,
+                     const std::string& detail) noexcept;
+
+/// Number of managers currently alive (all kinds).
+std::size_t liveStructureCount() noexcept;
+/// Total nodes reported leaked at manager teardown since the last reset.
+std::size_t leakedNodeCount() noexcept;
+/// Human-readable summary of live structures and recorded leaks.
+std::string leakReport();
+/// Clears the leak tally (used by tests that leak deliberately). Does not
+/// touch the live-structure counts — those only fall when managers die.
+void resetLeakStats() noexcept;
+
+// ---------------------------------------------------------------------------
+
+/// Runs `fn`, then audits `subject` (anything with an auditInvariants()
+/// member — a simulator, a manager, or an Engine), and returns fn's result.
+/// Works in every build; this is how tests wrap individual operations in an
+/// audit without rebuilding with SLIQ_AUDIT.
+template <typename Auditable, typename Fn>
+decltype(auto) withAudit(Auditable& subject, Fn&& fn) {
+  if constexpr (std::is_void_v<decltype(std::forward<Fn>(fn)())>) {
+    std::forward<Fn>(fn)();
+    subject.auditInvariants();
+  } else {
+    decltype(auto) result = std::forward<Fn>(fn)();
+    subject.auditInvariants();
+    return result;
+  }
+}
+
+}  // namespace sliq::audit

@@ -44,6 +44,7 @@ TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
     EXPECT_EQ(fromRegistry.noiseFastPath, fromInstance.noiseFastPath);
     EXPECT_EQ(fromRegistry.nativeExpectation, fromInstance.nativeExpectation);
     EXPECT_EQ(fromRegistry.dynamicCircuits, fromInstance.dynamicCircuits);
+    EXPECT_EQ(fromRegistry.invariantAudit, fromInstance.invariantAudit);
   }
   EXPECT_THROW(EngineRegistry::instance().capabilities("no-such-engine"),
                UnknownEngineError);
@@ -58,6 +59,9 @@ TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
         << name;
     // Every built-in implements the per-op primitives runDynamic drives.
     EXPECT_TRUE(EngineRegistry::instance().capabilities(name).dynamicCircuits)
+        << name;
+    // And every built-in walks its representation's structural invariants.
+    EXPECT_TRUE(EngineRegistry::instance().capabilities(name).invariantAudit)
         << name;
   }
 }

@@ -1,0 +1,29 @@
+// Global teardown leak check, linked into every test binary (see
+// tests/CMakeLists.txt). After the last test in a binary runs, every
+// BddManager / QmddManager must have been destroyed, and no destructor may
+// have reported leaked nodes or surplus external references. A failure here
+// means some test (or the library) let a handle outlive its manager or
+// dropped refcounts on the floor — exactly the class of bug the audit
+// subsystem exists to catch (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include "support/audit.hpp"
+
+namespace {
+
+class LeakCheckEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    EXPECT_EQ(sliq::audit::liveStructureCount(), 0u)
+        << sliq::audit::leakReport();
+    EXPECT_EQ(sliq::audit::leakedNodeCount(), 0u)
+        << sliq::audit::leakReport();
+  }
+};
+
+// Registered via static initialization so simply linking this TU arms the
+// check; gtest owns and frees the environment.
+const ::testing::Environment* const kLeakCheckEnv =
+    ::testing::AddGlobalTestEnvironment(new LeakCheckEnvironment);
+
+}  // namespace

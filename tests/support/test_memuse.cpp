@@ -1,0 +1,45 @@
+// Edge-case coverage for support/memuse.cpp: the /proc/self/status scraper
+// behind the paper tables' memory column.
+#include "support/memuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace sliq {
+namespace {
+
+TEST(Memuse, CurrentRssIsStableAcrossBackToBackReads) {
+  const std::size_t a = currentRssBytes();
+  const std::size_t b = currentRssBytes();
+  ASSERT_GT(a, 0u);
+  // Two immediate reads may differ (the second parse itself allocates a
+  // page or two at most) but not by an order of magnitude.
+  EXPECT_LT(a, b * 10);
+  EXPECT_LT(b, a * 10);
+}
+
+TEST(Memuse, PeakTracksLargeAllocation) {
+  const std::size_t before = peakRssBytes();
+  ASSERT_GT(before, 0u);
+  {
+    // 64 MiB, touched so the kernel actually maps it.
+    std::vector<char> block(64u << 20, 1);
+    volatile char sink = block[block.size() - 1];
+    (void)sink;
+    EXPECT_GE(peakRssBytes(), before);
+  }
+  // The high-water mark never decreases, even after the block is freed.
+  EXPECT_GE(peakRssBytes(), before);
+}
+
+TEST(Memuse, ValuesArePageGranular) {
+  // /proc reports KiB; the conversion multiplies by 1024, so the result is
+  // always KiB-aligned. Guards against unit slips (bytes vs KiB vs pages).
+  EXPECT_EQ(currentRssBytes() % 1024, 0u);
+  EXPECT_EQ(peakRssBytes() % 1024, 0u);
+}
+
+}  // namespace
+}  // namespace sliq

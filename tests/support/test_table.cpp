@@ -33,10 +33,55 @@ TEST(AsciiTable, RejectsMismatchedRow) {
   EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
 }
 
+TEST(AsciiTable, EmptyTablePrintsHeaderAndRule) {
+  AsciiTable t({"col"});
+  std::ostringstream os;
+  t.print(os);
+  // Header line + separator rule, nothing else.
+  EXPECT_EQ(os.str(), "| col |\n|-----|\n");
+}
+
+TEST(AsciiTable, EmptyCellsPadToColumnWidth) {
+  AsciiTable t({"name", "value"});
+  t.addRow({"", ""});
+  t.addRow({"total", "12"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(AsciiTable, CellWiderThanHeaderSetsColumnWidth) {
+  AsciiTable t({"x"});
+  t.addRow({"very-long-cell"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // The header line pads out to the widest cell.
+  EXPECT_NE(out.find("| x              |"), std::string::npos) << out;
+}
+
 TEST(FormatSeconds, PaperStyle) {
   EXPECT_EQ(formatSeconds(0.004), "<0.01");
   EXPECT_EQ(formatSeconds(0.82), "0.82");
   EXPECT_EQ(formatSeconds(66.949), "66.95");
+}
+
+TEST(FormatSeconds, BoundaryAtOneHundredth) {
+  // 0.01 is the first value printed numerically; just below stays "<0.01".
+  EXPECT_EQ(formatSeconds(0.01), "0.01");
+  EXPECT_EQ(formatSeconds(0.0099999), "<0.01");
+  EXPECT_EQ(formatSeconds(0.0), "<0.01");
+}
+
+TEST(FormatSeconds, LargeValuesKeepTwoDecimals) {
+  EXPECT_EQ(formatSeconds(2485.639), "2485.64");
+  EXPECT_EQ(formatSeconds(86400.0), "86400.00");
 }
 
 TEST(Memuse, ReportsPlausibleRss) {

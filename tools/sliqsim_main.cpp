@@ -76,12 +76,14 @@ int listEngines() {
   for (const std::string& name : sliq::engineNames()) {
     const sliq::EngineCapabilities caps = registry.capabilities(name);
     const bool any = caps.batchedSampling || caps.noiseFastPath ||
-                     caps.nativeExpectation || caps.dynamicCircuits;
+                     caps.nativeExpectation || caps.dynamicCircuits ||
+                     caps.invariantAudit;
     std::cout << name << " — " << registry.describe(name) << " [capabilities:"
               << (caps.batchedSampling ? " batched-sampling" : "")
               << (caps.noiseFastPath ? " noise-fast-path" : "")
               << (caps.nativeExpectation ? " native-expectation" : "")
               << (caps.dynamicCircuits ? " dynamic-circuits" : "")
+              << (caps.invariantAudit ? " invariant-audit" : "")
               << (any ? "" : " none") << "]\n";
   }
   return 0;
