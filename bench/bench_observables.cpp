@@ -87,6 +87,9 @@ struct CaseResult {
   double genericSeconds = 0;
   double maxAbsDiff = 0;
   bool agree = true;
+  /// Counter snapshot of the run (sliq.run_report.v1 JSON), embedded under
+  /// the case's "metrics" key — never compared by --check.
+  std::string metricsJson;
 
   double nativeTermsPerSecond() const {
     return nativeSeconds > 0 ? terms * repetitions / nativeSeconds : 0;
@@ -126,7 +129,8 @@ void writeJson(const std::vector<CaseResult>& results) {
        << ", \"native_terms_per_s\": " << r.nativeTermsPerSecond()
        << ", \"speedup_vs_generic\": " << r.speedup()
        << ", \"max_abs_diff\": " << r.maxAbsDiff
-       << ", \"agree_1e9\": " << (r.agree ? "true" : "false") << "}"
+       << ", \"agree_1e9\": " << (r.agree ? "true" : "false")
+       << ", \"metrics\": " << r.metricsJson << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -153,6 +157,9 @@ void report() {
 
     const std::unique_ptr<Engine> engine =
         makeEngine(spec.engine, circuit.numQubits());
+    // Telemetry rides along at full recording cost, same as --stats users
+    // run the binary; the snapshot lands next to the rates it explains.
+    engine->metrics().enable();
     engine->run(circuit);
 
     CaseResult r;
@@ -176,6 +183,7 @@ void report() {
     }
     r.maxAbsDiff = std::abs(native - generic);
     r.agree = r.maxAbsDiff <= 1e-9;
+    r.metricsJson = engineMetricsJson(*engine);
     results.push_back(r);
   }
 

@@ -52,6 +52,9 @@ struct EngineResult {
   double batchedSeconds = 0;
   double perShotSecondsExtrapolated = 0;
   double speedup = 0;
+  /// Counter snapshot of the batched run (sliq.run_report.v1 JSON),
+  /// embedded under the row's "metrics" key — never compared by --check.
+  std::string metricsJson;
 };
 
 /// 16-qubit Clifford circuit with long-range entanglement (for chp too).
@@ -81,14 +84,19 @@ QuantumCircuit nonCliffordBench() {
 }
 
 double timeBatched(const std::string& engine, const QuantumCircuit& c,
-                   unsigned shots) {
+                   unsigned shots, std::string* metricsJson) {
   const std::unique_ptr<Engine> e = makeEngine(engine, c.numQubits());
+  // Telemetry rides along at full recording cost: the bench measures the
+  // instrumented binary exactly as --stats users run it, and the counter
+  // snapshot lands next to the throughput row it explains.
+  e->metrics().enable();
   e->run(c);
   Rng rng(42);
   WallTimer timer;
   const auto samples = e->sampleShots(shots, rng);
   const double seconds = timer.seconds();
   sink(samples.size());
+  *metricsJson = engineMetricsJson(*e);
   return seconds;
 }
 
@@ -144,7 +152,7 @@ EngineResult runOne(const std::string& engine, const QuantumCircuit& c,
   r.engine = engine;
   r.circuit = c.name();
   r.shots = shots;
-  r.batchedSeconds = timeBatched(engine, c, shots);
+  r.batchedSeconds = timeBatched(engine, c, shots, &r.metricsJson);
   // Baseline shots are independent, so a capped measurement extrapolates
   // linearly; keep the cap large enough to swamp timer noise.
   r.baselineShotsMeasured = std::min(shots, std::max(32u, shots / 50));
@@ -169,7 +177,8 @@ void writeJson(const std::vector<EngineResult>& results, unsigned shots) {
        << r.circuit << "\", \"batched_s\": " << r.batchedSeconds
        << ", \"per_shot_s\": " << r.perShotSecondsExtrapolated
        << ", \"baseline_shots_measured\": " << r.baselineShotsMeasured
-       << ", \"speedup\": " << r.speedup << "}"
+       << ", \"speedup\": " << r.speedup
+       << ", \"metrics\": " << r.metricsJson << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

@@ -52,6 +52,10 @@ unsigned scaled(unsigned value) {
   return scaledValue < 1.0 ? 1u : static_cast<unsigned>(scaledValue);
 }
 
+std::string engineMetricsJson(Engine& engine) {
+  return engine.runMetrics().toJson();
+}
+
 bool runEngineOnce(const std::string& engine, const QuantumCircuit& c,
                    unsigned probeQubit, bool checkNumericalError) {
   const std::unique_ptr<Engine> e = makeEngine(engine, c.numQubits());
@@ -330,8 +334,11 @@ bool endsWith(const std::string& s, const std::string& suffix) {
 }
 
 /// Throughput metrics only: higher is better by construction. Timing keys
-/// ("*_s") are excluded — see harness.hpp.
+/// ("*_s") are excluded — see harness.hpp. Everything under a "metrics"
+/// path segment is a telemetry snapshot (engineMetricsJson), excluded even
+/// if a key there happens to match the throughput suffixes.
 bool isThroughputKey(const std::string& key) {
+  if (key.find("metrics.") != std::string::npos) return false;
   const std::size_t dot = key.rfind('.');
   const std::string leaf = dot == std::string::npos ? key : key.substr(dot + 1);
   return endsWith(leaf, "_per_s") || endsWith(leaf, "speedup");

@@ -19,6 +19,10 @@
 
 #include "circuit/circuit.hpp"
 
+namespace sliq {
+class Engine;  // core/engine_registry.hpp
+}
+
 namespace sliq::bench {
 
 enum class Status {
@@ -74,6 +78,12 @@ double benchTimeoutSeconds();
 std::size_t benchMemLimitMB();
 /// Scales a workload dimension by SLIQ_BENCH_SCALE percent.
 unsigned scaled(unsigned value);
+
+/// `engine`'s sliq.run_report.v1 record as a JSON value, for embedding
+/// under a "metrics" key of a bench record (counter snapshots next to the
+/// throughput numbers they explain). Keys under a "metrics" path are never
+/// compared by the --check gate — telemetry is context, not a baseline.
+std::string engineMetricsJson(Engine& engine);
 
 // ---- perf-regression gate (--check) ---------------------------------------
 //

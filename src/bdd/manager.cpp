@@ -8,6 +8,7 @@
 #include "support/assert.hpp"
 #include "support/audit.hpp"
 #include "support/hash.hpp"
+#include "support/metrics.hpp"
 
 namespace sliq::bdd {
 
@@ -199,6 +200,7 @@ void BddManager::maybeGc() {
 
 void BddManager::garbageCollect() {
   SLIQ_CHECK(!inOperation_, "GC during an active operation");
+  const metrics::ScopedSpan span(metricsRegistry_, "bdd.gc");
   ++stats_.gcRuns;
   std::size_t reclaimed = 0;
   // Sweep top level to bottom: freeing a parent can only kill children at
@@ -228,6 +230,11 @@ void BddManager::garbageCollect() {
   }
   stats_.gcReclaimed += reclaimed;
   if (reclaimed > 0) cacheClear();
+}
+
+void BddManager::resetStats() {
+  stats_ = ManagerStats{};
+  stats_.peakLiveNodes = liveNodes_;
 }
 
 std::size_t BddManager::memoryBytes() const {

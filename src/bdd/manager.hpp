@@ -20,8 +20,17 @@
 
 #include "bdd/types.hpp"
 
+namespace sliq::metrics {
+class Registry;
+}
+
 namespace sliq::bdd {
 
+/// Cumulative event counters, each incremented at exactly one site:
+/// createdNodes/peakLiveNodes in makeNode, gcRuns/gcReclaimed in
+/// garbageCollect, cacheLookups/cacheHits in cacheLookup (hits strictly
+/// after lookups, so hits <= lookups always), reorderings in reorderSift.
+/// resetStats() zeroes them between runs.
 struct ManagerStats {
   std::uint64_t createdNodes = 0;   // total makeNode insertions
   std::uint64_t gcRuns = 0;
@@ -130,8 +139,16 @@ class BddManager {
 
   std::size_t liveNodeCount() const { return liveNodes_; }
   const ManagerStats& stats() const { return stats_; }
+  /// Zeroes the cumulative counters and re-seeds peakLiveNodes from the
+  /// current live count, so per-run deltas start from a clean baseline.
+  void resetStats();
   /// Approximate bytes held by node storage and caches.
   std::size_t memoryBytes() const;
+
+  /// Observability hook (DESIGN.md §11): when set, GC runs emit "bdd.gc"
+  /// spans into the engine's registry. Never owns the registry; nullptr
+  /// (the default) disables tracing entirely.
+  void setMetrics(metrics::Registry* registry) { metricsRegistry_ = registry; }
 
   /// Verifies unique-table canonicity and refcount consistency (tests).
   void checkConsistency() const;
@@ -201,6 +218,7 @@ class BddManager {
   bool gcPending_ = false;
   bool inOperation_ = false;
   ManagerStats stats_;
+  metrics::Registry* metricsRegistry_ = nullptr;
 };
 
 }  // namespace sliq::bdd

@@ -13,6 +13,7 @@
 #include "stabilizer/stabilizer.hpp"
 #include "statevector/statevector.hpp"
 #include "support/memuse.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sliq {
 
@@ -37,7 +38,11 @@ std::vector<bool> bitsOf(std::uint64_t sample, unsigned numQubits) {
 
 class ExactEngine final : public Engine {
  public:
-  explicit ExactEngine(unsigned numQubits) : name_("exact"), sim_(numQubits) {}
+  explicit ExactEngine(unsigned numQubits) : name_("exact"), sim_(numQubits) {
+    // One registry serves the whole stack: the simulator forwards it to the
+    // BDD manager (GC spans) and the MeasurementContext (memo telemetry).
+    sim_.setMetrics(&metrics());
+  }
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
@@ -114,6 +119,26 @@ class ExactEngine final : public Engine {
   }
   void auditInvariants() override { sim_.auditInvariants(); }
 
+ protected:
+  void fillRunReport() override {
+    const bdd::ManagerStats& s = sim_.bddManager().stats();
+    metrics::Registry& m = metrics();
+    m.counterSet("gates.applied", sim_.stats().gatesApplied);
+    m.counterSet("gc.runs", s.gcRuns);
+    m.counterSet("gc.reclaimed_nodes", s.gcReclaimed);
+    m.counterSet("cache.lookups", s.cacheLookups);
+    m.counterSet("cache.hits", s.cacheHits);
+    m.counterSet("cache.misses", s.cacheLookups - s.cacheHits);
+    m.counterSet("bdd.created_nodes", s.createdNodes);
+    m.counterSet("bdd.reorderings", s.reorderings);
+    m.gaugeMax("nodes.peak_live", static_cast<double>(s.peakLiveNodes));
+    m.gaugeSet("nodes.live",
+               static_cast<double>(sim_.bddManager().liveNodeCount()));
+    m.gaugeSet("bitwidth.max", sim_.stats().maxBitWidth);
+    m.gaugeSet("state.bytes",
+               static_cast<double>(sim_.bddManager().memoryBytes()));
+  }
+
  private:
   /// ⟨P⟩ of one string, exactly. Z factors need no state change at all —
   /// one signed weight traversal of the monolithic hyper-function
@@ -147,6 +172,9 @@ class ExactEngine final : public Engine {
   }
 
   void runStatic(const QuantumCircuit& circuit) override {
+    // The exact engine applies gates verbatim (no fusion pass).
+    metrics().add("gates.post_fusion", circuit.gateCount());
+    const metrics::ScopedSpan span(metrics(), "gate_loop");
     sim_.run(circuit);
   }
 
@@ -158,7 +186,9 @@ class ExactEngine final : public Engine {
 
 class QmddEngine final : public Engine {
  public:
-  explicit QmddEngine(unsigned numQubits) : name_("qmdd"), sim_(numQubits) {}
+  explicit QmddEngine(unsigned numQubits) : name_("qmdd"), sim_(numQubits) {
+    sim_.setMetrics(&metrics());
+  }
 
   const std::string& name() const override { return name_; }
   unsigned numQubits() const override { return sim_.numQubits(); }
@@ -237,11 +267,33 @@ class QmddEngine final : public Engine {
   }
   void auditInvariants() override { sim_.auditInvariants(); }
 
+ protected:
+  void fillRunReport() override {
+    const qmdd::QmddManager::CacheStats& s = sim_.cacheStats();
+    metrics::Registry& m = metrics();
+    m.counterSet("gc.runs", s.gcRuns);
+    m.counterSet("cache.lookups", s.lookups);
+    m.counterSet("cache.hits", s.hits);
+    m.counterSet("cache.misses", s.lookups - s.hits);
+    m.gaugeMax("nodes.peak_live", static_cast<double>(sim_.peakNodes()));
+    m.gaugeSet("nodes.live", static_cast<double>(sim_.liveNodes()));
+    m.gaugeSet("complex_table.entries",
+               static_cast<double>(sim_.complexTableSize()));
+    m.gaugeSet("state.bytes", static_cast<double>(sim_.memoryBytes()));
+  }
+
  private:
   void runStatic(const QuantumCircuit& circuit) override {
     // Fused execution: one matrix-DD multiply per fused block instead of
     // one per gate (optimizer.hpp).
-    sim_.runFused(circuit.fused());
+    const FusedCircuit fused = [&] {
+      const metrics::ScopedSpan span(metrics(), "fusion");
+      return circuit.fused();
+    }();
+    metrics().add("gates.post_fusion", fused.opCount());
+    metrics().add("gates.applied", fused.opCount());
+    const metrics::ScopedSpan span(metrics(), "gate_loop");
+    sim_.runFused(fused);
   }
 
   std::string name_;
@@ -305,8 +357,21 @@ class ChpEngine final : public Engine {
   std::string runSummary() override { return "stabilizer tableau"; }
   void auditInvariants() override { sim_.auditInvariants(); }
 
+ protected:
+  void fillRunReport() override {
+    metrics::Registry& m = metrics();
+    // Tableau dims: rows 0..n-1 destabilizers, n..2n-1 stabilizers, 2n
+    // scratch — the representation is exactly this dense bit matrix.
+    m.gaugeSet("tableau.rows", 2.0 * sim_.numQubits() + 1.0);
+    m.gaugeSet("state.bytes", static_cast<double>(sim_.memoryBytes()));
+  }
+
  private:
   void runStatic(const QuantumCircuit& circuit) override {
+    // Clifford gates apply verbatim (no fusion pass for tableaus).
+    metrics().add("gates.post_fusion", circuit.gateCount());
+    metrics().add("gates.applied", circuit.gateCount());
+    const metrics::ScopedSpan span(metrics(), "gate_loop");
     sim_.run(circuit);
   }
 
@@ -402,22 +467,41 @@ class StatevectorEngine final : public Engine {
     return out;
   }
 
-  void setExecutionThreads(unsigned threads) override {
-    threads_ = threads;
-    if (sim_) sim_->setThreads(threads);
-  }
-
   void auditInvariants() override {
     // The 2^n array is allocated lazily; before first use there is no
     // state to scan.
     if (sim_) sim_->auditInvariants();
   }
 
+ protected:
+  void setExecutionThreadsImpl(unsigned resolvedThreads) override {
+    threads_ = resolvedThreads;
+    if (sim_) sim_->setThreads(resolvedThreads);
+  }
+
+  void fillRunReport() override {
+    metrics::Registry& m = metrics();
+    // Report the dense array's footprint without forcing the lazy
+    // allocation: an unused engine holds no state.
+    const double bytes =
+        sim_ ? static_cast<double>(sim_->state().size()) *
+                   sizeof(StatevectorSimulator::Amplitude)
+             : 0.0;
+    m.gaugeSet("state.bytes", bytes);
+  }
+
  private:
   void runStatic(const QuantumCircuit& circuit) override {
     // Fused execution: one amplitude-array traversal per fused block
     // instead of one per gate (optimizer.hpp).
-    sim().runFused(circuit.fused());
+    const FusedCircuit fused = [&] {
+      const metrics::ScopedSpan span(metrics(), "fusion");
+      return circuit.fused();
+    }();
+    metrics().add("gates.post_fusion", fused.opCount());
+    metrics().add("gates.applied", fused.opCount());
+    const metrics::ScopedSpan span(metrics(), "gate_loop");
+    sim().runFused(fused);
   }
 
   // 2^26 amplitudes = 1 GiB of complex<double>; beyond that the dense
@@ -454,8 +538,40 @@ void Engine::run(const QuantumCircuit& circuit) {
         "run() cannot execute a dynamic circuit (mid-circuit "
         "measure/reset/classical control): use runDynamic(circuit, rng)");
   }
-  runStatic(circuit);
+  metrics_.add("gates.pre_fusion", circuit.gateCount());
+  {
+    const metrics::ScopedSpan span(metrics_, "engine.run");
+    runStatic(circuit);
+  }
+  metrics_.gaugeMax("rss.high_water_bytes",
+                    static_cast<double>(peakRssBytes()));
   maybeAudit();  // SLIQ_AUDIT builds validate the representation post-run
+}
+
+void Engine::setExecutionThreads(unsigned threads) {
+  // Resolve the 0 auto sentinel HERE so every downstream consumer — the
+  // engines, the run report's threads.resolved gauge, the bench
+  // thread-scaling rows — sees the actual worker count, never the request.
+  resolvedThreads_ =
+      threads == 0 ? ThreadPool::hardwareConcurrency() : threads;
+  setExecutionThreadsImpl(resolvedThreads_);
+}
+
+metrics::RunReport Engine::runMetrics() {
+  metrics_.gaugeSet("threads.resolved",
+                    static_cast<double>(resolvedThreads_));
+  metrics_.gaugeMax("rss.high_water_bytes",
+                    static_cast<double>(peakRssBytes()));
+  fillRunReport();
+  metrics::RunReport report;
+  report.engine = name();
+  report.qubits = numQubits();
+  report.metrics = metrics_.snapshot();
+  // Pin the cross-engine schema (tests/core/test_run_report.cpp): every
+  // report carries the shared keys, zero-valued when an engine has no
+  // native source for them — so consumers never branch on key presence.
+  metrics::pinCommonSchemaKeys(report.metrics);
+  return report;
 }
 
 DynamicRun Engine::runDynamic(const QuantumCircuit& circuit, Rng& rng,
@@ -467,6 +583,12 @@ DynamicRun Engine::runDynamic(const QuantumCircuit& circuit, Rng& rng,
                                 std::to_string(numQubits()));
   }
   DynamicRun result;
+  metrics_.add("gates.pre_fusion", circuit.gateCount());
+  // Dynamic circuits never fuse (collapse points and classical conditions
+  // need per-op execution), so the post-fusion count equals the op count.
+  metrics_.add("gates.post_fusion", circuit.gateCount());
+  const metrics::ScopedSpan span(metrics_, "engine.run_dynamic");
+  std::uint64_t applied = 0;
   std::uint64_t creg = 0;
   for (std::size_t i = 0; i < circuit.gateCount(); ++i) {
     const Gate& op = circuit.gate(i);
@@ -493,12 +615,18 @@ DynamicRun Engine::runDynamic(const QuantumCircuit& circuit, Rng& rng,
         break;
       default:
         applyGate(op);
+        ++applied;
         break;
     }
     if (instrument != nullptr && instrument->afterOp) {
       instrument->afterOp(*this, i);
     }
   }
+  metrics_.add("gates.applied", applied);
+  metrics_.add("dynamic.measures", result.measures);
+  metrics_.add("dynamic.resets", result.resets);
+  metrics_.gaugeMax("rss.high_water_bytes",
+                    static_cast<double>(peakRssBytes()));
   result.creg.assign(circuit.numClbits(), false);
   for (unsigned c = 0; c < circuit.numClbits(); ++c)
     result.creg[c] = (creg >> c) & 1;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace sliq {
@@ -206,8 +207,28 @@ class Engine {
   /// its amplitude groups (StatevectorSimulator::setThreads); the result is
   /// bit-identical for every thread count. Distinct from the *inter*-
   /// trajectory parallelism of the noise runner, which runs one engine per
-  /// worker.
-  virtual void setExecutionThreads(unsigned threads) { (void)threads; }
+  /// worker. The facade resolves the auto sentinel here, so run reports
+  /// always carry the actual worker count (resolvedExecutionThreads) and
+  /// engines only ever see a concrete value.
+  void setExecutionThreads(unsigned threads);
+  /// The worker count execution actually uses: setExecutionThreads' value
+  /// with 0 resolved to the detected hardware concurrency; 1 before any
+  /// request. Surfaced as the `threads.resolved` gauge of every run report.
+  unsigned resolvedExecutionThreads() const { return resolvedThreads_; }
+
+  // ---- telemetry (DESIGN.md §11) ------------------------------------------
+  /// This engine's metrics registry. Disabled (near-zero overhead) until
+  /// the caller enables it; every facade phase and engine-native
+  /// instrumentation site records into it. Recording never consumes RNG
+  /// deviates or mutates engine state, so enabling it is observationally
+  /// invisible to the simulation.
+  metrics::Registry& metrics() { return metrics_; }
+  /// The unified per-run telemetry record (sliq.run_report.v1): common
+  /// fields (engine, qubits, resolved threads, RSS high-water, phase
+  /// timings) plus the engine-native counters mirrored by fillRunReport —
+  /// BDD manager stats, QMDD node/table sizes, tableau dims, statevector
+  /// bytes. Idempotent: native totals are absolute mirrors, not deltas.
+  metrics::RunReport runMetrics();
 
   /// The paper's 'error' column: true when the engine's normalization
   /// invariant has drifted beyond its engine-specific tolerance.
@@ -249,6 +270,19 @@ class Engine {
   /// dynamic circuits.
   virtual void runStatic(const QuantumCircuit& circuit) = 0;
 
+  /// setExecutionThreads() body: receives the RESOLVED worker count (never
+  /// the 0 auto sentinel). Engines without an intra-circuit parallel path
+  /// keep the no-op default.
+  virtual void setExecutionThreadsImpl(unsigned resolvedThreads) {
+    (void)resolvedThreads;
+  }
+
+  /// runMetrics() body: mirror engine-native totals into metrics() with
+  /// counterSet/gaugeSet (absolute values, so repeated calls do not
+  /// double-count). The base contributes nothing; every built-in engine
+  /// overrides it.
+  virtual void fillRunReport() {}
+
   /// expectation() body, called after the facade has checked the collapse
   /// restriction and the observable's width. The base implementation is the
   /// generic basis-change + probabilityOne fallback.
@@ -268,6 +302,8 @@ class Engine {
 
  private:
   bool collapsed_ = false;
+  unsigned resolvedThreads_ = 1;
+  metrics::Registry metrics_;
 };
 
 class EngineRegistry {

@@ -14,6 +14,7 @@
 #include "algebra/algebraic.hpp"
 #include "core/simulator.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace sliq {
 
@@ -37,6 +38,17 @@ bool MeasurementContext::current() const {
 }
 
 void MeasurementContext::dropCaches() {
+  // Trace only invalidations of a memo that was actually built: dropCaches
+  // runs after every gate, but an empty drop is not an event worth a trace
+  // row (and would swamp the trace on gate-heavy circuits).
+  if (builtVersion_ != ~std::uint64_t{0}) {
+    if (metrics::Registry* reg = sim_->metricsRegistry()) {
+      reg->gaugeMax("memo.peak_entries",
+                    static_cast<double>(weightMemo_.size() + ampMemo_.size() +
+                                        branchProbMemo_.size()));
+      reg->instant("memo.invalidate");
+    }
+  }
   mono_ = Bdd();
   restrictedOne_.clear();
   weightMemo_.clear();
@@ -48,6 +60,7 @@ void MeasurementContext::dropCaches() {
 
 void MeasurementContext::refreshIfStale() {
   if (current()) return;
+  const metrics::ScopedSpan span(sim_->metricsRegistry(), "memo.fill");
   // monolithic() rebuilds the hyper-function BDD if needed (and rejects
   // symbolic mode); holding it as a handle pins every node the memos will
   // reference across garbage collections.
@@ -187,6 +200,8 @@ double MeasurementContext::probabilityOne(unsigned qubit) {
     // even re-level the order; memoized weights depend on levels, so a
     // reorder mid-build empties the memos (handles keep the roots alive).
     if (builtReorderings_ != sim_->mgr_.stats().reorderings) {
+      if (metrics::Registry* reg = sim_->metricsRegistry())
+        reg->instant("memo.invalidate");
       weightMemo_.clear();
       ampMemo_.clear();
       branchProbMemo_.clear();

@@ -119,6 +119,14 @@ class SliqSimulator {
   };
   const Stats& stats() const { return stats_; }
   bdd::BddManager& bddManager() { return mgr_; }
+  /// Observability hook (DESIGN.md §11): forwards to the BDD manager (GC
+  /// spans) and lets the MeasurementContext emit memo fill/invalidate
+  /// events. Never owned; nullptr disables.
+  void setMetrics(metrics::Registry* registry) {
+    metricsRegistry_ = registry;
+    mgr_.setMetrics(registry);
+  }
+  metrics::Registry* metricsRegistry() const { return metricsRegistry_; }
   /// Live BDD nodes across all 4r slices.
   std::size_t stateNodeCount() const;
   /// Read-only access to slice BDD F_{x_bit} for vector x ∈ {0:a,1:b,2:c,
@@ -207,6 +215,7 @@ class SliqSimulator {
   std::uint64_t stateVersion_ = 0;
   std::unique_ptr<MeasurementContext> ctx_;
   Stats stats_;
+  metrics::Registry* metricsRegistry_ = nullptr;
 };
 
 }  // namespace sliq

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <exception>
 #include <future>
+#include <memory>
 #include <utility>
 
 #include "core/engine_registry.hpp"
 #include "stabilizer/stabilizer.hpp"
 #include "support/bits.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -252,11 +254,13 @@ struct RunContext {
 
 /// Generic path: one fresh engine + sampled realization per trajectory.
 void runGenericWorker(const RunContext& run, std::atomic<unsigned>& next,
-                      Counts& local) {
+                      Counts& local, metrics::Registry* reg) {
+  const metrics::ScopedSpan span(reg, "trajectory.worker");
   const unsigned n = run.circuit.numQubits();
   for (;;) {
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
+    if (reg != nullptr) reg->add("trajectories.executed");
     Rng rng = run.root.split(t).rng();
     const QuantumCircuit realization =
         realizationFromPlan(run.circuit, run.plan, rng);
@@ -275,13 +279,15 @@ void runGenericWorker(const RunContext& run, std::atomic<unsigned>& next,
 /// so zero-noise trajectories are bit-identical to plain runDynamic. The
 /// trajectory's "shot" is the final classical register.
 void runDynamicWorker(const RunContext& run, std::atomic<unsigned>& next,
-                      Counts& local) {
+                      Counts& local, metrics::Registry* reg) {
+  const metrics::ScopedSpan span(reg, "trajectory.worker");
   const unsigned n = run.circuit.numQubits();
   const bool readout = run.model.hasReadoutError();
   const double flip = readout ? run.model.readoutFlip() : 0.0;
   for (;;) {
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
+    if (reg != nullptr) reg->add("trajectories.executed");
     Rng rng = run.root.split(t).rng();
     const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
     DynamicInstrument instrument;
@@ -316,13 +322,15 @@ void runDynamicWorker(const RunContext& run, std::atomic<unsigned>& next,
 /// plan sites as realizationFromPlan, so both paths consume substream
 /// deviates identically.
 void runFrameWorker(const RunContext& run, std::atomic<unsigned>& next,
-                    Counts& local) {
+                    Counts& local, metrics::Registry* reg) {
+  const metrics::ScopedSpan span(reg, "trajectory.worker");
   const unsigned n = run.circuit.numQubits();
   const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
   engine->run(run.circuit);
   for (;;) {
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
+    if (reg != nullptr) reg->add("trajectories.executed");
     Rng rng = run.root.split(t).rng();
     PauliFrame frame(n);
     for (std::size_t i = 0; i < run.circuit.gateCount(); ++i) {
@@ -397,6 +405,21 @@ TrajectoryResult runChecked(const std::string& engineName,
   std::atomic<unsigned> next{0};
   std::vector<Counts> locals(result.threadsUsed);
 
+  // Telemetry: one registry per worker (span track w+1), merged back into
+  // the caller's sink in worker-index order after the join — the merged
+  // counter totals are deterministic even though the per-worker split is
+  // not (workers pull trajectory indices from the shared atomic).
+  const bool record =
+      options.metrics != nullptr && options.metrics->enabled();
+  std::vector<std::unique_ptr<metrics::Registry>> workerRegs;
+  if (record) {
+    workerRegs.reserve(result.threadsUsed);
+    for (unsigned w = 0; w < result.threadsUsed; ++w) {
+      workerRegs.push_back(std::make_unique<metrics::Registry>());
+      workerRegs.back()->enable(w + 1);
+    }
+  }
+
   const bool framePath = result.usedPauliFrameFastPath;
   WallTimer timer;
   {
@@ -407,15 +430,17 @@ TrajectoryResult runChecked(const std::string& engineName,
     done.reserve(result.threadsUsed);
     for (unsigned w = 0; w < result.threadsUsed; ++w) {
       Counts& local = locals[w];
-      done.push_back(pool.submit([&run, &next, &local, framePath, dynamic] {
-        if (framePath) {
-          runFrameWorker(run, next, local);
-        } else if (dynamic) {
-          runDynamicWorker(run, next, local);
-        } else {
-          runGenericWorker(run, next, local);
-        }
-      }));
+      metrics::Registry* reg = record ? workerRegs[w].get() : nullptr;
+      done.push_back(
+          pool.submit([&run, &next, &local, reg, framePath, dynamic] {
+            if (framePath) {
+              runFrameWorker(run, next, local, reg);
+            } else if (dynamic) {
+              runDynamicWorker(run, next, local, reg);
+            } else {
+              runGenericWorker(run, next, local, reg);
+            }
+          }));
     }
     std::exception_ptr failure;
     for (std::future<void>& future : done) {
@@ -430,6 +455,13 @@ TrajectoryResult runChecked(const std::string& engineName,
   result.seconds = timer.seconds();
   for (const Counts& local : locals) {
     for (const auto& [key, count] : local) result.counts[key] += count;
+  }
+  if (record) {
+    for (const auto& wr : workerRegs) options.metrics->merge(*wr);
+    options.metrics->gaugeSet("trajectory.threads", result.threadsUsed);
+    options.metrics->counterSet("trajectory.frame_fast_path",
+                                framePath ? 1 : 0);
+    options.metrics->timerAdd("trajectory.run", result.seconds);
   }
   return result;
 }
@@ -475,11 +507,14 @@ std::vector<double> readoutAttenuation(const NoiseModel& model,
 /// the engine's (native or fallback) expectation is exact per realization.
 void runExpectationGenericWorker(const ExpectationRunContext& run,
                                  std::atomic<unsigned>& next,
-                                 std::vector<double>& values) {
+                                 std::vector<double>& values,
+                                 metrics::Registry* reg) {
+  const metrics::ScopedSpan span(reg, "trajectory.worker");
   const unsigned n = run.circuit.numQubits();
   for (;;) {
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
+    if (reg != nullptr) reg->add("trajectories.executed");
     Rng rng = run.root.split(t).rng();
     const QuantumCircuit realization =
         realizationFromPlan(run.circuit, run.plan, rng);
@@ -502,7 +537,9 @@ void runExpectationGenericWorker(const ExpectationRunContext& run,
 /// conjugating a Pauli observable by a Pauli error is again ±P.
 void runExpectationFrameWorker(const ExpectationRunContext& run,
                                std::atomic<unsigned>& next,
-                               std::vector<double>& values) {
+                               std::vector<double>& values,
+                               metrics::Registry* reg) {
+  const metrics::ScopedSpan span(reg, "trajectory.worker");
   const unsigned n = run.circuit.numQubits();
   const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
   engine->run(run.circuit);
@@ -514,6 +551,7 @@ void runExpectationFrameWorker(const ExpectationRunContext& run,
   for (;;) {
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
+    if (reg != nullptr) reg->add("trajectories.executed");
     Rng rng = run.root.split(t).rng();
     PauliFrame frame(n);
     for (std::size_t i = 0; i < run.circuit.gateCount(); ++i) {
@@ -583,6 +621,18 @@ ExpectationResult runExpectationChecked(const std::string& engineName,
   // bit-identical for every thread count.
   std::vector<double> values(options.trajectories, 0.0);
 
+  // Same per-worker telemetry scheme as runChecked (merge in index order).
+  const bool record =
+      options.metrics != nullptr && options.metrics->enabled();
+  std::vector<std::unique_ptr<metrics::Registry>> workerRegs;
+  if (record) {
+    workerRegs.reserve(result.threadsUsed);
+    for (unsigned w = 0; w < result.threadsUsed; ++w) {
+      workerRegs.push_back(std::make_unique<metrics::Registry>());
+      workerRegs.back()->enable(w + 1);
+    }
+  }
+
   const bool framePath = result.usedPauliFrameFastPath;
   WallTimer timer;
   {
@@ -590,11 +640,12 @@ ExpectationResult runExpectationChecked(const std::string& engineName,
     std::vector<std::future<void>> done;
     done.reserve(result.threadsUsed);
     for (unsigned w = 0; w < result.threadsUsed; ++w) {
-      done.push_back(pool.submit([&run, &next, &values, framePath] {
+      metrics::Registry* reg = record ? workerRegs[w].get() : nullptr;
+      done.push_back(pool.submit([&run, &next, &values, reg, framePath] {
         if (framePath) {
-          runExpectationFrameWorker(run, next, values);
+          runExpectationFrameWorker(run, next, values, reg);
         } else {
-          runExpectationGenericWorker(run, next, values);
+          runExpectationGenericWorker(run, next, values, reg);
         }
       }));
     }
@@ -609,6 +660,13 @@ ExpectationResult runExpectationChecked(const std::string& engineName,
     if (failure) std::rethrow_exception(failure);
   }
   result.seconds = timer.seconds();
+  if (record) {
+    for (const auto& wr : workerRegs) options.metrics->merge(*wr);
+    options.metrics->gaugeSet("trajectory.threads", result.threadsUsed);
+    options.metrics->counterSet("trajectory.frame_fast_path",
+                                framePath ? 1 : 0);
+    options.metrics->timerAdd("trajectory.run", result.seconds);
+  }
 
   double sum = 0;
   for (const double v : values) sum += v;

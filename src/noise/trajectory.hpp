@@ -38,6 +38,10 @@ namespace sliq {
 class Engine;  // core/engine_registry.hpp
 }
 
+namespace sliq::metrics {
+class Registry;  // support/metrics.hpp
+}
+
 namespace sliq::noise {
 
 struct TrajectoryOptions {
@@ -53,6 +57,12 @@ struct TrajectoryOptions {
   /// dynamic (frames do not commute through classical control), instead of
   /// quietly running the generic path.
   bool forcePauliFrame = false;
+  /// Observability sink (DESIGN.md §11): when non-null and enabled, the
+  /// runner records worker spans (one track per worker, merged in
+  /// worker-index order so the aggregate is deterministic) and trajectory
+  /// counters into it. Never owned; telemetry never touches the RNG
+  /// substreams, so results are bit-identical with or without it.
+  metrics::Registry* metrics = nullptr;
 };
 
 struct TrajectoryResult {

@@ -6,6 +6,7 @@
 #include "support/assert.hpp"
 #include "support/audit.hpp"
 #include "support/hash.hpp"
+#include "support/metrics.hpp"
 
 namespace sliq::qmdd {
 
@@ -99,8 +100,12 @@ VEdge QmddManager::vAdd(VEdge a, VEdge b) {
   SLIQ_ASSERT(a.node != kTerminal && b.node != kTerminal);
   SLIQ_ASSERT(vNodes_[a.node].level == vNodes_[b.node].level);
   const std::uint64_t key = pairKey(a.node, a.w, b.node, b.w);
+  ++cacheStats_.lookups;
   const auto cached = addCache_.find(key);
-  if (cached != addCache_.end()) return cached->second;
+  if (cached != addCache_.end()) {
+    ++cacheStats_.hits;
+    return cached->second;
+  }
 
   // Copy: recursive makeVNode calls may reallocate the node vector.
   const VNode na = vNodes_[a.node];
@@ -206,8 +211,12 @@ MEdge QmddManager::mAdd(MEdge a, MEdge b) {
     return MEdge{kTerminal, ct_.add(a.w, b.w)};
   SLIQ_ASSERT(a.node != kTerminal && b.node != kTerminal);
   const std::uint64_t key = pairKey(a.node, a.w, b.node, b.w);
+  ++cacheStats_.lookups;
   const auto cached = mAddCache_.find(key);
-  if (cached != mAddCache_.end()) return cached->second;
+  if (cached != mAddCache_.end()) {
+    ++cacheStats_.hits;
+    return cached->second;
+  }
 
   // Copy: recursive makeMNode calls may reallocate the node vector.
   const MNode na = mNodes_[a.node];
@@ -230,8 +239,10 @@ VEdge QmddManager::mvMultiply(MEdge m, VEdge v) {
   SLIQ_ASSERT(m.node != kTerminal && v.node != kTerminal);
   // Factor the top weights out so the cache works on unit-weight operands.
   const std::uint64_t key = pairKey(m.node, v.node, 0x6d76, 0);
+  ++cacheStats_.lookups;
   const auto cached = mvCache_.find(key);
   if (cached != mvCache_.end()) {
+    ++cacheStats_.hits;
     VEdge r = cached->second;
     r.w = ct_.mul(r.w, ct_.mul(m.w, v.w));
     if (ct_.isZero(r.w)) return VEdge{kTerminal, 0};
@@ -580,6 +591,10 @@ void QmddManager::auditInvariants(unsigned numQubits) const {
 }
 
 void QmddManager::garbageCollect() {
+  ++cacheStats_.gcRuns;
+  // An instant (not a span): QMDD GC is a stop-the-world compaction whose
+  // interesting telemetry is *when* it fires relative to the gate loop.
+  if (metricsRegistry_ != nullptr) metricsRegistry_->instant("qmdd.gc");
   // Mark live vector nodes from the registered root; matrix nodes are
   // per-gate temporaries and dropped wholesale.
   for (VNode& n : vNodes_) n.mark = false;

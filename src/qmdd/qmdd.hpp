@@ -20,6 +20,10 @@
 #include "qmdd/complex_table.hpp"
 #include "support/rng.hpp"
 
+namespace sliq::metrics {
+class Registry;
+}
+
 namespace sliq::qmdd {
 
 class QmddLimitError : public std::runtime_error {
@@ -60,6 +64,15 @@ class QmddManager {
     std::size_t gcThreshold = 1u << 18;
   };
 
+  /// Cumulative operation-cache telemetry across the three memo tables
+  /// (vAdd, mAdd, mvMultiply probe sites) plus GC entries — the QMDD
+  /// counterpart of bdd::ManagerStats (hits <= lookups always).
+  struct CacheStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t gcRuns = 0;
+  };
+
   QmddManager();
   explicit QmddManager(const Config& config);
   QmddManager(const QmddManager&) = delete;
@@ -67,6 +80,8 @@ class QmddManager {
   ~QmddManager();
 
   ComplexTable& complexTable() { return ct_; }
+  /// Interned distinct complex values (telemetry: run-report gauge).
+  std::size_t complexTableSize() const { return ct_.size(); }
 
   // ---- vector DDs ---------------------------------------------------------
   /// |basis⟩ over `n` qubits (bit q of `basis` = qubit q; level n-1 on top).
@@ -122,8 +137,13 @@ class QmddManager {
   void gcIfNeeded() { maybeGc(); }
   std::size_t liveNodes() const { return vNodes_.size() + mNodes_.size(); }
   std::size_t peakNodes() const { return peakNodes_; }
+  const CacheStats& cacheStats() const { return cacheStats_; }
   /// Approximate bytes held by nodes + tables.
   std::size_t memoryBytes() const;
+
+  /// Observability hook (DESIGN.md §11): when set, each garbage collection
+  /// emits a "qmdd.gc" instant event. Never owned; nullptr disables.
+  void setMetrics(metrics::Registry* registry) { metricsRegistry_ = registry; }
 
   /// Deep structural audit (DESIGN.md §10): complex-table dedup/bucket
   /// integrity, unique-table filing (every node filed exactly once under
@@ -151,6 +171,8 @@ class QmddManager {
   VEdge root_;
   std::size_t peakNodes_ = 0;
   std::size_t gcThreshold_;
+  CacheStats cacheStats_;
+  metrics::Registry* metricsRegistry_ = nullptr;
 };
 
 }  // namespace sliq::qmdd

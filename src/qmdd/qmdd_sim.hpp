@@ -71,6 +71,12 @@ class QmddSimulator {
   std::size_t liveNodes() const { return mgr_.liveNodes(); }
   std::size_t peakNodes() const { return mgr_.peakNodes(); }
   std::size_t memoryBytes() const { return mgr_.memoryBytes(); }
+  const QmddManager::CacheStats& cacheStats() const {
+    return mgr_.cacheStats();
+  }
+  std::size_t complexTableSize() const { return mgr_.complexTableSize(); }
+  /// Observability hook: forwarded to the manager (GC instants).
+  void setMetrics(metrics::Registry* registry) { mgr_.setMetrics(registry); }
 
   /// Deep structural audit of the DD package state (DESIGN.md §10),
   /// including the registered root's full-depth check against this

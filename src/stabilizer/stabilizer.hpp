@@ -66,6 +66,12 @@ class StabilizerSimulator {
   /// uniform deviate per qubit (the measure(q, double) convention).
   std::vector<bool> sampleAll(Rng& rng) const;
 
+  /// Approximate bytes held by the tableau: (2n+1) rows of packed x/z
+  /// words plus per-row bookkeeping (telemetry: run-report state.bytes).
+  std::size_t memoryBytes() const {
+    return rows_.size() * (2 * words_ * sizeof(std::uint64_t) + sizeof(Row));
+  }
+
   /// Deep structural audit (DESIGN.md §10): symplectic consistency of the
   /// tableau — stabilizers pairwise commute, destabilizer i anticommutes
   /// with stabilizer i and commutes with every other row, no generator row

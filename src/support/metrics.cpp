@@ -1,0 +1,257 @@
+#include "support/metrics.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sliq::metrics {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point processEpoch() {
+  // Captured once per process so every registry shares one timeline; the
+  // static local is initialized thread-safely on first use.
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// JSON string escaping for metric names (conservative: names are ASCII
+/// identifiers by convention, but the writer must never emit broken JSON).
+void writeJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::int64_t epochMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               processEpoch())
+      .count();
+}
+
+std::string formatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void Registry::enable(std::uint32_t track) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  track_ = track;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Registry::add(std::string_view counter, std::uint64_t delta) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(counter)] += delta;
+}
+
+void Registry::counterSet(std::string_view counter, std::uint64_t value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(counter)] = value;
+}
+
+void Registry::gaugeSet(std::string_view gauge, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(gauge)] = value;
+}
+
+void Registry::gaugeMax(std::string_view gauge, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.emplace(std::string(gauge), value);
+  if (!inserted && it->second < value) it->second = value;
+}
+
+void Registry::timerAdd(std::string_view timer, double seconds) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TimerValue& t = timers_[std::string(timer)];
+  t.seconds += seconds;
+  ++t.count;
+}
+
+void Registry::instant(std::string_view name) {
+  if (!enabled()) return;
+  const std::int64_t now = epochMicros();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_[std::string(name)];
+  events_.push_back(
+      TraceEvent{std::string(name), TraceEvent::Phase::kInstant, track_, now});
+}
+
+std::int64_t Registry::beginSpan(std::string_view name) {
+  if (!enabled()) return -1;
+  const std::int64_t now = epochMicros();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(
+      TraceEvent{std::string(name), TraceEvent::Phase::kBegin, track_, now});
+  return now;
+}
+
+void Registry::endSpan(std::string_view name, std::int64_t startMicros) {
+  if (!enabled() || startMicros < 0) return;
+  // Clamp to the span's own start: the steady clock is monotonic, but a
+  // sub-microsecond span must still close at ts >= its B event for the
+  // trace linter's monotonicity check.
+  std::int64_t now = epochMicros();
+  if (now < startMicros) now = startMicros;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(
+      TraceEvent{std::string(name), TraceEvent::Phase::kEnd, track_, now});
+  TimerValue& t = timers_[std::string(name)];
+  t.seconds += static_cast<double>(now - startMicros) * 1e-6;
+  ++t.count;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Snapshot{counters_, gauges_, timers_};
+}
+
+std::vector<TraceEvent> Registry::traceEvents() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Registry::merge(const Registry& other) {
+  if (!enabled()) return;
+  const Snapshot theirs = other.snapshot();
+  std::vector<TraceEvent> theirEvents = other.traceEvents();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : theirs.counters) counters_[name] += value;
+  for (const auto& [name, value] : theirs.gauges) {
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted && it->second < value) it->second = value;
+  }
+  for (const auto& [name, value] : theirs.timers) {
+    TimerValue& t = timers_[name];
+    t.seconds += value.seconds;
+    t.count += value.count;
+  }
+  events_.insert(events_.end(), theirEvents.begin(), theirEvents.end());
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+  events_.clear();
+}
+
+void Registry::writeChromeTrace(std::ostream& os) const {
+  std::vector<TraceEvent> events = traceEvents();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    const char* ph = e.phase == TraceEvent::Phase::kBegin ? "B"
+                     : e.phase == TraceEvent::Phase::kEnd ? "E"
+                                                          : "i";
+    os << "{\"name\":";
+    writeJsonString(os, e.name);
+    os << ",\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":" << e.track
+       << ",\"ts\":" << e.micros;
+    if (e.phase == TraceEvent::Phase::kInstant) os << ",\"s\":\"t\"";
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void pinCommonSchemaKeys(Snapshot& snapshot) {
+  for (const char* key :
+       {"gates.pre_fusion", "gates.post_fusion", "gates.applied", "gc.runs",
+        "cache.lookups", "cache.hits"}) {
+    snapshot.counters.emplace(key, 0);
+  }
+  for (const char* key :
+       {"threads.resolved", "rss.high_water_bytes", "state.bytes"}) {
+    snapshot.gauges.emplace(key, 0.0);
+  }
+}
+
+std::string RunReport::toJson() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"sliq.run_report.v1\",\"engine\":";
+  writeJsonString(os, engine);
+  os << ",\"qubits\":" << qubits;
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters) {
+    if (!first) os << ",";
+    first = false;
+    writeJsonString(os, name);
+    os << ":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : metrics.gauges) {
+    if (!first) os << ",";
+    first = false;
+    writeJsonString(os, name);
+    os << ":" << formatDouble(value);
+  }
+  os << "},\"phases\":{";
+  first = true;
+  for (const auto& [name, value] : metrics.timers) {
+    if (!first) os << ",";
+    first = false;
+    writeJsonString(os, name);
+    os << ":{\"seconds\":" << formatDouble(value.seconds)
+       << ",\"count\":" << value.count << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string RunReport::toText() const {
+  std::ostringstream os;
+  os << "run report (" << engine << ", " << qubits << " qubits)\n";
+  if (!metrics.counters.empty()) {
+    os << "  counters:\n";
+    for (const auto& [name, value] : metrics.counters)
+      os << "    " << name << " = " << value << "\n";
+  }
+  if (!metrics.gauges.empty()) {
+    os << "  gauges:\n";
+    for (const auto& [name, value] : metrics.gauges)
+      os << "    " << name << " = " << formatDouble(value) << "\n";
+  }
+  if (!metrics.timers.empty()) {
+    os << "  phases:\n";
+    for (const auto& [name, value] : metrics.timers) {
+      os << "    " << name << " = " << formatDouble(value.seconds) << " s";
+      if (value.count > 1) os << " (" << value.count << " spans)";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sliq::metrics

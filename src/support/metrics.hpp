@@ -1,0 +1,189 @@
+// Unified metrics & tracing (DESIGN.md §11): a registry of named counters,
+// gauges and timers plus lightweight hierarchical spans, shared by every
+// engine through the Engine::metrics() facade.
+//
+// Design constraints, in priority order:
+//
+//  * Determinism: recording metrics must never consume RNG deviates or
+//    mutate engine state — enabling --stats/--trace yields bit-identical
+//    simulation output (pinned by tests/integration/
+//    test_metrics_determinism.cpp). Instrumentation sites therefore only
+//    ever *read* engine state.
+//  * Near-zero overhead when disabled: every recording call first checks
+//    one relaxed atomic bool and returns without locking or allocating.
+//    A default-constructed Registry is disabled; engines carry one by
+//    value, so un-instrumented runs pay a single predictable branch per
+//    site.
+//  * Thread-safe aggregation: recording calls may race (one mutex guards
+//    the maps); cross-worker aggregation merges per-worker registries in
+//    worker-index order so the merged totals are deterministic even though
+//    the per-worker splits are not (trajectory.cpp).
+//
+// Span events use a process-global epoch so registries merged from
+// different components (CLI parse phase, engine run, trajectory workers)
+// share one consistent timeline. Export formats: RunReport::toJson()
+// (stable sliq.run_report.v1 schema, 17-digit doubles) and
+// Registry::writeChromeTrace() (chrome://tracing / Perfetto-loadable
+// trace-event JSON with B/E span pairs and instant events).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sliq::metrics {
+
+/// Accumulated wall time of one named phase (a completed span, or an
+/// explicit timerAdd for phases measured outside a span).
+struct TimerValue {
+  double seconds = 0;
+  std::uint64_t count = 0;
+};
+
+/// Point-in-time copy of a registry's scalar metrics: plain data, mergeable
+/// and comparable. std::map keeps every serialization key-sorted, so the
+/// JSON output is byte-stable for identical metric values.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerValue> timers;
+};
+
+/// One trace event: a span boundary (kBegin/kEnd pair, LIFO-nested per
+/// track) or an instant marker (GC, memo invalidation).
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kBegin, kEnd, kInstant };
+  std::string name;
+  Phase phase = Phase::kInstant;
+  /// Logical track id: 0 = main thread, w+1 = trajectory worker w. A
+  /// deterministic label, deliberately not the OS thread id.
+  std::uint32_t track = 0;
+  /// Microseconds since the process-global epoch (epochMicros()).
+  std::int64_t micros = 0;
+};
+
+/// Microseconds since a process-wide steady-clock epoch captured on first
+/// use — the shared timeline of every registry in the process.
+std::int64_t epochMicros();
+
+class Registry {
+ public:
+  Registry() = default;  // disabled until enable()
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Arms recording. `track` labels this registry's span events in the
+  /// merged trace (0 = main; trajectory workers use w+1).
+  void enable(std::uint32_t track = 0);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // ---- scalar metrics (all no-ops when disabled) -------------------------
+  /// counter += delta (monotonic event counts: gates applied, GC runs).
+  void add(std::string_view counter, std::uint64_t delta = 1);
+  /// counter = value (absolute mirrors of engine-native totals; idempotent
+  /// so runMetrics() may be called repeatedly).
+  void counterSet(std::string_view counter, std::uint64_t value);
+  /// gauge = value (instantaneous level: resolved threads, state bytes).
+  void gaugeSet(std::string_view gauge, double value);
+  /// gauge = max(gauge, value) (high-water marks: peak RSS, peak nodes).
+  void gaugeMax(std::string_view gauge, double value);
+  /// timer += seconds (phases timed outside a ScopedSpan, e.g. a phase
+  /// that completed before the engine's registry existed).
+  void timerAdd(std::string_view timer, double seconds);
+  /// Records an instant trace event (GC, memo invalidation) and bumps the
+  /// counter of the same name.
+  void instant(std::string_view name);
+
+  // ---- spans (prefer ScopedSpan) -----------------------------------------
+  /// Opens a span: records a kBegin event now. Returns the epoch-relative
+  /// start in microseconds (endSpan needs it), or -1 when disabled.
+  std::int64_t beginSpan(std::string_view name);
+  /// Closes a span opened by beginSpan: records the kEnd event and
+  /// accumulates the duration into the timer of the same name. `startMicros`
+  /// is beginSpan's return value; -1 (disabled at open time) is a no-op.
+  void endSpan(std::string_view name, std::int64_t startMicros);
+
+  // ---- aggregation & export ----------------------------------------------
+  Snapshot snapshot() const;
+  std::vector<TraceEvent> traceEvents() const;
+  /// Folds `other` into this registry: counters/timers sum, gauges take the
+  /// max (every multi-source gauge is a high-water mark), trace events
+  /// append in `other`'s recording order. Merging workers in index order
+  /// keeps the aggregate deterministic.
+  void merge(const Registry& other);
+  /// Clears every metric and trace event; keeps the enabled state.
+  void reset();
+
+  /// Chrome trace-event JSON ("traceEvents" array of B/E/i events, ts in
+  /// microseconds) — loadable by chrome://tracing and Perfetto, validated
+  /// by tools/lint/check_trace.py.
+  void writeChromeTrace(std::ostream& os) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::uint32_t track_ = 0;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, TimerValue> timers_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span over a Registry (null-safe: a ScopedSpan over nullptr or a
+/// disabled registry records nothing). The span's duration lands both in
+/// the trace (B/E pair) and in the phase timer of the same name.
+class ScopedSpan {
+ public:
+  ScopedSpan(Registry* registry, const char* name)
+      : registry_(registry != nullptr && registry->enabled() ? registry
+                                                             : nullptr),
+        name_(name),
+        start_(registry_ != nullptr ? registry_->beginSpan(name) : -1) {}
+  ScopedSpan(Registry& registry, const char* name)
+      : ScopedSpan(&registry, name) {}
+  ~ScopedSpan() {
+    if (registry_ != nullptr) registry_->endSpan(name_, start_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Registry* registry_;
+  const char* name_;
+  std::int64_t start_;
+};
+
+/// The unified per-run telemetry record every engine reports through
+/// Engine::runMetrics() — the sliq.run_report.v1 schema (DESIGN.md §11).
+/// The counter/gauge keys shared by all four engines are pinned by
+/// tests/core/test_run_report.cpp.
+struct RunReport {
+  std::string engine;
+  unsigned qubits = 0;
+  Snapshot metrics;
+
+  /// Stable JSON: top-level schema/engine/qubits plus key-sorted
+  /// counters/gauges/phases objects; doubles printed with 17 significant
+  /// digits so values round-trip exactly.
+  std::string toJson() const;
+  /// Human-readable multi-line rendering (--stats / --stats=text).
+  std::string toText() const;
+};
+
+/// Prints `value` with up to 17 significant digits (round-trip exact), the
+/// formatting contract of every double in the v1 schema.
+std::string formatDouble(double value);
+
+/// Inserts — zero-valued, never overwriting — the counter and gauge keys
+/// every sliq.run_report.v1 report carries regardless of engine, so
+/// consumers never branch on key presence. The single source of truth for
+/// the cross-engine schema (Engine::runMetrics and the CLI's aggregated
+/// per-shot reports both go through here).
+void pinCommonSchemaKeys(Snapshot& snapshot);
+
+}  // namespace sliq::metrics

@@ -1,0 +1,253 @@
+// Metrics registry unit tests (support/metrics.hpp): disabled no-op
+// behavior, scalar semantics (add vs counterSet, gaugeSet vs gaugeMax),
+// span/timer accounting, deterministic merge, the sliq.run_report.v1 JSON
+// contract and the Chrome trace-event export shape.
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sliq::metrics {
+namespace {
+
+TEST(MetricsRegistry, DisabledRecordsNothing) {
+  Registry reg;  // default-constructed: disabled
+  EXPECT_FALSE(reg.enabled());
+  reg.add("c");
+  reg.counterSet("c2", 7);
+  reg.gaugeSet("g", 1.5);
+  reg.gaugeMax("g2", 2.5);
+  reg.timerAdd("t", 0.25);
+  reg.instant("i");
+  EXPECT_EQ(reg.beginSpan("span"), -1);
+  reg.endSpan("span", -1);
+  { const ScopedSpan span(reg, "scoped"); }
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.timers.empty());
+  EXPECT_TRUE(reg.traceEvents().empty());
+}
+
+TEST(MetricsRegistry, ScopedSpanIsNullSafe) {
+  const ScopedSpan span(nullptr, "nothing");  // must not crash
+}
+
+TEST(MetricsRegistry, CounterAddAndSetSemantics) {
+  Registry reg;
+  reg.enable();
+  reg.add("events");           // 1
+  reg.add("events", 4);        // 5
+  reg.counterSet("mirror", 42);
+  reg.counterSet("mirror", 42);  // idempotent absolute mirror
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("events"), 5u);
+  EXPECT_EQ(snap.counters.at("mirror"), 42u);
+}
+
+TEST(MetricsRegistry, GaugeSetOverwritesGaugeMaxHighWaters) {
+  Registry reg;
+  reg.enable();
+  reg.gaugeSet("level", 3.0);
+  reg.gaugeSet("level", 1.0);  // last write wins
+  reg.gaugeMax("peak", 3.0);
+  reg.gaugeMax("peak", 1.0);  // high-water mark keeps the max
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.at("level"), 1.0);
+  EXPECT_EQ(snap.gauges.at("peak"), 3.0);
+}
+
+TEST(MetricsRegistry, InstantBumpsCounterAndRecordsEvent) {
+  Registry reg;
+  reg.enable();
+  reg.instant("gc");
+  reg.instant("gc");
+  EXPECT_EQ(reg.snapshot().counters.at("gc"), 2u);
+  const std::vector<TraceEvent> events = reg.traceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.name, "gc");
+    EXPECT_EQ(e.phase, TraceEvent::Phase::kInstant);
+  }
+}
+
+TEST(MetricsRegistry, SpansAccumulateTimersAndNestLifo) {
+  Registry reg;
+  reg.enable();
+  {
+    const ScopedSpan outer(reg, "outer");
+    { const ScopedSpan inner(reg, "inner"); }
+    { const ScopedSpan inner(reg, "inner"); }
+  }
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.timers.at("outer").count, 1u);
+  EXPECT_EQ(snap.timers.at("inner").count, 2u);
+  EXPECT_GE(snap.timers.at("outer").seconds, snap.timers.at("inner").seconds);
+
+  // Trace: B/E pairs in LIFO order — outer.B inner.B inner.E inner.B
+  // inner.E outer.E, every timestamp non-decreasing.
+  const std::vector<TraceEvent> events = reg.traceEvents();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events.front().name, "outer");
+  EXPECT_EQ(events.front().phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events.back().name, "outer");
+  EXPECT_EQ(events.back().phase, TraceEvent::Phase::kEnd);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].micros, events[i].micros) << i;
+}
+
+TEST(MetricsRegistry, MergeSumsCountersMaxesGaugesAppendsEvents) {
+  Registry a, b;
+  a.enable(0);
+  b.enable(1);  // worker track
+  a.add("shots", 3);
+  b.add("shots", 4);
+  a.gaugeMax("peak", 10);
+  b.gaugeMax("peak", 20);
+  a.timerAdd("work", 0.5);
+  b.timerAdd("work", 0.25);
+  b.instant("evt");
+
+  a.merge(b);
+  const Snapshot snap = a.snapshot();
+  EXPECT_EQ(snap.counters.at("shots"), 7u);
+  EXPECT_EQ(snap.gauges.at("peak"), 20.0);
+  EXPECT_DOUBLE_EQ(snap.timers.at("work").seconds, 0.75);
+  EXPECT_EQ(snap.timers.at("work").count, 2u);
+  // b's instant arrives with b's track label intact.
+  bool sawWorkerEvent = false;
+  for (const TraceEvent& e : a.traceEvents())
+    sawWorkerEvent = sawWorkerEvent || (e.name == "evt" && e.track == 1);
+  EXPECT_TRUE(sawWorkerEvent);
+}
+
+TEST(MetricsRegistry, ResetClearsMetricsKeepsEnabled) {
+  Registry reg;
+  reg.enable();
+  reg.add("c");
+  reg.instant("i");
+  reg.reset();
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_TRUE(reg.snapshot().counters.empty());
+  EXPECT_TRUE(reg.traceEvents().empty());
+  reg.add("c");  // still recording after reset
+  EXPECT_EQ(reg.snapshot().counters.at("c"), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentAddsSum) {
+  Registry reg;
+  reg.enable();
+  constexpr int kPerThread = 10000;
+  std::thread t1([&] { for (int i = 0; i < kPerThread; ++i) reg.add("n"); });
+  std::thread t2([&] { for (int i = 0; i < kPerThread; ++i) reg.add("n"); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(reg.snapshot().counters.at("n"),
+            static_cast<std::uint64_t>(2 * kPerThread));
+}
+
+TEST(MetricsRegistry, EpochIsMonotonic) {
+  const std::int64_t a = epochMicros();
+  const std::int64_t b = epochMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+// ---- sliq.run_report.v1 ----------------------------------------------------
+
+TEST(RunReport, JsonIsStableAndKeySorted) {
+  RunReport report;
+  report.engine = "exact";
+  report.qubits = 16;
+  report.metrics.counters["b.second"] = 2;
+  report.metrics.counters["a.first"] = 1;
+  report.metrics.gauges["z"] = 0.5;
+  report.metrics.timers["phase"] = TimerValue{0.125, 3};
+
+  const std::string json = report.toJson();
+  EXPECT_EQ(json, report.toJson());  // byte-stable for identical values
+  EXPECT_NE(json.find("\"schema\":\"sliq.run_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"engine\":\"exact\""), std::string::npos);
+  EXPECT_NE(json.find("\"qubits\":16"), std::string::npos);
+  // std::map serialization: a.first before b.second.
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+}
+
+TEST(RunReport, TextRenderingMentionsEveryMetric) {
+  RunReport report;
+  report.engine = "chp";
+  report.qubits = 4;
+  report.metrics.counters["gates.applied"] = 9;
+  report.metrics.gauges["threads.resolved"] = 2;
+  report.metrics.timers["engine.run"] = TimerValue{0.5, 1};
+  const std::string text = report.toText();
+  EXPECT_NE(text.find("gates.applied"), std::string::npos);
+  EXPECT_NE(text.find("threads.resolved"), std::string::npos);
+  EXPECT_NE(text.find("engine.run"), std::string::npos);
+}
+
+TEST(RunReport, FormatDoubleRoundTripsExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 12345.6789, 1e-17, 2.5e300}) {
+    const std::string s = formatDouble(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(RunReport, PinCommonSchemaKeysInsertsWithoutOverwriting) {
+  Snapshot snap;
+  snap.counters["gates.applied"] = 11;  // pre-existing value survives
+  pinCommonSchemaKeys(snap);
+  EXPECT_EQ(snap.counters.at("gates.applied"), 11u);
+  for (const char* key : {"gates.pre_fusion", "gates.post_fusion", "gc.runs",
+                          "cache.lookups", "cache.hits"})
+    EXPECT_EQ(snap.counters.at(key), 0u) << key;
+  for (const char* key :
+       {"threads.resolved", "rss.high_water_bytes", "state.bytes"})
+    EXPECT_EQ(snap.gauges.at(key), 0.0) << key;
+}
+
+// ---- Chrome trace export ---------------------------------------------------
+
+TEST(ChromeTrace, ExportsBalancedSpansAndInstants) {
+  Registry reg;
+  reg.enable(3);
+  { const ScopedSpan span(reg, "phase"); }
+  reg.instant("marker");
+
+  std::ostringstream os;
+  reg.writeChromeTrace(os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(trace.find("\"phase\""), std::string::npos);
+  EXPECT_NE(trace.find("\"marker\""), std::string::npos);
+  // The registry's logical track labels the events.
+  EXPECT_NE(trace.find("\"tid\":3"), std::string::npos);
+
+  // Count B and E occurrences: every span export is balanced.
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = trace.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++begins;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = trace.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++ends;
+    ++pos;
+  }
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(begins, 1u);
+}
+
+}  // namespace
+}  // namespace sliq::metrics

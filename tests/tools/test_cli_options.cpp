@@ -52,16 +52,44 @@ TEST(CliOptions, ThreadsValidWithAndWithoutNoise) {
 }
 
 TEST(CliOptions, NoiseRejectsIdealStateQueries) {
-  for (int which = 0; which < 4; ++which) {
+  for (int which = 0; which < 3; ++which) {
     Options opt = base();
     opt.noisePath = "model.txt";
     if (which == 0) opt.shots = 16;
     if (which == 1) opt.probs = true;
     if (which == 2) opt.amps = 2;
-    if (which == 3) opt.stats = true;
     const std::string error = validateOptions(opt);
     EXPECT_NE(error.find("--noise"), std::string::npos) << which << error;
   }
+}
+
+TEST(CliOptions, TelemetryComposesWithEveryMode) {
+  // --stats/--trace report on the run itself (not the ideal state), so
+  // unlike --shots/--probs/--amps they stay valid under --noise: the report
+  // aggregates the trajectory workers.
+  Options opt = base();
+  opt.stats = true;
+  opt.tracePath = "out.trace.json";
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.noisePath = "model.txt";
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.observablePath = "obs.txt";
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, StatsFormatMustBeTextOrJson) {
+  Options opt = base();
+  opt.stats = true;
+  opt.statsFormat = "json";
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.statsFormat = "text";
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.statsFormat = "xml";
+  const std::string error = validateOptions(opt);
+  EXPECT_NE(error.find("--stats"), std::string::npos) << error;
+  // The format of an unused --stats is irrelevant (default text anyway).
+  opt.stats = false;
+  EXPECT_EQ(validateOptions(opt), "");
 }
 
 TEST(CliOptions, ObservableRejectsShots) {

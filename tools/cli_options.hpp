@@ -19,6 +19,11 @@ struct Options {
   bool optimize = false;
   std::uint64_t seed = 1;
   bool stats = false;
+  /// --stats rendering: "text" (default) or "json" (the stable
+  /// sliq.run_report.v1 schema).
+  std::string statsFormat = "text";
+  /// --trace FILE: Chrome trace-event JSON output path ("" = off).
+  std::string tracePath;
   std::string noisePath;
   unsigned trajectories = 1000;
   bool trajectoriesGiven = false;
@@ -34,16 +39,23 @@ struct Options {
 ///    it fans trajectories across workers, otherwise it partitions the
 ///    single-circuit dense kernels (Engine::setExecutionThreads) — both
 ///    paths are thread-count deterministic.
-///  * --noise replaces the ideal-state queries (--shots/--probs/--amps/
-///    --stats) with the trajectory histogram — except --observable, whose
-///    noisy analogue (the trajectory-mean expectation) IS the --noise
-///    output.
+///  * --noise replaces the ideal-state queries (--shots/--probs/--amps)
+///    with the trajectory histogram — except --observable, whose noisy
+///    analogue (the trajectory-mean expectation) IS the --noise output.
+///    --stats and --trace are telemetry about the run itself, not state
+///    queries, so they compose with every mode (under --noise they report
+///    the trajectory-worker aggregate).
 ///  * --observable computes expectations analytically, so pairing it with
 ///    --shots is a category error: shot sampling estimates what
 ///    expectation() answers exactly (chi-squared tests pin the agreement).
+///  * --stats accepts only the text and json renderings.
 inline std::string validateOptions(const Options& opt) {
   if (opt.noisePath.empty() && opt.trajectoriesGiven) {
     return "--trajectories requires --noise";
+  }
+  if (opt.stats && opt.statsFormat != "text" && opt.statsFormat != "json") {
+    return "--stats format must be 'text' or 'json', got '" +
+           opt.statsFormat + "'";
   }
   if (!opt.observablePath.empty() && opt.shots > 0) {
     return "--observable computes expectations analytically; drop --shots "
@@ -51,9 +63,9 @@ inline std::string validateOptions(const Options& opt) {
            "estimator)";
   }
   if (!opt.noisePath.empty() &&
-      (opt.shots > 0 || opt.probs || opt.amps > 0 || opt.stats)) {
+      (opt.shots > 0 || opt.probs || opt.amps > 0)) {
     return "--noise replaces the ideal-state queries; drop "
-           "--shots/--probs/--amps/--stats (trajectory counts are the noisy "
+           "--shots/--probs/--amps (trajectory counts are the noisy "
            "analogue of shots, --observable the noisy analogue of "
            "expectations)";
   }

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""check_trace — validates Chrome trace-event JSON written by `sliqsim --trace`.
+
+Checks (per file):
+
+  C1 shape        Top-level object with a "traceEvents" list; every event is
+                  an object carrying string "name", "ph" in {B, E, i},
+                  integer "pid"/"tid" and a numeric non-negative "ts".
+  C2 balance      Per (pid, tid) track, B/E events nest LIFO with matching
+                  names and no E without an open B; no span left open at
+                  end of file.
+  C3 monotonic    Per track, timestamps never decrease in event order
+                  (spans from one registry are recorded chronologically).
+  C4 instants     Instant events carry the scope field "s" (chrome://tracing
+                  renders unscoped instants inconsistently).
+
+`--self-test` runs the linter against embedded good and bad traces and
+exits nonzero when any verdict is wrong — the static-analysis CI job runs
+this so the linter itself stays trustworthy.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "i"}
+
+
+def validate_events(data: object) -> list[str]:
+    """Returns a list of human-readable findings (empty = valid)."""
+    findings: list[str] = []
+    if not isinstance(data, dict):
+        return ["top level is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ['missing or non-list "traceEvents"']
+
+    # (pid, tid) -> open-span name stack / last timestamp.
+    stacks: dict[tuple[int, int], list[str]] = {}
+    last_ts: dict[tuple[int, int], float] = {}
+
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(event, dict):
+            findings.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        phase = event.get("ph")
+        ts = event.get("ts")
+        ok = True
+        if not isinstance(name, str) or not name:
+            findings.append(f"{where}: missing or empty name")
+            ok = False
+        if phase not in VALID_PHASES:
+            findings.append(f"{where}: bad phase {phase!r}")
+            ok = False
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                findings.append(f"{where}: missing integer {key}")
+                ok = False
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            findings.append(f"{where}: bad timestamp {ts!r}")
+            ok = False
+        if not ok:
+            continue
+
+        track = (event["pid"], event["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            findings.append(
+                f"{where}: timestamp {ts} decreases on track {track} "
+                f"(previous {last_ts[track]})")
+        last_ts[track] = ts
+
+        stack = stacks.setdefault(track, [])
+        if phase == "B":
+            stack.append(name)
+        elif phase == "E":
+            if not stack:
+                findings.append(f"{where}: E '{name}' with no open span "
+                                f"on track {track}")
+            elif stack[-1] != name:
+                findings.append(f"{where}: E '{name}' closes open span "
+                                f"'{stack[-1]}' on track {track}")
+            else:
+                stack.pop()
+        else:  # instant
+            if event.get("s") not in ("t", "p", "g"):
+                findings.append(f"{where}: instant '{name}' missing scope 's'")
+
+    for track, stack in stacks.items():
+        for name in stack:
+            findings.append(f"end of file: span '{name}' on track {track} "
+                            "never closed")
+    return findings
+
+
+def validate_file(path: str) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable or malformed JSON: {e}"]
+    return validate_events(data)
+
+
+# ---- self test --------------------------------------------------------------
+
+_GOOD = {
+    "traceEvents": [
+        {"name": "parse", "ph": "B", "pid": 1, "tid": 0, "ts": 0},
+        {"name": "parse", "ph": "E", "pid": 1, "tid": 0, "ts": 10},
+        {"name": "engine.run", "ph": "B", "pid": 1, "tid": 0, "ts": 11},
+        {"name": "gate_loop", "ph": "B", "pid": 1, "tid": 0, "ts": 12},
+        {"name": "bdd.gc", "ph": "i", "pid": 1, "tid": 0, "ts": 13, "s": "t"},
+        {"name": "gate_loop", "ph": "E", "pid": 1, "tid": 0, "ts": 14},
+        {"name": "engine.run", "ph": "E", "pid": 1, "tid": 0, "ts": 15},
+        # A worker track interleaves freely with the main track.
+        {"name": "trajectory.worker", "ph": "B", "pid": 1, "tid": 2, "ts": 3},
+        {"name": "trajectory.worker", "ph": "E", "pid": 1, "tid": 2, "ts": 9},
+    ],
+    "displayTimeUnit": "ms",
+}
+
+_BAD = [
+    # Unbalanced: span never closed.
+    {"traceEvents": [
+        {"name": "run", "ph": "B", "pid": 1, "tid": 0, "ts": 0}]},
+    # Cross-nested spans (E closes the wrong name).
+    {"traceEvents": [
+        {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 0},
+        {"name": "b", "ph": "B", "pid": 1, "tid": 0, "ts": 1},
+        {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 2},
+        {"name": "b", "ph": "E", "pid": 1, "tid": 0, "ts": 3}]},
+    # Time going backwards on one track.
+    {"traceEvents": [
+        {"name": "a", "ph": "B", "pid": 1, "tid": 0, "ts": 5},
+        {"name": "a", "ph": "E", "pid": 1, "tid": 0, "ts": 4}]},
+    # Instant without scope; unknown phase; missing tid; negative ts.
+    {"traceEvents": [
+        {"name": "gc", "ph": "i", "pid": 1, "tid": 0, "ts": 0}]},
+    {"traceEvents": [
+        {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 0}]},
+    {"traceEvents": [{"name": "x", "ph": "B", "pid": 1, "ts": 0}]},
+    {"traceEvents": [
+        {"name": "x", "ph": "i", "pid": 1, "tid": 0, "ts": -1, "s": "t"}]},
+    # Not a trace file at all.
+    {"events": []},
+    [],
+]
+
+
+def self_test() -> int:
+    failures = 0
+    good_findings = validate_events(_GOOD)
+    if good_findings:
+        failures += 1
+        print("self-test: good trace rejected:", file=sys.stderr)
+        for f in good_findings:
+            print(f"  {f}", file=sys.stderr)
+    for i, bad in enumerate(_BAD):
+        if not validate_events(bad):
+            failures += 1
+            print(f"self-test: bad trace {i} accepted", file=sys.stderr)
+    if failures:
+        print(f"self-test FAILED ({failures} wrong verdicts)", file=sys.stderr)
+        return 1
+    print(f"self-test ok (1 good, {len(_BAD)} bad traces)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="trace JSON files to check")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the linter against embedded traces")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    status = 0
+    for path in args.files:
+        findings = validate_file(path)
+        if findings:
+            status = 1
+            for f in findings:
+                print(f"{path}: {f}")
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,14 @@
 //   --modify-h                 apply the paper's H-modification (.real only)
 //   --optimize                 run the peephole optimizer before simulating
 //   --seed S                   RNG seed (default: 1)
-//   --stats                    print engine statistics
+//   --stats[=text|json]        print the per-run telemetry report (counters,
+//                              gauges, phase timings — the
+//                              sliq.run_report.v1 schema when json).
+//                              Telemetry never perturbs simulation: output
+//                              is bit-identical with or without it
+//   --trace FILE               write a Chrome trace-event JSON timeline
+//                              (spans + GC/memo instant events) to FILE;
+//                              load in chrome://tracing or Perfetto
 //   --observable FILE          Pauli-observable spec: print exact per-term
 //                              and total expectation values ⟨O⟩; with
 //                              --noise, print the trajectory-mean noisy
@@ -39,6 +46,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <limits>
@@ -53,6 +61,8 @@
 #include "noise/noise_model.hpp"
 #include "noise/trajectory.hpp"
 #include "support/bits.hpp"
+#include "support/memuse.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -65,9 +75,9 @@ int usage() {
             << sliq::EngineRegistry::instance().namesJoined()
             << "] [--shots N] "
                "[--probs] [--amps K] [--modify-h] [--optimize] [--seed S] "
-               "[--stats] [--observable FILE] [--noise FILE] "
-               "[--trajectories N] [--threads N] [--list-engines] "
-               "<circuit.qasm|circuit.real>\n";
+               "[--stats[=text|json]] [--trace FILE] [--observable FILE] "
+               "[--noise FILE] [--trajectories N] [--threads N] "
+               "[--list-engines] <circuit.qasm|circuit.real>\n";
   return 2;
 }
 
@@ -139,6 +149,35 @@ bool parseUnsigned(const char* flag, const char* text, unsigned* out) {
   return true;
 }
 
+/// Renders the requested telemetry: the --stats report to stdout and/or the
+/// --trace Chrome timeline to its file. Returns false only on a trace I/O
+/// failure (the caller exits nonzero).
+bool emitTelemetry(const Options& opt, const sliq::metrics::RunReport& report,
+                   const sliq::metrics::Registry& registry) {
+  if (opt.stats) {
+    if (opt.statsFormat == "json") {
+      std::cout << report.toJson() << "\n";
+    } else {
+      std::cout << report.toText();
+    }
+  }
+  if (!opt.tracePath.empty()) {
+    std::ofstream out(opt.tracePath);
+    if (!out) {
+      std::cerr << "error: cannot open --trace file '" << opt.tracePath
+                << "'\n";
+      return false;
+    }
+    registry.writeChromeTrace(out);
+    if (!out) {
+      std::cerr << "error: failed writing --trace file '" << opt.tracePath
+                << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +210,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      opt.stats = true;
+      opt.statsFormat = arg.substr(std::strlen("--stats="));
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::cerr << "error: --trace requires an output file path\n";
+        return 2;
+      }
+      opt.tracePath = v;
     } else if (arg == "--noise") {
       const char* v = next();
       if (v == nullptr || *v == '\0') {
@@ -212,14 +261,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Telemetry recorded before the engine exists (parse, optimize) lands in
+  // a CLI-local registry and is merged into the engine's afterwards — all
+  // registries share the process-global epoch, so the phases line up on one
+  // timeline.
+  const bool telemetry = opt.stats || !opt.tracePath.empty();
+  metrics::Registry cliMetrics;
+  if (telemetry) cliMetrics.enable();
+
   try {
     QuantumCircuit circuit(1);
-    if (endsWith(opt.path, ".real")) {
-      const RealProgram program = parseRealFile(opt.path);
-      circuit = opt.modifyH ? modifyWithHadamards(program)
-                            : instantiateOriginal(program, opt.seed);
-    } else {
-      circuit = parseQasmFile(opt.path);
+    {
+      const metrics::ScopedSpan span(cliMetrics, "parse");
+      if (endsWith(opt.path, ".real")) {
+        const RealProgram program = parseRealFile(opt.path);
+        circuit = opt.modifyH ? modifyWithHadamards(program)
+                              : instantiateOriginal(program, opt.seed);
+      } else {
+        circuit = parseQasmFile(opt.path);
+      }
     }
     std::cout << "loaded: " << circuit.summary() << "\n";
     // Rules that depend on whether the circuit is dynamic (mid-circuit
@@ -231,6 +291,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (opt.optimize) {
+      const metrics::ScopedSpan span(cliMetrics, "optimize");
       OptimizerReport report;
       circuit = optimizeCircuit(circuit, &report);
       std::cout << "optimized: " << report.gatesBefore << " -> "
@@ -240,6 +301,10 @@ int main(int argc, char** argv) {
     // The one code path for every engine: name -> registry -> facade.
     std::unique_ptr<Engine> engine =
         makeEngine(opt.engine, circuit.numQubits());
+    if (telemetry) {
+      engine->metrics().enable();
+      engine->metrics().merge(cliMetrics);
+    }
     if (opt.threadsGiven && opt.noisePath.empty()) {
       engine->setExecutionThreads(opt.threads);
     }
@@ -265,6 +330,7 @@ int main(int argc, char** argv) {
       traj.trajectories = opt.trajectories;
       traj.threads = opt.threads;
       traj.seed = opt.seed;
+      traj.metrics = telemetry ? &engine->metrics() : nullptr;
       if (!opt.observablePath.empty()) {
         // Noisy expectation: the trajectory-mean of engine-exact ⟨O⟩,
         // bit-identical for every --threads under a fixed --seed (printed
@@ -283,6 +349,10 @@ int main(int argc, char** argv) {
                   << (result.usedPauliFrameFastPath ? "pauli-frame fast path"
                                                     : "generic path")
                   << ", " << engine->name() << ")\n";
+        if (telemetry &&
+            !emitTelemetry(opt, engine->runMetrics(), engine->metrics())) {
+          return 1;
+        }
         return 0;
       }
       const noise::TrajectoryResult result =
@@ -297,6 +367,10 @@ int main(int argc, char** argv) {
                 << (result.usedPauliFrameFastPath ? "pauli-frame fast path"
                                                   : "generic path")
                 << ", " << engine->name() << ")\n";
+      if (telemetry &&
+          !emitTelemetry(opt, engine->runMetrics(), engine->metrics())) {
+        return 1;
+      }
       return 0;
     }
 
@@ -312,14 +386,37 @@ int main(int argc, char** argv) {
         for (unsigned s = 0; s < opt.shots; ++s) {
           const std::unique_ptr<Engine> shotEngine =
               makeEngine(opt.engine, circuit.numQubits());
+          if (telemetry) shotEngine->metrics().enable();
           const DynamicRun run = shotEngine->runDynamic(circuit, rng);
           std::cout << "shot " << s << ": " << bitsToString(run.creg)
                     << "\n";
+          if (telemetry) {
+            // Fold the shot engine's native totals into its registry, then
+            // aggregate: counters sum across shots, gauges high-water.
+            shotEngine->runMetrics();
+            engine->metrics().merge(shotEngine->metrics());
+          }
         }
         std::cout << "executed " << opt.shots
                   << " dynamic shots (classical register bits, per-shot "
                      "re-execution) in "
                   << timer.seconds() << " s (" << engine->name() << ")\n";
+        if (telemetry) {
+          // The facade `engine` never ran; calling its runMetrics() would
+          // overwrite the aggregated counters with its own (zero) native
+          // totals, so the report is assembled from the merged registry.
+          engine->metrics().gaugeSet(
+              "threads.resolved",
+              static_cast<double>(engine->resolvedExecutionThreads()));
+          engine->metrics().gaugeMax("rss.high_water_bytes",
+                                     static_cast<double>(peakRssBytes()));
+          metrics::RunReport report;
+          report.engine = engine->name();
+          report.qubits = circuit.numQubits();
+          report.metrics = engine->metrics().snapshot();
+          metrics::pinCommonSchemaKeys(report.metrics);
+          if (!emitTelemetry(opt, report, engine->metrics())) return 1;
+        }
         return 0;
       }
       const DynamicRun run = engine->runDynamic(circuit, rng);
@@ -362,6 +459,7 @@ int main(int argc, char** argv) {
       // distribution, ...) amortized across each chunk. Chunking keeps
       // memory bounded and the output streaming for huge shot counts.
       constexpr unsigned kChunk = 1u << 16;
+      const metrics::ScopedSpan span(engine->metrics(), "sampling");
       WallTimer shotTimer;
       double sampleSeconds = 0;
       for (unsigned done = 0; done < opt.shots;) {
@@ -378,9 +476,14 @@ int main(int argc, char** argv) {
       std::cout << "sampled " << opt.shots << " shots in " << sampleSeconds
                 << " s\n";
     }
-    if (opt.stats) {
+    if (telemetry) {
       const std::string stats = engine->statsSummary();
-      if (!stats.empty()) std::cout << stats << "\n";
+      if (opt.stats && opt.statsFormat == "text" && !stats.empty()) {
+        std::cout << stats << "\n";
+      }
+      if (!emitTelemetry(opt, engine->runMetrics(), engine->metrics())) {
+        return 1;
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
