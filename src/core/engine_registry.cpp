@@ -13,6 +13,7 @@
 #include "stabilizer/stabilizer.hpp"
 #include "statevector/statevector.hpp"
 #include "support/memuse.hpp"
+#include "support/serialize.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sliq {
@@ -49,7 +50,7 @@ class ExactEngine final : public Engine {
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true};
+            /*invariantAudit=*/true, /*serialization=*/true};
   }
   void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
@@ -66,6 +67,12 @@ class ExactEngine final : public Engine {
     // against the post-collapse Z[√2] weight.
     noteCollapsed();
     return sim_.reset(qubit, random);
+  }
+  void saveStatePayload(serialize::Writer& out) override {
+    sim_.saveStatePayload(out);
+  }
+  void loadStatePayload(serialize::Reader& in) override {
+    sim_.loadStatePayload(in);
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
@@ -195,7 +202,7 @@ class QmddEngine final : public Engine {
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true};
+            /*invariantAudit=*/true, /*serialization=*/true};
   }
   void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
   double probabilityOne(unsigned qubit) override {
@@ -210,6 +217,12 @@ class QmddEngine final : public Engine {
     // Weighted-descent collapse (renormalizing the root weight) + X.
     noteCollapsed();
     return sim_.reset(qubit, random);
+  }
+  void saveStatePayload(serialize::Writer& out) override {
+    sim_.saveStatePayload(out);
+  }
+  void loadStatePayload(serialize::Reader& in) override {
+    sim_.loadStatePayload(in);
   }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
@@ -313,12 +326,18 @@ class ChpEngine final : public Engine {
     // ever leaving the stabilizer formalism (the trajectory fast path).
     return {/*batchedSampling=*/false, /*noiseFastPath=*/true,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true};
+            /*invariantAudit=*/true, /*serialization=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return StabilizerSimulator::supports(c);
   }
   void applyGate(const Gate& gate) override { sim_.applyGate(gate); }
+  void saveStatePayload(serialize::Writer& out) override {
+    sim_.saveStatePayload(out);
+  }
+  void loadStatePayload(serialize::Reader& in) override {
+    sim_.loadStatePayload(in);
+  }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
   }
@@ -395,12 +414,20 @@ class StatevectorEngine final : public Engine {
   EngineCapabilities capabilities() const override {
     return {/*batchedSampling=*/true, /*noiseFastPath=*/false,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true};
+            /*invariantAudit=*/true, /*serialization=*/true};
   }
   bool supports(const QuantumCircuit& c) const override {
     return c.numQubits() <= kMaxQubits && n_ <= kMaxQubits;
   }
   void applyGate(const Gate& gate) override { sim().applyGate(gate); }
+  // sim() forces the lazy allocation: loading INTO a never-used engine is
+  // the checkpoint-restore path, and saving pays the allocation anyway.
+  void saveStatePayload(serialize::Writer& out) override {
+    sim().saveStatePayload(out);
+  }
+  void loadStatePayload(serialize::Reader& in) override {
+    sim().loadStatePayload(in);
+  }
   double probabilityOne(unsigned qubit) override {
     return sim().probabilityOne(qubit);
   }
@@ -548,6 +575,57 @@ void Engine::run(const QuantumCircuit& circuit) {
   maybeAudit();  // SLIQ_AUDIT builds validate the representation post-run
 }
 
+// ---- facade: state serialization (DESIGN.md §12) -------------------------
+
+void Engine::saveStatePayload(serialize::Writer& out) {
+  (void)out;
+  throw std::logic_error("engine '" + name() +
+                         "' does not support state serialization "
+                         "(capabilities().serialization is false)");
+}
+
+void Engine::loadStatePayload(serialize::Reader& in) {
+  (void)in;
+  throw std::logic_error("engine '" + name() +
+                         "' does not support state serialization "
+                         "(capabilities().serialization is false)");
+}
+
+void Engine::saveState(std::ostream& out) {
+  const metrics::ScopedSpan span(metrics_, "state.save");
+  serialize::Writer payload;
+  saveStatePayload(payload);
+  serialize::writeSnapshot(out, name(), numQubits(), payload.data());
+}
+
+void Engine::loadState(std::istream& in) {
+  const metrics::ScopedSpan span(metrics_, "state.load");
+  // Envelope + checksum validation happens entirely before the payload is
+  // interpreted; representation/width mismatches are rejected here so the
+  // payload hooks only ever see a snapshot of their own engine.
+  serialize::Snapshot snap = serialize::readSnapshot(in);
+  if (snap.info.representation != name()) {
+    throw serialize::SerializationError(
+        "snapshot holds a '" + snap.info.representation +
+        "' state but this engine is '" + name() +
+        "' (field 'representation')");
+  }
+  if (snap.info.numQubits != numQubits()) {
+    throw serialize::SerializationError(
+        "snapshot is " + std::to_string(snap.info.numQubits) +
+        " qubit(s) wide but this engine is " + std::to_string(numQubits()) +
+        " (field 'numQubits')");
+  }
+  serialize::Reader payload(snap.payload, snap.info.payloadOffset);
+  loadStatePayload(payload);
+  payload.requireExhausted(name().c_str());
+  // The loaded state is a NEW reference state: re-arm the sampling /
+  // expectation collapse restriction (MeasurementContext memos and batch
+  // samplers re-key off the representation's own state version).
+  collapsed_ = false;
+  maybeAudit();  // SLIQ_AUDIT: validate every successfully loaded state
+}
+
 void Engine::setExecutionThreads(unsigned threads) {
   // Resolve the 0 auto sentinel HERE so every downstream consumer — the
   // engines, the run report's threads.resolved gauge, the bench
@@ -647,22 +725,22 @@ EngineRegistry& EngineRegistry::instance() {
            [](unsigned n) { return std::make_unique<ExactEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true});
+            /*invariantAudit=*/true, /*serialization=*/true});
     r->add("qmdd", "QMDD baseline, our DDSIM reimplementation",
            [](unsigned n) { return std::make_unique<QmddEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true});
+            /*invariantAudit=*/true, /*serialization=*/true});
     r->add("chp", "CHP stabilizer tableau (Clifford circuits only)",
            [](unsigned n) { return std::make_unique<ChpEngine>(n); },
            {/*batchedSampling=*/false, /*noiseFastPath=*/true,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true});
+            /*invariantAudit=*/true, /*serialization=*/true});
     r->add("statevector", "dense 2^n array simulator (ground truth, n <= 26)",
            [](unsigned n) { return std::make_unique<StatevectorEngine>(n); },
            {/*batchedSampling=*/true, /*noiseFastPath=*/false,
             /*nativeExpectation=*/true, /*dynamicCircuits=*/true,
-            /*invariantAudit=*/true});
+            /*invariantAudit=*/true, /*serialization=*/true});
     return r;
   }();
   return *registry;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -20,6 +21,11 @@
 #include "circuit/circuit.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
+
+namespace sliq::serialize {
+class Writer;  // support/serialize.hpp
+class Reader;
+}  // namespace sliq::serialize
 
 namespace sliq {
 
@@ -60,6 +66,12 @@ struct EngineCapabilities {
   /// symplectic checks, norm scans — DESIGN.md §10). Engines without one
   /// keep the facade's no-op, and SLIQ_AUDIT builds audit nothing there.
   bool invariantAudit = false;
+  /// saveState()/loadState() are implemented natively: the engine's
+  /// representation round-trips through the versioned `sliq.state.v1`
+  /// binary snapshot format (support/serialize.hpp, DESIGN.md §12) with
+  /// bit-identical post-load query/sampling/expectation results. Engines
+  /// without the flag throw std::logic_error from both entry points.
+  bool serialization = false;
 };
 
 /// Result of one dynamic-circuit execution (Engine::runDynamic).
@@ -230,6 +242,27 @@ class Engine {
   /// bytes. Idempotent: native totals are absolute mirrors, not deltas.
   metrics::RunReport runMetrics();
 
+  // ---- state serialization (DESIGN.md §12) --------------------------------
+  /// Serializes the engine's current state as one `sliq.state.v1` snapshot
+  /// (envelope + engine-native payload) to `out`. Only meaningful for
+  /// engines with capabilities().serialization — others throw
+  /// std::logic_error. Does not mutate the state; records a `state.save`
+  /// span into metrics(). Throws serialize::SerializationError on stream
+  /// failure.
+  void saveState(std::ostream& out);
+  /// Replaces the engine's state with the snapshot read from `in`. The
+  /// envelope must match this engine (representation name, qubit count,
+  /// format version <= supported) and pass its checksum; any violation —
+  /// including truncation or byte corruption anywhere in the file — throws
+  /// serialize::SerializationError naming the offending field and byte
+  /// offset, leaving the previous state intact (payloads are parsed into
+  /// locals and swapped in only on success). A successful load re-arms the
+  /// sampling/expectation collapse restriction (the loaded state is a new
+  /// reference state, exactly like runDynamic's post-state) and, under
+  /// -DSLIQ_AUDIT, runs the full structural audit on the loaded state.
+  /// Records a `state.load` span into metrics().
+  void loadState(std::istream& in);
+
   /// The paper's 'error' column: true when the engine's normalization
   /// invariant has drifted beyond its engine-specific tolerance.
   virtual bool numericalError() { return false; }
@@ -282,6 +315,17 @@ class Engine {
   /// double-count). The base contributes nothing; every built-in engine
   /// overrides it.
   virtual void fillRunReport() {}
+
+  /// saveState() body: append the engine-native payload (everything inside
+  /// the envelope) to `out`. The facade owns the envelope + checksum.
+  /// The default throws std::logic_error (capabilities().serialization
+  /// tells callers ahead of time).
+  virtual void saveStatePayload(serialize::Writer& out);
+  /// loadState() body: parse the checksum-verified payload from `in` and
+  /// swap the decoded state in. MUST parse into locals first so a throw
+  /// leaves the engine untouched; the facade rejects envelope mismatches
+  /// (representation/width/version/checksum) before calling this.
+  virtual void loadStatePayload(serialize::Reader& in);
 
   /// expectation() body, called after the facade has checked the collapse
   /// restriction and the observable's width. The base implementation is the

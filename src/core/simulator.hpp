@@ -26,6 +26,11 @@
 #include "circuit/circuit.hpp"
 #include "support/rng.hpp"
 
+namespace sliq::serialize {
+class Writer;
+class Reader;
+}  // namespace sliq::serialize
+
 namespace sliq {
 
 class MeasurementContext;
@@ -138,6 +143,17 @@ class SliqSimulator {
   bdd::Bdd monolithicForInspection() { return monolithic(); }
 
   bool isSymbolic() const { return symbolic_; }
+
+  // ---- snapshots (support/serialize.hpp; DESIGN.md §12) -------------------
+  /// Serializes the bit-sliced state: (n, r, k) scalars plus the shared
+  /// 4·r slice BDDs in one children-first node listing (state_io.cpp).
+  /// Unavailable in symbolic mode.
+  void saveStatePayload(serialize::Writer& out);
+  /// Rebuilds the state from a saveStatePayload stream through the public
+  /// ITE interface (canonical by construction). Validates every node record
+  /// before committing; throws serialize::SerializationError on corrupt
+  /// input with the state unchanged.
+  void loadStatePayload(serialize::Reader& in);
 
   /// Deep structural audit (DESIGN.md §10): the full BDD-package audit
   /// (unique-table canonicity, refcount recount, freelist integrity) plus

@@ -1,0 +1,162 @@
+// Snapshot payload of the exact bit-sliced engine (DESIGN.md §12).
+//
+// Payload layout (`sliq.state.v1`, representation "exact"):
+//
+//   u32 numQubits        must match the receiving simulator
+//   u32 bitWidth         r — slices per vector
+//   i64 kScalar          the shared √2 exponent of Eq. 5
+//   u64 nodeCount        decision nodes shared across all 4·r slices
+//   nodeCount × record   children-first: (u32 var, u32 hiRef, u32 loRef)
+//   4·r × u32            root refs, vector-major (a slices, b, c, d)
+//
+// A ref is (localId << 1) | complementBit; localId 0 is the ONE terminal,
+// record i defines localId i+1, and a record may only reference earlier
+// localIds — so the loader rebuilds bottom-up through the public ITE
+// interface and lands on the canonical unique-table nodes by construction.
+// Every rebuilt node is pinned by a Bdd handle for the whole load, which
+// keeps the in-progress cone safe across ITE-triggered garbage collections.
+#include <unordered_map>
+#include <utility>
+
+#include "core/simulator.hpp"
+#include "support/serialize.hpp"
+
+namespace sliq {
+
+namespace {
+
+/// Local-id encoding of one stored edge (complement bit preserved).
+std::uint32_t refOf(bdd::Edge e,
+                    const std::unordered_map<std::uint32_t, std::uint32_t>&
+                        localIds) {
+  return (localIds.at(e.index()) << 1) |
+         static_cast<std::uint32_t>(e.complemented());
+}
+
+}  // namespace
+
+void SliqSimulator::saveStatePayload(serialize::Writer& out) {
+  if (symbolic_) {
+    throw serialize::SerializationError(
+        "symbolic-mode states (equivalence checking) cannot be snapshotted");
+  }
+  out.u32(n_);
+  out.u32(r_);
+  out.i64(k_);
+
+  // Children-first walk over the union of all slice cones. Traversal is by
+  // node index (complement bits do not change the cone), reading the STORED
+  // children via a non-complemented view edge so the emitted records match
+  // the unique-table contents exactly.
+  std::unordered_map<std::uint32_t, std::uint32_t> localIds;
+  localIds.emplace(0, 0);  // the ONE terminal
+  std::vector<std::uint32_t> order;  // node indices, children first
+  std::vector<std::pair<std::uint32_t, bool>> stack;
+  for (const Slices& slices : vec_) {
+    for (const bdd::Bdd& slice : slices) {
+      if (!bdd::isConstant(slice.edge())) {
+        stack.emplace_back(slice.edge().index(), false);
+      }
+      while (!stack.empty()) {
+        auto [idx, expanded] = stack.back();
+        stack.pop_back();
+        if (localIds.count(idx) != 0) continue;
+        const bdd::Edge view = bdd::Edge::make(idx, false);
+        if (expanded) {
+          localIds.emplace(idx,
+                           static_cast<std::uint32_t>(localIds.size()));
+          order.push_back(idx);
+          continue;
+        }
+        stack.emplace_back(idx, true);
+        for (const bdd::Edge child :
+             {mgr_.thenEdge(view), mgr_.elseEdge(view)}) {
+          if (!bdd::isConstant(child) && localIds.count(child.index()) == 0) {
+            stack.emplace_back(child.index(), false);
+          }
+        }
+      }
+    }
+  }
+
+  out.u64(order.size());
+  for (const std::uint32_t idx : order) {
+    const bdd::Edge view = bdd::Edge::make(idx, false);
+    out.u32(mgr_.edgeVar(view));
+    out.u32(refOf(mgr_.thenEdge(view), localIds));
+    out.u32(refOf(mgr_.elseEdge(view), localIds));
+  }
+  for (const Slices& slices : vec_) {
+    for (const bdd::Bdd& slice : slices) {
+      out.u32(refOf(slice.edge(), localIds));
+    }
+  }
+}
+
+void SliqSimulator::loadStatePayload(serialize::Reader& in) {
+  if (symbolic_) {
+    throw serialize::SerializationError(
+        "symbolic-mode states (equivalence checking) cannot load snapshots");
+  }
+  const std::uint32_t n = in.u32("exact.numQubits");
+  if (n != n_) {
+    throw serialize::SerializationError(
+        "snapshot field 'exact.numQubits': payload says " +
+        std::to_string(n) + " qubit(s) but the simulator has " +
+        std::to_string(n_));
+  }
+  const std::uint32_t r = in.u32("exact.bitWidth");
+  if (r == 0) {
+    throw serialize::SerializationError(
+        "snapshot field 'exact.bitWidth' at byte offset " +
+        std::to_string(in.offset()) + ": bit width 0 is invalid");
+  }
+  const std::int64_t k = in.i64("exact.kScalar");
+  const std::uint64_t nodeCount = in.u64("exact.nodeCount");
+
+  // Rebuild bottom-up; `built[localId]` pins every node with a handle so
+  // GC during later ITE calls cannot reclaim the in-progress cone.
+  std::vector<bdd::Bdd> built;
+  built.emplace_back(&mgr_, bdd::kTrueEdge);  // localId 0: terminal
+  const auto resolve = [&](std::uint32_t ref, const char* field) {
+    const std::uint32_t id = ref >> 1;
+    if (id >= built.size()) {
+      throw serialize::SerializationError(
+          "snapshot field '" + std::string(field) + "' at byte offset " +
+          std::to_string(in.offset()) + ": ref " + std::to_string(id) +
+          " points past the " + std::to_string(built.size()) +
+          " node(s) defined so far (children must precede parents)");
+    }
+    return (ref & 1u) != 0 ? ~built[id] : built[id];
+  };
+  for (std::uint64_t i = 0; i < nodeCount; ++i) {
+    const std::uint32_t var = in.u32("exact.node.var");
+    if (var >= n_) {
+      throw serialize::SerializationError(
+          "snapshot field 'exact.node.var' at byte offset " +
+          std::to_string(in.offset()) + ": variable " + std::to_string(var) +
+          " out of range for " + std::to_string(n_) + " qubit(s)");
+    }
+    const bdd::Bdd hi = resolve(in.u32("exact.node.hi"), "exact.node.hi");
+    const bdd::Bdd lo = resolve(in.u32("exact.node.lo"), "exact.node.lo");
+    built.push_back(bdd::makeVar(mgr_, var).ite(hi, lo));
+  }
+
+  std::array<Slices, 4> vec;
+  for (Slices& slices : vec) {
+    slices.reserve(r);
+    for (std::uint32_t bit = 0; bit < r; ++bit) {
+      slices.push_back(resolve(in.u32("exact.root"), "exact.root"));
+    }
+  }
+
+  // All parsed and validated — commit atomically.
+  vec_ = std::move(vec);
+  r_ = r;
+  k_ = k;
+  if (r_ > stats_.maxBitWidth) stats_.maxBitWidth = r_;
+  invalidateMonolithic();
+  mgr_.garbageCollect();  // drop the replaced state's cones now
+}
+
+}  // namespace sliq

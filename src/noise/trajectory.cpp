@@ -249,6 +249,10 @@ struct RunContext {
   const NoiseModel& model;
   const NoisePlan& plan;
   unsigned trajectories;
+  /// Global index of trajectory 0 (TrajectoryOptions::firstTrajectory):
+  /// substream selection uses firstTrajectory + t so shard runs reproduce
+  /// the monolithic run's deviates slice for slice.
+  unsigned firstTrajectory;
   RngState root;
 };
 
@@ -261,7 +265,7 @@ void runGenericWorker(const RunContext& run, std::atomic<unsigned>& next,
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
     if (reg != nullptr) reg->add("trajectories.executed");
-    Rng rng = run.root.split(t).rng();
+    Rng rng = run.root.split(run.firstTrajectory + t).rng();
     const QuantumCircuit realization =
         realizationFromPlan(run.circuit, run.plan, rng);
     const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
@@ -288,7 +292,7 @@ void runDynamicWorker(const RunContext& run, std::atomic<unsigned>& next,
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
     if (reg != nullptr) reg->add("trajectories.executed");
-    Rng rng = run.root.split(t).rng();
+    Rng rng = run.root.split(run.firstTrajectory + t).rng();
     const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
     DynamicInstrument instrument;
     instrument.afterOp = [&run, &rng](Engine& e, std::size_t i) {
@@ -331,7 +335,7 @@ void runFrameWorker(const RunContext& run, std::atomic<unsigned>& next,
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
     if (reg != nullptr) reg->add("trajectories.executed");
-    Rng rng = run.root.split(t).rng();
+    Rng rng = run.root.split(run.firstTrajectory + t).rng();
     PauliFrame frame(n);
     for (std::size_t i = 0; i < run.circuit.gateCount(); ++i) {
       frame.propagateThrough(run.circuit.gate(i));
@@ -400,8 +404,13 @@ TrajectoryResult runChecked(const std::string& engineName,
   result.threadsUsed = std::max(1u, threads);
 
   const NoisePlan plan = buildNoisePlan(model, circuit);
-  const RunContext run{engineName,          circuit, model, plan,
-                       options.trajectories, RngState{options.seed}};
+  const RunContext run{engineName,
+                       circuit,
+                       model,
+                       plan,
+                       options.trajectories,
+                       options.firstTrajectory,
+                       RngState{options.seed}};
   std::atomic<unsigned> next{0};
   std::vector<Counts> locals(result.threadsUsed);
 
@@ -486,6 +495,8 @@ struct ExpectationRunContext {
   /// no readout deviates are drawn.
   const std::vector<double>& readoutFactors;
   unsigned trajectories;
+  /// Global index of trajectory 0 — same substream contract as RunContext.
+  unsigned firstTrajectory;
   RngState root;
 };
 
@@ -515,7 +526,7 @@ void runExpectationGenericWorker(const ExpectationRunContext& run,
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
     if (reg != nullptr) reg->add("trajectories.executed");
-    Rng rng = run.root.split(t).rng();
+    Rng rng = run.root.split(run.firstTrajectory + t).rng();
     const QuantumCircuit realization =
         realizationFromPlan(run.circuit, run.plan, rng);
     const std::unique_ptr<Engine> engine = makeEngine(run.engineName, n);
@@ -552,7 +563,7 @@ void runExpectationFrameWorker(const ExpectationRunContext& run,
     const unsigned t = next.fetch_add(1, std::memory_order_relaxed);
     if (t >= run.trajectories) return;
     if (reg != nullptr) reg->add("trajectories.executed");
-    Rng rng = run.root.split(t).rng();
+    Rng rng = run.root.split(run.firstTrajectory + t).rng();
     PauliFrame frame(n);
     for (std::size_t i = 0; i < run.circuit.gateCount(); ++i) {
       frame.propagateThrough(run.circuit.gate(i));
@@ -611,10 +622,15 @@ ExpectationResult runExpectationChecked(const std::string& engineName,
     singles.push_back(singleStringObservable(term));
   const std::vector<double> readoutFactors =
       readoutAttenuation(model, observable);
-  const ExpectationRunContext run{engineName,          circuit,
-                                  plan,                observable,
-                                  singles,             readoutFactors,
-                                  options.trajectories, RngState{options.seed}};
+  const ExpectationRunContext run{engineName,
+                                  circuit,
+                                  plan,
+                                  observable,
+                                  singles,
+                                  readoutFactors,
+                                  options.trajectories,
+                                  options.firstTrajectory,
+                                  RngState{options.seed}};
   std::atomic<unsigned> next{0};
   // Indexed by trajectory: workers write disjoint slots, and the final
   // reduction walks the indices in order — the float sums are therefore

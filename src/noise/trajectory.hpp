@@ -46,6 +46,13 @@ namespace sliq::noise {
 
 struct TrajectoryOptions {
   unsigned trajectories = 1000;
+  /// Global index of the first trajectory: trajectory i of this run
+  /// consumes substream split(firstTrajectory + i). Shard runs covering
+  /// disjoint [offset, offset+count) ranges under one seed therefore draw
+  /// exactly the deviates of the corresponding slice of a monolithic run,
+  /// and their count histograms merge additively to the monolithic result
+  /// bit for bit (the CLI's --traj-offset / --merge-counts contract).
+  unsigned firstTrajectory = 0;
   /// Worker threads; 0 auto-detects hardware concurrency. Results never
   /// depend on this value.
   unsigned threads = 1;

@@ -131,6 +131,9 @@ class QmddManager {
   /// Roots registered here survive garbage collection.
   void setRoot(VEdge root) { root_ = root; }
   VEdge root() const { return root_; }
+  /// Read-only node access (valid while the node is live) — used by the
+  /// snapshot writer to walk the registered root's cone.
+  const VNode& vnode(NodeId id) const { return vNodes_[id]; }
   void garbageCollect();
   /// Collects when the node count exceeds the adaptive threshold. Call only
   /// between operations (matrix DDs do not survive collection).

@@ -1,9 +1,12 @@
 #include "qmdd/qmdd_sim.hpp"
 
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
 #include "circuit/optimizer.hpp"
 #include "support/assert.hpp"
+#include "support/serialize.hpp"
 
 namespace sliq::qmdd {
 
@@ -186,6 +189,146 @@ double QmddSimulator::expectationPauli(
 
 bool QmddSimulator::isNormalized(double tolerance) {
   return std::abs(totalProbability() - 1.0) <= tolerance;
+}
+
+// ---- snapshots (DESIGN.md §12) ---------------------------------------------
+//
+// Payload layout (`sliq.state.v1`, representation "qmdd"):
+//
+//   u32 numQubits        must match the receiving simulator
+//   u64 nodeCount        vector nodes reachable from the registered root
+//   nodeCount × record   children-first:
+//                          u32 level,
+//                          2 × (u32 ref, f64 re, f64 im)   |0⟩/|1⟩ cofactors
+//   root record          u32 ref, f64 re, f64 im
+//
+// A ref is 0xffffffff for the terminal, otherwise the (0-based) index of an
+// earlier record. Weights travel as explicit doubles — re-interning them
+// into the loader's ComplexTable reproduces the same entries bit for bit
+// because the audit guarantees table entries sit pairwise farther apart
+// than the intern tolerance.
+
+void QmddSimulator::saveStatePayload(serialize::Writer& out) {
+  out.u32(n_);
+
+  // Children-first walk of the root cone (levels strictly decrease, so an
+  // explicit stack with an expansion flag suffices).
+  std::unordered_map<NodeId, std::uint32_t> localIds;
+  std::vector<NodeId> order;
+  std::vector<std::pair<NodeId, bool>> stack;
+  if (mgr_.root().node != kTerminal) stack.emplace_back(mgr_.root().node, false);
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (localIds.count(id) != 0) continue;
+    if (expanded) {
+      localIds.emplace(id, static_cast<std::uint32_t>(order.size()));
+      order.push_back(id);
+      continue;
+    }
+    stack.emplace_back(id, true);
+    const VNode& node = mgr_.vnode(id);
+    for (const VEdge& child : node.e) {
+      if (child.node != kTerminal && localIds.count(child.node) == 0) {
+        stack.emplace_back(child.node, false);
+      }
+    }
+  }
+
+  const ComplexTable& ct = mgr_.complexTable();
+  const auto writeEdge = [&](const VEdge& e) {
+    out.u32(e.node == kTerminal ? kTerminal : localIds.at(e.node));
+    const Complex w = ct.value(e.w);
+    out.f64(w.real());
+    out.f64(w.imag());
+  };
+  out.u64(order.size());
+  for (const NodeId id : order) {
+    const VNode& node = mgr_.vnode(id);
+    out.u32(static_cast<std::uint32_t>(node.level));
+    writeEdge(node.e[0]);
+    writeEdge(node.e[1]);
+  }
+  writeEdge(mgr_.root());
+}
+
+void QmddSimulator::loadStatePayload(serialize::Reader& in) {
+  const std::uint32_t n = in.u32("qmdd.numQubits");
+  if (n != n_) {
+    throw serialize::SerializationError(
+        "snapshot field 'qmdd.numQubits': payload says " + std::to_string(n) +
+        " qubit(s) but the simulator has " + std::to_string(n_));
+  }
+  const std::uint64_t nodeCount = in.u64("qmdd.nodeCount");
+
+  // Rebuild bottom-up through makeVNode: saved child weights compose with
+  // the built child's own top weight (exactly 1 for a normalized snapshot),
+  // and makeVNode re-derives the normalization — so a corrupt file can at
+  // worst produce a *valid* diagram of the wrong state, which the checksum
+  // has already ruled out. Nothing touches the registered root until the
+  // final setRoot, so a throw mid-way leaves the state unchanged (the
+  // orphaned nodes are swept by the next collection).
+  ComplexTable& ct = mgr_.complexTable();
+  std::vector<VEdge> built;
+  std::vector<std::int32_t> levels;
+  const auto readEdge = [&](std::int32_t parentLevel, const char* field) {
+    const std::uint32_t ref = in.u32(field);
+    const double re = in.f64(field);
+    const double im = in.f64(field);
+    const CIndex w = ct.lookup(Complex(re, im));
+    if (ref == kTerminal) {
+      // Zero-weight edges point at the terminal from any level; nonzero
+      // edges only from level 0 (the audit's full-depth invariant).
+      if (parentLevel != 0 && !ct.isZero(w)) {
+        throw serialize::SerializationError(
+            "snapshot field '" + std::string(field) + "' at byte offset " +
+            std::to_string(in.offset()) +
+            ": nonzero-weight terminal child under level " +
+            std::to_string(parentLevel) + " breaks the full-depth invariant");
+      }
+      return VEdge{kTerminal, w};
+    }
+    if (ct.isZero(w)) {
+      throw serialize::SerializationError(
+          "snapshot field '" + std::string(field) + "' at byte offset " +
+          std::to_string(in.offset()) +
+          ": zero-weight child must point at the terminal, not node record " +
+          std::to_string(ref));
+    }
+    if (ref >= built.size()) {
+      throw serialize::SerializationError(
+          "snapshot field '" + std::string(field) + "' at byte offset " +
+          std::to_string(in.offset()) + ": ref " + std::to_string(ref) +
+          " points past the " + std::to_string(built.size()) +
+          " node(s) defined so far (children must precede parents)");
+    }
+    if (levels[ref] != parentLevel - 1) {
+      throw serialize::SerializationError(
+          "snapshot field '" + std::string(field) + "' at byte offset " +
+          std::to_string(in.offset()) + ": child at level " +
+          std::to_string(levels[ref]) + " under level " +
+          std::to_string(parentLevel) + " breaks the full-depth invariant");
+    }
+    return VEdge{built[ref].node, ct.mul(w, built[ref].w)};
+  };
+  for (std::uint64_t i = 0; i < nodeCount; ++i) {
+    const std::uint32_t level = in.u32("qmdd.node.level");
+    if (level >= n_) {
+      throw serialize::SerializationError(
+          "snapshot field 'qmdd.node.level' at byte offset " +
+          std::to_string(in.offset()) + ": level " + std::to_string(level) +
+          " out of range for " + std::to_string(n_) + " qubit(s)");
+    }
+    const auto l = static_cast<std::int32_t>(level);
+    const VEdge e0 = readEdge(l, "qmdd.node.e0");
+    const VEdge e1 = readEdge(l, "qmdd.node.e1");
+    built.push_back(mgr_.makeVNode(l, e0, e1));
+    levels.push_back(l);
+  }
+  const VEdge root = readEdge(static_cast<std::int32_t>(n_), "qmdd.root");
+
+  mgr_.setRoot(root);
+  mgr_.gcIfNeeded();
 }
 
 }  // namespace sliq::qmdd

@@ -16,6 +16,11 @@ namespace sliq {
 struct FusedOp;  // circuit/optimizer.hpp
 }
 
+namespace sliq::serialize {
+class Writer;
+class Reader;
+}  // namespace sliq::serialize
+
 namespace sliq::qmdd {
 
 class QmddSimulator {
@@ -77,6 +82,18 @@ class QmddSimulator {
   std::size_t complexTableSize() const { return mgr_.complexTableSize(); }
   /// Observability hook: forwarded to the manager (GC instants).
   void setMetrics(metrics::Registry* registry) { mgr_.setMetrics(registry); }
+
+  // ---- snapshots (support/serialize.hpp; DESIGN.md §12) -------------------
+  /// Serializes the state DD: a children-first node listing with explicit
+  /// (re, im) edge weights — weights travel as doubles, not table indices,
+  /// so the snapshot is independent of this manager's ComplexTable layout.
+  void saveStatePayload(serialize::Writer& out);
+  /// Rebuilds the state DD via makeVNode (weights re-interned into this
+  /// manager's ComplexTable, normalization re-derived). Validates levels /
+  /// child references before committing; throws
+  /// serialize::SerializationError on corrupt input with the state
+  /// unchanged.
+  void loadStatePayload(serialize::Reader& in);
 
   /// Deep structural audit of the DD package state (DESIGN.md §10),
   /// including the registered root's full-depth check against this

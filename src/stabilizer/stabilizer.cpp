@@ -1,9 +1,11 @@
 #include "stabilizer/stabilizer.hpp"
 
 #include <string>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/audit.hpp"
+#include "support/serialize.hpp"
 
 namespace sliq {
 
@@ -345,6 +347,69 @@ std::vector<bool> StabilizerSimulator::sampleAll(Rng& rng) const {
   for (unsigned q = 0; q < n_; ++q)
     bits[q] = snapshot.measure(q, rng.uniform());
   return bits;
+}
+
+// ---- snapshots (DESIGN.md §12) ---------------------------------------------
+//
+// Payload layout (`sliq.state.v1`, representation "chp"):
+//
+//   u32 numQubits        must match the receiving simulator
+//   u32 words            packed 64-bit words per x/z vector: ⌈n/64⌉
+//   (2n+1) × row         destabilizers 0..n-1, stabilizers n..2n-1, scratch:
+//                          words × u64 (x), words × u64 (z), u8 phase
+
+void StabilizerSimulator::saveStatePayload(serialize::Writer& out) {
+  out.u32(n_);
+  out.u32(words_);
+  for (const Row& row : rows_) {
+    for (const std::uint64_t w : row.x) out.u64(w);
+    for (const std::uint64_t w : row.z) out.u64(w);
+    out.u8(row.phase ? 1 : 0);
+  }
+}
+
+void StabilizerSimulator::loadStatePayload(serialize::Reader& in) {
+  const std::uint32_t n = in.u32("chp.numQubits");
+  if (n != n_) {
+    throw serialize::SerializationError(
+        "snapshot field 'chp.numQubits': payload says " + std::to_string(n) +
+        " qubit(s) but the simulator has " + std::to_string(n_));
+  }
+  const std::uint32_t words = in.u32("chp.words");
+  if (words != words_) {
+    throw serialize::SerializationError(
+        "snapshot field 'chp.words': payload says " + std::to_string(words) +
+        " word(s) per row but " + std::to_string(n_) + " qubit(s) need " +
+        std::to_string(words_));
+  }
+  // Bits above qubit n-1 in the top word must be clear — the packed-word
+  // kernels (and the audit) rely on it.
+  const std::uint64_t strayMask =
+      (n_ % 64 == 0) ? 0 : ~((std::uint64_t{1} << (n_ % 64)) - 1);
+
+  std::vector<Row> rows(2 * static_cast<std::size_t>(n_) + 1);
+  for (Row& row : rows) {
+    row.x.resize(words_);
+    row.z.resize(words_);
+    for (std::uint64_t& w : row.x) w = in.u64("chp.row.x");
+    for (std::uint64_t& w : row.z) w = in.u64("chp.row.z");
+    if (words_ > 0 && ((row.x[words_ - 1] & strayMask) != 0 ||
+                       (row.z[words_ - 1] & strayMask) != 0)) {
+      throw serialize::SerializationError(
+          "snapshot field 'chp.row' at byte offset " +
+          std::to_string(in.offset()) + ": stray bits beyond qubit " +
+          std::to_string(n_ - 1) + " in the top packed word");
+    }
+    const std::uint8_t phase = in.u8("chp.row.phase");
+    if (phase > 1) {
+      throw serialize::SerializationError(
+          "snapshot field 'chp.row.phase' at byte offset " +
+          std::to_string(in.offset()) + ": phase byte " +
+          std::to_string(phase) + " is not 0 or 1");
+    }
+    row.phase = phase != 0;
+  }
+  rows_ = std::move(rows);  // all parsed and validated — commit atomically
 }
 
 }  // namespace sliq

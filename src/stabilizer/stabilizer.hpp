@@ -15,6 +15,11 @@
 #include "circuit/circuit.hpp"
 #include "support/rng.hpp"
 
+namespace sliq::serialize {
+class Writer;
+class Reader;
+}  // namespace sliq::serialize
+
 namespace sliq {
 
 class UnsupportedGateError : public std::runtime_error {
@@ -71,6 +76,16 @@ class StabilizerSimulator {
   std::size_t memoryBytes() const {
     return rows_.size() * (2 * words_ * sizeof(std::uint64_t) + sizeof(Row));
   }
+
+  // ---- snapshots (support/serialize.hpp; DESIGN.md §12) -------------------
+  /// Serializes the full tableau: all 2n+1 rows (destabilizers,
+  /// stabilizers, scratch) with packed x/z words and phase bits.
+  void saveStatePayload(serialize::Writer& out);
+  /// Restores a saveStatePayload tableau. Validates row shape, phase bytes
+  /// and stray high bits before committing; throws
+  /// serialize::SerializationError on corrupt input with the state
+  /// unchanged.
+  void loadStatePayload(serialize::Reader& in);
 
   /// Deep structural audit (DESIGN.md §10): symplectic consistency of the
   /// tableau — stabilizers pairwise commute, destabilizer i anticommutes

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <string>
 
+#include <utility>
+
 #include "circuit/optimizer.hpp"
 #include "statevector/dense_kernels.hpp"
 #include "support/assert.hpp"
 #include "support/audit.hpp"
+#include "support/serialize.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sliq {
@@ -237,6 +240,39 @@ std::vector<std::uint64_t> StatevectorSimulator::sampleShots(unsigned count,
                         : static_cast<std::uint64_t>(it - cdf.begin()));
   }
   return shots;
+}
+
+// ---- snapshots (DESIGN.md §12) ---------------------------------------------
+//
+// Payload layout (`sliq.state.v1`, representation "statevector"):
+//
+//   u32 numQubits        must match the receiving simulator
+//   2ⁿ × (f64 re, f64 im)   amplitudes, basis index ascending
+
+void StatevectorSimulator::saveStatePayload(serialize::Writer& out) {
+  out.u32(numQubits_);
+  for (const Amplitude& amp : state_) {
+    out.f64(amp.real());
+    out.f64(amp.imag());
+  }
+}
+
+void StatevectorSimulator::loadStatePayload(serialize::Reader& in) {
+  const std::uint32_t n = in.u32("statevector.numQubits");
+  if (n != numQubits_) {
+    throw serialize::SerializationError(
+        "snapshot field 'statevector.numQubits': payload says " +
+        std::to_string(n) + " qubit(s) but the simulator has " +
+        std::to_string(numQubits_));
+  }
+  std::vector<Amplitude> state;
+  state.reserve(state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    const double re = in.f64("statevector.amplitude");
+    const double im = in.f64("statevector.amplitude");
+    state.emplace_back(re, im);
+  }
+  state_ = std::move(state);  // all parsed — commit atomically
 }
 
 }  // namespace sliq

@@ -14,6 +14,11 @@
 #include "circuit/circuit.hpp"
 #include "support/rng.hpp"
 
+namespace sliq::serialize {
+class Writer;
+class Reader;
+}  // namespace sliq::serialize
+
 namespace sliq {
 
 class ThreadPool;
@@ -80,6 +85,14 @@ class StatevectorSimulator {
   /// sums accumulate in the same order as sampleAll, so identical deviates
   /// select identical basis states. Consumes one deviate per shot.
   std::vector<std::uint64_t> sampleShots(unsigned count, Rng& rng) const;
+
+  // ---- snapshots (support/serialize.hpp; DESIGN.md §12) -------------------
+  /// Serializes all 2ⁿ amplitudes as (re, im) double pairs.
+  void saveStatePayload(serialize::Writer& out);
+  /// Restores a saveStatePayload amplitude array. Parses the whole array
+  /// before committing; throws serialize::SerializationError on corrupt
+  /// input with the state unchanged.
+  void loadStatePayload(serialize::Reader& in);
 
   /// Structural audit (DESIGN.md §10): every amplitude finite (NaN/Inf
   /// scan) and Σ|α|² within `normTolerance` of 1 — measure() renormalizes,

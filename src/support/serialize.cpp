@@ -1,0 +1,154 @@
+#include "support/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace sliq::serialize {
+
+namespace {
+
+/// Fixed envelope field offsets (see the header-comment layout).
+constexpr std::uint64_t kMagicOffset = 0;
+constexpr std::uint64_t kVersionOffset = 8;
+
+void appendLe32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (unsigned i = 0; i < 4; ++i)
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void appendLe64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i)
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Reads the whole stream into memory. Snapshots are validated against
+/// their checksum before any payload byte is interpreted, which requires
+/// the full byte range up front anyway.
+std::vector<std::uint8_t> slurp(std::istream& in) {
+  std::vector<std::uint8_t> data;
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    data.insert(data.end(), chunk, chunk + in.gcount());
+    if (in.eof()) break;
+  }
+  if (in.bad()) {
+    throw SerializationError("snapshot read failed (stream I/O error)");
+  }
+  return data;
+}
+
+/// Parses the envelope header out of `r` (shared by readSnapshot and
+/// readSnapshotInfo — the latter simply stops here).
+SnapshotInfo parseHeader(Reader& r) {
+  char magic[8];
+  r.bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializationError(
+        "not a sliq.state.v1 snapshot: bad magic at byte offset " +
+        std::to_string(kMagicOffset) + " (field 'magic')");
+  }
+  SnapshotInfo info;
+  info.formatVersion = r.u32("formatVersion");
+  if (info.formatVersion > kFormatVersion) {
+    throw SerializationError(
+        "snapshot format version " + std::to_string(info.formatVersion) +
+        " is newer than this build supports (max " +
+        std::to_string(kFormatVersion) + "; field 'formatVersion' at byte "
+        "offset " + std::to_string(kVersionOffset) + ")");
+  }
+  if (info.formatVersion == 0) {
+    throw SerializationError(
+        "snapshot format version 0 is invalid (field 'formatVersion' at "
+        "byte offset " + std::to_string(kVersionOffset) + ")");
+  }
+  info.representation = r.str("representation", 256);
+  info.numQubits = r.u32("numQubits");
+  return info;
+}
+
+}  // namespace
+
+void writeSnapshot(std::ostream& out, const std::string& representation,
+                   std::uint32_t numQubits,
+                   const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> head;
+  head.insert(head.end(), kMagic, kMagic + sizeof(kMagic));
+  appendLe32(head, kFormatVersion);
+  appendLe32(head, static_cast<std::uint32_t>(representation.size()));
+  head.insert(head.end(), representation.begin(), representation.end());
+  appendLe32(head, numQubits);
+  appendLe64(head, payload.size());
+
+  Fnv1a checksum;
+  checksum.update(head.data(), head.size());
+  checksum.update(payload.data(), payload.size());
+  std::vector<std::uint8_t> tail;
+  appendLe64(tail, checksum.digest());
+
+  out.write(reinterpret_cast<const char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(tail.data()),
+            static_cast<std::streamsize>(tail.size()));
+  if (!out) {
+    throw SerializationError("snapshot write failed (stream I/O error)");
+  }
+}
+
+Snapshot readSnapshot(std::istream& in) {
+  const std::vector<std::uint8_t> data = slurp(in);
+  Reader r(data);
+  Snapshot snap;
+  snap.info = parseHeader(r);
+
+  const std::uint64_t payloadSize = r.u64("payloadSize");
+  snap.info.payloadOffset = r.offset();
+  // The remaining bytes must be exactly payload + the 8-byte checksum:
+  // fewer is truncation, more is trailing garbage — both corrupt.
+  if (r.remaining() < 8 || r.remaining() - 8 != payloadSize) {
+    throw SerializationError(
+        "snapshot truncated or oversized: payloadSize field says " +
+        std::to_string(payloadSize) + " byte(s) but " +
+        std::to_string(r.remaining() >= 8 ? r.remaining() - 8 : 0) +
+        " follow the header (field 'payload' at byte offset " +
+        std::to_string(snap.info.payloadOffset) + ")");
+  }
+
+  // Checksum covers every byte before the trailing u64 — verified BEFORE
+  // the payload is interpreted, so a flipped bit anywhere fails here.
+  Fnv1a checksum;
+  checksum.update(data.data(), data.size() - 8);
+  Reader tail(data.data() + (data.size() - 8), 8, data.size() - 8);
+  const std::uint64_t stored = tail.u64("checksum");
+  if (stored != checksum.digest()) {
+    throw SerializationError(
+        "snapshot checksum mismatch (field 'checksum' at byte offset " +
+        std::to_string(data.size() - 8) + "): the file is corrupt");
+  }
+
+  snap.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(
+                                         snap.info.payloadOffset),
+                      data.end() - 8);
+  return snap;
+}
+
+SnapshotInfo readSnapshotInfo(std::istream& in) {
+  // The header is tiny; read just enough of the stream to parse it. 8
+  // (magic) + 4 (version) + 4 + 256 (representation) + 4 (qubits) + 8
+  // (payloadSize) bounds it comfortably.
+  std::vector<std::uint8_t> head(8 + 4 + 4 + 256 + 4 + 8);
+  in.read(reinterpret_cast<char*>(head.data()),
+          static_cast<std::streamsize>(head.size()));
+  head.resize(static_cast<std::size_t>(in.gcount()));
+  if (in.bad()) {
+    throw SerializationError("snapshot read failed (stream I/O error)");
+  }
+  Reader r(head);
+  SnapshotInfo info = parseHeader(r);
+  r.u64("payloadSize");
+  info.payloadOffset = r.offset();
+  return info;
+}
+
+}  // namespace sliq::serialize

@@ -1,0 +1,224 @@
+// Versioned binary state snapshots (`sliq.state.v1`) — the wire format of
+// Engine::saveState / Engine::loadState (DESIGN.md §12).
+//
+// Envelope layout (all integers little-endian, byte-wise — the format is
+// endian-explicit, not host-order):
+//
+//   offset 0   magic            8 bytes  "sliqstat"
+//   offset 8   formatVersion    u32      currently 1; readers reject newer
+//   offset 12  representation   u32 len + bytes (engine registry name)
+//   ...        numQubits        u32
+//   ...        payloadSize      u64      engine-specific payload byte count
+//   ...        payload          payloadSize bytes
+//   ...        checksum         u64      FNV-1a over every preceding byte
+//
+// Readers validate the envelope (magic, version, sizes, checksum) BEFORE
+// any payload byte is interpreted, and every payload read is bounds-checked
+// with diagnostics naming the absolute byte offset and the field being
+// read — a corrupt or truncated snapshot throws SerializationError, never
+// UB and never a partially mutated engine.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sliq::serialize {
+
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The 8-byte envelope magic ("sliqstat").
+inline constexpr char kMagic[8] = {'s', 'l', 'i', 'q', 's', 't', 'a', 't'};
+/// Format version this build writes and the newest it can read.
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Conventional file extension for snapshot files.
+inline constexpr const char* kFileExtension = ".sliqstate";
+
+/// Incremental FNV-1a over bytes — the same constants as the circuit
+/// digests of the differential harness, applied to the serialized stream.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h_ ^= bytes[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+/// Appends typed little-endian values to an in-memory payload buffer. The
+/// envelope writer (writeSnapshot) wraps the finished buffer; engines never
+/// touch the envelope themselves.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { putLe(v, 4); }
+  void u64(std::uint64_t v) { putLe(v, 8); }
+  void i64(std::int64_t v) { putLe(static_cast<std::uint64_t>(v), 8); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putLe(bits, 8);
+  }
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+
+  std::uint64_t offset() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  void putLe(std::uint64_t v, unsigned count) {
+    for (unsigned i = 0; i < count; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked typed reads over a borrowed byte range. Every read names
+/// its field; running past the end throws SerializationError with the
+/// absolute byte offset (baseOffset + cursor) and the field name — the
+/// diagnostics contract of the corrupt-snapshot tests.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size,
+         std::uint64_t baseOffset = 0)
+      : data_(data), size_(size), base_(baseOffset) {}
+  explicit Reader(const std::vector<std::uint8_t>& data,
+                  std::uint64_t baseOffset = 0)
+      : Reader(data.data(), data.size(), baseOffset) {}
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    return data_[pos_++];
+  }
+  std::uint32_t u32(const char* field) {
+    return static_cast<std::uint32_t>(getLe(4, field));
+  }
+  std::uint64_t u64(const char* field) { return getLe(8, field); }
+  std::int64_t i64(const char* field) {
+    return static_cast<std::int64_t>(getLe(8, field));
+  }
+  double f64(const char* field) {
+    const std::uint64_t bits = getLe(8, field);
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// u32 length prefix + raw bytes; `maxLen` guards against a corrupt
+  /// length swallowing the rest of the payload.
+  std::string str(const char* field, std::uint32_t maxLen = 4096) {
+    const std::uint32_t len = u32(field);
+    if (len > maxLen) {
+      throw SerializationError(fieldError(field) + ": string length " +
+                               std::to_string(len) + " exceeds limit " +
+                               std::to_string(maxLen));
+    }
+    need(len, field);
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return out;
+  }
+  void bytes(void* out, std::size_t size, const char* field) {
+    need(size, field);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  /// Absolute byte offset of the next read (for error messages composed by
+  /// callers doing semantic validation on already-read values).
+  std::uint64_t offset() const { return base_ + pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Rejects trailing bytes after the last expected field — a
+  /// longer-than-expected payload is corruption, not padding.
+  void requireExhausted(const char* context) const {
+    if (pos_ != size_) {
+      throw SerializationError(
+          std::string("snapshot payload of ") + context + " has " +
+          std::to_string(size_ - pos_) + " unexpected trailing byte(s) at "
+          "byte offset " + std::to_string(base_ + pos_));
+    }
+  }
+
+ private:
+  std::string fieldError(const char* field) const {
+    return "snapshot field '" + std::string(field) + "' at byte offset " +
+           std::to_string(base_ + pos_);
+  }
+  void need(std::size_t count, const char* field) {
+    if (size_ - pos_ < count) {
+      throw SerializationError(
+          fieldError(field) + ": truncated (need " + std::to_string(count) +
+          " byte(s), have " + std::to_string(size_ - pos_) + ")");
+    }
+  }
+  std::uint64_t getLe(unsigned count, const char* field) {
+    need(count, field);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < count; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += count;
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::uint64_t base_;
+  std::size_t pos_ = 0;
+};
+
+/// The envelope header fields (everything before the payload).
+struct SnapshotInfo {
+  std::uint32_t formatVersion = 0;
+  std::string representation;  // engine registry name
+  std::uint32_t numQubits = 0;
+  /// Absolute byte offset where the payload starts (base offset for the
+  /// payload Reader, so payload diagnostics name file offsets).
+  std::uint64_t payloadOffset = 0;
+};
+
+/// A fully validated snapshot: header fields + checksum-verified payload.
+struct Snapshot {
+  SnapshotInfo info;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Writes one complete `sliq.state.v1` snapshot (envelope + checksum)
+/// around an engine payload. Throws SerializationError on stream failure.
+void writeSnapshot(std::ostream& out, const std::string& representation,
+                   std::uint32_t numQubits,
+                   const std::vector<std::uint8_t>& payload);
+
+/// Reads and validates one complete snapshot: magic, format version
+/// (rejecting anything newer than kFormatVersion), sizes, and the trailing
+/// FNV checksum — all BEFORE the payload is handed to the caller. Throws
+/// SerializationError naming offset + field on any violation.
+Snapshot readSnapshot(std::istream& in);
+
+/// Header peek: reads only the envelope fields (no checksum validation,
+/// no payload) so callers can learn the representation and width before
+/// constructing an engine. Leaves the stream position unspecified —
+/// reopen or seek before a full load.
+SnapshotInfo readSnapshotInfo(std::istream& in);
+
+}  // namespace sliq::serialize

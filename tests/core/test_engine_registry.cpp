@@ -45,6 +45,7 @@ TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
     EXPECT_EQ(fromRegistry.nativeExpectation, fromInstance.nativeExpectation);
     EXPECT_EQ(fromRegistry.dynamicCircuits, fromInstance.dynamicCircuits);
     EXPECT_EQ(fromRegistry.invariantAudit, fromInstance.invariantAudit);
+    EXPECT_EQ(fromRegistry.serialization, fromInstance.serialization);
   }
   EXPECT_THROW(EngineRegistry::instance().capabilities("no-such-engine"),
                UnknownEngineError);
@@ -62,6 +63,9 @@ TEST(EngineRegistry, RegisteredCapabilitiesMatchInstanceCapabilities) {
         << name;
     // And every built-in walks its representation's structural invariants.
     EXPECT_TRUE(EngineRegistry::instance().capabilities(name).invariantAudit)
+        << name;
+    // And every built-in snapshots its state natively (DESIGN.md §12).
+    EXPECT_TRUE(EngineRegistry::instance().capabilities(name).serialization)
         << name;
   }
 }

@@ -7,8 +7,10 @@
 
 #include <cmath>
 #include <complex>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine_registry.hpp"
@@ -320,6 +322,48 @@ TEST(TrajectoryDeterminism, CountsAreThreadCountInvariantGenericPath) {
   options.threads = 4;
   const TrajectoryResult four = runTrajectories("qmdd", c, model, options);
   EXPECT_EQ(one.counts, four.counts);
+}
+
+TEST(TrajectoryDeterminism, ShardedRunsMergeToMonolithicBitForBit) {
+  // The --traj-offset / --merge-counts contract: trajectory i of a shard
+  // with firstTrajectory=F consumes substream split(F + i), so shards
+  // covering disjoint offset ranges draw exactly the monolithic run's
+  // deviate slices and their histograms sum to its counts — on both
+  // execution paths, for any thread count.
+  struct PathCase {
+    const char* engine;
+    QuantumCircuit circuit;
+    bool expectFastPath;
+  };
+  const PathCase cases[] = {
+      {"chp", cliffordEntangled(), true},
+      {"statevector", QuantumCircuit(3).h(0).t(0).cx(0, 1).h(2).t(2), false},
+  };
+  const NoiseModel model = basicModel();
+  for (const PathCase& pc : cases) {
+    SCOPED_TRACE(pc.engine);
+    TrajectoryOptions options;
+    options.trajectories = 200;
+    options.seed = 777;
+    options.threads = 2;
+    const TrajectoryResult mono =
+        runTrajectories(pc.engine, pc.circuit, model, options);
+    ASSERT_EQ(mono.usedPauliFrameFastPath, pc.expectFastPath);
+
+    std::map<std::string, std::uint64_t> merged;
+    for (const auto& [first, count] :
+         {std::pair<unsigned, unsigned>{0, 120},
+          std::pair<unsigned, unsigned>{120, 50},
+          std::pair<unsigned, unsigned>{170, 30}}) {
+      options.firstTrajectory = first;
+      options.trajectories = count;
+      options.threads = first == 120 ? 1 : 3;  // thread count must not matter
+      const TrajectoryResult shard =
+          runTrajectories(pc.engine, pc.circuit, model, options);
+      for (const auto& [bits, n] : shard.counts) merged[bits] += n;
+    }
+    EXPECT_EQ(merged, mono.counts);
+  }
 }
 
 TEST(TrajectoryDeterminism, FastAndGenericPathsAgreeInDistribution) {

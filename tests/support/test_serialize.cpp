@@ -1,0 +1,207 @@
+// Wire-format units for the sliq.state.v1 snapshot envelope
+// (support/serialize.hpp): byte-level little-endian layout, bounds-checked
+// reads with offset-naming diagnostics, and envelope validation (magic,
+// version, sizes, FNV checksum) rejecting every single-byte corruption.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/serialize.hpp"
+
+namespace sliq::serialize {
+namespace {
+
+TEST(SerializeWriter, LittleEndianByteLayout) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0x01020304u);
+  w.u64(0x1122334455667788ULL);
+  const std::vector<std::uint8_t> expected = {
+      0xab,                                            // u8
+      0x04, 0x03, 0x02, 0x01,                          // u32, LE
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // u64, LE
+  };
+  EXPECT_EQ(w.data(), expected);
+  EXPECT_EQ(w.offset(), expected.size());
+}
+
+TEST(SerializeWriter, StrIsLengthPrefixed) {
+  Writer w;
+  w.str("chp");
+  const std::vector<std::uint8_t> expected = {3, 0, 0, 0, 'c', 'h', 'p'};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(SerializeReader, RoundTripsEveryType) {
+  Writer w;
+  w.u8(7);
+  w.u32(0xdeadbeefu);
+  w.u64(~std::uint64_t{0});
+  w.i64(-123456789012345678LL);
+  w.f64(-0.1);
+  w.f64(0.0);
+  w.str("statevector");
+  Reader r(w.data());
+  EXPECT_EQ(r.u8("a"), 7u);
+  EXPECT_EQ(r.u32("b"), 0xdeadbeefu);
+  EXPECT_EQ(r.u64("c"), ~std::uint64_t{0});
+  EXPECT_EQ(r.i64("d"), -123456789012345678LL);
+  EXPECT_EQ(r.f64("e"), -0.1);
+  EXPECT_EQ(r.f64("f"), 0.0);
+  EXPECT_EQ(r.str("g"), "statevector");
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.requireExhausted("test"));
+}
+
+TEST(SerializeReader, TruncationNamesFieldAndOffset) {
+  Writer w;
+  w.u32(5);
+  Reader r(w.data());
+  EXPECT_EQ(r.u32("first"), 5u);
+  try {
+    r.u64("second");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'second'"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeReader, BaseOffsetShiftsDiagnostics) {
+  // Payload readers are constructed with the payload's absolute file
+  // offset, so diagnostics name positions in the FILE, not the buffer.
+  const std::vector<std::uint8_t> empty;
+  Reader r(empty, /*baseOffset=*/100);
+  try {
+    r.u8("flag");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset 100"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeReader, StrLengthGuardRejectsCorruptPrefix) {
+  Writer w;
+  w.u32(50);  // length prefix claiming 50 bytes that do not follow
+  EXPECT_THROW(Reader(w.data()).str("name", /*maxLen=*/16),
+               SerializationError);
+  Writer big;
+  big.str(std::string(32, 'x'));
+  EXPECT_THROW(Reader(big.data()).str("name", /*maxLen=*/16),
+               SerializationError);
+}
+
+TEST(SerializeReader, RequireExhaustedRejectsTrailingBytes) {
+  Writer w;
+  w.u32(1);
+  w.u8(0);
+  Reader r(w.data());
+  r.u32("value");
+  try {
+    r.requireExhausted("chp");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chp"), std::string::npos) << what;
+    EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+  }
+}
+
+// ---- envelope --------------------------------------------------------------
+
+std::string snapshotBytes(const std::string& repr = "exact",
+                          std::uint32_t numQubits = 3) {
+  Writer payload;
+  payload.u32(numQubits);
+  payload.f64(0.5);
+  std::ostringstream out;
+  writeSnapshot(out, repr, numQubits, payload.data());
+  return out.str();
+}
+
+TEST(SerializeEnvelope, RoundTripPreservesHeaderAndPayload) {
+  Writer payload;
+  payload.u32(3);
+  payload.f64(0.5);
+  std::stringstream stream(snapshotBytes());
+  const Snapshot snap = readSnapshot(stream);
+  EXPECT_EQ(snap.info.formatVersion, kFormatVersion);
+  EXPECT_EQ(snap.info.representation, "exact");
+  EXPECT_EQ(snap.info.numQubits, 3u);
+  EXPECT_EQ(snap.payload, payload.data());
+  // The payload's absolute offset: magic(8) + version(4) + repr(4+5) +
+  // numQubits(4) + payloadSize(8).
+  EXPECT_EQ(snap.info.payloadOffset, 8u + 4 + 4 + 5 + 4 + 8);
+}
+
+TEST(SerializeEnvelope, InfoPeekReadsHeaderOnly) {
+  std::stringstream stream(snapshotBytes("qmdd", 7));
+  const SnapshotInfo info = readSnapshotInfo(stream);
+  EXPECT_EQ(info.formatVersion, kFormatVersion);
+  EXPECT_EQ(info.representation, "qmdd");
+  EXPECT_EQ(info.numQubits, 7u);
+}
+
+TEST(SerializeEnvelope, RejectsBadMagic) {
+  std::string bytes = snapshotBytes();
+  bytes[0] = 'X';
+  std::stringstream stream(bytes);
+  try {
+    readSnapshot(stream);
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeEnvelope, RejectsFutureAndZeroVersions) {
+  // The version field sits right after the 8-byte magic and is validated
+  // before the checksum, so patching it yields the version diagnostic.
+  for (const std::uint8_t version : {std::uint8_t{2}, std::uint8_t{0}}) {
+    std::string bytes = snapshotBytes();
+    bytes[8] = static_cast<char>(version);
+    std::stringstream stream(bytes);
+    try {
+      readSnapshot(stream);
+      FAIL() << "expected SerializationError for version " << int(version);
+    } catch (const SerializationError& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(SerializeEnvelope, EveryByteFlipIsRejected) {
+  // The checksum spans every preceding byte, so whatever the semantic
+  // checks miss, the checksum catches — no single-byte corruption loads.
+  const std::string good = snapshotBytes();
+  {
+    std::stringstream stream(good);
+    EXPECT_NO_THROW(readSnapshot(stream));
+  }
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bytes = good;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x5a);
+    std::stringstream stream(bytes);
+    EXPECT_THROW(readSnapshot(stream), SerializationError) << "byte " << i;
+  }
+}
+
+TEST(SerializeEnvelope, EveryTruncationIsRejected) {
+  const std::string good = snapshotBytes();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::stringstream stream(good.substr(0, len));
+    EXPECT_THROW(readSnapshot(stream), SerializationError) << "length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace sliq::serialize

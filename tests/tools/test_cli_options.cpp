@@ -137,6 +137,158 @@ TEST(CliOptions, ObservableWithNoiseStillRejectsShotsAndProbes) {
   EXPECT_NE(validateOptions(opt), "");
 }
 
+// ---- parseUnsigned (strict base 10) ---------------------------------------
+
+TEST(CliParseUnsigned, ZeroPaddedValuesAreDecimalNotOctal) {
+  // Regression: base-0 strtoull parsing read "010" as octal 8 and accepted
+  // hex. Integer flags are documentation-plain base 10, always.
+  std::uint64_t value = 0;
+  EXPECT_EQ(parseUnsigned("--shots", "010", 1u << 30, &value), "");
+  EXPECT_EQ(value, 10u);
+  EXPECT_EQ(parseUnsigned("--shots", "0", 1u << 30, &value), "");
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(parseUnsigned("--seed", "00042", ~std::uint64_t{0}, &value), "");
+  EXPECT_EQ(value, 42u);
+}
+
+TEST(CliParseUnsigned, HexInputIsRejectedWithAClearMessage) {
+  std::uint64_t value = 99;
+  const std::string error =
+      parseUnsigned("--seed", "0x10", ~std::uint64_t{0}, &value);
+  EXPECT_NE(error.find("--seed"), std::string::npos) << error;
+  EXPECT_NE(error.find("base-10"), std::string::npos) << error;
+  EXPECT_NE(error.find("0x10"), std::string::npos) << error;
+  EXPECT_EQ(value, 99u);  // *out untouched on failure
+}
+
+TEST(CliParseUnsigned, SignsGarbageEmptyAndOverflowAreRejected) {
+  std::uint64_t value = 0;
+  // strtoull silently wraps negative input — rejected up front instead.
+  EXPECT_NE(parseUnsigned("--shots", "-1", 100, &value), "");
+  EXPECT_NE(parseUnsigned("--shots", "+5", 100, &value), "");
+  EXPECT_NE(parseUnsigned("--shots", "12abc", 100, &value), "");
+  EXPECT_NE(parseUnsigned("--shots", "", 100, &value), "");
+  EXPECT_NE(parseUnsigned("--shots", nullptr, 100, &value), "");
+  EXPECT_NE(parseUnsigned("--shots", "18446744073709551616", ~std::uint64_t{0},
+                          &value),
+            "");  // 2^64 overflows
+  const std::string error = parseUnsigned("--amps", "101", 100, &value);
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_NE(error.find("100"), std::string::npos) << error;
+}
+
+// ---- parseCountsLine (shard histogram rows) --------------------------------
+
+TEST(CliParseCountsLine, ParsesHistogramRowsAndSkipsNarration) {
+  std::string bits;
+  std::uint64_t count = 0;
+  bool isCounts = false;
+  EXPECT_EQ(parseCountsLine("01101  42", &bits, &count, &isCounts), "");
+  EXPECT_TRUE(isCounts);
+  EXPECT_EQ(bits, "01101");
+  EXPECT_EQ(count, 42u);
+  // Tabs and a trailing CR (files written on Windows) are tolerated.
+  EXPECT_EQ(parseCountsLine("11\t7\r", &bits, &count, &isCounts), "");
+  EXPECT_TRUE(isCounts);
+  EXPECT_EQ(count, 7u);
+  // Narration lines pass through silently.
+  for (const char* line :
+       {"loaded: ghz8.qasm: 8 qubits", "ran 100 trajectories in 0.1 s", ""}) {
+    EXPECT_EQ(parseCountsLine(line, &bits, &count, &isCounts), "") << line;
+    EXPECT_FALSE(isCounts) << line;
+  }
+}
+
+TEST(CliParseCountsLine, MalformedRowsAreHardErrors) {
+  std::string bits;
+  std::uint64_t count = 0;
+  bool isCounts = false;
+  for (const char* line : {"0110", "0110  ", "0110  12x", "0110x 3"}) {
+    const std::string error = parseCountsLine(line, &bits, &count, &isCounts);
+    EXPECT_NE(error.find("malformed"), std::string::npos) << line << error;
+    EXPECT_FALSE(isCounts) << line;
+  }
+}
+
+// ---- snapshot / merge / warm-cache flag rules ------------------------------
+
+TEST(CliOptions, SaveAndLoadStateComposeWithIdealQueries) {
+  Options opt = base();
+  opt.saveStatePath = "state.sliqstate";
+  opt.shots = 16;
+  opt.probs = true;
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.loadStatePath = "prev.sliqstate";
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, PureQueryModeNeedsNoCircuit) {
+  Options opt;  // no path
+  opt.loadStatePath = "state.sliqstate";
+  opt.probs = true;
+  opt.shots = 8;
+  EXPECT_EQ(validateOptions(opt), "");
+  // ...but circuit transforms are meaningless without a circuit.
+  opt.optimize = true;
+  EXPECT_NE(validateOptions(opt), "");
+  opt.optimize = false;
+  opt.modifyH = true;
+  EXPECT_NE(validateOptions(opt), "");
+}
+
+TEST(CliOptions, SnapshotFlagsDoNotComposeWithNoise) {
+  Options opt = base();
+  opt.noisePath = "model.txt";
+  opt.saveStatePath = "state.sliqstate";
+  EXPECT_NE(validateOptions(opt), "");
+  opt.saveStatePath.clear();
+  opt.loadStatePath = "state.sliqstate";
+  EXPECT_NE(validateOptions(opt), "");
+  opt.loadStatePath.clear();
+  opt.warmCacheDir = "cache/";
+  EXPECT_NE(validateOptions(opt), "");
+}
+
+TEST(CliOptions, WarmCacheExcludesLoadState) {
+  Options opt = base();
+  opt.warmCacheDir = "cache/";
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.loadStatePath = "state.sliqstate";
+  const std::string error = validateOptions(opt);
+  EXPECT_NE(error.find("--warm-cache"), std::string::npos) << error;
+  EXPECT_NE(error.find("--load-state"), std::string::npos) << error;
+}
+
+TEST(CliOptions, TrajOffsetRequiresNoise) {
+  Options opt = base();
+  opt.trajOffsetGiven = true;
+  const std::string error = validateOptions(opt);
+  EXPECT_NE(error.find("--traj-offset"), std::string::npos) << error;
+  EXPECT_NE(error.find("--noise"), std::string::npos) << error;
+  opt.noisePath = "model.txt";
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, MergeCountsIsStandalone) {
+  Options opt;
+  opt.mergeCounts = true;
+  opt.inputs = {"shard0.txt", "shard1.txt"};
+  EXPECT_EQ(validateOptions(opt), "");
+  // No shard files at all is an error...
+  opt.inputs.clear();
+  EXPECT_NE(validateOptions(opt), "");
+  // ...and so is combining with anything else, including --engine.
+  opt.inputs = {"shard0.txt"};
+  opt.engineGiven = true;
+  EXPECT_NE(validateOptions(opt), "");
+  opt.engineGiven = false;
+  opt.shots = 8;
+  EXPECT_NE(validateOptions(opt), "");
+  opt.shots = 0;
+  opt.noisePath = "model.txt";
+  EXPECT_NE(validateOptions(opt), "");
+}
+
 // ---- dynamic-circuit rules (validateDynamic) ------------------------------
 
 TEST(CliOptions, StaticCircuitsAreUnaffectedByDynamicRules) {
@@ -177,6 +329,32 @@ TEST(CliOptions, DynamicShotsExcludeSingleFinalStateQueries) {
   Options noisy = base();
   noisy.noisePath = "model.txt";
   EXPECT_EQ(validateDynamic(noisy, /*circuitIsDynamic=*/true), "");
+}
+
+TEST(CliOptions, DynamicShotsExcludeSnapshots) {
+  // Per-shot re-execution leaves no single final state to snapshot, and no
+  // single run for a snapshot to resume.
+  Options opt = base();
+  opt.shots = 16;
+  opt.saveStatePath = "state.sliqstate";
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/false), "");
+  EXPECT_NE(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+  opt.saveStatePath.clear();
+  opt.loadStatePath = "state.sliqstate";
+  EXPECT_NE(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+  // A single dynamic run (no --shots) has a final state: both compose.
+  opt.shots = 0;
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/true), "");
+}
+
+TEST(CliOptions, WarmCacheRequiresStaticCircuit) {
+  // Restoring a dynamic prefix would skip its measurement deviates and
+  // desynchronize the shot stream from a straight-through run.
+  Options opt = base();
+  opt.warmCacheDir = "cache/";
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/false), "");
+  const std::string error = validateDynamic(opt, /*circuitIsDynamic=*/true);
+  EXPECT_NE(error.find("--warm-cache"), std::string::npos) << error;
 }
 
 }  // namespace

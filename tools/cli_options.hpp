@@ -1,17 +1,29 @@
 // sliqsim option state + pure flag-combination validation, extracted from
 // the CLI main so the combination rules are unit-testable without spawning
 // the binary (tests/tools/test_cli_options.cpp). main() owns parsing and
-// I/O; this header owns the "which flags make sense together" contract.
+// I/O; this header owns the "which flags make sense together" contract
+// plus the pure text parsers (integer flag values, histogram dump lines).
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <string>
+#include <vector>
 
 namespace sliq::cli {
 
 struct Options {
+  /// Positional arguments, in order. Exactly one circuit file normally;
+  /// one or more shard histogram files under --merge-counts; empty with
+  /// --load-state (pure snapshot-query mode).
+  std::vector<std::string> inputs;
+  /// The circuit file (inputs[0] outside --merge-counts; may stay empty
+  /// with --load-state).
   std::string path;
   std::string engine = "exact";
+  bool engineGiven = false;
   unsigned shots = 0;
   bool probs = false;
   unsigned amps = 0;
@@ -27,31 +39,142 @@ struct Options {
   std::string noisePath;
   unsigned trajectories = 1000;
   bool trajectoriesGiven = false;
+  /// --traj-offset N: global index of the first trajectory (shard runs).
+  unsigned trajOffset = 0;
+  bool trajOffsetGiven = false;
   unsigned threads = 1;
   bool threadsGiven = false;
   std::string observablePath;
+  /// --save-state FILE: write a sliq.state.v1 snapshot after the run.
+  std::string saveStatePath;
+  /// --load-state FILE: restore a snapshot before the run (or, with no
+  /// circuit, query the snapshot directly).
+  std::string loadStatePath;
+  /// --warm-cache DIR: snapshot cache keyed by circuit-prefix digest.
+  std::string warmCacheDir;
+  /// --merge-counts: merge shard histogram dumps additively and exit.
+  bool mergeCounts = false;
 };
+
+/// Checked parse of a non-negative integer flag value into [0, maxValue].
+/// Strictly base 10: base-0 parsing used to read zero-padded values as
+/// octal ("--shots 010" meant 8) and accept hex seeds ("0x10" meant 16) —
+/// both now rejected with a message naming the flag. Also rejects signs
+/// (strtoull silently wraps "-1"), trailing garbage, overflow and empty
+/// strings. Returns an error message, or "" on success with *out set.
+inline std::string parseUnsigned(const char* flag, const char* text,
+                                 std::uint64_t maxValue, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') {
+    return std::string(flag) + " requires a value";
+  }
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '-' || *p == '+') {
+      return std::string(flag) + " expects a non-negative integer, got '" +
+             text + "'";
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    return std::string(flag) + " expects a base-10 integer, got '" + text +
+           "'";
+  }
+  if (errno == ERANGE || value > maxValue) {
+    return std::string(flag) + " value '" + text +
+           "' is out of range (max " + std::to_string(maxValue) + ")";
+  }
+  *out = value;
+  return "";
+}
+
+/// One line of a shard histogram dump (the "<bits>  <count>" lines the
+/// trajectory runner prints; narration lines like "loaded:" / "ran N
+/// trajectories..." are passed through). On a histogram line: sets
+/// *isCountsLine = true, fills *bits / *count, returns "". On any other
+/// line: sets *isCountsLine = false, returns "". A line that STARTS like a
+/// histogram line but is malformed (missing count, junk after the count,
+/// bits followed by non-separator characters) returns an error message.
+inline std::string parseCountsLine(const std::string& line, std::string* bits,
+                                   std::uint64_t* count, bool* isCountsLine) {
+  *isCountsLine = false;
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == '0' || line[i] == '1')) ++i;
+  if (i == 0) return "";  // narration line (or empty) — not a histogram row
+  const std::string bitText = line.substr(0, i);
+  std::size_t j = i;
+  while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+  if (j == i) {
+    return "malformed histogram line '" + line +
+           "': expected whitespace then a count after the bitstring";
+  }
+  std::size_t k = line.size();
+  while (k > j && (line[k - 1] == ' ' || line[k - 1] == '\t' ||
+                   line[k - 1] == '\r')) {
+    --k;
+  }
+  std::uint64_t value = 0;
+  const std::string countText = line.substr(j, k - j);
+  const std::string error =
+      parseUnsigned("count", countText.c_str(),
+                    std::numeric_limits<std::uint64_t>::max(), &value);
+  if (!error.empty()) {
+    return "malformed histogram line '" + line + "': " + error;
+  }
+  *bits = bitText;
+  *count = value;
+  *isCountsLine = true;
+  return "";
+}
 
 /// Flag-combination validation: returns an error message for a nonsensical
 /// combination, or "" when the combination is coherent. The rules:
-///  * --trajectories parameterizes the trajectory runner, which only
-///    exists under --noise. --threads is valid everywhere: under --noise
-///    it fans trajectories across workers, otherwise it partitions the
-///    single-circuit dense kernels (Engine::setExecutionThreads) — both
-///    paths are thread-count deterministic.
+///  * --merge-counts is a standalone mode (pure text processing — no
+///    engine, no circuit): it composes with nothing but its positional
+///    shard files.
+///  * --trajectories / --traj-offset parameterize the trajectory runner,
+///    which only exists under --noise. --threads is valid everywhere:
+///    under --noise it fans trajectories across workers, otherwise it
+///    partitions the single-circuit dense kernels
+///    (Engine::setExecutionThreads) — both paths are thread-count
+///    deterministic.
 ///  * --noise replaces the ideal-state queries (--shots/--probs/--amps)
 ///    with the trajectory histogram — except --observable, whose noisy
 ///    analogue (the trajectory-mean expectation) IS the --noise output.
 ///    --stats and --trace are telemetry about the run itself, not state
 ///    queries, so they compose with every mode (under --noise they report
 ///    the trajectory-worker aggregate).
+///  * --save-state/--load-state snapshot the SINGLE state of an ideal run;
+///    a --noise run has one transient state per trajectory, so neither
+///    composes with it. --warm-cache caches ideal gate-loop prefixes for
+///    the same reason — and it picks the initial state itself, so it also
+///    excludes --load-state.
 ///  * --observable computes expectations analytically, so pairing it with
 ///    --shots is a category error: shot sampling estimates what
 ///    expectation() answers exactly (chi-squared tests pin the agreement).
 ///  * --stats accepts only the text and json renderings.
 inline std::string validateOptions(const Options& opt) {
+  if (opt.mergeCounts) {
+    if (opt.engineGiven || opt.shots > 0 || opt.probs || opt.amps > 0 ||
+        opt.modifyH || opt.optimize || opt.stats || !opt.tracePath.empty() ||
+        !opt.noisePath.empty() || !opt.observablePath.empty() ||
+        opt.trajectoriesGiven || opt.trajOffsetGiven || opt.threadsGiven ||
+        !opt.saveStatePath.empty() || !opt.loadStatePath.empty() ||
+        !opt.warmCacheDir.empty()) {
+      return "--merge-counts is a standalone mode: it takes only shard "
+             "histogram files as positional arguments";
+    }
+    if (opt.inputs.empty()) {
+      return "--merge-counts needs at least one shard histogram file";
+    }
+    return "";
+  }
   if (opt.noisePath.empty() && opt.trajectoriesGiven) {
     return "--trajectories requires --noise";
+  }
+  if (opt.noisePath.empty() && opt.trajOffsetGiven) {
+    return "--traj-offset requires --noise (it selects which slice of the "
+           "trajectory substreams this shard runs)";
   }
   if (opt.stats && opt.statsFormat != "text" && opt.statsFormat != "json") {
     return "--stats format must be 'text' or 'json', got '" +
@@ -69,6 +192,27 @@ inline std::string validateOptions(const Options& opt) {
            "analogue of shots, --observable the noisy analogue of "
            "expectations)";
   }
+  if (!opt.noisePath.empty() && !opt.saveStatePath.empty()) {
+    return "--save-state needs the single final state of an ideal run; a "
+           "--noise run has one transient state per trajectory";
+  }
+  if (!opt.noisePath.empty() && !opt.loadStatePath.empty()) {
+    return "--load-state resumes a single ideal state; --noise re-executes "
+           "every trajectory from |0...0> (drop one of them)";
+  }
+  if (!opt.noisePath.empty() && !opt.warmCacheDir.empty()) {
+    return "--warm-cache caches ideal gate-loop prefixes; it does not "
+           "compose with --noise trajectories";
+  }
+  if (!opt.warmCacheDir.empty() && !opt.loadStatePath.empty()) {
+    return "--warm-cache and --load-state both pick the pre-run state; use "
+           "one or the other";
+  }
+  if (opt.path.empty() && !opt.loadStatePath.empty() &&
+      (opt.modifyH || opt.optimize || !opt.warmCacheDir.empty())) {
+    return "--modify-h/--optimize/--warm-cache transform a circuit; there "
+           "is none in pure --load-state query mode";
+  }
   return "";
 }
 
@@ -81,7 +225,12 @@ inline std::string validateOptions(const Options& opt) {
 ///    conditioned on the classical outcome stream — the strict error
 ///    mirrors the facade's collapse restriction.
 ///  * --shots over a dynamic circuit re-executes per shot, so there is no
-///    single final state for --probs/--amps to query.
+///    single final state for --probs/--amps to query — nor one to
+///    snapshot (--save-state) or resume into each re-execution
+///    (--load-state).
+///  * --warm-cache restores a gate-loop prefix; a dynamic prefix consumes
+///    measurement deviates, so restoring it would desynchronize the shot
+///    stream from a straight-through run.
 inline std::string validateDynamic(const Options& opt, bool circuitIsDynamic) {
   if (!circuitIsDynamic) return "";
   if (!opt.observablePath.empty()) {
@@ -93,6 +242,19 @@ inline std::string validateDynamic(const Options& opt, bool circuitIsDynamic) {
   if (opt.shots > 0 && (opt.probs || opt.amps > 0)) {
     return "--shots on a dynamic circuit re-executes the circuit per shot, "
            "leaving no single final state; drop --probs/--amps or --shots";
+  }
+  if (opt.shots > 0 && !opt.saveStatePath.empty()) {
+    return "--shots on a dynamic circuit re-executes the circuit per shot, "
+           "leaving no single final state for --save-state to snapshot";
+  }
+  if (opt.shots > 0 && !opt.loadStatePath.empty()) {
+    return "--shots on a dynamic circuit re-executes the circuit per shot "
+           "on a fresh engine; --load-state resumes a single run (drop one)";
+  }
+  if (!opt.warmCacheDir.empty()) {
+    return "--warm-cache requires a static circuit: a dynamic prefix "
+           "consumes measurement deviates, so restoring it would "
+           "desynchronize the shot stream";
   }
   return "";
 }

@@ -2,6 +2,8 @@
 //
 // Usage:
 //   sliqsim [options] <circuit.qasm | circuit.real>
+//   sliqsim [options] --load-state FILE            (query a snapshot)
+//   sliqsim --merge-counts <shard.txt>...          (merge shard histograms)
 //
 // Options:
 //   --engine NAME              any registered engine (default: exact);
@@ -33,6 +35,13 @@
 //                              of the ideal-state queries
 //   --trajectories N           Monte-Carlo trajectories (default: 1000;
 //                              only with --noise)
+//   --traj-offset N            global index of the first trajectory
+//                              (default: 0; only with --noise). Shard runs
+//                              covering disjoint offset ranges under one
+//                              --seed reproduce the corresponding slice of
+//                              a monolithic run's trajectory substreams, so
+//                              their histograms --merge-counts to the
+//                              monolithic result bit for bit
 //   --threads N                worker threads; 0 auto-detects hardware
 //                              concurrency (default: 1). With --noise this
 //                              fans trajectories across workers; otherwise
@@ -40,16 +49,34 @@
 //                              kernels (statevector engine). Results are
 //                              thread-count independent under a fixed
 //                              --seed either way.
+//   --save-state FILE          after the run, write the engine state as a
+//                              sliq.state.v1 snapshot (support/
+//                              serialize.hpp; DESIGN.md §12)
+//   --load-state FILE          restore a snapshot before the run; with no
+//                              circuit argument, query the snapshot
+//                              directly (--probs/--amps/--shots/
+//                              --observable compose as usual)
+//   --warm-cache DIR           snapshot cache keyed by circuit-prefix
+//                              digest: a cached prefix of the (optimized)
+//                              circuit is restored instead of re-simulated
+//                              — a full hit skips the gate loop entirely
+//                              (counter warm_cache.hit) — and misses fill
+//                              the cache for the next run
+//   --merge-counts             merge the positional shard histogram dumps
+//                              (produced with --noise + --traj-offset)
+//                              additively; histogram to stdout, summary to
+//                              stderr
 //   --list-engines             list registered engines (with capability
 //                              flags) and exit
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "circuit/optimizer.hpp"
@@ -64,6 +91,7 @@
 #include "support/memuse.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
+#include "support/serialize.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -76,8 +104,11 @@ int usage() {
             << "] [--shots N] "
                "[--probs] [--amps K] [--modify-h] [--optimize] [--seed S] "
                "[--stats[=text|json]] [--trace FILE] [--observable FILE] "
-               "[--noise FILE] [--trajectories N] [--threads N] "
-               "[--list-engines] <circuit.qasm|circuit.real>\n";
+               "[--noise FILE] [--trajectories N] [--traj-offset N] "
+               "[--threads N] [--save-state FILE] [--load-state FILE] "
+               "[--warm-cache DIR] [--list-engines] "
+               "<circuit.qasm|circuit.real>\n"
+               "       sliqsim --merge-counts <shard.txt>...\n";
   return 2;
 }
 
@@ -87,13 +118,14 @@ int listEngines() {
     const sliq::EngineCapabilities caps = registry.capabilities(name);
     const bool any = caps.batchedSampling || caps.noiseFastPath ||
                      caps.nativeExpectation || caps.dynamicCircuits ||
-                     caps.invariantAudit;
+                     caps.invariantAudit || caps.serialization;
     std::cout << name << " — " << registry.describe(name) << " [capabilities:"
               << (caps.batchedSampling ? " batched-sampling" : "")
               << (caps.noiseFastPath ? " noise-fast-path" : "")
               << (caps.nativeExpectation ? " native-expectation" : "")
               << (caps.dynamicCircuits ? " dynamic-circuits" : "")
               << (caps.invariantAudit ? " invariant-audit" : "")
+              << (caps.serialization ? " serialization" : "")
               << (any ? "" : " none") << "]\n";
   }
   return 0;
@@ -104,39 +136,14 @@ bool endsWith(const std::string& s, const char* suffix) {
   return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
 }
 
-/// Checked parse of a non-negative integer flag value into [0, maxValue].
-/// Rejects negatives (which atoi-then-cast used to wrap to huge unsigneds),
-/// trailing garbage, overflow and empty strings, with a caller-facing
-/// message naming the flag.
+/// CLI adapter over the pure parser in cli_options.hpp (which the unit
+/// tests exercise directly): prints the error and reports success.
 bool parseUnsigned(const char* flag, const char* text, std::uint64_t maxValue,
                    std::uint64_t* out) {
-  if (text == nullptr || *text == '\0') {
-    std::cerr << "error: " << flag << " requires a value\n";
-    return false;
-  }
-  // strtoul silently accepts "-1" by wrapping; reject any sign up front.
-  for (const char* p = text; *p != '\0'; ++p) {
-    if (*p == '-' || *p == '+') {
-      std::cerr << "error: " << flag << " expects a non-negative integer, got '"
-                << text << "'\n";
-      return false;
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text, &end, 0);
-  if (end == text || *end != '\0') {
-    std::cerr << "error: " << flag << " expects an integer, got '" << text
-              << "'\n";
-    return false;
-  }
-  if (errno == ERANGE || value > maxValue) {
-    std::cerr << "error: " << flag << " value '" << text
-              << "' is out of range (max " << maxValue << ")\n";
-    return false;
-  }
-  *out = value;
-  return true;
+  const std::string error = sliq::cli::parseUnsigned(flag, text, maxValue, out);
+  if (error.empty()) return true;
+  std::cerr << "error: " << error << "\n";
+  return false;
 }
 
 bool parseUnsigned(const char* flag, const char* text, unsigned* out) {
@@ -178,6 +185,283 @@ bool emitTelemetry(const Options& opt, const sliq::metrics::RunReport& report,
   return true;
 }
 
+// ---- state snapshots -------------------------------------------------------
+
+void saveEngineState(sliq::Engine& engine, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open snapshot file '" + path +
+                             "' for writing");
+  }
+  engine.saveState(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing snapshot file '" + path + "'");
+  }
+}
+
+void loadEngineState(sliq::Engine& engine, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open snapshot file '" + path + "'");
+  }
+  engine.loadState(in);
+}
+
+// ---- warm-start cache ------------------------------------------------------
+
+/// FNV-1a over the structural gate stream of the first `gateCount` gates —
+/// the same mix as the differential harness's golden digests, so cache
+/// keys are stable across runs and platforms.
+std::uint64_t circuitPrefixDigest(const sliq::QuantumCircuit& circuit,
+                                  std::size_t gateCount) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(circuit.numQubits());
+  for (std::size_t i = 0; i < gateCount; ++i) {
+    const sliq::Gate& g = circuit.gate(i);
+    mix(0xff);  // gate separator
+    mix(static_cast<std::uint64_t>(g.kind));
+    for (const unsigned q : g.controls) mix(0x100 + q);
+    for (const unsigned q : g.targets) mix(0x200 + q);
+  }
+  return h;
+}
+
+std::string warmCachePath(const std::string& dir, const std::string& engine,
+                          unsigned numQubits, std::uint64_t digest) {
+  std::ostringstream name;
+  name << engine << "-q" << numQubits << "-" << std::hex << std::setw(16)
+       << std::setfill('0') << digest << sliq::serialize::kFileExtension;
+  return (std::filesystem::path(dir) / name.str()).string();
+}
+
+/// Prepares the post-circuit state through the --warm-cache DIR snapshot
+/// cache: the longest cached prefix of `circuit` is restored instead of
+/// re-simulated (a full-circuit hit skips the gate loop entirely —
+/// counter warm_cache.hit), the remaining gates are applied on top, and
+/// the full-circuit state is written back so the next run hits. Restored
+/// states pass the same snapshot validation as --load-state, so a corrupt
+/// cache entry is a hard error, never a wrong state.
+void runWithWarmCache(sliq::Engine& engine, const sliq::QuantumCircuit& circuit,
+                      const Options& opt) {
+  namespace fs = std::filesystem;
+  using sliq::metrics::ScopedSpan;
+  fs::create_directories(opt.warmCacheDir);
+
+  const std::size_t gateCount = circuit.gateCount();
+  std::size_t hitGates = 0;
+  std::string hitPath;
+  for (std::size_t len = gateCount; len >= 1; --len) {
+    const std::string path =
+        warmCachePath(opt.warmCacheDir, engine.name(), circuit.numQubits(),
+                      circuitPrefixDigest(circuit, len));
+    if (fs::exists(path)) {
+      hitGates = len;
+      hitPath = path;
+      break;
+    }
+  }
+
+  if (hitGates == gateCount && gateCount > 0) {
+    loadEngineState(engine, hitPath);
+    engine.metrics().add("warm_cache.hit");
+    std::cout << "warm-cache: hit (" << gateCount << "/" << gateCount
+              << " gates) — restored " << hitPath << "\n";
+    return;
+  }
+  if (hitGates > 0) {
+    loadEngineState(engine, hitPath);
+    engine.metrics().add("warm_cache.partial");
+    std::cout << "warm-cache: partial hit (" << hitGates << "/" << gateCount
+              << " gates) — restored " << hitPath << "\n";
+    const ScopedSpan span(engine.metrics(), "gate_loop");
+    for (std::size_t i = hitGates; i < gateCount; ++i) {
+      engine.applyGate(circuit.gate(i));
+    }
+  } else {
+    engine.metrics().add("warm_cache.miss");
+    engine.run(circuit);
+  }
+  const std::string fullPath =
+      warmCachePath(opt.warmCacheDir, engine.name(), circuit.numQubits(),
+                    circuitPrefixDigest(circuit, gateCount));
+  saveEngineState(engine, fullPath);
+  std::cout << "warm-cache: stored " << fullPath << "\n";
+}
+
+// ---- shard-histogram merging -----------------------------------------------
+
+/// --merge-counts: sums the "<bits>  <count>" rows of every input file
+/// (narration lines are passed over; malformed rows and mixed register
+/// widths are hard errors). Pure text processing — no engine, no circuit.
+/// The merged histogram goes to stdout in sorted order (the trajectory
+/// runner's own order), the summary line to stderr, so stdout diffs
+/// bit-identically against a monolithic run's histogram rows.
+int mergeCountsMain(const Options& opt) {
+  std::map<std::string, std::uint64_t> merged;
+  std::size_t width = 0;
+  std::string widthFile;
+  std::uint64_t total = 0;
+  for (const std::string& file : opt.inputs) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "error: cannot open counts file '" << file << "'\n";
+      return 1;
+    }
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      std::string bits;
+      std::uint64_t count = 0;
+      bool isCountsLine = false;
+      const std::string error =
+          sliq::cli::parseCountsLine(line, &bits, &count, &isCountsLine);
+      if (!error.empty()) {
+        std::cerr << "error: " << file << ":" << lineNo << ": " << error
+                  << "\n";
+        return 1;
+      }
+      if (!isCountsLine) continue;
+      if (width == 0) {
+        width = bits.size();
+        widthFile = file;
+      } else if (bits.size() != width) {
+        std::cerr << "error: " << file << ":" << lineNo
+                  << ": bitstring width " << bits.size()
+                  << " does not match width " << width << " from '"
+                  << widthFile << "' (shards of one run share one register)\n";
+        return 1;
+      }
+      merged[bits] += count;
+      total += count;
+    }
+    if (in.bad()) {
+      std::cerr << "error: I/O error reading '" << file << "'\n";
+      return 1;
+    }
+  }
+  for (const auto& [bits, count] : merged)
+    std::cout << bits << "  " << count << "\n";
+  std::cerr << "merged " << total << " count(s) from " << opt.inputs.size()
+            << " file(s)\n";
+  return 0;
+}
+
+// ---- ideal-state queries ---------------------------------------------------
+
+/// The ideal-state queries (--observable/--probs/--amps/--shots) plus the
+/// final telemetry emission — shared by the run-a-circuit path and the
+/// pure --load-state query mode. Returns the process exit code.
+int runStateQueries(const Options& opt, sliq::Engine& engine,
+                    const sliq::PauliObservable& observable, sliq::Rng& rng,
+                    bool telemetry) {
+  using namespace sliq;
+  if (!opt.observablePath.empty()) {
+    // Exact expectations, one native contraction per string — the state
+    // is never collapsed, so the queries below still see the same state.
+    WallTimer obsTimer;
+    double total = 0;
+    for (const PauliString& term : observable.terms()) {
+      const double value = engine.expectation(singleStringObservable(term));
+      total += term.coefficient * value;
+      std::cout << "<" << term.pauliText() << "> = " << std::setprecision(12)
+                << value << " (coefficient " << term.coefficient << ")\n";
+    }
+    std::cout << "<O> = " << std::setprecision(12) << total << " in "
+              << std::setprecision(6) << obsTimer.seconds() << " s\n";
+  }
+  if (opt.probs) {
+    for (unsigned q = 0; q < engine.numQubits(); ++q)
+      std::cout << "Pr[q" << q << "=1] = " << engine.probabilityOne(q)
+                << "\n";
+  }
+  if (opt.amps > 0) {
+    for (const auto& [index, value] : engine.nonzeroAmplitudes(opt.amps))
+      std::cout << "amp[" << index << "] = " << value << "\n";
+  }
+  if (opt.shots > 0) {
+    // Batched path: per-state setup (weight traversal, cumulative
+    // distribution, ...) amortized across each chunk. Chunking keeps
+    // memory bounded and the output streaming for huge shot counts.
+    constexpr unsigned kChunk = 1u << 16;
+    const metrics::ScopedSpan span(engine.metrics(), "sampling");
+    double sampleSeconds = 0;
+    for (unsigned done = 0; done < opt.shots;) {
+      const unsigned batch = std::min(kChunk, opt.shots - done);
+      WallTimer batchTimer;
+      const std::vector<std::vector<bool>> shots =
+          engine.sampleShots(batch, rng);
+      sampleSeconds += batchTimer.seconds();
+      for (std::size_t s = 0; s < shots.size(); ++s)
+        std::cout << "shot " << done + s << ": " << bitsToString(shots[s])
+                  << "\n";
+      done += batch;
+    }
+    std::cout << "sampled " << opt.shots << " shots in " << sampleSeconds
+              << " s\n";
+  }
+  if (telemetry) {
+    const std::string stats = engine.statsSummary();
+    if (opt.stats && opt.statsFormat == "text" && !stats.empty()) {
+      std::cout << stats << "\n";
+    }
+    if (!emitTelemetry(opt, engine.runMetrics(), engine.metrics())) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Pure snapshot-query mode: no circuit — the engine (and register width)
+/// come from the snapshot header, the state from the snapshot body, and
+/// the usual queries run against it.
+int queryLoadedState(const Options& opt, sliq::metrics::Registry& cliMetrics,
+                     bool telemetry) {
+  using namespace sliq;
+  std::ifstream peek(opt.loadStatePath, std::ios::binary);
+  if (!peek) {
+    std::cerr << "error: cannot open snapshot file '" << opt.loadStatePath
+              << "'\n";
+    return 1;
+  }
+  const serialize::SnapshotInfo info = serialize::readSnapshotInfo(peek);
+  peek.close();
+
+  // --engine overrides the header's representation (loadState then rejects
+  // the mismatch with a clear diagnostic rather than silently ignoring the
+  // user's flag).
+  const std::string engineName =
+      opt.engineGiven ? opt.engine : info.representation;
+  std::unique_ptr<Engine> engine = makeEngine(engineName, info.numQubits);
+  if (telemetry) {
+    engine->metrics().enable();
+    engine->metrics().merge(cliMetrics);
+  }
+  if (opt.threadsGiven) engine->setExecutionThreads(opt.threads);
+  loadEngineState(*engine, opt.loadStatePath);
+  std::cout << "loaded state: " << engine->name() << ", "
+            << engine->numQubits() << " qubits (" << opt.loadStatePath
+            << ")\n";
+
+  PauliObservable observable;
+  if (!opt.observablePath.empty()) {
+    observable = PauliObservable::parseFile(opt.observablePath);
+    observable.validateForWidth(engine->numQubits());
+    std::cout << "observable: " << observable.summary() << "\n";
+  }
+  if (!opt.saveStatePath.empty()) {
+    saveEngineState(*engine, opt.saveStatePath);
+    std::cout << "saved state: " << opt.saveStatePath << "\n";
+  }
+  Rng rng(opt.seed);
+  return runStateQueries(opt, *engine, observable, rng, telemetry);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,10 +472,21 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    auto nextPath = [&](const char* flag, std::string* out,
+                        const char* what) -> bool {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::cerr << "error: " << flag << " requires " << what << "\n";
+        return false;
+      }
+      *out = v;
+      return true;
+    };
     if (arg == "--engine") {
       const char* v = next();
       if (v == nullptr) return usage();
       opt.engine = v;
+      opt.engineGiven = true;
     } else if (arg == "--shots") {
       if (!parseUnsigned("--shots", next(), &opt.shots)) return 2;
     } else if (arg == "--probs") {
@@ -214,30 +509,20 @@ int main(int argc, char** argv) {
       opt.stats = true;
       opt.statsFormat = arg.substr(std::strlen("--stats="));
     } else if (arg == "--trace") {
-      const char* v = next();
-      if (v == nullptr || *v == '\0') {
-        std::cerr << "error: --trace requires an output file path\n";
+      if (!nextPath("--trace", &opt.tracePath, "an output file path"))
         return 2;
-      }
-      opt.tracePath = v;
     } else if (arg == "--noise") {
-      const char* v = next();
-      if (v == nullptr || *v == '\0') {
-        std::cerr << "error: --noise requires a spec file path\n";
-        return 2;
-      }
-      opt.noisePath = v;
+      if (!nextPath("--noise", &opt.noisePath, "a spec file path")) return 2;
     } else if (arg == "--observable") {
-      const char* v = next();
-      if (v == nullptr || *v == '\0') {
-        std::cerr << "error: --observable requires a spec file path\n";
+      if (!nextPath("--observable", &opt.observablePath, "a spec file path"))
         return 2;
-      }
-      opt.observablePath = v;
     } else if (arg == "--trajectories") {
       if (!parseUnsigned("--trajectories", next(), &opt.trajectories))
         return 2;
       opt.trajectoriesGiven = true;
+    } else if (arg == "--traj-offset") {
+      if (!parseUnsigned("--traj-offset", next(), &opt.trajOffset)) return 2;
+      opt.trajOffsetGiven = true;
     } else if (arg == "--threads") {
       // 0 is the auto-detect sentinel; cap the explicit count well below
       // anything spawnable so a typo cannot fork-bomb the host.
@@ -245,21 +530,49 @@ int main(int argc, char** argv) {
       if (!parseUnsigned("--threads", next(), 1024, &threads)) return 2;
       opt.threads = static_cast<unsigned>(threads);
       opt.threadsGiven = true;
+    } else if (arg == "--save-state") {
+      if (!nextPath("--save-state", &opt.saveStatePath,
+                    "a snapshot file path")) {
+        return 2;
+      }
+    } else if (arg == "--load-state") {
+      if (!nextPath("--load-state", &opt.loadStatePath,
+                    "a snapshot file path")) {
+        return 2;
+      }
+    } else if (arg == "--warm-cache") {
+      if (!nextPath("--warm-cache", &opt.warmCacheDir,
+                    "a cache directory path")) {
+        return 2;
+      }
+    } else if (arg == "--merge-counts") {
+      opt.mergeCounts = true;
     } else if (arg == "--list-engines") {
       return listEngines();
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
-      opt.path = arg;
+      opt.inputs.push_back(arg);
     }
   }
-  if (opt.path.empty()) return usage();
+  if (!opt.mergeCounts) {
+    if (opt.inputs.size() > 1) {
+      std::cerr << "error: expected one circuit file, got "
+                << opt.inputs.size()
+                << " positional arguments (multiple inputs are only for "
+                   "--merge-counts)\n";
+      return 2;
+    }
+    if (!opt.inputs.empty()) opt.path = opt.inputs.front();
+    if (opt.path.empty() && opt.loadStatePath.empty()) return usage();
+  }
   // Flag-combination rules live in cli_options.hpp (unit-tested directly).
   if (const std::string error = sliq::cli::validateOptions(opt);
       !error.empty()) {
     std::cerr << "error: " << error << "\n";
     return 2;
   }
+  if (opt.mergeCounts) return mergeCountsMain(opt);
 
   // Telemetry recorded before the engine exists (parse, optimize) lands in
   // a CLI-local registry and is merged into the engine's afterwards — all
@@ -270,6 +583,10 @@ int main(int argc, char** argv) {
   if (telemetry) cliMetrics.enable();
 
   try {
+    if (opt.path.empty()) {
+      // --load-state with no circuit: query the snapshot directly.
+      return queryLoadedState(opt, cliMetrics, telemetry);
+    }
     QuantumCircuit circuit(1);
     {
       const metrics::ScopedSpan span(cliMetrics, "parse");
@@ -315,6 +632,14 @@ int main(int argc, char** argv) {
                 << ")\n";
       return 1;
     }
+    if ((!opt.saveStatePath.empty() || !opt.loadStatePath.empty() ||
+         !opt.warmCacheDir.empty()) &&
+        !engine->capabilities().serialization) {
+      std::cerr << "error: engine '" << engine->name()
+                << "' does not declare the serialization capability "
+                   "(--save-state/--load-state/--warm-cache need it)\n";
+      return 1;
+    }
 
     PauliObservable observable;
     if (!opt.observablePath.empty()) {
@@ -328,6 +653,7 @@ int main(int argc, char** argv) {
       std::cout << "noise: " << model.summary() << "\n";
       noise::TrajectoryOptions traj;
       traj.trajectories = opt.trajectories;
+      traj.firstTrajectory = opt.trajOffset;
       traj.threads = opt.threads;
       traj.seed = opt.seed;
       traj.metrics = telemetry ? &engine->metrics() : nullptr;
@@ -372,6 +698,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       return 0;
+    }
+
+    // Resume semantics: the restored snapshot replaces |0...0⟩ as the
+    // pre-run state, and the circuit (if any gates follow) applies on top.
+    if (!opt.loadStatePath.empty()) {
+      loadEngineState(*engine, opt.loadStatePath);
+      std::cout << "resumed: " << engine->name() << " state from "
+                << opt.loadStatePath << "\n";
     }
 
     Rng rng(opt.seed);
@@ -424,70 +758,24 @@ int main(int argc, char** argv) {
                 << engine->name() << ", dynamic)\n";
       std::cout << "creg: " << bitsToString(run.creg) << "\n";
     } else {
-      engine->run(circuit);
+      if (!opt.warmCacheDir.empty()) {
+        runWithWarmCache(*engine, circuit, opt);
+      } else {
+        engine->run(circuit);
+      }
       std::cout << "simulated in " << timer.seconds() << " s ("
                 << engine->name() << ")\n";
     }
     const std::string summary = engine->runSummary();
     if (!summary.empty()) std::cout << summary << "\n";
 
-    if (!opt.observablePath.empty()) {
-      // Exact expectations, one native contraction per string — the state
-      // is never collapsed, so the queries below still see the run() state.
-      WallTimer obsTimer;
-      double total = 0;
-      for (const PauliString& term : observable.terms()) {
-        const double value = engine->expectation(singleStringObservable(term));
-        total += term.coefficient * value;
-        std::cout << "<" << term.pauliText() << "> = " << std::setprecision(12)
-                  << value << " (coefficient " << term.coefficient << ")\n";
-      }
-      std::cout << "<O> = " << std::setprecision(12) << total << " in "
-                << std::setprecision(6) << obsTimer.seconds() << " s\n";
+    if (!opt.saveStatePath.empty()) {
+      saveEngineState(*engine, opt.saveStatePath);
+      std::cout << "saved state: " << opt.saveStatePath << "\n";
     }
-    if (opt.probs) {
-      for (unsigned q = 0; q < circuit.numQubits(); ++q)
-        std::cout << "Pr[q" << q << "=1] = " << engine->probabilityOne(q)
-                  << "\n";
-    }
-    if (opt.amps > 0) {
-      for (const auto& [index, value] : engine->nonzeroAmplitudes(opt.amps))
-        std::cout << "amp[" << index << "] = " << value << "\n";
-    }
-    if (opt.shots > 0) {
-      // Batched path: per-state setup (weight traversal, cumulative
-      // distribution, ...) amortized across each chunk. Chunking keeps
-      // memory bounded and the output streaming for huge shot counts.
-      constexpr unsigned kChunk = 1u << 16;
-      const metrics::ScopedSpan span(engine->metrics(), "sampling");
-      WallTimer shotTimer;
-      double sampleSeconds = 0;
-      for (unsigned done = 0; done < opt.shots;) {
-        const unsigned batch = std::min(kChunk, opt.shots - done);
-        WallTimer batchTimer;
-        const std::vector<std::vector<bool>> shots =
-            engine->sampleShots(batch, rng);
-        sampleSeconds += batchTimer.seconds();
-        for (std::size_t s = 0; s < shots.size(); ++s)
-          std::cout << "shot " << done + s << ": " << bitsToString(shots[s])
-                    << "\n";
-        done += batch;
-      }
-      std::cout << "sampled " << opt.shots << " shots in " << sampleSeconds
-                << " s\n";
-    }
-    if (telemetry) {
-      const std::string stats = engine->statsSummary();
-      if (opt.stats && opt.statsFormat == "text" && !stats.empty()) {
-        std::cout << stats << "\n";
-      }
-      if (!emitTelemetry(opt, engine->runMetrics(), engine->metrics())) {
-        return 1;
-      }
-    }
+    return runStateQueries(opt, *engine, observable, rng, telemetry);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return 0;
 }
