@@ -1,0 +1,88 @@
+#include "core/circuit_analyzer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "stabilizer/stabilizer.hpp"
+
+namespace sliq {
+namespace {
+
+// Union-find over qubits for the interaction-width proxy.
+unsigned findRoot(std::vector<unsigned>& parent, unsigned q) {
+  while (parent[q] != q) {
+    parent[q] = parent[parent[q]];
+    q = parent[q];
+  }
+  return q;
+}
+
+}  // namespace
+
+CircuitFeatures analyzeCircuit(const QuantumCircuit& circuit) {
+  CircuitFeatures f;
+  f.numQubits = circuit.numQubits();
+  f.gateCount = circuit.gateCount();
+  f.histogram = circuit.histogram();
+  f.dynamic = circuit.isDynamic();
+
+  const unsigned n = circuit.numQubits();
+  std::vector<unsigned> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::vector<std::size_t> qubitDepth(n, 0);
+
+  bool inCliffordPrefix = true;
+  for (const Gate& g : circuit.gates()) {
+    const bool dynamicOp = g.isDynamicOp() || g.conditioned;
+    if (dynamicOp) ++f.dynamicOps;
+
+    const bool clifford = StabilizerSimulator::supportsGate(g);
+    if (!g.isDynamicOp()) {
+      ++f.unitaryGates;
+      if (clifford) {
+        ++f.cliffordGates;
+      } else {
+        ++f.nonCliffordGates;
+      }
+      if (g.kind == GateKind::kT || g.kind == GateKind::kTdg) ++f.tCount;
+    }
+    if (inCliffordPrefix && !dynamicOp && clifford) {
+      ++f.cliffordPrefixGates;
+    } else {
+      inCliffordPrefix = false;
+    }
+
+    if (g.arity() >= 2 && !g.isDynamicOp()) {
+      ++f.twoQubitGates;
+      std::size_t depth = 0;
+      unsigned root = findRoot(parent, g.targets[0]);
+      const auto touch = [&](unsigned q) {
+        depth = std::max(depth, qubitDepth[q]);
+        const unsigned other = findRoot(parent, q);
+        parent[other] = root;
+      };
+      for (unsigned q : g.targets) touch(q);
+      for (unsigned q : g.controls) touch(q);
+      ++depth;
+      for (unsigned q : g.targets) qubitDepth[q] = depth;
+      for (unsigned q : g.controls) qubitDepth[q] = depth;
+      f.twoQubitDepth = std::max(f.twoQubitDepth, depth);
+    }
+  }
+
+  if (f.unitaryGates > 0) {
+    f.cliffordFraction = static_cast<double>(f.cliffordGates) /
+                         static_cast<double>(f.unitaryGates);
+  }
+
+  std::vector<unsigned> componentSize(n, 0);
+  for (unsigned q = 0; q < n; ++q) {
+    const unsigned root = findRoot(parent, q);
+    ++componentSize[root];
+    f.interactionWidth = std::max(f.interactionWidth, componentSize[root]);
+  }
+  return f;
+}
+
+}  // namespace sliq

@@ -74,6 +74,13 @@ class ExactEngine final : public Engine {
   void loadStatePayload(serialize::Reader& in) override {
     sim_.loadStatePayload(in);
   }
+  bool extractDense(std::vector<std::complex<double>>* out,
+                    std::uint64_t budgetBytes) override {
+    // Physical amplitudes (normalization correction applied); the typed
+    // MemoryBudgetError propagates when 2^n is over budget.
+    *out = sim_.statevector(budgetBytes);
+    return true;
+  }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
     return sim_.sampleAll(rng);
@@ -224,6 +231,16 @@ class QmddEngine final : public Engine {
   void loadStatePayload(serialize::Reader& in) override {
     sim_.loadStatePayload(in);
   }
+  bool extractDense(std::vector<std::complex<double>>* out,
+                    std::uint64_t budgetBytes) override {
+    *out = sim_.statevector(budgetBytes);
+    return true;
+  }
+  bool loadDense(
+      const std::vector<std::complex<double>>& amplitudes) override {
+    sim_.loadDense(amplitudes);
+    return true;
+  }
   std::vector<bool> sampleShot(Rng& rng) override {
     requireUncollapsed();
     return bitsOf(sim_.sampleAll(rng), sim_.numQubits());
@@ -338,6 +355,12 @@ class ChpEngine final : public Engine {
   void loadStatePayload(serialize::Reader& in) override {
     sim_.loadStatePayload(in);
   }
+  bool extractPreparation(QuantumCircuit* out) override {
+    // Tableau disentangling (stabilizer.cpp): a {H, S, X, CNOT, CZ}
+    // circuit preparing the state from |0...0⟩ — the chp → anything route.
+    *out = sim_.extractPreparation();
+    return true;
+  }
   double probabilityOne(unsigned qubit) override {
     return sim_.probabilityOne(qubit);
   }
@@ -427,6 +450,19 @@ class StatevectorEngine final : public Engine {
   }
   void loadStatePayload(serialize::Reader& in) override {
     sim().loadStatePayload(in);
+  }
+  bool extractDense(std::vector<std::complex<double>>* out,
+                    std::uint64_t budgetBytes) override {
+    // The copy is the conversion's working set — hold it to the same
+    // budget contract as the DD extractions.
+    requireDenseBudget(n_, budgetBytes);
+    *out = sim().state();
+    return true;
+  }
+  bool loadDense(
+      const std::vector<std::complex<double>>& amplitudes) override {
+    sim().setState(amplitudes);
+    return true;
   }
   double probabilityOne(unsigned qubit) override {
     return sim().probabilityOne(qubit);
@@ -791,31 +827,67 @@ std::string EngineRegistry::namesJoined() const {
   return out;
 }
 
+namespace {
+
+// Plain two-row Levenshtein distance; the operand strings are engine names,
+// so quadratic cost is irrelevant.
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string EngineRegistry::closestName(const std::string& name) const {
+  const std::string key = toLower(name);
+  std::string best;
+  std::size_t bestDistance = 3;  // suggest only within distance 2
+  for (const std::string& candidate : names()) {
+    const std::size_t d = editDistance(key, candidate);
+    if (d < bestDistance) {
+      bestDistance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+void EngineRegistry::throwUnknown(const std::string& name) const {
+  std::string message =
+      "unknown engine '" + name + "' (registered: " + namesJoined() + ")";
+  const std::string suggestion = closestName(name);
+  if (!suggestion.empty()) {
+    message += " — did you mean '" + suggestion + "'?";
+  }
+  throw UnknownEngineError(message);
+}
+
 std::string EngineRegistry::describe(const std::string& name) const {
   const Entry* e = find(name);
-  if (e == nullptr) {
-    throw UnknownEngineError("unknown engine '" + name +
-                             "' (registered: " + namesJoined() + ")");
-  }
+  if (e == nullptr) throwUnknown(name);
   return e->description;
 }
 
 EngineCapabilities EngineRegistry::capabilities(const std::string& name) const {
   const Entry* e = find(name);
-  if (e == nullptr) {
-    throw UnknownEngineError("unknown engine '" + name +
-                             "' (registered: " + namesJoined() + ")");
-  }
+  if (e == nullptr) throwUnknown(name);
   return e->capabilities;
 }
 
 std::unique_ptr<Engine> EngineRegistry::create(const std::string& name,
                                                unsigned numQubits) const {
   const Entry* e = find(name);
-  if (e == nullptr) {
-    throw UnknownEngineError("unknown engine '" + name +
-                             "' (registered: " + namesJoined() + ")");
-  }
+  if (e == nullptr) throwUnknown(name);
   return e->factory(numQubits);
 }
 

@@ -9,6 +9,7 @@
 // (stabilizer tableau, Clifford only) and statevector (dense array).
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "support/memuse.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
 
@@ -263,6 +265,27 @@ class Engine {
   /// Records a `state.load` span into metrics().
   void loadState(std::istream& in);
 
+  // ---- cross-representation conversion (core/state_convert.cpp) ----------
+  /// Converts this engine's current state INTO `dst`, which must be a
+  /// freshly constructed engine of the same width (still in |0...0⟩ —
+  /// conversion composes its route on top of dst's initial state). Routes,
+  /// tried in order:
+  ///   1. same representation — sliq.state.v1 snapshot round-trip;
+  ///   2. stabilizer extraction — the tableau's preparation circuit
+  ///      replayed gate by gate on dst (chp → exact/qmdd/statevector,
+  ///      exact up to global phase);
+  ///   3. dense hand-over — budgeted 2^n amplitude extraction re-encoded
+  ///      into dst ({exact, qmdd, statevector} → {qmdd, statevector}).
+  /// Afterwards dst holds the same state as a NEW reference state
+  /// (sampling/expectation re-armed; probabilities agree to >= 10 digits —
+  /// pinned by the differential harness). Pairs with no route (anything
+  /// non-chp → chp or → exact) throw ConversionError (state_convert.hpp);
+  /// an over-budget dense extraction throws MemoryBudgetError
+  /// (support/memuse.hpp). Both are typed and catchable, so the dispatcher
+  /// falls back instead of aborting. Records a `state.convert` span.
+  void exportTo(Engine& dst,
+                std::uint64_t denseBudgetBytes = kDefaultDenseBudgetBytes);
+
   /// The paper's 'error' column: true when the engine's normalization
   /// invariant has drifted beyond its engine-specific tolerance.
   virtual bool numericalError() { return false; }
@@ -332,6 +355,33 @@ class Engine {
   /// generic basis-change + probabilityOne fallback.
   virtual double expectationImpl(const PauliObservable& observable);
 
+  // ---- conversion hooks (exportTo's routes; core/state_convert.cpp) ------
+  /// Fills `out` with a static circuit preparing the current state from
+  /// |0...0⟩ (up to global phase) and returns true; false when the
+  /// representation cannot extract one (every engine but chp).
+  virtual bool extractPreparation(QuantumCircuit* out) {
+    (void)out;
+    return false;
+  }
+  /// Fills `out` with the dense 2^n amplitude array (bit q of the index =
+  /// qubit q, physical normalization applied) and returns true; false when
+  /// the representation cannot enumerate amplitudes (chp). Throws the
+  /// typed MemoryBudgetError when 2^n complex doubles exceed `budgetBytes`.
+  virtual bool extractDense(std::vector<std::complex<double>>* out,
+                            std::uint64_t budgetBytes) {
+    (void)out;
+    (void)budgetBytes;
+    return false;
+  }
+  /// Replaces the engine state with the dense array and returns true;
+  /// false when the representation cannot ingest arbitrary complex
+  /// amplitudes (chp — not a stabilizer state in general; exact — doubles
+  /// carry no exact Z[√2] decomposition).
+  virtual bool loadDense(const std::vector<std::complex<double>>& amplitudes) {
+    (void)amplitudes;
+    return false;
+  }
+
   /// Wrapper measure() implementations call this; sampleShot() then
   /// refuses via requireUncollapsed().
   void noteCollapsed() { collapsed_ = true; }
@@ -369,6 +419,11 @@ class EngineRegistry {
   bool contains(const std::string& name) const;
   /// Canonical engine names, sorted.
   std::vector<std::string> names() const;
+  /// The registered name closest to `name` (case-insensitive Levenshtein
+  /// distance <= 2), or "" when nothing is close enough — the "did you
+  /// mean" half of the UnknownEngineError message. Distance ties break
+  /// toward the alphabetically first name so the suggestion is stable.
+  std::string closestName(const std::string& name) const;
   /// names() joined with ", " — for error and usage messages.
   std::string namesJoined() const;
   std::string describe(const std::string& name) const;
@@ -388,6 +443,7 @@ class EngineRegistry {
     EngineCapabilities capabilities;
   };
   const Entry* find(const std::string& name) const;
+  [[noreturn]] void throwUnknown(const std::string& name) const;
 
   std::vector<Entry> entries_;
 };

@@ -24,6 +24,7 @@
 #include "bdd/manager.hpp"
 #include "bigint/zroot2.hpp"
 #include "circuit/circuit.hpp"
+#include "support/memuse.hpp"
 #include "support/rng.hpp"
 
 namespace sliq::serialize {
@@ -78,8 +79,12 @@ class SliqSimulator {
   /// state is sub-normalized; multiply toComplex() by
   /// normalizationCorrection() for the physical amplitude.
   AlgebraicComplex amplitude(std::uint64_t basisState) const;
-  /// Dense statevector (n <= 20), physical (normalization applied).
-  std::vector<std::complex<double>> statevector();
+  /// Dense statevector, physical (normalization applied). Throws the
+  /// typed, catchable MemoryBudgetError (support/memuse.hpp) when the 2^n
+  /// array would exceed `budgetBytes` — callers (conversion, dispatch) can
+  /// catch it and fall back instead of aborting.
+  std::vector<std::complex<double>> statevector(
+      std::uint64_t budgetBytes = kDefaultDenseBudgetBytes);
 
   /// Σ|α_i|²·2ᵏ over all basis states, exactly. Equals 2ᵏ while the state
   /// is normalized (invariant checked by tests).

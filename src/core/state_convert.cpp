@@ -1,0 +1,73 @@
+// Engine::exportTo — cross-representation state conversion over the hook
+// trio extractPreparation / extractDense / loadDense (see the route matrix
+// in state_convert.hpp).
+#include "core/state_convert.hpp"
+
+#include <complex>
+#include <sstream>
+#include <vector>
+
+#include "core/engine_registry.hpp"
+
+namespace sliq {
+
+void Engine::exportTo(Engine& dst, std::uint64_t denseBudgetBytes) {
+  if (&dst == this) {
+    throw ConversionError("exportTo: source and target are the same engine "
+                          "instance");
+  }
+  if (dst.numQubits() != numQubits()) {
+    throw ConversionError(
+        "exportTo: target engine is " + std::to_string(dst.numQubits()) +
+        " qubit(s) wide but the source state has " +
+        std::to_string(numQubits()));
+  }
+  const metrics::ScopedSpan span(metrics_, "state.convert");
+
+  // Route 1 — same representation: the versioned snapshot round-trip is
+  // bit-identical and costs no re-encoding.
+  if (dst.name() == name()) {
+    std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+    saveState(buffer);
+    dst.loadState(buffer);  // re-arms dst's collapse restriction itself
+    metrics_.add("convert.snapshot");
+    return;
+  }
+
+  // Route 2 — stabilizer extraction: replay the tableau's preparation
+  // circuit on the target. Every engine applies plain Clifford gates, so
+  // this route reaches all of them.
+  QuantumCircuit prep(numQubits());
+  if (extractPreparation(&prep)) {
+    for (const Gate& g : prep.gates()) dst.applyGate(g);
+    metrics_.add("convert.prep_gates", prep.gateCount());
+    metrics_.add("convert.prep_replay");
+    dst.collapsed_ = false;  // the converted state is a new reference state
+    dst.maybeAudit();
+    return;
+  }
+
+  // Route 3 — dense hand-over: budgeted 2^n extraction, re-encoded
+  // natively by the target. An over-budget width throws MemoryBudgetError
+  // out of extractDense (typed — callers fall back).
+  std::vector<std::complex<double>> amplitudes;
+  if (extractDense(&amplitudes, denseBudgetBytes)) {
+    if (dst.loadDense(amplitudes)) {
+      metrics_.add("convert.dense");
+      dst.collapsed_ = false;
+      dst.maybeAudit();
+      return;
+    }
+    throw ConversionError(
+        "no conversion route from '" + name() + "' to '" + dst.name() +
+        "': the target cannot ingest dense amplitudes (a generic state is "
+        "not a stabilizer state; doubles have no exact Z[\xE2\x88\x9A"
+        "2] decomposition)");
+  }
+  throw ConversionError("no conversion route from '" + name() + "' to '" +
+                        dst.name() +
+                        "': the source extracts neither a preparation "
+                        "circuit nor a dense amplitude array");
+}
+
+}  // namespace sliq

@@ -3,6 +3,7 @@
 
 #include "core/simulator.hpp"
 #include "support/assert.hpp"
+#include "support/memuse.hpp"
 
 namespace sliq {
 
@@ -25,8 +26,12 @@ AlgebraicComplex SliqSimulator::amplitude(std::uint64_t basisState) const {
   return AlgebraicComplex(coef[0], coef[1], coef[2], coef[3], k_);
 }
 
-std::vector<std::complex<double>> SliqSimulator::statevector() {
-  SLIQ_REQUIRE(n_ <= 20, "dense extraction limited to 20 qubits");
+std::vector<std::complex<double>> SliqSimulator::statevector(
+    std::uint64_t budgetBytes) {
+  // Budgeted, not capped at a fixed width: a typed MemoryBudgetError lets
+  // the dispatcher/conversion layer catch the infeasible case and fall
+  // back, instead of a blanket n<=20 abort.
+  requireDenseBudget(n_, budgetBytes);
   const double correction = normalizationCorrection();
   std::vector<std::complex<double>> out(std::uint64_t{1} << n_);
   for (std::uint64_t i = 0; i < out.size(); ++i)

@@ -331,4 +331,54 @@ void QmddSimulator::loadStatePayload(serialize::Reader& in) {
   mgr_.gcIfNeeded();
 }
 
+std::vector<std::complex<double>> QmddSimulator::statevector(
+    std::uint64_t budgetBytes) {
+  requireDenseBudget(n_, budgetBytes);
+  std::vector<std::complex<double>> out(std::uint64_t{1} << n_,
+                                        std::complex<double>(0.0, 0.0));
+  const ComplexTable& ct = mgr_.complexTable();
+  // Weighted descent accumulating downward edge-weight products; a zero
+  // weight prunes the whole subtree, so sparse states cost far fewer than
+  // 2^n visits. Terminal edges with nonzero weight only occur below level 0
+  // (the full-depth invariant), where the subtree is the single entry.
+  const auto fill = [&](const auto& self, VEdge e, std::uint64_t base,
+                        Complex weight) -> void {
+    const Complex w = weight * ct.value(e.w);
+    if (w.real() == 0.0 && w.imag() == 0.0) return;
+    if (e.node == kTerminal) {
+      out[base] = w;
+      return;
+    }
+    const VNode& node = mgr_.vnode(e.node);
+    self(self, node.e[0], base, w);
+    self(self, node.e[1], base | (std::uint64_t{1} << node.level), w);
+  };
+  fill(fill, mgr_.root(), 0, Complex(1.0, 0.0));
+  return out;
+}
+
+void QmddSimulator::loadDense(
+    const std::vector<std::complex<double>>& amplitudes) {
+  SLIQ_REQUIRE(amplitudes.size() == (std::uint64_t{1} << n_),
+               "dense amplitude array size must be 2^numQubits");
+  // Bottom-up rebuild through makeVNode, exactly like loadStatePayload:
+  // the unique table re-merges equal suffixes (a product state costs O(n)
+  // distinct nodes) and makeVNode re-derives the edge normalization.
+  // Nothing touches the registered root until the final setRoot, so a
+  // throw mid-way leaves the state unchanged.
+  ComplexTable& ct = mgr_.complexTable();
+  const auto build = [&](const auto& self, std::int32_t level,
+                         std::uint64_t base) -> VEdge {
+    if (level < 0) {
+      return VEdge{kTerminal, ct.lookup(Complex(amplitudes[base]))};
+    }
+    const VEdge e0 = self(self, level - 1, base);
+    const VEdge e1 =
+        self(self, level - 1, base | (std::uint64_t{1} << level));
+    return mgr_.makeVNode(level, e0, e1);
+  };
+  mgr_.setRoot(build(build, static_cast<std::int32_t>(n_) - 1, 0));
+  mgr_.gcIfNeeded();
+}
+
 }  // namespace sliq::qmdd

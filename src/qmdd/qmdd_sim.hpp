@@ -10,6 +10,7 @@
 
 #include "circuit/circuit.hpp"
 #include "qmdd/qmdd.hpp"
+#include "support/memuse.hpp"
 #include "support/rng.hpp"
 
 namespace sliq {
@@ -62,6 +63,19 @@ class QmddSimulator {
   /// batch: one weight pass plus n steps per shot. Deviate consumption per
   /// shot matches sampleAll, so a fixed seed yields the same sequence.
   std::vector<std::uint64_t> sampleShots(unsigned count, Rng& rng);
+
+  /// Dense statevector extraction by one weighted DD descent (zero-weight
+  /// subtrees skipped). Throws the typed MemoryBudgetError
+  /// (support/memuse.hpp) when the 2^n array would exceed `budgetBytes` —
+  /// the qmdd → statevector conversion route, budgeted so callers can
+  /// catch the infeasible case and fall back.
+  std::vector<std::complex<double>> statevector(
+      std::uint64_t budgetBytes = kDefaultDenseBudgetBytes);
+  /// Replaces the state with the dense amplitude array (size 2^n, bit q of
+  /// the index = qubit q), rebuilt bottom-up through makeVNode exactly like
+  /// loadStatePayload — shared suffixes re-merge into shared nodes and the
+  /// normalization is re-derived. The statevector → qmdd re-encoding route.
+  void loadDense(const std::vector<std::complex<double>>& amplitudes);
 
   /// ⟨P⟩ for the Pauli string given per qubit (0=I, 1=X, 2=Y, 3=Z),
   /// normalized by Σ|α|² so accumulated edge-weight rounding drift cancels.

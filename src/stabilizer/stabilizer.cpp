@@ -160,13 +160,74 @@ void StabilizerSimulator::run(const QuantumCircuit& circuit) {
   for (const Gate& g : circuit.gates()) applyGate(g);
 }
 
+bool StabilizerSimulator::supportsGate(const Gate& g) {
+  if (g.kind == GateKind::kT || g.kind == GateKind::kTdg) return false;
+  if (g.controls.size() > 1) return false;
+  if (g.kind == GateKind::kSwap && !g.controls.empty()) return false;
+  return true;
+}
+
 bool StabilizerSimulator::supports(const QuantumCircuit& circuit) {
   for (const Gate& g : circuit.gates()) {
-    if (g.kind == GateKind::kT || g.kind == GateKind::kTdg) return false;
-    if (g.controls.size() > 1) return false;
-    if (g.kind == GateKind::kSwap && !g.controls.empty()) return false;
+    if (!supportsGate(g)) return false;
   }
   return true;
+}
+
+QuantumCircuit StabilizerSimulator::extractPreparation() const {
+  // Disentangle a working copy qubit by qubit, recording the gates; the
+  // inverse of the recording prepares this state from |0...0⟩.
+  //
+  // Per qubit q: when some stabilizer row p carries X (or Y) at q, the
+  // outcome of measuring q is random — normalize row p to ±X_q (S turns a
+  // Y into ∓X; CNOT absorbs X support on other qubits into q, CZ absorbs Z
+  // support), then H maps it to ±Z_q and an X fixes a negative sign. When
+  // no row carries X at q the outcome is deterministic (±Z_q is already in
+  // the stabilizer group) and at most an X is needed. Either way +Z_q ends
+  // up a generator, i.e. qubit q is a disentangled |0⟩.
+  //
+  // Safety of later iterations: once +Z_j stabilizes the state, every
+  // group element commutes with it, so no row can carry X or Y at a
+  // cleared qubit j — the only gate ever aimed at one is CZ(q, j), which
+  // acts trivially on |0⟩_j and leaves Z columns invariant.
+  StabilizerSimulator work = *this;
+  QuantumCircuit undo(n_, "chp-disentangle");
+  const auto emit = [&](GateKind kind, std::vector<unsigned> targets,
+                        std::vector<unsigned> controls) {
+    Gate g{kind, std::move(targets), std::move(controls)};
+    work.applyGate(g);
+    undo.append(std::move(g));
+  };
+  for (unsigned q = 0; q < n_; ++q) {
+    const unsigned p = work.anticommutingStabilizer(q);
+    if (p == 2 * n_) {
+      // Deterministic qubit: |1⟩ iff −Z_q is in the group.
+      if (work.probabilityOne(q) > 0.5) emit(GateKind::kX, {q}, {});
+      continue;
+    }
+    Row& row = work.rows_[p];
+    if (work.getZ(row, q)) emit(GateKind::kS, {q}, {});  // Y_q → ∓X_q
+    for (unsigned j = 0; j < n_; ++j) {
+      if (j == q) continue;
+      if (work.getX(row, j) && work.getZ(row, j)) {
+        emit(GateKind::kS, {j}, {});  // Y_j → ∓X_j
+      }
+      if (work.getX(row, j)) {
+        emit(GateKind::kCnot, {j}, {q});  // X_q X_j → X_q
+      } else if (work.getZ(row, j)) {
+        emit(GateKind::kCz, {j}, {q});  // X_q Z_j → X_q
+      }
+    }
+    emit(GateKind::kH, {q}, {});  // ±X_q → ±Z_q
+    if (row.phase) emit(GateKind::kX, {q}, {});
+  }
+#ifndef NDEBUG
+  for (unsigned q = 0; q < n_; ++q) {
+    const double disentangledP1 = work.probabilityOne(q);
+    SLIQ_ASSERT(disentangledP1 == 0.0);
+  }
+#endif
+  return undo.inverse();
 }
 
 bool StabilizerSimulator::anticommutes(const Row& a, const Row& b) const {

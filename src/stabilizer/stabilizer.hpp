@@ -39,6 +39,21 @@ class StabilizerSimulator {
   void run(const QuantumCircuit& circuit);
   /// True if every gate of `circuit` is in the supported Clifford set.
   static bool supports(const QuantumCircuit& circuit);
+  /// Per-gate variant of supports(): true for the supported Clifford set
+  /// and for the dynamic ops (measure/reset execute through runDynamic).
+  /// The circuit analyzer keys its Clifford classification off this, so
+  /// the dispatcher can never pick chp for a gate this class would refuse.
+  static bool supportsGate(const Gate& gate);
+
+  /// A static Clifford circuit over {H, S, X, CNOT, CZ} that prepares this
+  /// tableau's state from |0...0⟩ (up to global phase — unobservable in
+  /// probabilities and expectations). Derived by disentangling a working
+  /// copy qubit by qubit: the recorded gates reduce the state to |0...0⟩
+  /// (each qubit ends with +Z_q in the stabilizer group), and the inverse
+  /// of that recording is the preparation. O(n³); does not mutate this
+  /// tableau. Replaying the result on any engine reconstructs the state —
+  /// the tableau → {exact, qmdd, statevector} conversion route.
+  QuantumCircuit extractPreparation() const;
 
   /// Measures qubit q in the computational basis. Deterministic outcomes
   /// are returned directly; random ones consume `rng`.

@@ -275,4 +275,11 @@ void StatevectorSimulator::loadStatePayload(serialize::Reader& in) {
   state_ = std::move(state);  // all parsed — commit atomically
 }
 
+void StatevectorSimulator::setState(std::vector<Amplitude> amplitudes) {
+  SLIQ_REQUIRE(amplitudes.size() ==
+                   (std::uint64_t{1} << numQubits_),
+               "dense amplitude array size must be 2^numQubits");
+  state_ = std::move(amplitudes);
+}
+
 }  // namespace sliq

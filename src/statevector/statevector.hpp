@@ -38,6 +38,11 @@ class StatevectorSimulator {
 
   unsigned numQubits() const { return numQubits_; }
   const std::vector<Amplitude>& state() const { return state_; }
+  /// Replaces the register with `amplitudes` (size exactly 2^n, bit q of
+  /// the index = qubit q) — the dense landing pad of cross-representation
+  /// state conversion (core/state_convert.cpp). The caller owns
+  /// normalization; auditInvariants() still checks Σ|α|² ≈ 1.
+  void setState(std::vector<Amplitude> amplitudes);
 
   /// Number of worker threads the gate kernels partition amplitude groups
   /// across. 1 (default) runs in the calling thread; 0 means "auto"

@@ -1,8 +1,16 @@
 // Process memory introspection (Linux /proc based), used by the benchmark
-// harnesses to report the Mem(MB) columns of the paper's tables.
+// harnesses to report the Mem(MB) columns of the paper's tables, plus the
+// shared dense-allocation budget contract: every code path that would
+// materialize a 2^n amplitude array (state_export, conversion, the dense
+// engine) checks the same budget and throws the same typed error, so the
+// dispatcher/conversion layer can catch it and fall back instead of
+// aborting.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace sliq {
 
@@ -14,6 +22,54 @@ std::size_t peakRssBytes();
 
 inline double toMiB(std::size_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/// A dense 2^n amplitude array would exceed its byte budget. Typed (not a
+/// bare invalid_argument) so callers — the engine dispatcher, state
+/// conversion — can catch it and fall back to a compressed representation.
+class MemoryBudgetError : public std::runtime_error {
+ public:
+  MemoryBudgetError(unsigned numQubits, std::uint64_t requiredBytes,
+                    std::uint64_t budgetBytes)
+      : std::runtime_error(
+            "dense extraction of " + std::to_string(numQubits) +
+            " qubit(s) needs " + std::to_string(requiredBytes) +
+            " bytes (2^" + std::to_string(numQubits) +
+            " amplitudes), over the " + std::to_string(budgetBytes) +
+            "-byte budget"),
+        numQubits_(numQubits),
+        requiredBytes_(requiredBytes),
+        budgetBytes_(budgetBytes) {}
+
+  unsigned numQubits() const { return numQubits_; }
+  std::uint64_t requiredBytes() const { return requiredBytes_; }
+  std::uint64_t budgetBytes() const { return budgetBytes_; }
+
+ private:
+  unsigned numQubits_;
+  std::uint64_t requiredBytes_;
+  std::uint64_t budgetBytes_;
+};
+
+/// Default dense budget: 1 GiB = 2^26 amplitudes, matching the dense
+/// engine's historical feasibility ceiling.
+inline constexpr std::uint64_t kDefaultDenseBudgetBytes =
+    std::uint64_t{1} << 30;
+
+/// Bytes of a dense complex<double> statevector over `numQubits` qubits
+/// (saturates instead of overflowing for absurd widths).
+inline std::uint64_t denseStateBytes(unsigned numQubits) {
+  if (numQubits >= 60) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << numQubits) * 2 * sizeof(double);
+}
+
+/// Throws MemoryBudgetError when a dense array over `numQubits` qubits
+/// would not fit in `budgetBytes`.
+inline void requireDenseBudget(unsigned numQubits, std::uint64_t budgetBytes) {
+  const std::uint64_t required = denseStateBytes(numQubits);
+  if (required > budgetBytes) {
+    throw MemoryBudgetError(numQubits, required, budgetBytes);
+  }
 }
 
 }  // namespace sliq

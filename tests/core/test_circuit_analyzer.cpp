@@ -1,0 +1,104 @@
+// Circuit analyzer: the workload features driving --engine auto
+// (DESIGN.md §13) — gate classification, prefix detection, and the
+// two-qubit-depth / interaction-width entanglement proxies.
+#include "core/circuit_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+
+namespace sliq {
+namespace {
+
+TEST(CircuitAnalyzer, EmptyCircuit) {
+  const CircuitFeatures f = analyzeCircuit(QuantumCircuit(3));
+  EXPECT_EQ(f.numQubits, 3u);
+  EXPECT_EQ(f.gateCount, 0u);
+  EXPECT_EQ(f.unitaryGates, 0u);
+  EXPECT_EQ(f.cliffordFraction, 1.0);  // vacuously Clifford
+  EXPECT_EQ(f.tCount, 0u);
+  EXPECT_EQ(f.twoQubitDepth, 0u);
+  EXPECT_EQ(f.cliffordPrefixGates, 0u);
+  EXPECT_EQ(f.interactionWidth, 1u);  // no gate links any qubits
+  EXPECT_FALSE(f.dynamic);
+}
+
+TEST(CircuitAnalyzer, PureCliffordGhz) {
+  QuantumCircuit c(4);
+  c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+  const CircuitFeatures f = analyzeCircuit(c);
+  EXPECT_EQ(f.gateCount, 4u);
+  EXPECT_EQ(f.cliffordGates, 4u);
+  EXPECT_EQ(f.nonCliffordGates, 0u);
+  EXPECT_EQ(f.cliffordFraction, 1.0);
+  EXPECT_EQ(f.cliffordPrefixGates, 4u);
+  EXPECT_EQ(f.twoQubitGates, 3u);
+  EXPECT_EQ(f.twoQubitDepth, 3u);      // the CNOT chain is sequential
+  EXPECT_EQ(f.interactionWidth, 4u);   // one connected component
+  EXPECT_EQ(f.histogram.at("cx"), 3u);
+}
+
+TEST(CircuitAnalyzer, TGatesEndTheCliffordPrefix) {
+  QuantumCircuit c(2);
+  c.h(0).cx(0, 1).t(0).tdg(1).h(0);
+  const CircuitFeatures f = analyzeCircuit(c);
+  EXPECT_EQ(f.cliffordGates, 3u);
+  EXPECT_EQ(f.nonCliffordGates, 2u);
+  EXPECT_EQ(f.tCount, 2u);
+  EXPECT_DOUBLE_EQ(f.cliffordFraction, 3.0 / 5.0);
+  // The prefix stops at the first T and never restarts, even though a
+  // later Clifford gate follows.
+  EXPECT_EQ(f.cliffordPrefixGates, 2u);
+}
+
+TEST(CircuitAnalyzer, MultiControlledGatesAreNonClifford) {
+  QuantumCircuit c(3);
+  c.ccx(0, 1, 2);              // Toffoli: outside the tableau gate set
+  c.cswap(0, 1, 2);            // Fredkin: likewise
+  const CircuitFeatures f = analyzeCircuit(c);
+  EXPECT_EQ(f.nonCliffordGates, 2u);
+  EXPECT_EQ(f.tCount, 0u);     // non-Clifford without being T gates
+  EXPECT_EQ(f.cliffordPrefixGates, 0u);
+  EXPECT_EQ(f.twoQubitGates, 2u);  // arity >= 2 regardless of class
+}
+
+TEST(CircuitAnalyzer, DynamicOpsAreCountedAndFlagged) {
+  QuantumCircuit c(2);
+  c.declareClassicalRegister(2);
+  c.h(0);
+  c.measure(0, 0);
+  c.onlyIf(1, Gate{GateKind::kX, {1}, {}});
+  c.reset(0);
+  const CircuitFeatures f = analyzeCircuit(c);
+  EXPECT_TRUE(f.dynamic);
+  EXPECT_EQ(f.dynamicOps, 3u);         // measure + conditioned X + reset
+  EXPECT_EQ(f.unitaryGates, 2u);       // h and the conditioned x
+  // The prefix must be executable unconditionally, so it ends at the
+  // measure even though every unitary involved is Clifford.
+  EXPECT_EQ(f.cliffordPrefixGates, 1u);
+}
+
+TEST(CircuitAnalyzer, TwoQubitDepthTracksPerQubitChains) {
+  QuantumCircuit c(4);
+  // Two parallel CNOTs (depth 1 each), then one crossing CNOT on top.
+  c.cx(0, 1).cx(2, 3).cx(1, 2);
+  const CircuitFeatures f = analyzeCircuit(c);
+  EXPECT_EQ(f.twoQubitGates, 3u);
+  EXPECT_EQ(f.twoQubitDepth, 2u);  // the crossing gate stacks on both pairs
+  EXPECT_EQ(f.interactionWidth, 4u);
+}
+
+TEST(CircuitAnalyzer, InteractionWidthSeesDisjointBlocks) {
+  QuantumCircuit c(6);
+  c.cx(0, 1).cx(1, 2);  // block {0,1,2}
+  c.cx(4, 5);           // block {4,5}; qubit 3 untouched
+  const CircuitFeatures f = analyzeCircuit(c);
+  EXPECT_EQ(f.interactionWidth, 3u);
+  // Single-qubit gates never link qubits.
+  QuantumCircuit d(6);
+  for (unsigned q = 0; q < 6; ++q) d.h(q);
+  EXPECT_EQ(analyzeCircuit(d).interactionWidth, 1u);
+}
+
+}  // namespace
+}  // namespace sliq

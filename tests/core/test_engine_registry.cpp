@@ -5,6 +5,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "core/engine_registry.hpp"
@@ -83,6 +86,65 @@ TEST(EngineRegistry, UnknownNameIsRejectedWithTheRegisteredList) {
       EXPECT_NE(what.find(name), std::string::npos) << what;
     }
   }
+}
+
+TEST(EngineRegistry, TypoWithinDistanceTwoGetsASuggestion) {
+  // One edit away from a registered name: the error teaches the fix.
+  for (const auto& [typo, want] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"exat", "exact"},        // deletion
+           {"exactt", "exact"},      // insertion
+           {"qmde", "qmdd"},         // substitution
+           {"chpp", "chp"},          // insertion
+           {"statevectr", "statevector"},
+           {"CHPP", "chp"},          // suggestion matching is case-folded
+       }) {
+    SCOPED_TRACE(typo);
+    EXPECT_EQ(EngineRegistry::instance().closestName(typo), want);
+    try {
+      makeEngine(typo, 2);
+      FAIL() << "expected UnknownEngineError";
+    } catch (const UnknownEngineError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("did you mean '" + want + "'"), std::string::npos)
+          << what;
+    }
+  }
+}
+
+TEST(EngineRegistry, FarFromEveryNameGetsNoSuggestion) {
+  for (const char* junk : {"no-such-engine", "tensornetwork", "", "x"}) {
+    SCOPED_TRACE(junk);
+    EXPECT_EQ(EngineRegistry::instance().closestName(junk), "");
+    try {
+      EngineRegistry::instance().describe(junk);
+      FAIL() << "expected UnknownEngineError";
+    } catch (const UnknownEngineError& e) {
+      const std::string what = e.what();
+      EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+      // The registered list still teaches the valid names.
+      EXPECT_NE(what.find("exact"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(EngineRegistry, AllThreeLookupEntryPointsSuggest) {
+  // describe / capabilities / create share one error path; a typo through
+  // any of them carries the suggestion.
+  const auto expectSuggests = [](auto&& call) {
+    try {
+      call();
+      FAIL() << "expected UnknownEngineError";
+    } catch (const UnknownEngineError& e) {
+      EXPECT_NE(std::string(e.what()).find("did you mean 'qmdd'"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  const EngineRegistry& registry = EngineRegistry::instance();
+  expectSuggests([&] { registry.describe("qmd"); });
+  expectSuggests([&] { (void)registry.capabilities("qmd"); });
+  expectSuggests([&] { (void)registry.create("qmd", 2); });
 }
 
 TEST(EngineRegistry, LookupIsCaseInsensitive) {

@@ -1,0 +1,196 @@
+// Engine::exportTo — the cross-representation conversion matrix of
+// state_convert.hpp: every engine pair, the typed failure modes
+// (ConversionError, MemoryBudgetError), the collapse re-arm contract, and
+// the dense-budget regression (the old hard 20-qubit extraction wall is
+// gone; the budget is the only limit).
+#include "core/state_convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "circuit/circuit.hpp"
+#include "core/engine_registry.hpp"
+#include "core/observable.hpp"
+#include "support/memuse.hpp"
+#include "support/rng.hpp"
+
+namespace sliq {
+namespace {
+
+/// A 4-qubit Clifford state rich enough to expose phase errors: GHZ with
+/// S/S† twists and a CZ (every engine, chp included, runs it).
+QuantumCircuit twistedGhz4() {
+  QuantumCircuit c(4, "twisted-ghz");
+  c.h(0).cx(0, 1).s(1).cx(1, 2).sdg(2).cz(2, 3).cx(2, 3).h(3).s(3);
+  return c;
+}
+
+PauliObservable phaseProbe() {
+  PauliObservable obs;
+  obs.addTerm(1.0, {{0, Pauli::kX}, {1, Pauli::kY}, {2, Pauli::kZ}});
+  obs.addTerm(-0.5, {{1, Pauli::kX}, {3, Pauli::kY}});
+  obs.addTerm(0.25, {{0, Pauli::kZ}, {3, Pauli::kX}});
+  return obs;
+}
+
+void expectSameState(Engine& a, Engine& b, double tol = 1e-10) {
+  ASSERT_EQ(a.numQubits(), b.numQubits());
+  for (unsigned q = 0; q < a.numQubits(); ++q) {
+    EXPECT_NEAR(a.probabilityOne(q), b.probabilityOne(q), tol) << "q" << q;
+  }
+  EXPECT_NEAR(a.totalProbability(), b.totalProbability(), tol);
+  const PauliObservable obs = phaseProbe();
+  for (const PauliString& term : obs.terms()) {
+    EXPECT_NEAR(a.expectation(singleStringObservable(term)),
+                b.expectation(singleStringObservable(term)), tol)
+        << term.pauliText();
+  }
+}
+
+TEST(StateConvert, RouteMatrixCoversExactlyTheDocumentedPairs) {
+  // The success set of the matrix in state_convert.hpp: same-name snapshot
+  // for all four, chp prep-replay into everything, and dense hand-over
+  // into the two engines that can ingest doubles.
+  const std::set<std::pair<std::string, std::string>> convertible = {
+      {"chp", "chp"},         {"exact", "exact"},
+      {"qmdd", "qmdd"},       {"statevector", "statevector"},
+      {"chp", "exact"},       {"chp", "qmdd"},
+      {"chp", "statevector"}, {"exact", "qmdd"},
+      {"exact", "statevector"}, {"qmdd", "statevector"},
+      {"statevector", "qmdd"},
+  };
+  const QuantumCircuit c = twistedGhz4();
+  for (const std::string& srcName : engineNames()) {
+    for (const std::string& dstName : engineNames()) {
+      SCOPED_TRACE(srcName + " -> " + dstName);
+      const std::unique_ptr<Engine> src = makeEngine(srcName, 4);
+      const std::unique_ptr<Engine> dst = makeEngine(dstName, 4);
+      src->run(c);
+      if (convertible.count({srcName, dstName}) > 0) {
+        src->exportTo(*dst);
+        expectSameState(*src, *dst);
+        // The converted state is a first-class reference state: the target
+        // samples from it directly.
+        Rng rng(11);
+        EXPECT_EQ(dst->sampleShot(rng).size(), 4u);
+      } else {
+        EXPECT_THROW(src->exportTo(*dst), ConversionError);
+      }
+    }
+  }
+}
+
+TEST(StateConvert, SameRepresentationRouteIsBitIdenticalUnderSampling) {
+  const QuantumCircuit c = twistedGhz4();
+  for (const std::string& name : engineNames()) {
+    SCOPED_TRACE(name);
+    const std::unique_ptr<Engine> src = makeEngine(name, 4);
+    const std::unique_ptr<Engine> dst = makeEngine(name, 4);
+    src->run(c);
+    src->exportTo(*dst);
+    // The snapshot round-trip is bit-identical, so equal deviate streams
+    // must produce equal shot streams.
+    Rng rngA(99);
+    Rng rngB(99);
+    for (int shot = 0; shot < 32; ++shot) {
+      EXPECT_EQ(src->sampleShot(rngA), dst->sampleShot(rngB)) << shot;
+    }
+  }
+}
+
+TEST(StateConvert, SameInstanceAndWidthMismatchAreTypedErrors) {
+  const std::unique_ptr<Engine> engine = makeEngine("exact", 3);
+  EXPECT_THROW(engine->exportTo(*engine), ConversionError);
+  const std::unique_ptr<Engine> wider = makeEngine("statevector", 4);
+  try {
+    engine->exportTo(*wider);
+    FAIL() << "expected ConversionError";
+  } catch (const ConversionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+    EXPECT_NE(what.find("4"), std::string::npos) << what;
+  }
+}
+
+TEST(StateConvert, DenseRouteIsBudgetedOnBothSides) {
+  const QuantumCircuit c = twistedGhz4();
+  const std::unique_ptr<Engine> src = makeEngine("exact", 4);
+  src->run(c);
+  // Over budget: the typed error propagates out of exportTo with the
+  // figures intact (the caller can catch and fall back).
+  const std::unique_ptr<Engine> dst = makeEngine("statevector", 4);
+  try {
+    src->exportTo(*dst, denseStateBytes(4) - 1);
+    FAIL() << "expected MemoryBudgetError";
+  } catch (const MemoryBudgetError& e) {
+    EXPECT_EQ(e.numQubits(), 4u);
+    EXPECT_EQ(e.requiredBytes(), denseStateBytes(4));
+    EXPECT_EQ(e.budgetBytes(), denseStateBytes(4) - 1);
+  }
+  // Exactly at budget succeeds.
+  src->exportTo(*dst, denseStateBytes(4));
+  expectSameState(*src, *dst);
+}
+
+TEST(StateConvert, DenseConversionWorksAboveTheOldTwentyQubitWall) {
+  // Regression for the removed SLIQ_REQUIRE(n_ <= 20) in state_export.cpp:
+  // 21 qubits is 32 MiB of amplitudes — far inside the 1 GiB default
+  // budget, and rejected only by budget, never by a hard-coded width.
+  constexpr unsigned kWide = 21;
+  QuantumCircuit ghz(kWide, "ghz21");
+  ghz.h(0);
+  for (unsigned q = 0; q + 1 < kWide; ++q) ghz.cx(q, q + 1);
+  const std::unique_ptr<Engine> src = makeEngine("qmdd", kWide);
+  src->run(ghz);
+  const std::unique_ptr<Engine> dst = makeEngine("statevector", kWide);
+  src->exportTo(*dst);
+  EXPECT_NEAR(dst->probabilityOne(0), 0.5, 1e-10);
+  EXPECT_NEAR(dst->probabilityOne(kWide - 1), 0.5, 1e-10);
+  EXPECT_NEAR(dst->totalProbability(), 1.0, 1e-10);
+}
+
+TEST(StateConvert, CollapsedSourceConvertsAndReArmsTheTarget) {
+  // Sampling from a collapsed engine is a logic error — but conversion is
+  // not sampling: the exported state is the target's new reference state,
+  // so the target may sample from it.
+  for (const char* dstName : {"exact", "qmdd", "statevector"}) {
+    SCOPED_TRACE(dstName);
+    const std::unique_ptr<Engine> src = makeEngine("chp", 2);
+    QuantumCircuit bell(2, "bell");
+    bell.h(0).cx(0, 1);
+    src->run(bell);
+    EXPECT_TRUE(src->measure(0, 0.25));  // deviate 0.25 < 0.5 -> outcome 1
+    Rng rng(5);
+    EXPECT_THROW(src->sampleShot(rng), std::logic_error);
+    const std::unique_ptr<Engine> dst = makeEngine(dstName, 2);
+    src->exportTo(*dst);
+    // The Bell correlation collapsed both qubits to 1.
+    EXPECT_NEAR(dst->probabilityOne(0), 1.0, 1e-10);
+    EXPECT_NEAR(dst->probabilityOne(1), 1.0, 1e-10);
+    const std::vector<bool> shot = dst->sampleShot(rng);  // re-armed
+    EXPECT_TRUE(shot[0]);
+    EXPECT_TRUE(shot[1]);
+  }
+}
+
+TEST(StateConvert, ConversionErrorsNameBothEngines) {
+  const QuantumCircuit c = twistedGhz4();
+  const std::unique_ptr<Engine> src = makeEngine("statevector", 4);
+  src->run(c);
+  const std::unique_ptr<Engine> dst = makeEngine("chp", 4);
+  try {
+    src->exportTo(*dst);
+    FAIL() << "expected ConversionError";
+  } catch (const ConversionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("statevector"), std::string::npos) << what;
+    EXPECT_NE(what.find("chp"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace sliq

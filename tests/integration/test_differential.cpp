@@ -21,10 +21,13 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/generators.hpp"
+#include "core/circuit_analyzer.hpp"
+#include "core/dispatch.hpp"
 #include "core/engine_registry.hpp"
 #include "core/observable.hpp"
 #include "core/simulator.hpp"
 #include "qmdd/qmdd_sim.hpp"
+#include "stabilizer/stabilizer.hpp"
 #include "statevector/statevector.hpp"
 #include "support/rng.hpp"
 
@@ -107,6 +110,26 @@ std::vector<FuzzCase> fuzzCorpus() {
   return cases;
 }
 
+/// Handoff corpus: every circuit opens with a guaranteed Clifford prefix
+/// (an H layer plus 2n random tableau gates), then a T gate pins the prefix
+/// end, then a Clifford+T tail. This is exactly the shape the dispatcher
+/// splits: chp runs the prefix, exportTo hands the tableau state to the
+/// scored-best engine, which finishes the tail.
+std::vector<FuzzCase> handoffCorpus() {
+  std::vector<FuzzCase> cases;
+  for (unsigned n = 3; n <= 5; ++n) {  // randomCircuit needs >= 3 qubits
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      std::ostringstream id;
+      id << "handoff n=" << n << " seed=" << seed;
+      QuantumCircuit c = randomClifford(n, 2 * n, 5000 * n + seed);
+      c.t(static_cast<unsigned>(seed % n));
+      c.compose(randomCircuit(n, 2 * n, 6000 * n + seed));
+      cases.push_back({id.str(), std::move(c), false});
+    }
+  }
+  return cases;
+}
+
 /// Deterministic random observable for one case: `count` strings over the
 /// full width (each qubit I/X/Y/Z uniformly, re-rolled if fully identity)
 /// with ±(0.25 + k/8) coefficients.
@@ -137,7 +160,10 @@ std::string goldenLine(const FuzzCase& fuzz) {
 }
 
 TEST(Differential, GoldenFilePinsTheGeneratedCorpus) {
-  const std::vector<FuzzCase> corpus = fuzzCorpus();
+  // Both generated families are pinned: the cross-engine fuzz corpus and
+  // the handoff corpus the split-point test below replays.
+  std::vector<FuzzCase> corpus = fuzzCorpus();
+  for (FuzzCase& fuzz : handoffCorpus()) corpus.push_back(std::move(fuzz));
   if (std::getenv("SLIQ_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(SLIQ_DIFFERENTIAL_GOLDEN);
     ASSERT_TRUE(out.good()) << SLIQ_DIFFERENTIAL_GOLDEN;
@@ -219,6 +245,76 @@ TEST(Differential, ExpectationsAgreeAcrossEnginesToTenDigits) {
     EXPECT_NEAR(exact->expectation(obs), reference->expectation(obs), 1e-10);
     EXPECT_NEAR(genericExpectation(*exact, obs), reference->expectation(obs),
                 1e-10);
+  }
+}
+
+TEST(Differential, ChpExtractionMatchesEveryPrefixToTenDigits) {
+  // The tableau→circuit extraction behind every chp→* conversion route:
+  // for EVERY prefix length of every Clifford-only fuzz case, replaying
+  // extractPreparation() from |0...0⟩ reproduces the prefix's per-basis
+  // probabilities to 10 digits (the extraction is exact up to global
+  // phase, so probabilities — not amplitudes — are the comparable).
+  for (const FuzzCase& fuzz : fuzzCorpus()) {
+    if (!fuzz.cliffordOnly) continue;
+    SCOPED_TRACE(fuzz.id);
+    const unsigned n = fuzz.circuit.numQubits();
+    StatevectorSimulator reference(n);  // advanced gate by gate in lockstep
+    StabilizerSimulator tableau(n);
+    for (std::size_t len = 0; len <= fuzz.circuit.gateCount(); ++len) {
+      if (len > 0) {
+        const Gate& g = fuzz.circuit.gate(len - 1);
+        reference.applyGate(g);
+        tableau.applyGate(g);
+      }
+      StatevectorSimulator replay(n);
+      replay.run(tableau.extractPreparation());
+      for (std::uint64_t i = 0; i < (std::uint64_t{1} << n); ++i) {
+        EXPECT_NEAR(std::norm(replay.amplitude(i)),
+                    std::norm(reference.amplitude(i)), 1e-10)
+            << "prefix " << len << " basis state " << i;
+      }
+    }
+  }
+}
+
+TEST(Differential, ChpHandoffMatchesMonolithicAtEverySplitPoint) {
+  // The acceptance property of the engine portfolio: a chp-prefix handoff
+  // into each of exact/qmdd/statevector is pinned <= 1e-10 against the
+  // monolithic run for EVERY split point inside the Clifford prefix —
+  // wherever the dispatcher cuts, the answer is the same.
+  for (const FuzzCase& fuzz : handoffCorpus()) {
+    SCOPED_TRACE(fuzz.id);
+    const unsigned n = fuzz.circuit.numQubits();
+    const std::size_t prefix =
+        analyzeCircuit(fuzz.circuit).cliffordPrefixGates;
+    // The corpus shape guarantees a split the dispatcher would take.
+    ASSERT_GE(prefix, kMinHandoffPrefixGates);
+    ASSERT_LT(prefix, fuzz.circuit.gateCount());
+    const PauliObservable obs =
+        randomObservable(n, 3, circuitDigest(fuzz.circuit) ^ 0x9e3779b9ULL);
+    for (const char* name : {"exact", "qmdd", "statevector"}) {
+      SCOPED_TRACE(name);
+      const std::unique_ptr<Engine> monolithic = makeEngine(name, n);
+      monolithic->run(fuzz.circuit);
+      const double monolithicExpectation = monolithic->expectation(obs);
+      for (std::size_t split = 0; split <= prefix; ++split) {
+        SCOPED_TRACE("split " + std::to_string(split));
+        const std::unique_ptr<Engine> chp = makeEngine("chp", n);
+        for (std::size_t i = 0; i < split; ++i)
+          chp->applyGate(fuzz.circuit.gate(i));
+        const std::unique_ptr<Engine> engine = makeEngine(name, n);
+        chp->exportTo(*engine);
+        for (std::size_t i = split; i < fuzz.circuit.gateCount(); ++i)
+          engine->applyGate(fuzz.circuit.gate(i));
+        for (unsigned q = 0; q < n; ++q) {
+          EXPECT_NEAR(engine->probabilityOne(q), monolithic->probabilityOne(q),
+                      1e-10)
+              << "qubit " << q;
+        }
+        EXPECT_NEAR(engine->expectation(obs), monolithicExpectation, 1e-10);
+        EXPECT_NEAR(engine->totalProbability(), 1.0, 1e-10);
+      }
+    }
   }
 }
 

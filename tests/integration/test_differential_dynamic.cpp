@@ -261,5 +261,30 @@ TEST(DifferentialDynamic, PostRunStatesAgreeAcrossEngines) {
   }
 }
 
+TEST(DifferentialDynamic, PostRunConversionAgreesAcrossRepresentations) {
+  // Conversion composes with dynamic runs: after a collapsing shared-seed
+  // run on the exact engine, the dense exportTo routes hand the collapsed
+  // state to qmdd / statevector targets with per-qubit probabilities and
+  // total norm intact to 10 digits (dynamic circuits never split mid-run —
+  // the deviate contract — but their FINAL states convert freely).
+  for (const FuzzCase& fuzz : fuzzCorpus()) {
+    SCOPED_TRACE(fuzz.id);
+    const unsigned n = fuzz.circuit.numQubits();
+    const std::unique_ptr<Engine> src = makeEngine("exact", n);
+    Rng rng(caseSeed(fuzz));
+    src->runDynamic(fuzz.circuit, rng);
+    for (const char* dstName : {"qmdd", "statevector"}) {
+      SCOPED_TRACE(dstName);
+      const std::unique_ptr<Engine> dst = makeEngine(dstName, n);
+      src->exportTo(*dst);
+      for (unsigned q = 0; q < n; ++q) {
+        EXPECT_NEAR(dst->probabilityOne(q), src->probabilityOne(q), 1e-10)
+            << "qubit " << q;
+      }
+      EXPECT_NEAR(dst->totalProbability(), src->totalProbability(), 1e-10);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sliq

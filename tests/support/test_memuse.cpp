@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace sliq {
@@ -39,6 +41,53 @@ TEST(Memuse, ValuesArePageGranular) {
   // always KiB-aligned. Guards against unit slips (bytes vs KiB vs pages).
   EXPECT_EQ(currentRssBytes() % 1024, 0u);
   EXPECT_EQ(peakRssBytes() % 1024, 0u);
+}
+
+
+TEST(Memuse, DenseStateBytesIs16BytesPerAmplitude) {
+  EXPECT_EQ(denseStateBytes(0), 16u);          // one amplitude
+  EXPECT_EQ(denseStateBytes(1), 32u);
+  EXPECT_EQ(denseStateBytes(20), (1u << 20) * 16ull);
+  EXPECT_EQ(denseStateBytes(26), (1ull << 26) * 16ull);
+  // Widths whose byte count would overflow 64 bits saturate instead of
+  // wrapping to a tiny (and thus always-in-budget) value.
+  EXPECT_EQ(denseStateBytes(60), ~std::uint64_t{0});
+  EXPECT_EQ(denseStateBytes(64), ~std::uint64_t{0});
+}
+
+TEST(Memuse, RequireDenseBudgetPassesWithinAndThrowsOver) {
+  // In budget: 2^10 amplitudes = 16 KiB against a 1 MiB budget.
+  EXPECT_NO_THROW(requireDenseBudget(10, 1u << 20));
+  // Exactly at the budget is still allowed (<=, not <).
+  EXPECT_NO_THROW(requireDenseBudget(10, denseStateBytes(10)));
+  EXPECT_THROW(requireDenseBudget(10, denseStateBytes(10) - 1),
+               MemoryBudgetError);
+  // The default budget admits 26 qubits (1 GiB) and refuses 27.
+  EXPECT_NO_THROW(requireDenseBudget(26, kDefaultDenseBudgetBytes));
+  EXPECT_THROW(requireDenseBudget(27, kDefaultDenseBudgetBytes),
+               MemoryBudgetError);
+}
+
+TEST(Memuse, MemoryBudgetErrorCarriesTheSizesAndNamesThem) {
+  try {
+    requireDenseBudget(30, 1u << 20);
+    FAIL() << "expected MemoryBudgetError";
+  } catch (const MemoryBudgetError& e) {
+    EXPECT_EQ(e.numQubits(), 30u);
+    EXPECT_EQ(e.requiredBytes(), (1ull << 30) * 16ull);
+    EXPECT_EQ(e.budgetBytes(), 1ull << 20);
+    const std::string what = e.what();
+    // The message must name the qubit count and both byte figures so the
+    // caller can act on it without re-deriving anything.
+    EXPECT_NE(what.find("30"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string((1ull << 30) * 16ull)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(std::to_string(1ull << 20)), std::string::npos)
+        << what;
+  }
+  // A catch as std::runtime_error also works (typed but catchable broadly).
+  EXPECT_THROW(requireDenseBudget(40, 1), std::runtime_error);
 }
 
 }  // namespace

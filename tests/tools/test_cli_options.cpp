@@ -5,7 +5,9 @@
 
 #include <string>
 
+#include "circuit/circuit.hpp"
 #include "cli_options.hpp"
+#include "warm_cache.hpp"
 
 namespace sliq::cli {
 namespace {
@@ -355,6 +357,89 @@ TEST(CliOptions, WarmCacheRequiresStaticCircuit) {
   EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/false), "");
   const std::string error = validateDynamic(opt, /*circuitIsDynamic=*/true);
   EXPECT_NE(error.find("--warm-cache"), std::string::npos) << error;
+}
+
+
+TEST(CliOptions, IsAutoEngineMatchesCaseInsensitively) {
+  Options opt = base();
+  EXPECT_FALSE(isAutoEngine(opt));  // default engine, not given
+  opt.engineGiven = true;
+  for (const char* spelling : {"auto", "Auto", "AUTO", "aUtO"}) {
+    opt.engine = spelling;
+    EXPECT_TRUE(isAutoEngine(opt)) << spelling;
+  }
+  for (const char* concrete : {"exact", "chp", "auto2", "aut", "autoo"}) {
+    opt.engine = concrete;
+    EXPECT_FALSE(isAutoEngine(opt)) << concrete;
+  }
+  // An un-given engine named "auto" by default initialization would not
+  // trigger dispatch either: the flag must be explicit.
+  Options silent = base();
+  silent.engine = "auto";
+  EXPECT_FALSE(isAutoEngine(silent));
+}
+
+TEST(CliOptions, AutoEngineRejectsLoadState) {
+  // Pinned decision: --engine auto + --load-state is a strict error (the
+  // snapshot header already fixes the representation; silently ignoring
+  // the user's "choose for me" would be worse than refusing).
+  Options opt = base();
+  opt.engineGiven = true;
+  opt.engine = "auto";
+  EXPECT_EQ(validateOptions(opt), "");
+  opt.loadStatePath = "state.sliqstate";
+  const std::string error = validateOptions(opt);
+  EXPECT_NE(error.find("--engine auto"), std::string::npos) << error;
+  EXPECT_NE(error.find("--load-state"), std::string::npos) << error;
+  // A concrete engine with --load-state stays valid.
+  opt.engine = "exact";
+  EXPECT_EQ(validateOptions(opt), "");
+}
+
+TEST(CliOptions, AutoEngineComposesWithWarmCacheAndQueries) {
+  Options opt = base();
+  opt.engineGiven = true;
+  opt.engine = "auto";
+  opt.warmCacheDir = "cache/";
+  opt.probs = true;
+  opt.shots = 8;
+  opt.stats = true;
+  EXPECT_EQ(validateOptions(opt), "");
+  EXPECT_EQ(validateDynamic(opt, /*circuitIsDynamic=*/false), "");
+}
+
+TEST(WarmCache, PathKeyIncludesEngineWidthAndDigest) {
+  QuantumCircuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2);
+  const std::uint64_t digest = circuitPrefixDigest(c, c.gateCount());
+  const std::string exact = warmCachePath("dir", "exact", 3, digest);
+  const std::string chp = warmCachePath("dir", "chp", 3, digest);
+  // Same circuit, different resolved engines: distinct cache entries —
+  // snapshots of different representations are not interchangeable.
+  EXPECT_NE(exact, chp);
+  EXPECT_NE(exact.find("exact-q3-"), std::string::npos) << exact;
+  EXPECT_NE(chp.find("chp-q3-"), std::string::npos) << chp;
+  // Key stability: prefix digests are a pure function of the gate stream.
+  EXPECT_EQ(exact, warmCachePath("dir", "exact", 3,
+                                 circuitPrefixDigest(c, c.gateCount())));
+}
+
+TEST(WarmCache, PrefixDigestDistinguishesPrefixLengthsAndWidths) {
+  QuantumCircuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2);
+  EXPECT_NE(circuitPrefixDigest(c, 1), circuitPrefixDigest(c, 2));
+  EXPECT_NE(circuitPrefixDigest(c, 2), circuitPrefixDigest(c, 3));
+  QuantumCircuit wider(4);
+  wider.h(0).cx(0, 1).cx(1, 2);
+  // Same gates, different register width: different key.
+  EXPECT_NE(circuitPrefixDigest(c, 3), circuitPrefixDigest(wider, 3));
+}
+
+TEST(WarmCache, AutoMetaEngineIsNeverAValidCacheKey) {
+  // The cache key must name the RESOLVED engine; keying on the "auto"
+  // meta-name would let runs that resolve to different engines share (and
+  // corrupt) one entry.
+  EXPECT_THROW(warmCachePath("dir", "auto", 3, 42), std::invalid_argument);
 }
 
 }  // namespace

@@ -56,6 +56,22 @@ struct Options {
   bool mergeCounts = false;
 };
 
+/// True when the run asked for the dispatcher ("--engine auto", matched
+/// case-insensitively like every registry name). "auto" is a planner
+/// directive, not a registered engine: main() resolves it to a concrete
+/// engine via planEngine() before any registry lookup.
+inline bool isAutoEngine(const Options& opt) {
+  if (!opt.engineGiven) return false;
+  if (opt.engine.size() != 4) return false;
+  const char* want = "auto";
+  for (std::size_t i = 0; i < 4; ++i) {
+    const char c = opt.engine[i];
+    const char lower = c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c;
+    if (lower != want[i]) return false;
+  }
+  return true;
+}
+
 /// Checked parse of a non-negative integer flag value into [0, maxValue].
 /// Strictly base 10: base-0 parsing used to read zero-padded values as
 /// octal ("--shots 010" meant 8) and accept hex seeds ("0x10" meant 16) —
@@ -153,6 +169,14 @@ inline std::string parseCountsLine(const std::string& line, std::string* bits,
 ///    --shots is a category error: shot sampling estimates what
 ///    expectation() answers exactly (chi-squared tests pin the agreement).
 ///  * --stats accepts only the text and json renderings.
+///  * --engine auto scores a *circuit*; a --load-state snapshot already
+///    pins the representation in its header, so the dispatcher has nothing
+///    to decide — the combination is a strict error (pinned: we reject
+///    rather than silently respecting the header, so the user's "choose
+///    for me" request is never quietly ignored). --warm-cache DOES compose
+///    with auto: the cache key is formed from the resolved engine
+///    (tools/warm_cache.hpp), so runs resolving to different engines never
+///    share an entry.
 inline std::string validateOptions(const Options& opt) {
   if (opt.mergeCounts) {
     if (opt.engineGiven || opt.shots > 0 || opt.probs || opt.amps > 0 ||
@@ -203,6 +227,11 @@ inline std::string validateOptions(const Options& opt) {
   if (!opt.noisePath.empty() && !opt.warmCacheDir.empty()) {
     return "--warm-cache caches ideal gate-loop prefixes; it does not "
            "compose with --noise trajectories";
+  }
+  if (isAutoEngine(opt) && !opt.loadStatePath.empty()) {
+    return "--engine auto scores a circuit, but the --load-state snapshot "
+           "header already pins the representation; drop --engine auto (the "
+           "header engine is used) or name a concrete engine";
   }
   if (!opt.warmCacheDir.empty() && !opt.loadStatePath.empty()) {
     return "--warm-cache and --load-state both pick the pre-run state; use "

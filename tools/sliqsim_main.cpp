@@ -7,7 +7,15 @@
 //
 // Options:
 //   --engine NAME              any registered engine (default: exact);
-//                              built-ins: exact, qmdd, chp, statevector
+//                              built-ins: exact, qmdd, chp, statevector.
+//                              NAME may also be "auto": the dispatcher
+//                              scores every engine from the circuit's
+//                              features (Clifford fraction, T count,
+//                              two-qubit depth, width) and runs the
+//                              cheapest feasible one, printing its
+//                              rationale; a long Clifford prefix may run on
+//                              the chp tableau first and hand the state
+//                              over mid-circuit (DESIGN.md §13)
 //   --shots N                  sample N basis states (default: 0). On a
 //                              dynamic circuit (mid-circuit measure/reset/
 //                              if), each shot re-executes the circuit and
@@ -83,8 +91,10 @@
 #include "circuit/qasm.hpp"
 #include "circuit/real_format.hpp"
 #include "cli_options.hpp"
+#include "core/dispatch.hpp"
 #include "core/engine_registry.hpp"
 #include "core/observable.hpp"
+#include "core/state_convert.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/trajectory.hpp"
 #include "support/bits.hpp"
@@ -93,13 +103,16 @@
 #include "support/rng.hpp"
 #include "support/serialize.hpp"
 #include "support/timer.hpp"
+#include "warm_cache.hpp"
 
 namespace {
 
 using sliq::cli::Options;
+using sliq::cli::circuitPrefixDigest;
+using sliq::cli::warmCachePath;
 
 int usage() {
-  std::cerr << "usage: sliqsim [--engine "
+  std::cerr << "usage: sliqsim [--engine auto|"
             << sliq::EngineRegistry::instance().namesJoined()
             << "] [--shots N] "
                "[--probs] [--amps K] [--modify-h] [--optimize] [--seed S] "
@@ -209,35 +222,9 @@ void loadEngineState(sliq::Engine& engine, const std::string& path) {
 }
 
 // ---- warm-start cache ------------------------------------------------------
-
-/// FNV-1a over the structural gate stream of the first `gateCount` gates —
-/// the same mix as the differential harness's golden digests, so cache
-/// keys are stable across runs and platforms.
-std::uint64_t circuitPrefixDigest(const sliq::QuantumCircuit& circuit,
-                                  std::size_t gateCount) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  mix(circuit.numQubits());
-  for (std::size_t i = 0; i < gateCount; ++i) {
-    const sliq::Gate& g = circuit.gate(i);
-    mix(0xff);  // gate separator
-    mix(static_cast<std::uint64_t>(g.kind));
-    for (const unsigned q : g.controls) mix(0x100 + q);
-    for (const unsigned q : g.targets) mix(0x200 + q);
-  }
-  return h;
-}
-
-std::string warmCachePath(const std::string& dir, const std::string& engine,
-                          unsigned numQubits, std::uint64_t digest) {
-  std::ostringstream name;
-  name << engine << "-q" << numQubits << "-" << std::hex << std::setw(16)
-       << std::setfill('0') << digest << sliq::serialize::kFileExtension;
-  return (std::filesystem::path(dir) / name.str()).string();
-}
+// Key helpers (circuitPrefixDigest / warmCachePath) live in warm_cache.hpp
+// so the key contract — including the resolved-engine-only rule under
+// --engine auto — is unit-tested directly.
 
 /// Prepares the post-circuit state through the --warm-cache DIR snapshot
 /// cache: the longest cached prefix of `circuit` is restored instead of
@@ -291,6 +278,51 @@ void runWithWarmCache(sliq::Engine& engine, const sliq::QuantumCircuit& circuit,
                     circuitPrefixDigest(circuit, gateCount));
   saveEngineState(engine, fullPath);
   std::cout << "warm-cache: stored " << fullPath << "\n";
+}
+
+// ---- mid-circuit engine handoff --------------------------------------------
+
+/// Executes the dispatcher's handoff plan: gates [0, splitIndex) on a fresh
+/// chp tableau, state conversion into `engine`, gates [splitIndex, end)
+/// there. The differential harness pins this path against a monolithic run
+/// (<= 1e-10 on probabilities and expectations) for every split point.
+/// Returns false — leaving `engine` dirty; the caller restarts
+/// monolithically on a fresh engine — when the conversion refuses (typed
+/// ConversionError / MemoryBudgetError), so a planner misprediction
+/// degrades to the plain path instead of failing the run.
+bool runWithHandoff(sliq::Engine& engine, const sliq::QuantumCircuit& circuit,
+                    std::size_t splitIndex) {
+  using sliq::metrics::ScopedSpan;
+  try {
+    const ScopedSpan span(engine.metrics(), "handoff");
+    const std::unique_ptr<sliq::Engine> prefix =
+        sliq::makeEngine("chp", circuit.numQubits());
+    if (engine.metrics().enabled()) prefix->metrics().enable();
+    {
+      const ScopedSpan prefixSpan(engine.metrics(), "handoff.prefix");
+      for (std::size_t i = 0; i < splitIndex; ++i)
+        prefix->applyGate(circuit.gate(i));
+    }
+    prefix->exportTo(engine);
+    // Fold the tableau's telemetry (its gate counters, the convert.* route
+    // counters) into the main engine's registry before the suffix runs.
+    if (engine.metrics().enabled()) engine.metrics().merge(prefix->metrics());
+    {
+      const ScopedSpan suffixSpan(engine.metrics(), "handoff.suffix");
+      for (std::size_t i = splitIndex; i < circuit.gateCount(); ++i)
+        engine.applyGate(circuit.gate(i));
+    }
+    engine.metrics().add("handoff.prefix_gates", splitIndex);
+    return true;
+  } catch (const sliq::ConversionError& e) {
+    std::cerr << "handoff: conversion refused (" << e.what()
+              << ") — falling back to a monolithic run\n";
+    return false;
+  } catch (const sliq::MemoryBudgetError& e) {
+    std::cerr << "handoff: " << e.what()
+              << " — falling back to a monolithic run\n";
+    return false;
+  }
 }
 
 // ---- shard-histogram merging -----------------------------------------------
@@ -615,9 +647,24 @@ int main(int argc, char** argv) {
                 << report.gatesAfter << " gates\n";
     }
 
+    // --engine auto: score every registered engine against the circuit's
+    // features and resolve to the cheapest feasible one before any registry
+    // lookup (DESIGN.md §13). The plan's dispatch.* gauges land in the CLI
+    // registry, so --stats reports them; the rationale prints always.
+    std::string engineName = opt.engine;
+    EnginePlan plan;
+    const bool autoEngine = sliq::cli::isAutoEngine(opt);
+    if (autoEngine) {
+      const metrics::ScopedSpan span(cliMetrics, "dispatch");
+      plan = planEngine(circuit);
+      recordPlan(plan, cliMetrics);
+      engineName = plan.chosen;
+      std::cout << planRationale(plan);
+    }
+
     // The one code path for every engine: name -> registry -> facade.
     std::unique_ptr<Engine> engine =
-        makeEngine(opt.engine, circuit.numQubits());
+        makeEngine(engineName, circuit.numQubits());
     if (telemetry) {
       engine->metrics().enable();
       engine->metrics().merge(cliMetrics);
@@ -719,7 +766,7 @@ int main(int argc, char** argv) {
         // engines, the property the determinism smoke diffs.
         for (unsigned s = 0; s < opt.shots; ++s) {
           const std::unique_ptr<Engine> shotEngine =
-              makeEngine(opt.engine, circuit.numQubits());
+              makeEngine(engineName, circuit.numQubits());
           if (telemetry) shotEngine->metrics().enable();
           const DynamicRun run = shotEngine->runDynamic(circuit, rng);
           std::cout << "shot " << s << ": " << bitsToString(run.creg)
@@ -761,7 +808,21 @@ int main(int argc, char** argv) {
       if (!opt.warmCacheDir.empty()) {
         runWithWarmCache(*engine, circuit, opt);
       } else {
-        engine->run(circuit);
+        bool ran = false;
+        if (autoEngine && plan.handoff) {
+          ran = runWithHandoff(*engine, circuit, plan.splitIndex);
+          if (!ran) {
+            // The refused handoff may have left partial state behind —
+            // restart monolithically on a fresh engine.
+            engine = makeEngine(engineName, circuit.numQubits());
+            if (telemetry) {
+              engine->metrics().enable();
+              engine->metrics().merge(cliMetrics);
+            }
+            if (opt.threadsGiven) engine->setExecutionThreads(opt.threads);
+          }
+        }
+        if (!ran) engine->run(circuit);
       }
       std::cout << "simulated in " << timer.seconds() << " s ("
                 << engine->name() << ")\n";

@@ -1,0 +1,59 @@
+// Warm-start cache keying, extracted from the CLI main so the key contract
+// is unit-testable without spawning the binary (tests/tools/
+// test_cli_options.cpp). The cache key is (engine, width, prefix digest):
+// snapshots of different representations are not interchangeable, so the
+// engine name in the key must always be a RESOLVED engine — under
+// `--engine auto` the key is formed only after the dispatcher picked one,
+// and warmCachePath() enforces that (two runs of the same circuit that
+// resolve to different engines must never share a cache entry).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "support/assert.hpp"
+#include "support/serialize.hpp"
+
+namespace sliq::cli {
+
+/// FNV-1a over the structural gate stream of the first `gateCount` gates —
+/// the same mix as the differential harness's golden digests, so cache
+/// keys are stable across runs and platforms.
+inline std::uint64_t circuitPrefixDigest(const QuantumCircuit& circuit,
+                                         std::size_t gateCount) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(circuit.numQubits());
+  for (std::size_t i = 0; i < gateCount; ++i) {
+    const Gate& g = circuit.gate(i);
+    mix(0xff);  // gate separator
+    mix(static_cast<std::uint64_t>(g.kind));
+    for (const unsigned q : g.controls) mix(0x100 + q);
+    for (const unsigned q : g.targets) mix(0x200 + q);
+  }
+  return h;
+}
+
+/// Cache entry path for (engine, width, digest) under `dir`. `engine` must
+/// be a concrete registered engine — never the "auto" meta-name, which is
+/// a planner input, not a representation (throws std::invalid_argument).
+inline std::string warmCachePath(const std::string& dir,
+                                 const std::string& engine,
+                                 unsigned numQubits, std::uint64_t digest) {
+  SLIQ_REQUIRE(engine != "auto",
+               "warm-cache keys need the resolved engine name, not the "
+               "'auto' meta-engine (resolve the dispatch plan first)");
+  std::ostringstream name;
+  name << engine << "-q" << numQubits << "-" << std::hex << std::setw(16)
+       << std::setfill('0') << digest << serialize::kFileExtension;
+  return (std::filesystem::path(dir) / name.str()).string();
+}
+
+}  // namespace sliq::cli
